@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one paper table/figure: the timed kernel goes
+through pytest-benchmark, and the paper's rows/series are printed
+through :func:`report` (bypassing capture so they land in
+``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult (or free-form text) to the real stdout."""
+
+    def _print(result: ExperimentResult | str) -> None:
+        text = result if isinstance(result, str) else result.render()
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,46 @@
+"""Ablation: worst-case parameters (k_adv) vs classical optimum (k_opt).
+
+Times the pollution campaign under both designs and prints the Section
+8.1 comparison: the hardened design halves hashing work and caps the
+adversary at e^(-m/(en)), for a 1.05^(m/n) honest-FP penalty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.pollution import PollutionAttack
+from repro.core.bloom import BloomFilter
+from repro.countermeasures.worst_case import compare_designs
+from repro.experiments import worst_case_params
+from repro.urlgen.faker import UrlFactory
+
+M, N = 3200, 600
+
+
+@pytest.mark.parametrize("design", ["optimal-k4", "worst-case-k2"])
+def test_pollution_campaign_cost(benchmark, design):
+    k = 4 if design == "optimal-k4" else 2
+
+    def campaign() -> float:
+        target = BloomFilter(M, k)
+        PollutionAttack(
+            target, candidates=UrlFactory(seed=k).candidate_stream()
+        ).run(N)
+        return target.current_fpp()
+
+    fpp = benchmark.pedantic(campaign, rounds=2, iterations=1)
+    if design == "optimal-k4":
+        assert fpp == pytest.approx(0.316, abs=0.01)
+    else:
+        assert fpp == pytest.approx(0.1406, abs=0.01)
+
+
+def test_worst_case_full_table(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: worst_case_params.run(scale=1.0, seed=0), rounds=1, iterations=1
+    )
+    report(result)
+    cmp = compare_designs(M, N)
+    assert cmp.adversarial_gain > 2.0
+    assert cmp.hash_call_savings == 2.0

@@ -1,0 +1,59 @@
+"""Bench (extension): adversarial probabilistic counting (paper §10).
+
+Times honest HLL insertion against constant-time forged-key insertion
+and prints the inflation/evasion summary table.
+"""
+
+from __future__ import annotations
+
+from repro.counting import HllEvasionAttack, HllInflationAttack, HyperLogLog
+from repro.experiments.runner import ExperimentResult
+from repro.urlgen.faker import UrlFactory
+
+
+def test_honest_insert_throughput(benchmark):
+    urls = UrlFactory(seed=1).urls(500)
+
+    def insert_batch() -> float:
+        hll = HyperLogLog(p=10)
+        for url in urls:
+            hll.add(url)
+        return hll.estimate()
+
+    estimate = benchmark(insert_batch)
+    assert 350 < estimate < 700
+
+
+def test_forged_key_cost_is_constant_time(benchmark):
+    attack = HllInflationAttack(HyperLogLog(p=10))
+    key = benchmark(lambda: attack.forge_key(register=7, rho_value=40))
+    assert attack.target.placement(key) == (7, 40)
+
+
+def test_cardinality_attack_table(benchmark, report):
+    def run_attacks() -> tuple[float, float]:
+        inflated = HyperLogLog(p=10)
+        for url in UrlFactory(seed=2).urls(200):
+            inflated.add(url)
+        inflation = HllInflationAttack(inflated).run()
+        evaded = HyperLogLog(p=10)
+        evasion = HllEvasionAttack(evaded).run(5_000)
+        return inflation.estimate_after, evasion.estimate_after
+
+    inflated_estimate, evaded_estimate = benchmark.pedantic(
+        run_attacks, rounds=1, iterations=1
+    )
+
+    result = ExperimentResult(
+        experiment_id="ext-counting",
+        title="Adversarial HyperLogLog (p=10): the paper's Section 10 extension",
+        paper_claim="probabilistic counters inherit the Bloom adversary models",
+        headers=["scenario", "true distinct items", "reported estimate"],
+    )
+    result.add_row("honest", 200, "~200")
+    result.add_row("inflation (1024 forged)", 200 + 1024, f"{inflated_estimate:.3g}")
+    result.add_row("evasion (5000 forged)", 5000, round(evaded_estimate, 1))
+    report(result)
+
+    assert inflated_estimate > 1e12
+    assert evaded_estimate < 5

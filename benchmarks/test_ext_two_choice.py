@@ -1,0 +1,85 @@
+"""Bench (extension): two choices vs evil choices.
+
+Answers the paper's closing question for its title's namesake: the
+Lumetta-Mitzenmacher two-choice filter improves the *average* case but
+has a strictly *worse* worst case than the classic filter.  Times both
+insertion paths and prints the average/worst-case comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.pollution import PollutionAttack
+from repro.adversary.two_choice_attack import TwoChoicePollutionAttack
+from repro.core.bloom import BloomFilter
+from repro.core.two_choice import TwoChoiceBloomFilter
+from repro.experiments.runner import ExperimentResult
+from repro.urlgen.faker import UrlFactory
+
+# k >= 8 is where the two-choice average-case win materialises (below
+# that, the query-side OR outweighs the weight saving).
+M, K, N = 8192, 8, 700
+N_CRAFTED = 300
+
+
+@pytest.mark.parametrize("variant", ["classic", "two-choice"])
+def test_honest_insert_throughput(benchmark, variant):
+    urls = UrlFactory(seed=1).urls(300)
+
+    def insert_batch() -> int:
+        target = BloomFilter(M, K) if variant == "classic" else TwoChoiceBloomFilter(M, K)
+        for url in urls:
+            target.add(url)
+        return target.hamming_weight
+
+    weight = benchmark(insert_batch)
+    assert weight > 0
+
+
+def test_two_choice_comparison_table(benchmark, report):
+    def compare() -> dict[str, float]:
+        classic = BloomFilter(M, K)
+        two_choice = TwoChoiceBloomFilter(M, K)
+        for url in UrlFactory(seed=2).urls(N):
+            classic.add(url)
+        for url in UrlFactory(seed=2).urls(N):
+            two_choice.add(url)
+        honest = {
+            "classic_weight": classic.hamming_weight,
+            "two_choice_weight": two_choice.hamming_weight,
+            "classic_fpp": classic.current_fpp(),
+            "two_choice_fpp": two_choice.current_fpp(),
+        }
+
+        classic_attacked = BloomFilter(M, K)
+        PollutionAttack(classic_attacked, seed=3).run(N_CRAFTED)
+        tc_attacked = TwoChoiceBloomFilter(M, K)
+        TwoChoicePollutionAttack(tc_attacked, seed=3).run(N_CRAFTED)
+        honest["classic_forced"] = classic_attacked.current_fpp()
+        honest["two_choice_forced"] = tc_attacked.current_fpp()
+        return honest
+
+    data = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    result = ExperimentResult(
+        experiment_id="ext-two-choice",
+        title=f"Two choices vs evil choices (m={M}, k={K})",
+        paper_claim="variants trading average case for worst case: two-choice "
+        "wins honest workloads, loses adversarial ones",
+        headers=["metric", "classic", "two-choice"],
+    )
+    result.add_row(
+        f"weight after {N} honest inserts", data["classic_weight"], data["two_choice_weight"]
+    )
+    result.add_row("honest FP", data["classic_fpp"], data["two_choice_fpp"])
+    result.add_row(
+        f"FP forced by {N_CRAFTED} crafted inserts",
+        data["classic_forced"],
+        data["two_choice_forced"],
+    )
+    report(result)
+
+    assert data["two_choice_weight"] < data["classic_weight"]  # average-case win
+    assert data["two_choice_fpp"] < data["classic_fpp"]  # honest FP win at k=8
+    assert data["two_choice_forced"] > data["classic_forced"]  # worst-case loss

@@ -1,0 +1,24 @@
+"""Bench: Fig. 3 -- FP probability vs inserted items (m=3200, k=4).
+
+Times the full adversarial insertion campaign (600 crafted items) and
+prints the honest/adversarial/partial curves with the paper's threshold
+crossings (600 / 422 / 510) and f_adv(600) = 0.316.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.pollution import PollutionAttack
+from repro.core.bloom import BloomFilter
+from repro.experiments import fig3_false_positive
+
+
+def test_fig3_adversarial_campaign(benchmark, report):
+    def campaign() -> float:
+        target = BloomFilter(3200, 4)
+        PollutionAttack(target, seed=3).run(600)
+        return target.current_fpp()
+
+    final_fpp = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert 0.30 <= final_fpp <= 0.33  # paper: 0.316
+
+    report(fig3_false_positive.run(scale=1.0, seed=0))

@@ -1,0 +1,42 @@
+"""Bench: Fig. 5 -- cost of creating polluting URLs.
+
+Times per-URL forgery against filters parameterised for
+f in {2^-5, ..., 2^-20} and prints the full cost table (the paper's
+38 s -> 2 h exponential growth, at laptop scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.pollution import PollutionAttack
+from repro.core.bloom import BloomFilter
+from repro.core.params import BloomParameters
+from repro.experiments import fig5_pollution_cost
+from repro.urlgen.faker import UrlFactory
+
+FPPS = [2**-5, 2**-10, 2**-15, 2**-20]
+
+
+@pytest.mark.parametrize("f", FPPS, ids=lambda f: f"f=2^-{round(-__import__('math').log2(f))}")
+def test_forge_100_polluting_urls(benchmark, f):
+    params = BloomParameters.design_optimal(400, f)
+
+    def forge() -> int:
+        target = BloomFilter(params.m, params.k)
+        attack = PollutionAttack(
+            target, candidates=UrlFactory(seed=params.k).candidate_stream()
+        )
+        return attack.run(100).total_trials
+
+    trials = benchmark.pedantic(forge, rounds=3, iterations=1)
+    assert trials >= 100
+
+
+def test_fig5_full_table(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig5_pollution_cost.run(scale=0.4, seed=0), rounds=1, iterations=1
+    )
+    report(result)
+    times = [row[6] for row in result.rows]
+    assert times[-1] > times[0]  # exponential growth direction

@@ -1,0 +1,45 @@
+"""Bench: Fig. 6 -- cost of creating ghost URLs vs filter occupation.
+
+Times single-ghost forgery at high/low occupation (f = 2^-5) and prints
+the occupation/cost grid for both paper curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.query import GhostForgery
+from repro.core.bloom import BloomFilter
+from repro.core.params import BloomParameters
+from repro.experiments import fig6_ghost_cost
+from repro.urlgen.faker import UrlFactory
+
+
+def _filled_filter(occupation: float, capacity: int = 1500) -> BloomFilter:
+    params = BloomParameters.design_optimal(capacity, 2**-5)
+    target = BloomFilter(params.m, params.k)
+    factory = UrlFactory(seed=9)
+    for _ in range(int(occupation * capacity)):
+        target.add(factory.url())
+    return target
+
+
+@pytest.mark.parametrize("occupation", [0.4, 0.7, 1.0])
+def test_ghost_forgery_cost(benchmark, occupation):
+    target = _filled_filter(occupation)
+    forgery = GhostForgery(
+        target, candidates=UrlFactory(seed=11).candidate_stream(), max_trials=5_000_000
+    )
+    ghost = benchmark.pedantic(forgery.craft_one, rounds=3, iterations=1)
+    assert ghost.item in target
+
+
+def test_fig6_full_table(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig6_ghost_cost.run(scale=0.3, seed=0), rounds=1, iterations=1
+    )
+    report(result)
+    # Expected trials fall monotonically with occupation for each curve.
+    for prefix in ("2^-5", "2^-10"):
+        series = [row[3] for row in result.rows if row[0] == prefix]
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,35 @@
+"""Bench: Fig. 8 -- polluting Dablooms (lambda=10, f0=0.01, r=0.9).
+
+Times one slice-level pollution fill and prints the compound-F table
+(no attack ~0.065 -> full attack, partial attacks in between).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dablooms import Dablooms
+from repro.experiments import fig8_dablooms
+
+
+def test_pollute_one_slice(benchmark):
+    def pollute() -> float:
+        dablooms = Dablooms(slice_capacity=1000, f0=0.01, max_slices=2)
+        fig8_dablooms.oracle_pollute_slice(
+            dablooms.active_slice, 1000, random.Random(1)
+        )
+        dablooms.record_bulk_insertions(1000)
+        return dablooms.compound_fpp(current=True)
+
+    slice_fpp = benchmark.pedantic(pollute, rounds=3, iterations=1)
+    assert slice_fpp > 0.05  # far above the 0.01 design target
+
+
+def test_fig8_full_table(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig8_dablooms.run(scale=0.2, seed=0), rounds=1, iterations=1
+    )
+    report(result)
+    compound = [row[1] for row in result.rows]
+    assert compound == sorted(compound)
+    assert compound[0] < 0.1 < compound[-1]

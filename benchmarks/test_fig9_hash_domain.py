@@ -1,0 +1,30 @@
+"""Bench: Fig. 9 -- domain of application of hash functions.
+
+Times single-call index derivation at the edge of SHA-512's envelope
+and prints the digest-demand grid (one SHA-512 call covers f >= 2^-15
+up to 1 GByte).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig9_hash_domain
+from repro.hashing.crypto import SHA512
+from repro.hashing.recycling import RecyclingStrategy
+
+
+@pytest.mark.parametrize("k,m", [(5, 8 * 2**30), (15, 8 * 2**30), (20, 8 * 2**30)],
+                         ids=["f=2^-5@1GB", "f=2^-15@1GB", "f=2^-20@1GB"])
+def test_index_derivation_at_1gb(benchmark, k, m):
+    strategy = RecyclingStrategy(SHA512())
+    indexes = benchmark(lambda: strategy.indexes(b"http://example.com/page", k, m))
+    assert len(indexes) == k
+
+
+def test_fig9_full_table(benchmark, report):
+    result = benchmark.pedantic(lambda: fig9_hash_domain.run(), rounds=3, iterations=1)
+    report(result)
+    sha512_calls = [row[7] for row in result.rows]  # last column
+    assert max(sha512_calls[:18]) == 1  # f >= 2^-15: always one call
+    assert max(sha512_calls[18:]) == 2  # f = 2^-20: two calls

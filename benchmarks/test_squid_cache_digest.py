@@ -1,0 +1,37 @@
+"""Bench: Section 7 -- Squid cache-digest pollution.
+
+Times the probe phase against a polluted sibling digest and prints the
+false-hit comparison (paper: 79% polluted vs 40% control on a 762-bit
+digest; see EXPERIMENTS.md on the baseline).
+"""
+
+from __future__ import annotations
+
+from repro.apps.squid.attack import CacheDigestAttack
+from repro.experiments import squid_hits
+
+
+def test_polluted_scenario(benchmark):
+    attack = CacheDigestAttack(clean_urls=51, added_urls=100, probes=100, seed=5)
+    result = benchmark.pedantic(
+        lambda: attack.run_scenario(polluted=True), rounds=3, iterations=1
+    )
+    assert result.digest_bits == 762
+    assert result.false_hit_rate > 0.2
+
+
+def test_control_scenario(benchmark):
+    attack = CacheDigestAttack(clean_urls=51, added_urls=100, probes=100, seed=5)
+    result = benchmark.pedantic(
+        lambda: attack.run_scenario(polluted=False), rounds=3, iterations=1
+    )
+    assert result.false_hit_rate < 0.2
+
+
+def test_squid_full_table(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: squid_hits.run(scale=1.0, seed=0), rounds=1, iterations=1
+    )
+    report(result)
+    rates = {row[0]: row[5] for row in result.rows}
+    assert rates["polluted"] > 2 * rates["control"]

@@ -1,0 +1,30 @@
+"""Bench: Table 1 -- attack success probabilities.
+
+Times the Monte-Carlo estimator that cross-checks the closed forms, and
+prints the symbolic+numeric table.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments import table1_probabilities
+
+
+def test_monte_carlo_rates(benchmark):
+    pollution, forgery = benchmark(
+        lambda: table1_probabilities.monte_carlo_rates(
+            3200, 4, 1600, trials=20_000, rng=random.Random(1)
+        )
+    )
+    # At W = m/2 both attacks succeed about (1/2)^4 of the time.
+    assert abs(forgery - 0.0625) < 0.01
+    assert abs(pollution - 0.0623) < 0.01
+
+
+def test_table1_full_table(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table1_probabilities.run(scale=0.5, seed=0), rounds=1, iterations=1
+    )
+    report(result)
+    assert len(result.rows) == 9

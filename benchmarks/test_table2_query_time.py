@@ -1,0 +1,60 @@
+"""Bench: Table 2 -- time to query a filter, naive vs recycled hashing.
+
+This is the paper's own micro-benchmark, so every row goes through
+pytest-benchmark directly: one timed test per (hash, derivation) cell,
+plus the printed comparison table with call counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.params import BloomParameters
+from repro.experiments import table2_query_time
+from repro.hashing.crypto import HashlibHash, HmacHash
+from repro.hashing.murmur import Murmur3_32
+from repro.hashing.recycling import RecyclingStrategy
+from repro.hashing.salted import SaltedHashStrategy
+from repro.hashing.siphash import SipHash24
+
+PARAMS = BloomParameters.design_optimal(20_000, 2**-10)
+ITEMS = [i.to_bytes(32, "big") for i in range(64)]
+
+CELLS = {
+    "murmur32-naive": SaltedHashStrategy(Murmur3_32(0)),
+    "sha1-naive": SaltedHashStrategy(HashlibHash("sha1")),
+    "sha1-recycled": RecyclingStrategy(HashlibHash("sha1")),
+    "sha256-naive": SaltedHashStrategy(HashlibHash("sha256")),
+    "sha256-recycled": RecyclingStrategy(HashlibHash("sha256")),
+    "sha512-naive": SaltedHashStrategy(HashlibHash("sha512")),
+    "sha512-recycled": RecyclingStrategy(HashlibHash("sha512")),
+    "hmac-sha1-naive": SaltedHashStrategy(HmacHash(bytes(16), "sha1")),
+    "hmac-sha1-recycled": RecyclingStrategy(HmacHash(bytes(16), "sha1")),
+    "siphash-naive": SaltedHashStrategy(SipHash24(bytes(16))),
+    "siphash-recycled": RecyclingStrategy(SipHash24(bytes(16))),
+}
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=list(CELLS))
+def test_query_time(benchmark, cell):
+    strategy = CELLS[cell]
+    target = BloomFilter(PARAMS.m, PARAMS.k, strategy)
+    for item in ITEMS[:32]:
+        target.add(item)
+
+    def query_batch() -> int:
+        return sum(1 for item in ITEMS if item in target)
+
+    hits = benchmark(query_batch)
+    assert hits >= 32  # the inserted half always answers present
+
+
+def test_table2_full_table(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table2_query_time.run(scale=0.3, seed=0), rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.rows:
+        if row[3] != "-":
+            assert row[3] < row[1]  # recycled always beats naive

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Polluting Squid cache digests (paper Section 7).
+
+Two sibling proxies exchange Bloom-filter summaries of their caches
+(m = 5n+7 bits, four indexes split from one MD5).  A malicious client
+of proxy1 fetches crafted URLs through it; once digests are exchanged,
+every probe from proxy2's clients that proxy1's digest wrongly claims
+costs a wasted 10 ms round trip.
+
+Run: ``python examples/cache_digest_attack.py``
+"""
+
+from __future__ import annotations
+
+from repro.apps.squid import CacheDigestAttack, make_sibling_pair
+
+
+def protocol_demo() -> None:
+    print("=== sibling digests doing their legitimate job ===")
+    pair = make_sibling_pair(sibling_rtt_ms=10.0, origin_latency_ms=50.0)
+    pair.proxy1.client_fetch("http://popular.example/")
+    pair.exchange_digests()
+
+    outcome = pair.proxy2.client_fetch("http://popular.example/")
+    print(f"proxy2 fetched via {outcome.source}: {outcome.latency_ms:.0f} ms "
+          "(vs 50 ms from the origin)")
+
+
+def attack_demo() -> None:
+    print("\n=== the pollution attack (51 clean + 100 added URLs) ===")
+    attack = CacheDigestAttack(
+        clean_urls=51, added_urls=100, probes=100, sibling_rtt_ms=10.0, seed=7
+    )
+    polluted, control = attack.run()
+
+    for report in (control, polluted):
+        label = "polluted" if report.polluted else "control "
+        print(
+            f"{label}: digest {report.digest_bits} bits "
+            f"(weight {report.digest_weight}), "
+            f"false hits {report.false_hits}/{report.probes} "
+            f"({report.false_hit_rate:.0%}), "
+            f"wasted latency {report.added_latency_ms:.0f} ms"
+        )
+    print(f"\npaper observed 79% vs 40%; the mechanism (each false hit >= 1 RTT)"
+          f" and the amplification "
+          f"(x{polluted.false_hit_rate / max(control.false_hit_rate, 1e-9):.1f}) reproduce;"
+          " see EXPERIMENTS.md for the baseline discussion")
+
+
+if __name__ == "__main__":
+    protocol_demo()
+    attack_demo()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Evil choices in probabilistic counters (paper Section 10, realised).
+
+The paper's conclusion names probabilistic counting as the next target
+for its adversary models.  This example carries them over to
+HyperLogLog -- the counter behind super-spreader detection, database
+query planning and analytics -- using the same constant-time MurmurHash
+inversion that broke Dablooms:
+
+  * inflation -- a few hundred forged items impersonate trillions of
+    distinct ones (poisoning a query planner or a DDoS detector);
+  * evasion -- thousands of genuinely distinct items register as ~1
+    (a super-spreader hiding from the detector);
+  * the fix -- keyed hashing, exactly as for Bloom filters.
+
+Run: ``python examples/cardinality_attacks.py``
+"""
+
+from __future__ import annotations
+
+from repro.counting import (
+    CountMinInflationAttack,
+    CountMinSketch,
+    HllEvasionAttack,
+    HllInflationAttack,
+    HyperLogLog,
+    LinearCounter,
+    LinearCounterSaturation,
+)
+from repro.hashing.siphash import siphash24
+from repro.urlgen import UrlFactory
+
+
+def honest_baseline() -> None:
+    print("=== honest HyperLogLog (p=12, ~1.6% design error) ===")
+    hll = HyperLogLog(p=12)
+    for url in UrlFactory(seed=1).urls(100_000):
+        hll.add(url)
+    print(f"100000 distinct URLs -> estimate {hll.estimate():,.0f}")
+
+
+def inflation() -> None:
+    print("\n=== inflation: registers pinned at maximal rho ===")
+    hll = HyperLogLog(p=10)
+    for url in UrlFactory(seed=2).urls(200):
+        hll.add(url)
+    report = HllInflationAttack(hll).run()
+    print(f"estimate before: {report.estimate_before:,.0f}")
+    print(f"{report.items_inserted} forged items later: "
+          f"{report.estimate_after:,.3g}")
+    print(f"each forged item impersonated ~{report.inflation_factor:,.3g} "
+          "distinct items")
+
+
+def evasion() -> None:
+    print("\n=== evasion: a super-spreader under the radar ===")
+    hll = HyperLogLog(p=10)
+    report = HllEvasionAttack(hll).run(10_000)
+    print(f"{report.distinct_items_inserted} genuinely distinct forged keys "
+          f"-> estimate {report.estimate_after:.1f}")
+    print(f"hidden factor: x{report.evasion_factor:,.0f}")
+
+
+def linear_counter_saturation() -> None:
+    print("\n=== linear counting: the Bloom saturation attack, k=1 ===")
+    counter = LinearCounter(4096)
+    attack = LinearCounterSaturation(counter)
+    estimate = attack.run()
+    print(f"{attack.theoretical_items()} crafted items -> estimate {estimate}")
+
+
+def count_min_framing() -> None:
+    print("\n=== Count-Min: framing a quiet flow as a heavy hitter ===")
+    sketch = CountMinSketch(width=1024, depth=5)
+    victim = "10.0.0.7:443"
+    sketch.add(victim, 2)  # two genuine packets
+    for url in UrlFactory(seed=3).urls(500):
+        sketch.add(url)
+    report = CountMinInflationAttack(sketch).run(victim, forged_items=1000)
+    print(f"victim's true count: {report.true_count}")
+    print(f"estimate after 1000 full-collision forgeries: "
+          f"{report.estimate_after} (min over all {sketch.depth} rows)")
+
+
+def keyed_fix() -> None:
+    print("\n=== the fix: keyed hashing (SipHash) ===")
+    key = bytes(range(16))
+    keyed = HyperLogLog(p=10, hash64=lambda data: siphash24(key, data))
+    forger = HllInflationAttack(HyperLogLog(p=10))  # attacker's keyless model
+    for register in range(keyed.m):
+        keyed.add(forger.forge_key(register, 54))
+    print(f"{keyed.m} forged 'inflation' keys against the keyed counter -> "
+          f"estimate {keyed.estimate():,.0f} (just random items)")
+
+
+if __name__ == "__main__":
+    honest_baseline()
+    inflation()
+    evasion()
+    linear_counter_saturation()
+    count_min_framing()
+    keyed_fix()

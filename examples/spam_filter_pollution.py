@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Attacking a Dablooms-guarded URL shortener (paper Section 6).
+
+Three escalating attacks on a Bitly-like service whose malicious-URL
+blocklist is a scaling counting Bloom filter over MurmurHash3:
+
+  1. pollution -- crafted abuse reports inflate the compound FP, so the
+     service starts refusing legitimate shortening requests (Fig. 8);
+  2. second-pre-image deletion -- MurmurHash inverts in constant time,
+     so any blocklisted URL can be erased by retracting a forged twin;
+  3. counter overflow -- single-counter keys wrap the 4-bit counters,
+     leaving a slice that reports "full" while containing nothing.
+
+Run: ``python examples/spam_filter_pollution.py``
+"""
+
+from __future__ import annotations
+
+from repro.apps.dablooms import (
+    DabloomsOverflowAttack,
+    DabloomsPollutionAttack,
+    SecondPreimageDeletion,
+    ShorteningService,
+)
+from repro.urlgen import UrlFactory
+
+
+def pollution_demo() -> None:
+    print("=== 1. pollution: refusing legitimate customers ===")
+    service = ShorteningService(slice_capacity=500, f0=0.01)
+    attack = DabloomsPollutionAttack(service, seed=1)
+    report = attack.run(total_slices=4, polluted_last=4)
+    print(f"compound F after each polluted slice: "
+          f"{[round(f, 3) for f in report.compound_fpp_after]}")
+
+    factory = UrlFactory(seed=99)
+    refused = sum(1 for _ in range(2000) if not service.shorten(factory.url()).allowed)
+    print(f"legitimate URLs refused: {refused}/2000 "
+          f"({refused / 2000:.1%}, design target was 1%)")
+
+
+def deletion_demo() -> None:
+    print("\n=== 2. constant-time deletion of a blocklisted URL ===")
+    service = ShorteningService(slice_capacity=100)
+    victim = "http://actual-malware.example/dropper"
+    service.report_malicious(victim)
+    print(f"blocked before: {service.is_blocked(victim)}")
+
+    attack = SecondPreimageDeletion(service)
+    twin = attack.forge_doppelganger(victim)
+    print(f"forged twin key ({len(twin)} bytes) with identical murmur128 hash")
+    erased = attack.erase(victim)
+    print(f"victim erased: {erased}; shorten() now says "
+          f"allowed={service.shorten(victim).allowed}")
+
+
+def overflow_demo() -> None:
+    print("\n=== 3. counter overflow: a full-but-empty slice ===")
+    service = ShorteningService(slice_capacity=128)
+    report = DabloomsOverflowAttack(service).run()
+    blocklist = service.blocklist
+    print(f"forged reports inserted: {report.items_inserted}")
+    print(f"slice insertion counter: {blocklist.slice_fill(0)}/"
+          f"{blocklist.slice_capacity} (looks full)")
+    print(f"non-zero counters left:  {report.nonzero_counters_after} "
+          f"({report.overflow_events} wraps)")
+    print(f"forged keys still detected: "
+          f"{report.items_inserted - report.lost_keys}/{report.items_inserted}")
+    service.report_malicious("http://one-more.example/")
+    print(f"next report scaled to slice #{blocklist.slice_count}: "
+          "the wiped slice is pure memory waste")
+
+
+if __name__ == "__main__":
+    pollution_demo()
+    deletion_demo()
+    overflow_demo()

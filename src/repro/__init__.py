@@ -1,0 +1,57 @@
+"""Reproduction of *The Power of Evil Choices in Bloom Filters* (DSN 2015).
+
+This package implements, from scratch and in pure Python:
+
+* the hash substrate the paper attacks (MurmurHash3, Jenkins, SipHash,
+  truncated cryptographic digests, Kirsch-Mitzenmacher double hashing,
+  digest-bit recycling) -- :mod:`repro.hashing`;
+* the Bloom filter family (classic, counting, scalable, Dablooms, Squid
+  cache digests) -- :mod:`repro.core`;
+* the paper's adversary models (chosen-insertion pollution/saturation,
+  query-only false-positive forgery, deletion, counter overflow) --
+  :mod:`repro.adversary`;
+* the three attacked applications, rebuilt as deterministic simulations
+  (Scrapy-like spider, Bitly Dablooms spam filter, Squid sibling
+  proxies) -- :mod:`repro.apps`;
+* the countermeasures (worst-case parameters, keyed hashing, recycling) --
+  :mod:`repro.countermeasures`;
+* one experiment per paper table/figure -- :mod:`repro.experiments`
+  (run them with ``python -m repro.experiments``).
+"""
+
+from repro.core.bloom import BloomFilter
+from repro.core.cache_digest import CacheDigest
+from repro.core.counting import CountingBloomFilter
+from repro.core.dablooms import Dablooms
+from repro.core.params import (
+    BloomParameters,
+    adversarial_fpp,
+    adversarial_optimal_fpp,
+    adversarial_optimal_k,
+    false_positive_probability,
+    optimal_fpp,
+    optimal_k,
+    optimal_m,
+)
+from repro.core.scalable import ScalableBloomFilter
+from repro.countermeasures.keyed import KeyedBloomFilter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomFilter",
+    "BloomParameters",
+    "CacheDigest",
+    "CountingBloomFilter",
+    "Dablooms",
+    "KeyedBloomFilter",
+    "ScalableBloomFilter",
+    "adversarial_fpp",
+    "adversarial_optimal_fpp",
+    "adversarial_optimal_k",
+    "false_positive_probability",
+    "optimal_fpp",
+    "optimal_k",
+    "optimal_m",
+    "__version__",
+]

@@ -1,0 +1,111 @@
+"""Adversary models and attacks on Bloom filters (paper Section 4).
+
+* :mod:`~repro.adversary.models` -- the three capability profiles;
+* :mod:`~repro.adversary.crafting` -- the brute-force item forge;
+* :mod:`~repro.adversary.pollution` / :mod:`~repro.adversary.saturation`
+  -- chosen-insertion attacks (Section 4.1);
+* :mod:`~repro.adversary.query` -- false-positive ghosts and worst-case
+  latency queries (Section 4.2);
+* :mod:`~repro.adversary.deletion` -- counting-filter false negatives
+  (Section 4.3);
+* :mod:`~repro.adversary.overflow` -- the Dablooms 4-bit counter wipe
+  (Section 6.2), powered by constant-time MurmurHash inversion;
+* :mod:`~repro.adversary.probabilities` -- Table 1 in executable form;
+* :mod:`~repro.adversary.workload` -- honest/adversarial/mixed insertion
+  streams for the experiments.
+"""
+
+from repro.adversary.crafting import CraftingEngine, CraftResult, expected_trials
+from repro.adversary.deletion import DeletionAttack, DeletionReport
+from repro.adversary.models import (
+    ALL_MODELS,
+    CHOSEN_INSERTION,
+    DELETION,
+    QUERY_ONLY,
+    AdversaryGoal,
+    AdversaryModel,
+)
+from repro.adversary.overflow import (
+    CounterOverflowAttack,
+    OverflowPlan,
+    OverflowReport,
+    plan_overflow,
+)
+from repro.adversary.pollution import (
+    PollutionAttack,
+    PollutionReport,
+    expected_pollution_trials,
+    pollution_success_probability,
+)
+from repro.adversary.probabilities import (
+    attack_ordering,
+    deletion_overlap_probability,
+    deletion_probability_paper,
+    fp_forgery_bounds,
+    second_preimage_bloom,
+    second_preimage_hash,
+)
+from repro.adversary.query import (
+    DecoyTree,
+    GhostForgery,
+    LatencyQueryForgery,
+    false_positive_success_probability,
+)
+from repro.adversary.saturation import (
+    SaturationAttack,
+    SaturationReport,
+    random_saturation_count,
+)
+from repro.adversary.state import bit_oracle
+from repro.adversary.two_choice_attack import (
+    TwoChoicePollutionAttack,
+    TwoChoicePollutionReport,
+)
+from repro.adversary.workload import (
+    InsertionTrace,
+    adversarial_insertions,
+    honest_insertions,
+    mixed_insertions,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "AdversaryGoal",
+    "AdversaryModel",
+    "CHOSEN_INSERTION",
+    "CounterOverflowAttack",
+    "CraftingEngine",
+    "CraftResult",
+    "DELETION",
+    "DecoyTree",
+    "DeletionAttack",
+    "DeletionReport",
+    "GhostForgery",
+    "InsertionTrace",
+    "LatencyQueryForgery",
+    "OverflowPlan",
+    "OverflowReport",
+    "PollutionAttack",
+    "PollutionReport",
+    "QUERY_ONLY",
+    "SaturationAttack",
+    "SaturationReport",
+    "TwoChoicePollutionAttack",
+    "TwoChoicePollutionReport",
+    "adversarial_insertions",
+    "attack_ordering",
+    "bit_oracle",
+    "deletion_overlap_probability",
+    "deletion_probability_paper",
+    "expected_pollution_trials",
+    "expected_trials",
+    "false_positive_success_probability",
+    "fp_forgery_bounds",
+    "honest_insertions",
+    "mixed_insertions",
+    "plan_overflow",
+    "pollution_success_probability",
+    "random_saturation_count",
+    "second_preimage_bloom",
+    "second_preimage_hash",
+]

@@ -1,0 +1,124 @@
+"""The brute-force crafting engine shared by every attack.
+
+Paper Section 4: "In each case, we consider brute force search: an item
+is selected at random and its k indexes are computed.  If the bit in the
+filter at any of these indexes is already set to 1 or 0 depending on the
+adversary, the item is discarded and a new one is tried."
+
+The engine pulls candidates from any iterator (usually a
+:class:`~repro.urlgen.faker.UrlFactory` stream), computes their indexes
+through the *public* strategy of the target filter, and keeps the first
+candidate whose index tuple satisfies the attack predicate.  Trial counts
+are recorded so the cost figures (paper Figs. 5 and 6) can be rebuilt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.exceptions import CraftingBudgetExceeded, ParameterError
+from repro.hashing.base import IndexStrategy
+
+__all__ = ["CraftResult", "CraftingEngine", "expected_trials"]
+
+
+@dataclass(frozen=True)
+class CraftResult:
+    """One successfully crafted item.
+
+    Attributes
+    ----------
+    item:
+        The crafted item (a URL in the application attacks).
+    indexes:
+        Its filter index tuple.
+    trials:
+        Candidates examined to find it (including itself).
+    """
+
+    item: str
+    indexes: tuple[int, ...]
+    trials: int
+
+
+def expected_trials(success_probability: float) -> float:
+    """Expected brute-force candidates for a per-trial success probability
+    (geometric distribution mean, ``1/p``)."""
+    if not 0 < success_probability <= 1:
+        raise ParameterError(
+            f"success probability must be in (0, 1], got {success_probability}"
+        )
+    return 1.0 / success_probability
+
+
+class CraftingEngine:
+    """Brute-force item forge against a known index strategy.
+
+    Parameters
+    ----------
+    strategy:
+        The target filter's (public) index derivation.
+    k, m:
+        The target filter's parameters.
+    candidates:
+        Iterable of candidate items; must be effectively infinite and
+        duplicate-free (see :meth:`UrlFactory.candidate_stream`).
+    max_trials:
+        Hard budget per crafted item; exceeding it raises
+        :class:`~repro.exceptions.CraftingBudgetExceeded` rather than
+        looping forever.
+    """
+
+    def __init__(
+        self,
+        strategy: IndexStrategy,
+        k: int,
+        m: int,
+        candidates: Iterable[str],
+        max_trials: int = 5_000_000,
+    ) -> None:
+        if k <= 0 or m <= 0:
+            raise ParameterError("k and m must be positive")
+        if max_trials <= 0:
+            raise ParameterError("max_trials must be positive")
+        self.strategy = strategy
+        self.k = k
+        self.m = m
+        self.max_trials = max_trials
+        self._candidates: Iterator[str] = iter(candidates)
+        #: Total candidates examined over the engine's lifetime.
+        self.total_trials = 0
+
+    def craft(self, predicate: Callable[[tuple[int, ...]], bool]) -> CraftResult:
+        """Return the first candidate whose indexes satisfy ``predicate``."""
+        for trial in range(1, self.max_trials + 1):
+            try:
+                item = next(self._candidates)
+            except StopIteration as exc:  # pragma: no cover - defensive
+                raise CraftingBudgetExceeded(
+                    "candidate stream exhausted", trials=trial - 1
+                ) from exc
+            indexes = self.strategy.indexes(item, self.k, self.m)
+            if predicate(indexes):
+                self.total_trials += trial
+                return CraftResult(item=item, indexes=indexes, trials=trial)
+        self.total_trials += self.max_trials
+        raise CraftingBudgetExceeded(
+            f"no satisfying item within {self.max_trials} trials", trials=self.max_trials
+        )
+
+    def craft_many(
+        self,
+        predicate_factory: Callable[[], Callable[[tuple[int, ...]], bool]],
+        count: int,
+    ) -> list[CraftResult]:
+        """Craft ``count`` items, re-evaluating the predicate each time.
+
+        ``predicate_factory`` is called before each search so predicates
+        can close over mutating filter state (pollution needs this: every
+        accepted item changes which bits are "fresh").
+        """
+        if count < 0:
+            raise ParameterError("count must be non-negative")
+        return [self.craft(predicate_factory()) for _ in range(count)]

@@ -1,0 +1,114 @@
+"""The deletion adversary (paper Section 4.3).
+
+Counting-filter variants support ``remove``; an adversary who cannot
+control insertions can still erase a victim item by deleting forged
+items whose index sets overlap the victim's.  Each such deletion
+decrements some of the victim's counters; once any reaches zero the
+victim is a false negative.  The collateral damage the paper warns about
+("deletions may remove several other items as a side effect") is
+measured explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.adversary.crafting import CraftingEngine, CraftResult
+from repro.core.counting import CountingBloomFilter
+from repro.exceptions import ParameterError
+from repro.urlgen.faker import UrlFactory
+
+__all__ = ["DeletionReport", "DeletionAttack"]
+
+
+@dataclass
+class DeletionReport:
+    """Outcome of a deletion campaign against one victim item."""
+
+    victim: str
+    forged_deletions: list[CraftResult] = field(default_factory=list)
+    victim_erased: bool = False
+    collateral_false_negatives: list[str] = field(default_factory=list)
+
+    @property
+    def total_trials(self) -> int:
+        """Brute-force candidates examined across all forged items."""
+        return sum(r.trials for r in self.forged_deletions)
+
+
+class DeletionAttack:
+    """Erase a victim item from a counting filter via forged deletions.
+
+    Parameters
+    ----------
+    target:
+        The counting filter under attack (deletion requires counters).
+    candidates:
+        Candidate stream for forging; defaults to seeded fake URLs.
+
+    The forged items are chosen to *appear present* (all their counters
+    non-zero -- otherwise a sane service refuses the deletion) and to
+    overlap the victim's remaining live indexes.
+    """
+
+    def __init__(
+        self,
+        target: CountingBloomFilter,
+        candidates: Iterable[str] | None = None,
+        max_trials: int = 5_000_000,
+        seed: int = 0xDE1E,
+    ) -> None:
+        if not isinstance(target, CountingBloomFilter):
+            raise ParameterError("deletion attacks require a CountingBloomFilter")
+        self.target = target
+        if candidates is None:
+            candidates = UrlFactory(seed=seed).candidate_stream()
+        self.engine = CraftingEngine(
+            target.strategy, target.k, target.m, candidates, max_trials
+        )
+
+    def _live_victim_indexes(self, victim: str | bytes) -> set[int]:
+        return {
+            i for i in self.target.indexes(victim) if self.target.counters.get(i) > 0
+        }
+
+    def run(
+        self,
+        victim: str | bytes,
+        witnesses: Sequence[str] = (),
+        max_deletions: int = 64,
+    ) -> DeletionReport:
+        """Delete forged items until ``victim`` reads as absent.
+
+        ``witnesses`` are legitimately-inserted items to check for
+        collateral false negatives afterwards.
+        """
+        victim_str = victim if isinstance(victim, str) else victim.decode("utf-8")
+        report = DeletionReport(victim=victim_str)
+        if victim not in self.target:
+            report.victim_erased = True
+            return report
+
+        for _ in range(max_deletions):
+            live = self._live_victim_indexes(victim)
+            if not live:
+                break
+
+            def predicate(indexes: tuple[int, ...]) -> bool:
+                appears_present = all(
+                    self.target.counters.get(i) > 0 for i in indexes
+                )
+                return appears_present and any(i in live for i in indexes)
+
+            crafted = self.engine.craft(predicate)
+            report.forged_deletions.append(crafted)
+            self.target.remove(crafted.item)
+            if victim not in self.target:
+                break
+
+        report.victim_erased = victim not in self.target
+        report.collateral_false_negatives = [
+            w for w in witnesses if w not in self.target
+        ]
+        return report

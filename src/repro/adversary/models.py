@@ -1,0 +1,111 @@
+"""The paper's three adversary models (Section 4), as first-class objects.
+
+The standing assumptions are encoded too: the filter is *maintained by a
+trusted party* (otherwise the LOAF-style trivial attack applies), but its
+*implementation is public and deterministic* -- the adversary can compute
+anyone's indexes offline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AdversaryGoal",
+    "AdversaryModel",
+    "CHOSEN_INSERTION",
+    "QUERY_ONLY",
+    "DELETION",
+    "ALL_MODELS",
+]
+
+
+class AdversaryGoal(enum.Enum):
+    """What the adversary is trying to force the filter to do."""
+
+    POLLUTION = "raise the false-positive probability above the design value"
+    SATURATION = "set every bit, making every query answer 'present'"
+    FALSE_POSITIVE = "forge items the filter wrongly reports as present"
+    LATENCY = "force worst-case work (memory accesses) per query"
+    FALSE_NEGATIVE = "make a present item disappear from the filter"
+
+
+@dataclass(frozen=True)
+class AdversaryModel:
+    """A capability profile for attacks on a Bloom-filter deployment.
+
+    Attributes
+    ----------
+    name:
+        Paper name of the model.
+    can_insert / can_query / can_delete:
+        Which filter operations the adversary can trigger (directly or by
+        making the trusted party perform them).
+    knows_state:
+        Whether the adversary can observe the filter's bits.  The paper's
+        query-only and deletion adversaries need (at least partial) state
+        knowledge; the chosen-insertion adversary can track state by
+        construction, replaying her own insertions offline.
+    goals:
+        The goals this model can pursue.
+    """
+
+    name: str
+    can_insert: bool
+    can_query: bool
+    can_delete: bool
+    knows_state: bool
+    goals: tuple[AdversaryGoal, ...]
+    description: str = field(default="", compare=False)
+
+    def permits(self, goal: AdversaryGoal) -> bool:
+        """Whether ``goal`` is achievable under this model."""
+        return goal in self.goals
+
+
+CHOSEN_INSERTION = AdversaryModel(
+    name="chosen-insertion",
+    can_insert=True,
+    can_query=True,
+    can_delete=False,
+    knows_state=True,
+    goals=(AdversaryGoal.POLLUTION, AdversaryGoal.SATURATION),
+    description=(
+        "Chooses (or makes the trusted party insert) the items added to the "
+        "filter; each crafted item sets k previously-unset bits, driving the "
+        "false-positive rate to (nk/m)^k (paper Section 4.1)."
+    ),
+)
+
+QUERY_ONLY = AdversaryModel(
+    name="query-only",
+    can_insert=False,
+    can_query=True,
+    can_delete=False,
+    knows_state=True,
+    goals=(AdversaryGoal.FALSE_POSITIVE, AdversaryGoal.LATENCY),
+    description=(
+        "Cannot insert, but knows (part of) the filter state; forges items "
+        "whose indexes all land on set bits (false positives, probability "
+        "(W/m)^k per random trial) or items maximising per-query work "
+        "(paper Section 4.2)."
+    ),
+)
+
+DELETION = AdversaryModel(
+    name="deletion",
+    can_insert=False,
+    can_query=True,
+    can_delete=True,
+    knows_state=True,
+    goals=(AdversaryGoal.FALSE_NEGATIVE,),
+    description=(
+        "Targets counting-filter variants that support deletion; removes "
+        "forged items overlapping a victim's indexes, creating false "
+        "negatives (paper Section 4.3)."
+    ),
+)
+
+#: All three models in paper order.
+ALL_MODELS = (CHOSEN_INSERTION, QUERY_ONLY, DELETION)

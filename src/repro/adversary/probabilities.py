@@ -1,0 +1,107 @@
+"""Closed-form attack success probabilities (paper Table 1).
+
+Each function returns the per-random-trial success probability of one
+attack; :func:`attack_ordering` reproduces the paper's feasibility
+ranking (pollution easiest, deletion hardest, forgery in between).
+
+One formula is reproduced *as printed* even though it is not a
+probability for most parameters: the paper's deletion expression
+``sum_i C(k,i) (m-i)^k / m^k`` exceeds 1 whenever k > 1.  We expose it
+verbatim for fidelity (:func:`deletion_probability_paper`) alongside the
+standard overlap probability (:func:`deletion_overlap_probability`);
+EXPERIMENTS.md discusses the discrepancy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary.pollution import pollution_success_probability
+from repro.adversary.query import false_positive_success_probability
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "second_preimage_hash",
+    "second_preimage_bloom",
+    "pollution_success_probability",
+    "false_positive_success_probability",
+    "fp_forgery_bounds",
+    "deletion_probability_paper",
+    "deletion_overlap_probability",
+    "attack_ordering",
+]
+
+
+def second_preimage_hash(digest_bits: int) -> float:
+    """Second pre-image on the raw hash: ``2^-l`` (Table 1, row 1)."""
+    if digest_bits <= 0:
+        raise ParameterError("digest_bits must be positive")
+    return 2.0 ** (-digest_bits)
+
+
+def second_preimage_bloom(m: int, k: int) -> float:
+    """Second pre-image on the *filter*: hit one exact index tuple out of
+    ``m^k`` -- ``1/m^k`` (Table 1, row 2).  Vastly easier than the hash
+    second pre-image because only ``k log2 m`` digest bits matter."""
+    if m <= 0 or k <= 0:
+        raise ParameterError("m and k must be positive")
+    return float(m) ** (-k)
+
+
+def fp_forgery_bounds(m: int, k: int) -> tuple[float, float]:
+    """Bracket for false-positive forgery: ``(k/m)^k <= (W/m)^k <= (1/2)^k``
+    (Table 1, row 4; lower bound after one insertion, upper at optimal
+    occupancy)."""
+    if m <= 0 or k <= 0:
+        raise ParameterError("m and k must be positive")
+    return ((k / m) ** k, 0.5**k)
+
+
+def deletion_probability_paper(m: int, k: int) -> float:
+    """The deletion expression exactly as printed in Table 1:
+    ``sum_{i=1..k} C(k,i) (m-i)^k / m^k``.
+
+    .. warning::
+       For k > 1 this exceeds 1 (each term is close to ``C(k,i)``); it
+       reads as an inclusion-exclusion sketch rather than a final
+       probability.  Use :func:`deletion_overlap_probability` for a
+       well-formed value; both are reported side by side in the Table 1
+       experiment.
+    """
+    if m <= 0 or k <= 0:
+        raise ParameterError("m and k must be positive")
+    if k >= m:
+        raise ParameterError("k must be smaller than m")
+    total = sum(math.comb(k, i) * (m - i) ** k for i in range(1, k + 1))
+    return total / (m**k)
+
+
+def deletion_overlap_probability(m: int, k: int) -> float:
+    """Probability a uniform random item shares at least one index with a
+    victim whose k indexes are distinct: ``1 - ((m-k)/m)^k``."""
+    if m <= 0 or k <= 0:
+        raise ParameterError("m and k must be positive")
+    if k >= m:
+        raise ParameterError("k must be smaller than m")
+    return 1.0 - ((m - k) / m) ** k
+
+
+def attack_ordering(m: int, k: int, weight: int) -> list[tuple[str, float]]:
+    """Attacks sorted by per-trial success probability, highest first.
+
+    Reproduces the paper's observation: "The pollution attack has the
+    highest success probability.  The most difficult attack is the
+    deletion one." (for the deletion entry the well-formed overlap
+    probability is used, restricted to items that also appear present,
+    approximated by ``(W/m)^k`` times the overlap term).
+    """
+    pollution = pollution_success_probability(m, weight, k, paper_formula=False)
+    forgery = false_positive_success_probability(m, weight, k)
+    deletion = forgery * deletion_overlap_probability(m, k)
+    ranked = [
+        ("pollution", pollution),
+        ("false-positive forgery", forgery),
+        ("deletion", deletion),
+    ]
+    ranked.sort(key=lambda pair: pair[1], reverse=True)
+    return ranked

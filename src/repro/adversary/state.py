@@ -1,0 +1,58 @@
+"""Adapters exposing a filter's internal state to the adversary.
+
+The paper's query-only and deletion adversaries "know the current state
+of the filter or a part of it"; the chosen-insertion adversary tracks it
+by replaying her own insertions.  :func:`bit_oracle` normalises every
+filter type in :mod:`repro.core` to a single ``is bit i set?`` callable
+so attack code is structure-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.core.bloom import BloomFilter
+from repro.core.cache_digest import CacheDigest
+from repro.core.counting import CountingBloomFilter
+from repro.core.partitioned import PartitionedBloomFilter
+
+__all__ = ["TargetFilter", "bit_oracle"]
+
+
+@runtime_checkable
+class TargetFilter(Protocol):
+    """Structural type every attackable filter satisfies."""
+
+    m: int
+    k: int
+
+    def indexes(self, item: str | bytes) -> tuple[int, ...]: ...
+
+    def add(self, item: str | bytes) -> bool: ...
+
+
+def bit_oracle(target: object) -> Callable[[int], bool]:
+    """Return a predicate telling whether position ``i`` is set/non-zero.
+
+    Supports every filter family in :mod:`repro.core`; raises
+    :class:`TypeError` for anything else so a mis-wired attack fails
+    loudly instead of silently probing nothing.
+    """
+    if isinstance(target, (BloomFilter, PartitionedBloomFilter, CacheDigest)):
+        bits = target.bits
+        return bits.get
+    if isinstance(target, CountingBloomFilter):
+        counters = target.counters
+        return lambda i: counters.get(i) > 0
+    # Duck-typed fallback for adapters (e.g. the Squid digest shim).
+    bits = getattr(target, "bits", None)
+    if bits is not None and hasattr(bits, "get"):
+        return bits.get
+    counters = getattr(target, "counters", None)
+    if counters is not None and hasattr(counters, "get"):
+        return lambda i: counters.get(i) > 0
+    raise TypeError(
+        f"don't know how to read the state of {type(target).__name__}; "
+        "pass a BloomFilter, CountingBloomFilter, PartitionedBloomFilter or "
+        "CacheDigest (for Dablooms, attack one slice at a time)"
+    )

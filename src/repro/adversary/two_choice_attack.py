@@ -1,0 +1,95 @@
+"""Chosen-insertion attack on the two-choice Bloom filter.
+
+Answers the paper's closing question (do variants have a better
+worst-case FP?) for the construction its title riffs on: the adversary
+crafts items whose *two* candidate groups are both entirely fresh, so
+the defender's choose-the-lighter-group heuristic is moot -- every
+insertion still adds k ones, and the query-side OR then makes the
+forced false-positive probability ``1-(1-(nk/m)^k)^2``, strictly worse
+than the classic filter's ``(nk/m)^k`` at the same weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.adversary.crafting import CraftingEngine, CraftResult
+from repro.core.two_choice import TwoChoiceBloomFilter
+from repro.urlgen.faker import UrlFactory
+
+__all__ = ["TwoChoicePollutionReport", "TwoChoicePollutionAttack"]
+
+
+@dataclass
+class TwoChoicePollutionReport:
+    """Outcome of a two-choice pollution campaign."""
+
+    crafted: list[CraftResult] = field(default_factory=list)
+    weight_after: int = 0
+    fpp_curve: list[float] = field(default_factory=list)
+
+    @property
+    def total_trials(self) -> int:
+        """Brute-force candidates examined."""
+        return sum(r.trials for r in self.crafted)
+
+    @property
+    def items(self) -> list[str]:
+        """Crafted items in insertion order."""
+        return [r.item for r in self.crafted]
+
+
+class _PairStrategy:
+    """Adapter presenting both groups as one 2k-index tuple to the engine."""
+
+    name = "two-choice-pair"
+
+    def __init__(self, target: TwoChoiceBloomFilter) -> None:
+        self._target = target
+
+    def indexes(self, item: str | bytes, k: int, m: int) -> tuple[int, ...]:
+        group_a, group_b = self._target.groups(item)
+        return group_a + group_b
+
+
+class TwoChoicePollutionAttack:
+    """Craft items with both groups fresh and pairwise distinct."""
+
+    def __init__(
+        self,
+        target: TwoChoiceBloomFilter,
+        candidates: Iterable[str] | None = None,
+        max_trials: int = 5_000_000,
+        seed: int = 0x2C01,
+    ) -> None:
+        self.target = target
+        if candidates is None:
+            candidates = UrlFactory(seed=seed).candidate_stream()
+        self.engine = CraftingEngine(
+            _PairStrategy(target), 2 * target.k, target.m, candidates, max_trials
+        )
+
+    def _predicate(self, indexes: tuple[int, ...]) -> bool:
+        # Both halves fresh; the chosen group (either) must also be
+        # internally distinct so it adds exactly k ones.
+        group_a, group_b = indexes[: self.target.k], indexes[self.target.k :]
+        bits = self.target.bits
+        if any(bits.get(i) for i in indexes):
+            return False
+        return len(set(group_a)) == self.target.k and len(set(group_b)) == self.target.k
+
+    def craft_one(self) -> CraftResult:
+        """One item that defeats the two-choice heuristic."""
+        return self.engine.craft(self._predicate)
+
+    def run(self, count: int) -> TwoChoicePollutionReport:
+        """Craft and insert ``count`` items; every insertion adds k ones."""
+        report = TwoChoicePollutionReport()
+        for _ in range(count):
+            result = self.craft_one()
+            report.crafted.append(result)
+            self.target.add(result.item)
+            report.fpp_curve.append(self.target.current_fpp())
+        report.weight_after = self.target.hamming_weight
+        return report

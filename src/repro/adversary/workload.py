@@ -1,0 +1,105 @@
+"""Insertion workload builders for the experiments.
+
+Fig. 3 compares three insertion regimes on the same filter: honest
+(uniform random URLs), fully adversarial (every item crafted), and the
+*partial* attack (400 honest insertions, then adversarial).  These
+builders produce exactly those streams plus the per-insertion telemetry
+the figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.adversary.pollution import PollutionAttack
+from repro.adversary.state import TargetFilter
+from repro.exceptions import ParameterError
+from repro.urlgen.faker import UrlFactory
+
+__all__ = ["InsertionTrace", "honest_insertions", "adversarial_insertions", "mixed_insertions"]
+
+
+@dataclass
+class InsertionTrace:
+    """Per-insertion filter telemetry.
+
+    ``fpp[i]`` and ``weight[i]`` describe the filter *after* the
+    (i+1)-th insertion; ``crafted[i]`` marks adversarial items.
+    """
+
+    items: list[str] = field(default_factory=list)
+    fpp: list[float] = field(default_factory=list)
+    weight: list[int] = field(default_factory=list)
+    crafted: list[bool] = field(default_factory=list)
+
+    def record(self, target: TargetFilter, item: str, was_crafted: bool) -> None:
+        """Append one observation."""
+        self.items.append(item)
+        self.fpp.append(target.current_fpp())
+        self.weight.append(target.hamming_weight)
+        self.crafted.append(was_crafted)
+
+    def threshold_crossing(self, threshold: float) -> int | None:
+        """1-based insertion count at which the FP first exceeds
+        ``threshold`` (None if never) -- the Fig. 3 crossing points."""
+        for i, value in enumerate(self.fpp):
+            if value > threshold:
+                return i + 1
+        return None
+
+
+def honest_insertions(target: TargetFilter, count: int, seed: int = 0xB10B) -> InsertionTrace:
+    """Insert ``count`` uniform random URLs, recording telemetry."""
+    if count < 0:
+        raise ParameterError("count must be non-negative")
+    factory = UrlFactory(seed=seed)
+    trace = InsertionTrace()
+    for _ in range(count):
+        url = factory.url()
+        target.add(url)
+        trace.record(target, url, was_crafted=False)
+    return trace
+
+
+def adversarial_insertions(
+    target: TargetFilter, count: int, seed: int = 0x5EED, max_trials: int = 5_000_000
+) -> InsertionTrace:
+    """Insert ``count`` crafted polluting items, recording telemetry."""
+    if count < 0:
+        raise ParameterError("count must be non-negative")
+    attack = PollutionAttack(target, max_trials=max_trials, seed=seed)
+    trace = InsertionTrace()
+    for _ in range(count):
+        result = attack.craft_one()
+        target.add(result.item)
+        trace.record(target, result.item, was_crafted=True)
+    return trace
+
+
+def mixed_insertions(
+    target: TargetFilter,
+    honest_count: int,
+    adversarial_count: int,
+    seed: int = 0x31C5,
+    max_trials: int = 5_000_000,
+) -> InsertionTrace:
+    """The paper's partial attack: honest insertions, then crafted ones.
+
+    Fig. 3 uses 400 honest + 200 crafted on the m = 3200, k = 4 filter;
+    the FP threshold 0.077 is then crossed at insertion 510.
+    """
+    trace = honest_insertions(target, honest_count, seed=seed)
+    tail = adversarial_insertions(
+        target, adversarial_count, seed=seed ^ 0xFFFF, max_trials=max_trials
+    )
+    trace.items += tail.items
+    trace.fpp += tail.fpp
+    trace.weight += tail.weight
+    trace.crafted += tail.crafted
+    return trace
+
+
+def honest_stream(seed: int = 0xB10B) -> Iterator[str]:
+    """Infinite honest URL stream (convenience for app simulations)."""
+    return UrlFactory(seed=seed).candidate_stream()

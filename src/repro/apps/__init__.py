@@ -1,0 +1,4 @@
+"""The three attacked applications, rebuilt as deterministic simulations:
+:mod:`repro.apps.scrapy` (web spider, paper Section 5),
+:mod:`repro.apps.dablooms` (URL-shortener spam filter, Section 6) and
+:mod:`repro.apps.squid` (sibling web proxies, Section 7)."""

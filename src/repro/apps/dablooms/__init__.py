@@ -1,0 +1,20 @@
+"""Bitly-like shortening service guarded by Dablooms, plus the
+Section 6 attacks (pollution, second-pre-image deletion, counter
+overflow)."""
+
+from repro.apps.dablooms.attack import (
+    DabloomsOverflowAttack,
+    DabloomsPollutionAttack,
+    SecondPreimageDeletion,
+    SlicePollutionReport,
+)
+from repro.apps.dablooms.service import ShortenResult, ShorteningService
+
+__all__ = [
+    "DabloomsOverflowAttack",
+    "DabloomsPollutionAttack",
+    "SecondPreimageDeletion",
+    "ShortenResult",
+    "ShorteningService",
+    "SlicePollutionReport",
+]

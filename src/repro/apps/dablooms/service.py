@@ -1,0 +1,91 @@
+"""A Bitly-like URL shortening service guarded by Dablooms (Section 6).
+
+The service keeps a Dablooms filter of known-malicious URLs.  Shortening
+a URL first checks the filter; a hit refuses the request (or, in a
+deployment with a confirmation backend, triggers an expensive lookup).
+Malicious URLs enter the filter through *reports* -- which is the
+insertion channel the chosen-insertion adversary abuses: she floods the
+web with, or directly reports, URLs of her choosing (paper: "register
+her URLs directly to anti-phishing websites such as PhishTank").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dablooms import Dablooms
+from repro.core.counters import OverflowPolicy
+from repro.exceptions import ParameterError
+
+__all__ = ["ShortenResult", "ShorteningService"]
+
+
+@dataclass(frozen=True)
+class ShortenResult:
+    """Outcome of one shorten request."""
+
+    url: str
+    allowed: bool
+    short_code: str | None
+    flagged_malicious: bool
+
+
+class ShorteningService:
+    """URL shortener with a Dablooms spam filter in front.
+
+    Parameters
+    ----------
+    slice_capacity, f0, r, max_slices:
+        Dablooms parameters (paper Fig. 8 uses capacity 10000, f0 0.01,
+        r 0.9, lambda 10).
+    """
+
+    def __init__(
+        self,
+        slice_capacity: int = 10_000,
+        f0: float = 0.01,
+        r: float = 0.9,
+        max_slices: int | None = None,
+        overflow: OverflowPolicy = OverflowPolicy.WRAP,
+    ) -> None:
+        self.blocklist = Dablooms(
+            slice_capacity=slice_capacity,
+            f0=f0,
+            r=r,
+            overflow=overflow,
+            max_slices=max_slices,
+        )
+        self._next_code = 0
+        self.refused = 0
+        self.shortened = 0
+
+    def report_malicious(self, url: str | bytes) -> None:
+        """Record a (purportedly) malicious URL -- the insertion channel."""
+        self.blocklist.add(url)
+
+    def retract_malicious(self, url: str | bytes) -> bool:
+        """Remove a URL from the blocklist (the deletion channel the
+        Section 6.2 deletion attack abuses)."""
+        return self.blocklist.remove(url)
+
+    def is_blocked(self, url: str | bytes) -> bool:
+        """Whether the filter currently flags ``url``."""
+        return url in self.blocklist
+
+    def shorten(self, url: str) -> ShortenResult:
+        """Shorten ``url`` unless the spam filter flags it."""
+        if not url:
+            raise ParameterError("url must be non-empty")
+        if self.is_blocked(url):
+            self.refused += 1
+            return ShortenResult(
+                url=url, allowed=False, short_code=None, flagged_malicious=True
+            )
+        self._next_code += 1
+        self.shortened += 1
+        return ShortenResult(
+            url=url,
+            allowed=True,
+            short_code=f"bit.ly/{self._next_code:06x}",
+            flagged_malicious=False,
+        )

@@ -1,0 +1,70 @@
+"""LOAF: what happens when the *filter itself* is untrusted (Section 4).
+
+Before defining its adversary models, the paper fixes a standing
+assumption -- "Bloom filters are always deployed and maintained by
+trusted parties" -- and illustrates why with LOAF, the discontinued
+email extension that shipped each user's address book as a Bloom filter
+so recipients could whitelist friends-of-friends.  The trivial attack:
+send an all-ones filter and every address in the world becomes a
+trusted friend.
+
+This module reproduces that failure as a miniature protocol, because it
+is the boundary case that motivates everything else in the package: the
+chosen-insertion/query-only/deletion models all assume the filter's
+*maintainer* is honest, and LOAF shows the assumption is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bloom import BloomFilter
+from repro.exceptions import ParameterError
+
+__all__ = ["LoafMessage", "LoafReceiver", "forge_all_ones_filter"]
+
+
+@dataclass(frozen=True)
+class LoafMessage:
+    """An email carrying the sender's address-book filter."""
+
+    sender: str
+    address_book_filter: bytes
+    filter_m: int
+    filter_k: int
+
+
+class LoafReceiver:
+    """A mail client using senders' filters as a whitelist.
+
+    ``is_whitelisted(addr, msg)`` answers "is ``addr`` a friend of the
+    sender of ``msg``?" by querying the attached filter -- trusting a
+    structure the *sender* built, which is the design flaw.
+    """
+
+    def __init__(self) -> None:
+        self.whitelist_hits = 0
+
+    def is_whitelisted(self, address: str, message: LoafMessage) -> bool:
+        """Query the sender-supplied filter (the vulnerable step)."""
+        received = BloomFilter.from_bytes(
+            message.filter_m, message.filter_k, message.address_book_filter
+        )
+        hit = address in received
+        if hit:
+            self.whitelist_hits += 1
+        return hit
+
+
+def forge_all_ones_filter(m: int = 1024, k: int = 4) -> LoafMessage:
+    """The trivial attack: a saturated filter whitelists everything."""
+    if m <= 0 or k <= 0:
+        raise ParameterError("m and k must be positive")
+    forged = BloomFilter(m, k)
+    forged.bits.set_all()
+    return LoafMessage(
+        sender="attacker@spam.example",
+        address_book_filter=forged.to_bytes(),
+        filter_m=m,
+        filter_k=k,
+    )

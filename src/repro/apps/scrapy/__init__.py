@@ -1,0 +1,32 @@
+"""Scrapy-like web spider and the Section 5 attacks against its
+Bloom-filter duplicate detector."""
+
+from repro.apps.scrapy.attack import (
+    BlindingAttack,
+    BlindingReport,
+    GhostHidingAttack,
+    GhostHidingReport,
+)
+from repro.apps.scrapy.dupefilter import (
+    BloomDupeFilter,
+    DupeFilter,
+    FingerprintSetDupeFilter,
+    pybloom_like_strategy,
+)
+from repro.apps.scrapy.spider import CrawlStats, Spider
+from repro.apps.scrapy.webgraph import Page, WebGraph
+
+__all__ = [
+    "BlindingAttack",
+    "BlindingReport",
+    "BloomDupeFilter",
+    "CrawlStats",
+    "DupeFilter",
+    "FingerprintSetDupeFilter",
+    "GhostHidingAttack",
+    "GhostHidingReport",
+    "Page",
+    "Spider",
+    "WebGraph",
+    "pybloom_like_strategy",
+]

@@ -1,0 +1,100 @@
+"""Synthetic web graphs for the spider simulation.
+
+A tiny deterministic "web": pages keyed by URL, each with outgoing
+links.  Victim sites are generated pseudo-randomly (tree + cross links,
+like a real site's navigation); adversary sites are built explicitly by
+the attacks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+from repro.urlgen.faker import UrlFactory
+
+__all__ = ["Page", "WebGraph"]
+
+
+@dataclass
+class Page:
+    """One fetchable page: its URL and outgoing links (in page order)."""
+
+    url: str
+    links: list[str] = field(default_factory=list)
+
+
+class WebGraph:
+    """A set of pages with deterministic link structure."""
+
+    def __init__(self) -> None:
+        self._pages: dict[str, Page] = {}
+
+    def add_page(self, url: str, links: list[str] | None = None) -> Page:
+        """Insert (or replace) a page."""
+        page = Page(url=url, links=list(links or []))
+        self._pages[url] = page
+        return page
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def urls(self) -> list[str]:
+        """All page URLs in insertion order."""
+        return list(self._pages)
+
+    def links_of(self, url: str) -> list[str]:
+        """Outgoing links of ``url`` (empty for unknown/external URLs)."""
+        page = self._pages.get(url)
+        return list(page.links) if page else []
+
+    def merge(self, other: "WebGraph") -> "WebGraph":
+        """Add all of ``other``'s pages to this graph (in place)."""
+        for url, page in other._pages.items():
+            self._pages[url] = Page(url=page.url, links=list(page.links))
+        return self
+
+    @classmethod
+    def random_site(
+        cls,
+        host: str,
+        n_pages: int,
+        seed: int = 0,
+        branching: int = 4,
+        cross_links: int = 2,
+    ) -> "WebGraph":
+        """Generate a site of ``n_pages`` under one host.
+
+        Structure: a breadth-first tree with ``branching`` children per
+        page plus ``cross_links`` random intra-site links per page --
+        every page is reachable from the root (``http://host/``).
+        """
+        if n_pages <= 0:
+            raise ParameterError("n_pages must be positive")
+        rng = random.Random(seed)
+        factory = UrlFactory(seed=seed ^ 0x51E)
+        root = f"http://{host}/"
+        urls = [root] + [
+            f"http://{host}{factory.path(depth=rng.randint(1, 3))}/p{i}"
+            for i in range(1, n_pages)
+        ]
+        graph = cls()
+        for url in urls:
+            graph.add_page(url)
+        # Tree links guarantee reachability.
+        for i, url in enumerate(urls):
+            first_child = i * branching + 1
+            children = urls[first_child : first_child + branching]
+            graph._pages[url].links.extend(children)
+        # Cross links add realism (and duplicate scheduling pressure).
+        for url in urls:
+            for _ in range(cross_links):
+                graph._pages[url].links.append(rng.choice(urls))
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<WebGraph pages={len(self._pages)}>"

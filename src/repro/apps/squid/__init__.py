@@ -1,0 +1,19 @@
+"""Squid-style sibling proxies with cache digests and the Section 7
+pollution attack."""
+
+from repro.apps.squid.attack import CacheDigestAttack, CacheDigestAttackReport
+from repro.apps.squid.httpsim import FetchOutcome, OriginServer, SimClock
+from repro.apps.squid.proxy import ProxyStats, SquidProxy
+from repro.apps.squid.siblings import SiblingPair, make_sibling_pair
+
+__all__ = [
+    "CacheDigestAttack",
+    "CacheDigestAttackReport",
+    "FetchOutcome",
+    "OriginServer",
+    "ProxyStats",
+    "SiblingPair",
+    "SimClock",
+    "SquidProxy",
+    "make_sibling_pair",
+]

@@ -1,0 +1,67 @@
+"""Minimal HTTP world for the Squid experiment: a clock and an origin.
+
+The paper's testbed is a LAN with one HTTP server answering every GET
+and a 10 ms round-trip between sibling proxies.  Latency is what the
+attack inflates, so it is modelled explicitly with a simulated
+millisecond clock -- deterministic and independent of wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+__all__ = ["SimClock", "OriginServer", "FetchOutcome"]
+
+
+class SimClock:
+    """A monotonically advancing millisecond counter."""
+
+    def __init__(self) -> None:
+        self._now_ms = 0.0
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> None:
+        """Advance the clock; negative deltas are rejected."""
+        if delta_ms < 0:
+            raise ParameterError("time cannot run backwards")
+        self._now_ms += delta_ms
+
+
+class OriginServer:
+    """An origin answering every GET with deterministic content.
+
+    Mirrors the paper's setup: "an HTTP server responding to every GET
+    request of the client received via one of these proxies".
+    """
+
+    def __init__(self, latency_ms: float = 50.0) -> None:
+        if latency_ms < 0:
+            raise ParameterError("latency must be non-negative")
+        self.latency_ms = latency_ms
+        self.requests = 0
+
+    def fetch(self, url: str) -> str:
+        """Serve ``url`` (content is a deterministic function of it)."""
+        self.requests += 1
+        return f"<html><body>content-of:{url}</body></html>"
+
+
+@dataclass(frozen=True)
+class FetchOutcome:
+    """How one client request was satisfied and what it cost."""
+
+    url: str
+    source: str  # "local", "sibling", "origin"
+    latency_ms: float
+    sibling_false_hits: int = 0
+
+    @property
+    def wasted_round_trips(self) -> int:
+        """Sibling probes that found nothing (digest false positives)."""
+        return self.sibling_false_hits

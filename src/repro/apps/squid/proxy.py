@@ -1,0 +1,154 @@
+"""A caching proxy with Squid-style cache digests (paper Section 7).
+
+Each proxy keeps a URL -> content cache and, on demand, summarises it
+into a :class:`~repro.core.cache_digest.CacheDigest` (m = 5n+7 bits,
+k = 4 indexes split from one MD5).  Siblings exchange digests; before
+going to the origin, a proxy consults its peers' digests and pays one
+round-trip for every hit -- *including the false ones*, which is the
+attack's lever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.squid.httpsim import FetchOutcome, OriginServer, SimClock
+from repro.core.cache_digest import CacheDigest
+from repro.exceptions import ParameterError
+
+__all__ = ["ProxyStats", "SquidProxy"]
+
+
+@dataclass
+class ProxyStats:
+    """Operational counters for one proxy."""
+
+    local_hits: int = 0
+    sibling_hits: int = 0
+    sibling_false_hits: int = 0
+    origin_fetches: int = 0
+    total_latency_ms: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        """Client requests served."""
+        return self.local_hits + self.sibling_hits + self.origin_fetches
+
+    def false_hit_rate(self) -> float:
+        """Digest false hits per request (the paper's headline metric)."""
+        if self.requests == 0:
+            return 0.0
+        return self.sibling_false_hits / self.requests
+
+
+class SquidProxy:
+    """One caching proxy.
+
+    Parameters
+    ----------
+    name:
+        Display name ("proxy1", "proxy2" in the paper's setup).
+    origin:
+        Upstream server used on cache misses.
+    clock:
+        Shared simulated clock.
+    sibling_rtt_ms:
+        Round-trip to a sibling (the paper measures 10 ms).
+    origin_latency_ms:
+        Cost of a full origin fetch (dominates sibling traffic, which is
+        the whole point of cache digests).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        origin: OriginServer,
+        clock: SimClock,
+        sibling_rtt_ms: float = 10.0,
+        origin_latency_ms: float | None = None,
+    ) -> None:
+        if sibling_rtt_ms < 0:
+            raise ParameterError("sibling_rtt_ms must be non-negative")
+        self.name = name
+        self.origin = origin
+        self.clock = clock
+        self.sibling_rtt_ms = sibling_rtt_ms
+        self.origin_latency_ms = (
+            origin.latency_ms if origin_latency_ms is None else origin_latency_ms
+        )
+        self.cache: dict[str, str] = {}
+        self.digest: CacheDigest | None = None
+        self.siblings: list["SquidProxy"] = []
+        self.stats = ProxyStats()
+
+    # ------------------------------------------------------------------
+
+    def add_sibling(self, other: "SquidProxy") -> None:
+        """Register a sibling (one direction; see ``peer`` helper)."""
+        if other is self:
+            raise ParameterError("a proxy cannot be its own sibling")
+        if other not in self.siblings:
+            self.siblings.append(other)
+
+    def rebuild_digest(self) -> CacheDigest:
+        """Summarise the current cache into a fresh digest.
+
+        Real Squid does this on a timer (hourly); tests and attacks call
+        it explicitly at the protocol points that matter.
+        """
+        self.digest = CacheDigest.build(self.cache.keys())
+        return self.digest
+
+    def has_cached(self, url: str) -> bool:
+        """Ground truth: is ``url`` actually in the local cache?"""
+        return url in self.cache
+
+    # ------------------------------------------------------------------
+
+    def client_fetch(self, url: str) -> FetchOutcome:
+        """Serve a client request, consulting sibling digests on a miss.
+
+        Every sibling whose digest claims the URL costs one RTT; a false
+        claim wastes it (the paper: "each false positive adds at least
+        one round-trip time ... to the response delay").
+        """
+        latency = 0.0
+        false_hits = 0
+
+        if url in self.cache:
+            self.stats.local_hits += 1
+            self.stats.total_latency_ms += latency
+            return FetchOutcome(url=url, source="local", latency_ms=latency)
+
+        for sibling in self.siblings:
+            if sibling.digest is None or url not in sibling.digest:
+                continue
+            latency += self.sibling_rtt_ms  # ask the sibling
+            if sibling.has_cached(url):
+                content = sibling.cache[url]
+                self.cache[url] = content
+                self.stats.sibling_hits += 1
+                self.stats.sibling_false_hits += false_hits
+                self.stats.total_latency_ms += latency
+                self.clock.advance(latency)
+                return FetchOutcome(
+                    url=url,
+                    source="sibling",
+                    latency_ms=latency,
+                    sibling_false_hits=false_hits,
+                )
+            false_hits += 1  # digest lied: wasted round trip
+
+        latency += self.origin_latency_ms
+        content = self.origin.fetch(url)
+        self.cache[url] = content
+        self.stats.origin_fetches += 1
+        self.stats.sibling_false_hits += false_hits
+        self.stats.total_latency_ms += latency
+        self.clock.advance(latency)
+        return FetchOutcome(
+            url=url, source="origin", latency_ms=latency, sibling_false_hits=false_hits
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SquidProxy {self.name} cached={len(self.cache)}>"

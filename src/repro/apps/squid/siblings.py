@@ -1,0 +1,44 @@
+"""Wiring helpers for sibling proxy pairs (the paper's LAN testbed)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.squid.httpsim import OriginServer, SimClock
+from repro.apps.squid.proxy import SquidProxy
+
+__all__ = ["SiblingPair", "make_sibling_pair"]
+
+
+@dataclass
+class SiblingPair:
+    """Two proxies configured as siblings plus their shared substrate."""
+
+    proxy1: SquidProxy
+    proxy2: SquidProxy
+    origin: OriginServer
+    clock: SimClock
+
+    def exchange_digests(self) -> None:
+        """Both proxies rebuild and (implicitly) swap digests.
+
+        In Squid the digest is fetched over HTTP from the peer; here the
+        sibling reads the peer's ``digest`` attribute, which is the same
+        trust model -- the paper assumes honest proxies, ruling out the
+        trivial fake-digest attack.
+        """
+        self.proxy1.rebuild_digest()
+        self.proxy2.rebuild_digest()
+
+
+def make_sibling_pair(
+    sibling_rtt_ms: float = 10.0, origin_latency_ms: float = 50.0
+) -> SiblingPair:
+    """Build the paper's topology: client -> proxy2 <-> proxy1 -> origin."""
+    clock = SimClock()
+    origin = OriginServer(latency_ms=origin_latency_ms)
+    proxy1 = SquidProxy("proxy1", origin, clock, sibling_rtt_ms=sibling_rtt_ms)
+    proxy2 = SquidProxy("proxy2", origin, clock, sibling_rtt_ms=sibling_rtt_ms)
+    proxy1.add_sibling(proxy2)
+    proxy2.add_sibling(proxy1)
+    return SiblingPair(proxy1=proxy1, proxy2=proxy2, origin=origin, clock=clock)

@@ -1,0 +1,89 @@
+"""Bloom filter family and parameter calculus.
+
+Structures
+    :class:`~repro.core.bloom.BloomFilter` (classic, paper Section 3),
+    :class:`~repro.core.counting.CountingBloomFilter`,
+    :class:`~repro.core.scalable.ScalableBloomFilter`,
+    :class:`~repro.core.dablooms.Dablooms` (Bitly's scaling counting
+    filter, Section 6), :class:`~repro.core.cache_digest.CacheDigest`
+    (Squid, Section 7), and
+    :class:`~repro.core.partitioned.PartitionedBloomFilter`.
+
+Calculus
+    :mod:`~repro.core.params` (classical and worst-case parameter
+    derivations, Sections 3 and 8.1) and :mod:`~repro.core.analysis`
+    (occupancy expectations, concentration bounds, attack thresholds).
+"""
+
+from repro.core.analysis import (
+    adversarial_saturation_items,
+    birthday_threshold,
+    coupon_collector_items,
+    empirical_fpp,
+    expected_set_bits,
+    expected_zero_bits,
+    occupancy_concentration_bound,
+    scalable_compound_fpp,
+)
+from repro.core.bitvector import BitVector
+from repro.core.bloom import BloomFilter, default_strategy
+from repro.core.cache_digest import CacheDigest, squid_digest_bits, squid_indexes
+from repro.core.counters import CounterArray, OverflowPolicy
+from repro.core.counting import CountingBloomFilter
+from repro.core.dablooms import Dablooms
+from repro.core.interfaces import DeletableFilter, MembershipFilter
+from repro.core.params import (
+    BloomParameters,
+    adversarial_fpp,
+    adversarial_optimal_fpp,
+    adversarial_optimal_k,
+    false_positive_exact,
+    false_positive_probability,
+    honest_fpp_at_adversarial_k,
+    k_ratio,
+    optimal_fpp,
+    optimal_k,
+    optimal_m,
+    paper_size_inflation_factor,
+)
+from repro.core.partitioned import PartitionedBloomFilter
+from repro.core.scalable import ScalableBloomFilter
+from repro.core.two_choice import TwoChoiceBloomFilter
+
+__all__ = [
+    "BitVector",
+    "BloomFilter",
+    "BloomParameters",
+    "CacheDigest",
+    "CounterArray",
+    "CountingBloomFilter",
+    "Dablooms",
+    "DeletableFilter",
+    "MembershipFilter",
+    "OverflowPolicy",
+    "PartitionedBloomFilter",
+    "ScalableBloomFilter",
+    "TwoChoiceBloomFilter",
+    "adversarial_fpp",
+    "adversarial_optimal_fpp",
+    "adversarial_optimal_k",
+    "adversarial_saturation_items",
+    "birthday_threshold",
+    "coupon_collector_items",
+    "default_strategy",
+    "empirical_fpp",
+    "expected_set_bits",
+    "expected_zero_bits",
+    "false_positive_exact",
+    "false_positive_probability",
+    "honest_fpp_at_adversarial_k",
+    "k_ratio",
+    "occupancy_concentration_bound",
+    "optimal_fpp",
+    "optimal_k",
+    "optimal_m",
+    "paper_size_inflation_factor",
+    "scalable_compound_fpp",
+    "squid_digest_bits",
+    "squid_indexes",
+]

@@ -1,0 +1,134 @@
+"""Occupancy and false-positive analytics used across the experiments.
+
+Implements the expectation/concentration results of paper Section 3
+(eqs. 4-5), the birthday-paradox and coupon-collector counts of
+Section 4.1, and empirical estimators used to cross-check every figure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "expected_zero_bits",
+    "expected_set_bits",
+    "occupancy_concentration_bound",
+    "birthday_threshold",
+    "coupon_collector_items",
+    "adversarial_saturation_items",
+    "pollution_gain",
+    "scalable_compound_fpp",
+    "empirical_fpp",
+    "expected_weight_after",
+]
+
+
+def expected_zero_bits(m: int, n: int, k: int) -> float:
+    """Expected number of 0-bits after n uniform insertions: ``m p`` with
+    ``p = (1 - 1/m)^{kn}`` (paper eq. 4)."""
+    if m <= 0 or k <= 0 or n < 0:
+        raise ParameterError("m, k must be positive and n non-negative")
+    p = (1.0 - 1.0 / m) ** (k * n)
+    return m * p
+
+
+def expected_set_bits(m: int, n: int, k: int) -> float:
+    """Expected Hamming weight after n uniform insertions."""
+    return m - expected_zero_bits(m, n, k)
+
+
+def expected_weight_after(m: int, n: int, k: int, adversarial: bool = False) -> float:
+    """Expected weight: ``nk`` for a chosen-insertion adversary (every bit
+    fresh) versus the uniform expectation."""
+    if adversarial:
+        return float(min(m, n * k))
+    return expected_set_bits(m, n, k)
+
+
+def occupancy_concentration_bound(m: int, n: int, k: int, epsilon: float) -> float:
+    """Azuma-Hoeffding bound ``P(|X - mp| >= eps m) <= 2 e^{-2 m^2 eps^2 / (nk)}``
+    (paper eq. 5, after Broder & Mitzenmacher)."""
+    if epsilon <= 0:
+        raise ParameterError("epsilon must be positive")
+    if m <= 0 or k <= 0 or n <= 0:
+        raise ParameterError("m, n, k must be positive")
+    return min(1.0, 2.0 * math.exp(-2.0 * (m**2) * (epsilon**2) / (n * k)))
+
+
+def birthday_threshold(m: int, k: int) -> int:
+    """``ceil(sqrt(m)/k)`` -- insertions below this need no crafting at
+    all, since uniform indexes are likely all-distinct (paper Section 4.1)."""
+    if m <= 0 or k <= 0:
+        raise ParameterError("m and k must be positive")
+    return math.ceil(math.sqrt(m) / k)
+
+
+def coupon_collector_items(m: int, k: int) -> int:
+    """Expected *random* insertions to saturate the filter:
+    ``floor(m log m / k)`` (coupon collector, k draws per item)."""
+    if m <= 1 or k <= 0:
+        raise ParameterError("m must exceed 1 and k be positive")
+    return math.floor(m * math.log(m) / k)
+
+
+def adversarial_saturation_items(m: int, k: int) -> int:
+    """Chosen insertions to saturate: ``floor(m/k)`` -- a ``log m`` factor
+    cheaper than random (paper Section 4.1)."""
+    if m <= 0 or k <= 0:
+        raise ParameterError("m and k must be positive")
+    return math.floor(m / k)
+
+
+def pollution_gain() -> float:
+    """Relative weight increase of a full chosen-insertion attack at the
+    classical optimum: ``nk/(m/2) = 2 ln 2 / ... ≈ 1.38`` -- the paper's
+    "increases the number of 1s by 38%"."""
+    return 2.0 * math.log(2)
+
+
+def scalable_compound_fpp(slice_fpps: Sequence[float]) -> float:
+    """Compound FP of a scalable filter: ``1 - prod(1 - f_i)`` (paper
+    Section 6.1, after Almeida et al.)."""
+    product = 1.0
+    for f in slice_fpps:
+        if not 0.0 <= f <= 1.0:
+            raise ParameterError(f"slice fpp {f} outside [0, 1]")
+        product *= 1.0 - f
+    return 1.0 - product
+
+
+def empirical_fpp(
+    contains: Callable[[str], bool],
+    probes: Iterable[str] | None = None,
+    trials: int = 2000,
+    rng: random.Random | None = None,
+) -> float:
+    """Estimate a filter's FP rate by probing items never inserted.
+
+    Parameters
+    ----------
+    contains:
+        Membership oracle (e.g. ``lambda u: u in filter``).
+    probes:
+        Iterable of probe items known to be outside the inserted set.  If
+        omitted, random hex tokens (prefixed to avoid collisions with any
+        realistic inserted set) are generated.
+    trials:
+        Number of probes when generating automatically.
+    """
+    if probes is None:
+        rng = rng or random.Random(0xFB00)
+        probes = (f"__fpp_probe__{rng.getrandbits(64):016x}" for _ in range(trials))
+    hits = 0
+    total = 0
+    for probe in probes:
+        total += 1
+        if contains(probe):
+            hits += 1
+    if total == 0:
+        raise ParameterError("no probes supplied")
+    return hits / total

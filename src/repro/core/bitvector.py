@@ -1,0 +1,150 @@
+"""A compact bit vector with the support/weight queries the paper uses.
+
+The paper reasons about a filter ``z`` through ``supp(z)`` (the set of
+1-positions) and ``wH(z)`` (its Hamming weight); both are first-class
+here.  Backed by a ``bytearray`` so a 3200-bit filter costs 400 bytes,
+with popcount via ``int.bit_count``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["BitVector"]
+
+
+class BitVector:
+    """Fixed-size mutable bit vector.
+
+    Parameters
+    ----------
+    size:
+        Number of bits; immutable after construction.
+    """
+
+    __slots__ = ("_size", "_bytes")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self._size = size
+        self._bytes = bytearray((size + 7) // 8)
+
+    @classmethod
+    def from_indices(cls, size: int, indices: Iterable[int]) -> "BitVector":
+        """Build a vector with the given positions set."""
+        vec = cls(size)
+        for i in indices:
+            vec.set(i)
+        return vec
+
+    @classmethod
+    def from_bytes(cls, size: int, raw: bytes) -> "BitVector":
+        """Rehydrate a vector serialised with :meth:`to_bytes`."""
+        vec = cls(size)
+        if len(raw) != len(vec._bytes):
+            raise ValueError(f"expected {len(vec._bytes)} bytes, got {len(raw)}")
+        vec._bytes[:] = raw
+        return vec
+
+    def _check(self, index: int) -> int:
+        if not 0 <= index < self._size:
+            raise IndexError(f"bit index {index} out of range [0, {self._size})")
+        return index
+
+    def __len__(self) -> int:
+        return self._size
+
+    def get(self, index: int) -> bool:
+        """Return bit ``index``."""
+        self._check(index)
+        return bool(self._bytes[index >> 3] & (1 << (index & 7)))
+
+    __getitem__ = get
+
+    def set(self, index: int) -> bool:
+        """Set bit ``index`` to 1; return True if it was previously 0."""
+        self._check(index)
+        byte, mask = index >> 3, 1 << (index & 7)
+        was_unset = not self._bytes[byte] & mask
+        self._bytes[byte] |= mask
+        return was_unset
+
+    def clear(self, index: int) -> bool:
+        """Set bit ``index`` to 0; return True if it was previously 1."""
+        self._check(index)
+        byte, mask = index >> 3, 1 << (index & 7)
+        was_set = bool(self._bytes[byte] & mask)
+        self._bytes[byte] &= ~mask & 0xFF
+        return was_set
+
+    def set_all(self) -> None:
+        """Saturate the vector (every bit to 1)."""
+        self._bytes[:] = b"\xff" * len(self._bytes)
+        # Zero the padding bits past ``size`` so weight stays consistent.
+        extra = 8 * len(self._bytes) - self._size
+        if extra:
+            self._bytes[-1] &= 0xFF >> extra
+
+    def clear_all(self) -> None:
+        """Reset every bit to 0."""
+        self._bytes[:] = bytes(len(self._bytes))
+
+    def hamming_weight(self) -> int:
+        """Number of set bits, ``wH(z)`` in the paper."""
+        return int.from_bytes(self._bytes, "little").bit_count()
+
+    def support(self) -> set[int]:
+        """The set of 1-positions, ``supp(z)`` in the paper."""
+        return set(self.iter_support())
+
+    def iter_support(self) -> Iterator[int]:
+        """Iterate over 1-positions in increasing order."""
+        for byte_index, byte in enumerate(self._bytes):
+            while byte:
+                low = byte & -byte
+                yield (byte_index << 3) + low.bit_length() - 1
+                byte ^= low
+
+    def iter_zeros(self) -> Iterator[int]:
+        """Iterate over 0-positions in increasing order."""
+        for i in range(self._size):
+            if not self.get(i):
+                yield i
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (occupancy)."""
+        return self.hamming_weight() / self._size
+
+    def to_bytes(self) -> bytes:
+        """Serialise (little-endian bit order within bytes)."""
+        return bytes(self._bytes)
+
+    def copy(self) -> "BitVector":
+        """Deep copy."""
+        return BitVector.from_bytes(self._size, bytes(self._bytes))
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        if len(other) != self._size:
+            raise ValueError("size mismatch")
+        out = BitVector(self._size)
+        out._bytes[:] = bytes(a | b for a, b in zip(self._bytes, other._bytes))
+        return out
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        if len(other) != self._size:
+            raise ValueError("size mismatch")
+        out = BitVector(self._size)
+        out._bytes[:] = bytes(a & b for a, b in zip(self._bytes, other._bytes))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._size == other._size and self._bytes == other._bytes
+
+    def __hash__(self) -> int:  # pragma: no cover - vectors are mutable
+        raise TypeError("BitVector is unhashable (mutable)")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BitVector size={self._size} weight={self.hamming_weight()}>"

@@ -1,0 +1,224 @@
+"""The classic Bloom filter (paper Section 3).
+
+A bit vector of size m; items are inserted by setting the k bits chosen
+by an :class:`~repro.hashing.base.IndexStrategy` and queried by checking
+them.  The strategy is deliberately pluggable: it is the entire attack
+surface (salted crypto calls, Kirsch-Mitzenmacher over MurmurHash,
+recycled SHA-512 bits, keyed HMAC, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.bitvector import BitVector
+from repro.core.interfaces import MembershipFilter
+from repro.core.params import (
+    BloomParameters,
+    adversarial_fpp,
+    false_positive_probability,
+)
+from repro.exceptions import ParameterError
+from repro.hashing.base import IndexStrategy
+from repro.hashing.crypto import SHA512
+from repro.hashing.recycling import RecyclingStrategy
+
+__all__ = ["BloomFilter", "default_strategy"]
+
+
+def default_strategy() -> IndexStrategy:
+    """The package default: recycled SHA-512 bits (one call per item).
+
+    Chosen because it is simultaneously the paper's recommended
+    *unkeyed* construction (Section 8.2) and fast enough for tests; pass
+    an explicit strategy to reproduce a vulnerable deployment.
+    """
+    return RecyclingStrategy(SHA512())
+
+
+class BloomFilter(MembershipFilter):
+    """Classic Bloom filter over an arbitrary index strategy.
+
+    Parameters
+    ----------
+    m:
+        Filter size in bits.
+    k:
+        Number of indexes per item.
+    strategy:
+        Index derivation rule; defaults to :func:`default_strategy`.
+
+    Notes
+    -----
+    ``add`` returns True when every index was already set -- i.e. the
+    filter *believed the item present* before the insertion (pyBloom's
+    convention, which the Scrapy attack relies on).
+    """
+
+    def __init__(self, m: int, k: int, strategy: IndexStrategy | None = None) -> None:
+        if m <= 0:
+            raise ParameterError(f"m must be positive, got {m}")
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        self.m = m
+        self.k = k
+        self.strategy = strategy or default_strategy()
+        self.bits = BitVector(m)
+        self._insertions = 0
+        self._weight = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_parameters(
+        cls, params: BloomParameters, strategy: IndexStrategy | None = None
+    ) -> "BloomFilter":
+        """Build a filter from a derived :class:`BloomParameters`."""
+        return cls(params.m, params.k, strategy)
+
+    @classmethod
+    def for_capacity(
+        cls, n: int, f: float, strategy: IndexStrategy | None = None
+    ) -> "BloomFilter":
+        """Classically-optimal filter for ``n`` items at FP target ``f``."""
+        return cls.from_parameters(BloomParameters.design_optimal(n, f), strategy)
+
+    @classmethod
+    def worst_case(
+        cls, n: int, m: int, strategy: IndexStrategy | None = None
+    ) -> "BloomFilter":
+        """Adversary-resistant parameterisation (paper Section 8.1):
+        ``k = round(m/(en))`` minimises the achievable ``f_adv``."""
+        return cls.from_parameters(BloomParameters.design_worst_case(n, m), strategy)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def indexes(self, item: str | bytes) -> tuple[int, ...]:
+        """The k filter positions of ``item`` (public and predictable --
+        which is the point of the paper)."""
+        return self.strategy.indexes(item, self.k, self.m)
+
+    def add(self, item: str | bytes) -> bool:
+        """Insert ``item``; True if it already appeared present."""
+        already = True
+        for index in self.indexes(item):
+            if self.bits.set(index):
+                already = False
+                self._weight += 1
+        self._insertions += 1
+        return already
+
+    def add_indexes(self, indexes: Iterable[int]) -> None:
+        """Set pre-computed positions (used by attack simulators that
+        craft index sets directly)."""
+        for index in indexes:
+            if self.bits.set(index):
+                self._weight += 1
+        self._insertions += 1
+
+    def __contains__(self, item: str | bytes) -> bool:
+        return all(self.bits.get(i) for i in self.indexes(item))
+
+    def contains_indexes(self, indexes: Iterable[int]) -> bool:
+        """Membership test on pre-computed positions."""
+        return all(self.bits.get(i) for i in indexes)
+
+    def __len__(self) -> int:
+        return self._insertions
+
+    # ------------------------------------------------------------------
+    # State inspection (the adversary's view)
+    # ------------------------------------------------------------------
+
+    @property
+    def hamming_weight(self) -> int:
+        """``wH(z)``: number of set bits (maintained incrementally)."""
+        return self._weight
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set."""
+        return self._weight / self.m
+
+    def support(self) -> set[int]:
+        """``supp(z)``: the set of 1-positions."""
+        return self.bits.support()
+
+    def current_fpp(self) -> float:
+        """FP probability implied by the *current* weight: ``(W/m)^k``."""
+        return (self._weight / self.m) ** self.k
+
+    def expected_fpp(self, n: int | None = None) -> float:
+        """Design-time FP estimate after ``n`` uniform insertions
+        (defaults to the current insertion count)."""
+        count = self._insertions if n is None else n
+        return false_positive_probability(self.m, count, self.k)
+
+    def worst_case_fpp(self, n: int | None = None) -> float:
+        """FP a chosen-insertion adversary forces after ``n`` insertions."""
+        count = self._insertions if n is None else n
+        return adversarial_fpp(self.m, count, self.k)
+
+    def is_saturated(self) -> bool:
+        """True once every bit is set (everything is a member)."""
+        return self._weight == self.m
+
+    # ------------------------------------------------------------------
+    # Serialisation / set algebra
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the bit vector (as a cache digest would be shipped)."""
+        return self.bits.to_bytes()
+
+    @classmethod
+    def from_bytes(
+        cls, m: int, k: int, raw: bytes, strategy: IndexStrategy | None = None
+    ) -> "BloomFilter":
+        """Rehydrate a filter received from a peer."""
+        filt = cls(m, k, strategy)
+        filt.bits = BitVector.from_bytes(m, raw)
+        filt._weight = filt.bits.hamming_weight()
+        return filt
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise union (valid only for identical parameters/strategy)."""
+        self._check_compatible(other)
+        out = BloomFilter(self.m, self.k, self.strategy)
+        out.bits = self.bits | other.bits
+        out._weight = out.bits.hamming_weight()
+        out._insertions = self._insertions + other._insertions
+        return out
+
+    def intersection(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise intersection (superset of the true set intersection)."""
+        self._check_compatible(other)
+        out = BloomFilter(self.m, self.k, self.strategy)
+        out.bits = self.bits & other.bits
+        out._weight = out.bits.hamming_weight()
+        out._insertions = min(self._insertions, other._insertions)
+        return out
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if (self.m, self.k) != (other.m, other.k) or self.strategy is not other.strategy:
+            raise ParameterError(
+                "set algebra requires identical (m, k) and the same strategy object"
+            )
+
+    def copy(self) -> "BloomFilter":
+        """Deep copy sharing the (stateless) strategy."""
+        out = BloomFilter(self.m, self.k, self.strategy)
+        out.bits = self.bits.copy()
+        out._weight = self._weight
+        out._insertions = self._insertions
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BloomFilter m={self.m} k={self.k} n={self._insertions} "
+            f"weight={self._weight} strategy={self.strategy.name}>"
+        )

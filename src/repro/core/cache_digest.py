@@ -1,0 +1,135 @@
+"""Squid cache digests (paper Section 7).
+
+A Squid proxy summarises its cache as a Bloom filter and ships it to
+sibling proxies.  The reproduction follows Squid 3.4.6 as described by
+the paper:
+
+* the key is the HTTP retrieval method concatenated with the URL;
+* one 128-bit MD5 digest of the key is computed and *split* into four
+  32-bit words, each reduced modulo m -- four "free" hash functions;
+* the filter size is ``m = 5 n + 7`` bits for ``n`` cache entries
+  (Squid's bits-per-entry = 5 plus byte-rounding slack), *not* the
+  optimal ``6 n``, which is why even the honest false-hit rate is high
+  (0.09 instead of 0.03 at n = 200).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable
+
+from repro.core.bitvector import BitVector
+from repro.core.interfaces import MembershipFilter
+from repro.exceptions import ParameterError
+
+__all__ = ["CacheDigest", "squid_digest_bits", "squid_indexes"]
+
+#: Squid's cache-digest hash count ("for the sake of efficiency").
+SQUID_K = 4
+#: Squid's bits-per-entry constant.
+SQUID_BITS_PER_ENTRY = 5
+
+
+def squid_digest_bits(capacity: int) -> int:
+    """Filter size used by Squid: ``5 n + 7`` bits (paper Section 7)."""
+    if capacity <= 0:
+        raise ParameterError("capacity must be positive")
+    return SQUID_BITS_PER_ENTRY * capacity + 7
+
+
+def squid_indexes(key: bytes, m: int) -> tuple[int, int, int, int]:
+    """Split one MD5 of ``key`` into Squid's four filter indexes."""
+    if m <= 0:
+        raise ParameterError("m must be positive")
+    digest = hashlib.md5(key).digest()
+    words = struct.unpack(">IIII", digest)
+    return tuple(w % m for w in words)  # type: ignore[return-value]
+
+
+class CacheDigest(MembershipFilter):
+    """A Squid-style cache digest.
+
+    Parameters
+    ----------
+    capacity:
+        Number of cache entries the digest is sized for.
+    method:
+        Default HTTP retrieval method mixed into every key.
+    """
+
+    def __init__(self, capacity: int, method: str = "GET") -> None:
+        self.capacity = capacity
+        self.method = method
+        self.m = squid_digest_bits(capacity)
+        self.k = SQUID_K
+        self.bits = BitVector(self.m)
+        self._insertions = 0
+
+    @classmethod
+    def build(cls, urls: Iterable[str], capacity: int | None = None) -> "CacheDigest":
+        """Build a digest over a cache's current URL set.
+
+        Squid rebuilds digests periodically (hourly); this is that
+        rebuild.  ``capacity`` defaults to the URL count, mirroring a
+        digest sized to current contents.
+        """
+        url_list = list(urls)
+        digest = cls(capacity if capacity is not None else max(1, len(url_list)))
+        for url in url_list:
+            digest.add(url)
+        return digest
+
+    def _key(self, url: str | bytes) -> bytes:
+        raw = url if isinstance(url, bytes) else url.encode("utf-8")
+        return self.method.encode("ascii") + raw
+
+    def indexes(self, url: str | bytes) -> tuple[int, int, int, int]:
+        """The four positions of ``url`` -- public, unsalted, unkeyed."""
+        return squid_indexes(self._key(url), self.m)
+
+    def add(self, url: str | bytes) -> bool:
+        """Record a cached URL; True if it already appeared present."""
+        already = True
+        for index in self.indexes(url):
+            if self.bits.set(index):
+                already = False
+        self._insertions += 1
+        return already
+
+    def __contains__(self, url: str | bytes) -> bool:
+        return all(self.bits.get(i) for i in self.indexes(url))
+
+    def __len__(self) -> int:
+        return self._insertions
+
+    @property
+    def hamming_weight(self) -> int:
+        """Number of set bits."""
+        return self.bits.hamming_weight()
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set."""
+        return self.hamming_weight / self.m
+
+    def current_fpp(self) -> float:
+        """False-hit probability implied by the current weight."""
+        return (self.hamming_weight / self.m) ** self.k
+
+    def to_bytes(self) -> bytes:
+        """Serialise for exchange with a sibling."""
+        return self.bits.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, capacity: int, raw: bytes, method: str = "GET") -> "CacheDigest":
+        """Rehydrate a digest received from a sibling."""
+        digest = cls(capacity, method)
+        digest.bits = BitVector.from_bytes(digest.m, raw)
+        return digest
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CacheDigest capacity={self.capacity} m={self.m} "
+            f"weight={self.hamming_weight}>"
+        )

@@ -1,0 +1,133 @@
+"""Packed small-width counter arrays for counting Bloom filters.
+
+Dablooms uses 4-bit counters (paper Section 6.1); the overflow attack of
+Section 6.2 exploits exactly what happens when a 4-bit counter is
+incremented past 15.  The array therefore supports three explicit
+overflow policies instead of hiding the choice:
+
+* ``WRAP`` -- modular arithmetic (what makes the ``nk = a + 16b`` attack
+  produce an all-zero "full" filter);
+* ``SATURATE`` -- stick at the maximum (classic counting-filter design;
+  trades overflow for permanent false positives since the counter can no
+  longer be safely decremented);
+* ``RAISE`` -- fail loudly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import CounterOverflowError
+
+__all__ = ["OverflowPolicy", "CounterArray"]
+
+
+class OverflowPolicy(enum.Enum):
+    """What an increment does to a counter already at its maximum."""
+
+    WRAP = "wrap"
+    SATURATE = "saturate"
+    RAISE = "raise"
+
+
+class CounterArray:
+    """Fixed array of ``size`` counters of ``bits`` bits each.
+
+    Counters are packed into a ``bytearray``; with the default 4 bits,
+    two counters share a byte, matching the Dablooms layout.
+    """
+
+    __slots__ = ("_size", "_bits", "_max", "_values", "overflow_events", "underflow_events")
+
+    def __init__(self, size: int, bits: int = 4) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if not 1 <= bits <= 8:
+            raise ValueError("bits must be in [1, 8]")
+        self._size = size
+        self._bits = bits
+        self._max = (1 << bits) - 1
+        # One byte per counter keeps the code simple and fast in CPython;
+        # logical width is still ``bits`` (values are reduced on update).
+        self._values = bytearray(size)
+        #: Number of increments that hit an already-maxed counter.
+        self.overflow_events = 0
+        #: Number of decrements that hit an already-zero counter.
+        self.underflow_events = 0
+
+    @property
+    def counter_bits(self) -> int:
+        """Width of each counter in bits."""
+        return self._bits
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable counter value (15 for 4-bit counters)."""
+        return self._max
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"counter index {index} out of range [0, {self._size})")
+
+    def get(self, index: int) -> int:
+        """Current value of counter ``index``."""
+        self._check(index)
+        return self._values[index]
+
+    __getitem__ = get
+
+    def increment(self, index: int, policy: OverflowPolicy = OverflowPolicy.SATURATE) -> int:
+        """Increment a counter under ``policy``; return its new value."""
+        self._check(index)
+        value = self._values[index]
+        if value >= self._max:
+            self.overflow_events += 1
+            if policy is OverflowPolicy.RAISE:
+                raise CounterOverflowError(f"counter {index} overflowed past {self._max}")
+            if policy is OverflowPolicy.SATURATE:
+                return value
+            value = 0  # WRAP
+        else:
+            value += 1
+        self._values[index] = value
+        return value
+
+    def decrement(self, index: int) -> int:
+        """Decrement a counter (floor at 0); return its new value.
+
+        Decrementing a zero counter is recorded in ``underflow_events``;
+        it is the signature of a deletion-attack side effect.
+        """
+        self._check(index)
+        value = self._values[index]
+        if value == 0:
+            self.underflow_events += 1
+            return 0
+        value -= 1
+        self._values[index] = value
+        return value
+
+    def nonzero_count(self) -> int:
+        """Number of counters currently greater than zero."""
+        return sum(1 for v in self._values if v)
+
+    def support(self) -> set[int]:
+        """Indices of non-zero counters (the counting analogue of supp)."""
+        return {i for i, v in enumerate(self._values) if v}
+
+    def values(self) -> list[int]:
+        """Snapshot of all counter values."""
+        return list(self._values)
+
+    def clear(self) -> None:
+        """Reset every counter to zero (does not reset event tallies)."""
+        self._values[:] = bytes(self._size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CounterArray size={self._size} bits={self._bits} "
+            f"nonzero={self.nonzero_count()}>"
+        )

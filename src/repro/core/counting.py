@@ -1,0 +1,152 @@
+"""Counting Bloom filter (Fan et al.; paper Sections 4.3 and 6.1).
+
+Replaces bits with small counters so deletion becomes possible -- and
+with it, the paper's deletion adversary (forge items overlapping a
+victim's indexes and delete them) and the counter-overflow attack
+(4-bit counters wrap, silently erasing membership).
+"""
+
+from __future__ import annotations
+
+from repro.core.counters import CounterArray, OverflowPolicy
+from repro.core.interfaces import DeletableFilter
+from repro.core.params import BloomParameters, false_positive_probability
+from repro.exceptions import ParameterError
+from repro.hashing.base import IndexStrategy
+
+__all__ = ["CountingBloomFilter"]
+
+
+class CountingBloomFilter(DeletableFilter):
+    """Bloom filter over ``counter_bits``-wide counters.
+
+    Parameters
+    ----------
+    m:
+        Number of counters.
+    k:
+        Indexes per item.
+    strategy:
+        Index derivation rule (same attack surface as the classic filter).
+    counter_bits:
+        Counter width; Dablooms uses 4.
+    overflow:
+        Overflow policy.  ``WRAP`` reproduces Dablooms' vulnerable
+        behaviour; ``SATURATE`` is the conservative textbook choice.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        strategy: IndexStrategy | None = None,
+        counter_bits: int = 4,
+        overflow: OverflowPolicy = OverflowPolicy.SATURATE,
+    ) -> None:
+        if m <= 0 or k <= 0:
+            raise ParameterError("m and k must be positive")
+        from repro.core.bloom import default_strategy  # avoid import cycle
+
+        self.m = m
+        self.k = k
+        self.strategy = strategy or default_strategy()
+        self.counters = CounterArray(m, counter_bits)
+        self.overflow = overflow
+        self._insertions = 0
+        self._deletions = 0
+
+    @classmethod
+    def for_capacity(
+        cls,
+        n: int,
+        f: float,
+        strategy: IndexStrategy | None = None,
+        counter_bits: int = 4,
+        overflow: OverflowPolicy = OverflowPolicy.SATURATE,
+    ) -> "CountingBloomFilter":
+        """Optimally-parameterised counting filter for n items at FP f."""
+        params = BloomParameters.design_optimal(n, f)
+        return cls(params.m, params.k, strategy, counter_bits, overflow)
+
+    def indexes(self, item: str | bytes) -> tuple[int, ...]:
+        """The k counter positions of ``item``."""
+        return self.strategy.indexes(item, self.k, self.m)
+
+    def add(self, item: str | bytes) -> bool:
+        """Insert; True if the item already appeared present.
+
+        A single item hitting the same counter twice increments it twice
+        -- exactly what the steering items of the overflow attack exploit.
+        """
+        indexes = self.indexes(item)
+        already = all(self.counters.get(i) > 0 for i in indexes)
+        for index in indexes:
+            self.counters.increment(index, self.overflow)
+        self._insertions += 1
+        return already
+
+    def add_indexes(self, indexes) -> None:
+        """Increment pre-computed positions (index-level insertion hook
+        used by attack simulators that already know the landing spots)."""
+        for index in indexes:
+            self.counters.increment(index, self.overflow)
+        self._insertions += 1
+
+    def remove(self, item: str | bytes) -> bool:
+        """Delete; True if the item appeared present beforehand.
+
+        Deleting an absent item decrements innocent counters -- the
+        mechanism behind deletion-adversary false negatives.  Underflows
+        (decrementing zero) are tallied on ``self.counters``.
+        """
+        indexes = self.indexes(item)
+        present = all(self.counters.get(i) > 0 for i in indexes)
+        for index in indexes:
+            self.counters.decrement(index)
+        self._deletions += 1
+        return present
+
+    def __contains__(self, item: str | bytes) -> bool:
+        return all(self.counters.get(i) > 0 for i in self.indexes(item))
+
+    def __len__(self) -> int:
+        return self._insertions
+
+    @property
+    def deletions(self) -> int:
+        """Number of ``remove`` calls performed."""
+        return self._deletions
+
+    @property
+    def hamming_weight(self) -> int:
+        """Number of non-zero counters (the bit-filter weight analogue)."""
+        return self.counters.nonzero_count()
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of counters that are non-zero."""
+        return self.hamming_weight / self.m
+
+    def support(self) -> set[int]:
+        """Positions with non-zero counters."""
+        return self.counters.support()
+
+    def current_fpp(self) -> float:
+        """FP probability implied by the current weight."""
+        return (self.hamming_weight / self.m) ** self.k
+
+    def expected_fpp(self, n: int | None = None) -> float:
+        """Design-time FP estimate after n uniform insertions."""
+        count = self._insertions if n is None else n
+        return false_positive_probability(self.m, count, self.k)
+
+    @property
+    def overflow_events(self) -> int:
+        """Number of increments applied to an already-maxed counter."""
+        return self.counters.overflow_events
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CountingBloomFilter m={self.m} k={self.k} n={self._insertions} "
+            f"nonzero={self.hamming_weight} overflow={self.overflow.value}>"
+        )

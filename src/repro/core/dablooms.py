@@ -1,0 +1,178 @@
+"""Dablooms: Bitly's scaling *counting* Bloom filter (paper Section 6).
+
+Dablooms combines the two classic extensions -- counting filters (for
+deletion) and scalable filters (for unbounded capacity) -- and derives
+all indexes from a single MurmurHash3 x64_128 call expanded with the
+Kirsch-Mitzenmacher trick.  This module reproduces that construction
+with the paper's parameters (4-bit counters, r = 0.9, f0 configurable)
+so that all three attacks of Section 6.2 run against it: pollution,
+deletion, and counter overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.analysis import scalable_compound_fpp
+from repro.core.counters import OverflowPolicy
+from repro.core.counting import CountingBloomFilter
+from repro.core.interfaces import DeletableFilter
+from repro.core.params import BloomParameters
+from repro.exceptions import ParameterError
+from repro.hashing.base import IndexStrategy
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+
+__all__ = ["Dablooms"]
+
+
+class Dablooms(DeletableFilter):
+    """Scaling counting Bloom filter, Dablooms-style.
+
+    Parameters
+    ----------
+    slice_capacity:
+        Insertions per slice before scaling (the paper's ``delta``;
+        10000 in Fig. 8).
+    f0:
+        First-slice FP target (0.01 in Fig. 8).
+    r:
+        Tightening ratio (Dablooms hard-codes 0.9).
+    overflow:
+        Counter overflow policy; Dablooms' 4-bit counters wrap, which is
+        required for the Section 6.2 overflow attack.
+    strategy:
+        Index derivation; defaults to Kirsch-Mitzenmacher over one
+        MurmurHash3 x64_128 call, exactly as Dablooms does.
+    """
+
+    COUNTER_BITS = 4
+
+    def __init__(
+        self,
+        slice_capacity: int,
+        f0: float = 0.01,
+        r: float = 0.9,
+        overflow: OverflowPolicy = OverflowPolicy.WRAP,
+        strategy: IndexStrategy | None = None,
+        max_slices: int | None = None,
+    ) -> None:
+        if slice_capacity <= 0:
+            raise ParameterError("slice_capacity must be positive")
+        if not 0 < f0 < 1:
+            raise ParameterError("f0 must be in (0, 1)")
+        if not 0 < r <= 1:
+            raise ParameterError("r must be in (0, 1]")
+        self.slice_capacity = slice_capacity
+        self.f0 = f0
+        self.r = r
+        self.overflow = overflow
+        self.max_slices = max_slices
+        self.strategy = strategy or KirschMitzenmacherStrategy()
+        self.slices: list[CountingBloomFilter] = []
+        self._slice_fill: list[int] = []
+        self._insertions = 0
+        self._grow()
+
+    def slice_fpp(self, i: int) -> float:
+        """Design FP target of slice i: ``f0 * r**i``."""
+        return self.f0 * (self.r**i)
+
+    def _grow(self) -> CountingBloomFilter:
+        i = len(self.slices)
+        if self.max_slices is not None and i >= self.max_slices:
+            raise ParameterError(f"exceeded max_slices={self.max_slices}")
+        params = BloomParameters.design_optimal(self.slice_capacity, self.slice_fpp(i))
+        slice_filter = CountingBloomFilter(
+            params.m,
+            params.k,
+            self.strategy,
+            counter_bits=self.COUNTER_BITS,
+            overflow=self.overflow,
+        )
+        self.slices.append(slice_filter)
+        self._slice_fill.append(0)
+        return slice_filter
+
+    @property
+    def active_slice(self) -> CountingBloomFilter:
+        """The slice currently receiving insertions."""
+        return self.slices[-1]
+
+    @property
+    def slice_count(self) -> int:
+        """Number of slices allocated (the paper's lambda)."""
+        return len(self.slices)
+
+    def add(self, item: str | bytes) -> bool:
+        """Insert into the active slice, scaling on threshold.
+
+        The *insertion counter*, not the content, drives scaling -- which
+        is why the overflow attack can mark a slice full while it holds
+        nothing (paper: "a complete waste of memory").
+        """
+        already = item in self
+        if self._slice_fill[-1] >= self.slice_capacity:
+            self._grow()
+        self.active_slice.add(item)
+        self._slice_fill[-1] += 1
+        self._insertions += 1
+        return already
+
+    def record_bulk_insertions(self, count: int) -> None:
+        """Account ``count`` externally-performed active-slice insertions.
+
+        Attack simulators that write counters directly (oracle crafting)
+        use this so scaling bookkeeping still sees the volume.
+        """
+        if count < 0:
+            raise ParameterError("count must be non-negative")
+        self._slice_fill[-1] += count
+        self._insertions += count
+
+    def force_scale(self) -> CountingBloomFilter:
+        """Open a fresh slice immediately (as if the threshold was hit)."""
+        return self._grow()
+
+    def remove(self, item: str | bytes) -> bool:
+        """Delete from the newest slice that reports the item present.
+
+        Returns False (and touches nothing) when no slice claims it.
+        """
+        for slice_filter in reversed(self.slices):
+            if item in slice_filter:
+                slice_filter.remove(item)
+                return True
+        return False
+
+    def __contains__(self, item: str | bytes) -> bool:
+        return any(item in s for s in self.slices)
+
+    def __len__(self) -> int:
+        return self._insertions
+
+    def compound_fpp(self, current: bool = True) -> float:
+        """Compound FP ``F = 1 - prod(1 - f_i)`` (paper Section 6.1)."""
+        if current:
+            fpps = [s.current_fpp() for s in self.slices]
+        else:
+            fpps = [self.slice_fpp(i) for i in range(len(self.slices))]
+        return scalable_compound_fpp(fpps)
+
+    def slice_fill(self, i: int) -> int:
+        """Insertions recorded against slice i."""
+        return self._slice_fill[i]
+
+    def total_overflow_events(self) -> int:
+        """Counter overflows across all slices (attack telemetry)."""
+        return sum(s.overflow_events for s in self.slices)
+
+    def for_each_slice(self, fn: Callable[[int, CountingBloomFilter], None]) -> None:
+        """Visit slices with their indexes (used by the pollution attack)."""
+        for i, slice_filter in enumerate(self.slices):
+            fn(i, slice_filter)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Dablooms slices={self.slice_count} n={self._insertions} "
+            f"f0={self.f0} r={self.r} overflow={self.overflow.value}>"
+        )

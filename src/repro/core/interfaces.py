@@ -1,0 +1,42 @@
+"""Shared protocol for every set-membership structure in the package.
+
+Attacks in :mod:`repro.adversary` are written against this interface so
+the same pollution code runs against a classic filter, a counting
+filter, Dablooms or a Squid cache digest.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["MembershipFilter", "DeletableFilter"]
+
+
+class MembershipFilter(ABC):
+    """Anything that supports probabilistic set membership."""
+
+    @abstractmethod
+    def add(self, item: str | bytes) -> bool:
+        """Insert ``item``.
+
+        Returns True if the structure believes the item was *already*
+        present (i.e. the insertion set no new bits) -- the convention of
+        pyBloom's ``add``.
+        """
+
+    @abstractmethod
+    def __contains__(self, item: str | bytes) -> bool:
+        """Membership query (may return false positives, never false
+        negatives unless the structure supports deletion)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of insertions performed (not distinct items)."""
+
+
+class DeletableFilter(MembershipFilter):
+    """A membership filter that additionally supports deletion."""
+
+    @abstractmethod
+    def remove(self, item: str | bytes) -> bool:
+        """Delete ``item``; returns True if it appeared to be present."""

@@ -1,0 +1,148 @@
+"""Scalable Bloom filter (Almeida et al. 2007; paper Section 6.1).
+
+A dynamically-growing collection of plain Bloom filter *slices*.  Slice i
+targets a tightened FP probability ``f_i = f0 * r**i`` (Dablooms uses
+r = 0.9) so the compound error ``F = 1 - prod(1 - f_i)`` stays bounded.
+A new slice is opened when the current one reaches its insertion
+threshold ``delta``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.bloom import BloomFilter
+from repro.core.interfaces import MembershipFilter
+from repro.core.params import BloomParameters
+from repro.core.analysis import scalable_compound_fpp
+from repro.exceptions import ParameterError
+from repro.hashing.base import IndexStrategy
+
+__all__ = ["ScalableBloomFilter"]
+
+
+class ScalableBloomFilter(MembershipFilter):
+    """Growable filter made of tightening slices.
+
+    Parameters
+    ----------
+    slice_capacity:
+        Insertions per slice before a new slice is opened (the paper's
+        threshold ``delta``).
+    f0:
+        FP target of the first slice.
+    r:
+        Tightening ratio in (0, 1]; slice i targets ``f0 * r**i``.
+    growth:
+        Capacity growth factor per slice (Almeida et al. suggest 2;
+        Dablooms keeps capacity fixed, i.e. growth 1).
+    strategy_factory:
+        Called once per slice to obtain an index strategy; defaults to the
+        package default strategy per slice.
+    """
+
+    def __init__(
+        self,
+        slice_capacity: int,
+        f0: float,
+        r: float = 0.9,
+        growth: int = 1,
+        strategy_factory: Callable[[int], IndexStrategy] | None = None,
+        max_slices: int | None = None,
+    ) -> None:
+        if slice_capacity <= 0:
+            raise ParameterError("slice_capacity must be positive")
+        if not 0 < f0 < 1:
+            raise ParameterError("f0 must be in (0, 1)")
+        if not 0 < r <= 1:
+            raise ParameterError("r must be in (0, 1]")
+        if growth < 1:
+            raise ParameterError("growth must be >= 1")
+        self.slice_capacity = slice_capacity
+        self.f0 = f0
+        self.r = r
+        self.growth = growth
+        self.max_slices = max_slices
+        self._strategy_factory = strategy_factory
+        self.slices: list[BloomFilter] = []
+        self._slice_fill: list[int] = []
+        self._insertions = 0
+        self._grow()
+
+    # ------------------------------------------------------------------
+
+    def slice_fpp(self, i: int) -> float:
+        """Design FP target of slice i: ``f0 * r**i``."""
+        return self.f0 * (self.r**i)
+
+    def slice_capacity_at(self, i: int) -> int:
+        """Capacity of slice i: ``slice_capacity * growth**i``."""
+        return self.slice_capacity * (self.growth**i)
+
+    def _make_strategy(self, i: int) -> IndexStrategy | None:
+        if self._strategy_factory is None:
+            return None
+        return self._strategy_factory(i)
+
+    def _grow(self) -> BloomFilter:
+        i = len(self.slices)
+        if self.max_slices is not None and i >= self.max_slices:
+            raise ParameterError(f"exceeded max_slices={self.max_slices}")
+        params = BloomParameters.design_optimal(self.slice_capacity_at(i), self.slice_fpp(i))
+        slice_filter = BloomFilter.from_parameters(params, self._make_strategy(i))
+        self.slices.append(slice_filter)
+        self._slice_fill.append(0)
+        return slice_filter
+
+    @property
+    def active_slice(self) -> BloomFilter:
+        """The slice currently receiving insertions."""
+        return self.slices[-1]
+
+    def add(self, item: str | bytes) -> bool:
+        """Insert into the active slice, growing when it fills up.
+
+        Returns True if *any* slice already reported the item present.
+        """
+        already = item in self
+        if self._slice_fill[-1] >= self.slice_capacity_at(len(self.slices) - 1):
+            self._grow()
+        self.active_slice.add(item)
+        self._slice_fill[-1] += 1
+        self._insertions += 1
+        return already
+
+    def __contains__(self, item: str | bytes) -> bool:
+        return any(item in s for s in self.slices)
+
+    def __len__(self) -> int:
+        return self._insertions
+
+    @property
+    def slice_count(self) -> int:
+        """Number of slices allocated so far (the paper's lambda)."""
+        return len(self.slices)
+
+    def compound_fpp(self, current: bool = True) -> float:
+        """Compound FP ``1 - prod(1 - f_i)``.
+
+        With ``current=True`` each ``f_i`` is the slice's *current*
+        weight-implied FP ``(W_i/m_i)^{k_i}`` (what an attack actually
+        changed); otherwise the design targets ``f0 r^i`` are used.
+        """
+        if current:
+            fpps = [s.current_fpp() for s in self.slices]
+        else:
+            fpps = [self.slice_fpp(i) for i in range(len(self.slices))]
+        return scalable_compound_fpp(fpps)
+
+    @property
+    def total_bits(self) -> int:
+        """Memory footprint in bits across all slices."""
+        return sum(s.m for s in self.slices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ScalableBloomFilter slices={self.slice_count} n={self._insertions} "
+            f"f0={self.f0} r={self.r}>"
+        )

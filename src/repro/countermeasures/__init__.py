@@ -1,0 +1,44 @@
+"""Countermeasures (paper Section 8): worst-case parameters, keyed
+hashing, digest-bit recycling, and a threat-model advisor."""
+
+from repro.countermeasures.advisor import Recommendation, ThreatAssessment, recommend
+from repro.countermeasures.keyed import (
+    KeyedBloomFilter,
+    generate_key,
+    hmac_strategy,
+    siphash_strategy,
+)
+from repro.countermeasures.recycled import (
+    HashDomain,
+    fig9_grid,
+    hash_domain,
+    k_for_fpp,
+    max_m_single_call,
+    recycled_filter,
+)
+from repro.countermeasures.worst_case import (
+    WorstCaseComparison,
+    compare_designs,
+    harden,
+    paper_constants,
+)
+
+__all__ = [
+    "HashDomain",
+    "KeyedBloomFilter",
+    "Recommendation",
+    "ThreatAssessment",
+    "WorstCaseComparison",
+    "compare_designs",
+    "fig9_grid",
+    "generate_key",
+    "harden",
+    "hash_domain",
+    "hmac_strategy",
+    "k_for_fpp",
+    "max_m_single_call",
+    "paper_constants",
+    "recommend",
+    "recycled_filter",
+    "siphash_strategy",
+]

@@ -1,0 +1,113 @@
+"""A small decision procedure mapping threat models to countermeasures.
+
+Codifies the paper's Section 8 guidance: worst-case parameters stop
+chosen-insertion amplification cheaply; keyed hashing stops everyone but
+costs a MAC per operation (mitigated by recycling); exact structures
+stop everything but forfeit the memory savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.models import AdversaryModel
+
+__all__ = ["ThreatAssessment", "Recommendation", "recommend"]
+
+
+@dataclass(frozen=True)
+class ThreatAssessment:
+    """What the deployment is exposed to.
+
+    Attributes
+    ----------
+    untrusted_insertions:
+        Can outsiders influence what gets inserted (crawler frontiers,
+        abuse reports, cache fills)?
+    untrusted_queries:
+        Can outsiders trigger queries / observe answers?
+    supports_deletion:
+        Is the structure a counting variant exposed to delete requests?
+    server_side_secret_possible:
+        Can a key be kept where the adversary cannot read it?
+    performance_critical:
+        Is per-operation hashing cost a real constraint?
+    """
+
+    untrusted_insertions: bool = True
+    untrusted_queries: bool = True
+    supports_deletion: bool = False
+    server_side_secret_possible: bool = True
+    performance_critical: bool = False
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One countermeasure with its rationale and trade-off."""
+
+    measure: str
+    rationale: str
+    cost: str
+    stops: tuple[str, ...]
+
+
+def recommend(assessment: ThreatAssessment) -> list[Recommendation]:
+    """Ordered countermeasure list (strongest applicable first)."""
+    recommendations: list[Recommendation] = []
+
+    if assessment.server_side_secret_possible:
+        mac = "SipHash-2-4" if assessment.performance_critical else "HMAC-SHA-1 (recycled)"
+        recommendations.append(
+            Recommendation(
+                measure=f"keyed hashing with {mac}",
+                rationale=(
+                    "the adversary cannot predict index positions without the "
+                    "key, so crafting degrades to blind guessing"
+                ),
+                cost="one MAC per operation (x4-x7 MurmurHash; recycling closes most of it)",
+                stops=("chosen-insertion", "query-only", "deletion"),
+            )
+        )
+
+    if assessment.untrusted_insertions:
+        recommendations.append(
+            Recommendation(
+                measure="worst-case parameters (k = m/(e n))",
+                rationale=(
+                    "caps the false-positive probability a chosen-insertion "
+                    "adversary can force at e^(-m/(en)) while keeping fast hashes"
+                ),
+                cost="honest FP grows by 1.05^(m/n); ~5x memory for equal worst-case FP",
+                stops=("chosen-insertion",),
+            )
+        )
+
+    if assessment.supports_deletion:
+        recommendations.append(
+            Recommendation(
+                measure="saturating (non-wrapping) counters + deletion authentication",
+                rationale=(
+                    "wrapping 4-bit counters let forged single-counter items "
+                    "erase a slice; saturation plus verified deletions removes "
+                    "both the overflow and deletion attacks"
+                ),
+                cost="permanent false positives on saturated counters",
+                stops=("deletion", "counter-overflow"),
+            )
+        )
+
+    recommendations.append(
+        Recommendation(
+            measure="exact structure (hardened hash table)",
+            rationale="no false positives to forge at all",
+            cost="forfeits the Bloom filter's memory savings entirely",
+            stops=("chosen-insertion", "query-only", "deletion"),
+        )
+    )
+    return recommendations
+
+
+def covers(recommendations: list[Recommendation], model: AdversaryModel) -> bool:
+    """Whether a recommendation list neutralises a given adversary model."""
+    stopped = {name for rec in recommendations for name in rec.stops}
+    return model.name in stopped

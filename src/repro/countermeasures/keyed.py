@@ -1,0 +1,97 @@
+"""Countermeasure 2: keyed hashing (paper Sections 8 and 8.2).
+
+Replace the public hash pipeline with a MAC under a secret key (HMAC
+over a NIST hash, or SipHash).  The adversary can no longer evaluate
+indexes offline, so every crafting predicate degrades to blind guessing:
+pollution, ghost forgery and deletion all collapse to their random-item
+base rates.  Works whenever the filter lives server-side (Scrapy,
+Dablooms and Squid all qualify).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.bloom import BloomFilter
+from repro.core.params import BloomParameters
+from repro.exceptions import ParameterError
+from repro.hashing.base import IndexStrategy
+from repro.hashing.crypto import HmacHash
+from repro.hashing.recycling import RecyclingStrategy
+from repro.hashing.siphash import SipHash24
+
+__all__ = ["generate_key", "hmac_strategy", "siphash_strategy", "KeyedBloomFilter"]
+
+
+def generate_key(nbytes: int = 16) -> bytes:
+    """A fresh random key (server-side secret)."""
+    if nbytes < 16:
+        raise ParameterError("keys shorter than 16 bytes are not acceptable")
+    return os.urandom(nbytes)
+
+
+def hmac_strategy(key: bytes, algorithm: str = "sha1") -> IndexStrategy:
+    """Recycled HMAC bits: keyed *and* one MAC call per item.
+
+    This is the paper's headline combination -- Table 2 shows recycled
+    HMAC-SHA-1 at 1.2 us/query versus 11.8 us naive, closing most of the
+    gap to plain MurmurHash.
+    """
+    return RecyclingStrategy(HmacHash(key, algorithm))
+
+
+def siphash_strategy(key: bytes) -> IndexStrategy:
+    """Recycled SipHash-2-4 bits: the fast keyed alternative of [7]."""
+    return RecyclingStrategy(SipHash24(key))
+
+
+class KeyedBloomFilter(BloomFilter):
+    """A Bloom filter whose index derivation is keyed.
+
+    Construction mirrors :class:`~repro.core.bloom.BloomFilter`; the key
+    is generated when not supplied and kept on the instance (a real
+    deployment would store it in server config, never beside the filter
+    payload).
+
+    Parameters
+    ----------
+    m, k:
+        Filter geometry.
+    key:
+        Secret MAC key; auto-generated when None.
+    mac:
+        ``"hmac-sha1"``, ``"hmac-sha256"`` or ``"siphash"``.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        key: bytes | None = None,
+        mac: str = "siphash",
+    ) -> None:
+        self.key = key if key is not None else generate_key()
+        if mac == "siphash":
+            if len(self.key) != 16:
+                raise ParameterError("SipHash requires a 16-byte key")
+            strategy = siphash_strategy(self.key)
+        elif mac.startswith("hmac-"):
+            strategy = hmac_strategy(self.key, mac.removeprefix("hmac-"))
+        else:
+            raise ParameterError(f"unknown mac {mac!r}")
+        super().__init__(m, k, strategy)
+        self.mac = mac
+
+    @classmethod
+    def for_capacity(
+        cls, n: int, f: float, key: bytes | None = None, mac: str = "siphash"
+    ) -> "KeyedBloomFilter":
+        """Optimally-parameterised keyed filter.
+
+        With keyed hashing the classical optimum is the right choice
+        again: the adversary cannot craft, so the worst case *is* the
+        average case (the paper: "MACs have the advantage to defeat all
+        the adversaries and to keep the original parameters").
+        """
+        params = BloomParameters.design_optimal(n, f)
+        return cls(params.m, params.k, key=key, mac=mac)

@@ -1,0 +1,104 @@
+"""Countermeasure 3 (efficiency): recycle cryptographic digest bits
+(paper Section 8.2, Fig. 9 and Table 2).
+
+The strategy itself lives in :mod:`repro.hashing.recycling`; this module
+adds the deployment-facing pieces: a one-call filter constructor, the
+Fig. 9 "domain of application" calculator (which hash covers which
+(m, f) region in a single call), and the query-cost model behind
+Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.bloom import BloomFilter
+from repro.core.params import BloomParameters
+from repro.exceptions import ParameterError
+from repro.hashing.base import HashFunction
+from repro.hashing.crypto import CRYPTO_HASH_NAMES, HashlibHash, by_name
+from repro.hashing.recycling import RecyclingStrategy, bits_required, calls_required
+
+__all__ = [
+    "recycled_filter",
+    "HashDomain",
+    "hash_domain",
+    "max_m_single_call",
+    "k_for_fpp",
+]
+
+
+def k_for_fpp(f: float) -> int:
+    """Hash count implied by a target FP at optimal sizing:
+    ``k = ceil(log2(1/f))`` (so f = 2^-k exactly at the optimum)."""
+    if not 0 < f < 1:
+        raise ParameterError("f must be in (0, 1)")
+    return max(1, math.ceil(math.log2(1.0 / f)))
+
+
+def recycled_filter(n: int, f: float, hash_name: str = "sha512") -> BloomFilter:
+    """An optimally-parameterised filter hashing once (or a few times)
+    per item by recycling ``hash_name`` digest bits."""
+    params = BloomParameters.design_optimal(n, f)
+    return BloomFilter.from_parameters(params, RecyclingStrategy(by_name(hash_name)))
+
+
+@dataclass(frozen=True)
+class HashDomain:
+    """Fig. 9 row: how far one hash stretches for a target FP."""
+
+    hash_name: str
+    digest_bits: int
+    f: float
+    k: int
+    max_m_one_call: int
+    calls_at_1gb: int
+
+    @property
+    def max_mbytes_one_call(self) -> float:
+        """Largest filter (in MBytes) a single call can index."""
+        return self.max_m_one_call / 8 / 2**20
+
+
+def max_m_single_call(digest_bits: int, k: int) -> int:
+    """Largest m such that ``k * ceil(log2 m)`` fits in one digest.
+
+    One call yields ``floor(digest_bits / w)`` windows of w bits; we need
+    k of them, so the window may be at most ``floor(digest_bits / k)``
+    bits and m at most ``2**window``.
+    """
+    if digest_bits <= 0 or k <= 0:
+        raise ParameterError("digest_bits and k must be positive")
+    window = digest_bits // k
+    if window == 0:
+        return 0
+    return 2**window
+
+
+def hash_domain(
+    f: float, hash_fn: HashFunction | str, one_gb_bits: int = 8 * 2**30
+) -> HashDomain:
+    """Evaluate one hash's Fig. 9 envelope at FP target ``f``."""
+    fn: HashFunction = by_name(hash_fn) if isinstance(hash_fn, str) else hash_fn
+    k = k_for_fpp(f)
+    return HashDomain(
+        hash_name=fn.name,
+        digest_bits=fn.digest_bits,
+        f=f,
+        k=k,
+        max_m_one_call=max_m_single_call(fn.digest_bits, k),
+        calls_at_1gb=calls_required(k, one_gb_bits, fn.digest_bits),
+    )
+
+
+def fig9_grid(
+    fpps: tuple[float, ...] = (2**-5, 2**-10, 2**-15, 2**-20),
+    hash_names: tuple[str, ...] = ("sha1", "sha256", "sha384", "sha512"),
+) -> list[HashDomain]:
+    """The full Fig. 9 grid (hash x target FP)."""
+    return [hash_domain(f, name) for name in hash_names for f in fpps]
+
+
+# Convenience re-exports used by benchmarks.
+__all__ += ["fig9_grid", "bits_required", "calls_required", "CRYPTO_HASH_NAMES", "HashlibHash"]

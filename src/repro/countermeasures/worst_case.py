@@ -1,0 +1,107 @@
+"""Countermeasure 1: design for the worst case (paper Section 8.1).
+
+Keep the fast non-cryptographic hashes but choose k to minimise what a
+chosen-insertion adversary can force: ``k_adv = m/(e n)`` instead of
+``k_opt = (m/n) ln 2``.  The cost is a slightly higher honest FP
+(factor ``1.05^{m/n}``); the benefit is a capped ``f_adv = e^{-m/(en)}``
+and 1.88x fewer hash calls per operation.  This defeats chosen-insertion
+adversaries' *amplification* but not query-only forgery -- for that, use
+:mod:`repro.countermeasures.keyed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import (
+    BloomParameters,
+    adversarial_fpp,
+    adversarial_optimal_fpp,
+    adversarial_optimal_k,
+    false_positive_probability,
+    honest_fpp_at_adversarial_k,
+    k_ratio,
+    optimal_fpp,
+    optimal_k,
+    paper_size_inflation_factor,
+)
+
+__all__ = ["WorstCaseComparison", "compare_designs", "harden"]
+
+
+@dataclass(frozen=True)
+class WorstCaseComparison:
+    """Side-by-side of the classical and worst-case designs for (m, n).
+
+    ``*_honest`` columns give the FP under uniform inputs, ``*_adv`` the
+    FP a chosen-insertion adversary can force.  The punchline the paper
+    draws: at the classical optimum the adversary gains a lot
+    (``optimal_adv >> optimal_honest``); at the worst-case optimum her
+    ceiling is minimal, for a modest honest penalty.
+    """
+
+    m: int
+    n: int
+    k_optimal: int
+    k_worst_case: int
+    optimal_honest: float
+    optimal_adv: float
+    worst_case_honest: float
+    worst_case_adv: float
+
+    @property
+    def hash_call_savings(self) -> float:
+        """How many times fewer hash evaluations the hardened design
+        needs (theoretical ratio e*ln2 ~ 1.88)."""
+        return self.k_optimal / max(1, self.k_worst_case)
+
+    @property
+    def honest_penalty(self) -> float:
+        """Multiplicative honest-FP cost of hardening."""
+        return self.worst_case_honest / self.optimal_honest
+
+    @property
+    def adversarial_gain(self) -> float:
+        """How much lower the adversary's ceiling becomes."""
+        return self.optimal_adv / self.worst_case_adv
+
+
+def compare_designs(m: int, n: int) -> WorstCaseComparison:
+    """Evaluate both designs at the same memory budget and capacity."""
+    params_opt = BloomParameters.design_with_memory(m, n)
+    params_adv = BloomParameters.design_worst_case(n, m)
+    return WorstCaseComparison(
+        m=m,
+        n=n,
+        k_optimal=params_opt.k,
+        k_worst_case=params_adv.k,
+        optimal_honest=false_positive_probability(m, n, params_opt.k),
+        optimal_adv=adversarial_fpp(m, n, params_opt.k),
+        worst_case_honest=false_positive_probability(m, n, params_adv.k),
+        worst_case_adv=adversarial_fpp(m, n, params_adv.k),
+    )
+
+
+def harden(params: BloomParameters) -> BloomParameters:
+    """Rederive a classical design with the worst-case k (same m, n)."""
+    return BloomParameters.design_worst_case(params.n, params.m)
+
+
+def paper_constants() -> dict[str, float]:
+    """The Section 8.1 closed-form constants, for the experiment table."""
+    return {
+        "k_opt/k_adv (= e ln2)": k_ratio(),
+        "f_adv/f_opt base (per m/n unit)": 1.05,
+        "size inflation m'/m": paper_size_inflation_factor(),
+    }
+
+
+# Re-exported helpers the experiments use directly.
+__all__ += [  # noqa: PLE0604 - static extension
+    "paper_constants",
+    "optimal_k",
+    "optimal_fpp",
+    "adversarial_optimal_k",
+    "adversarial_optimal_fpp",
+    "honest_fpp_at_adversarial_k",
+]

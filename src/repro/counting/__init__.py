@@ -1,0 +1,38 @@
+"""Probabilistic counting under adversarial settings.
+
+The paper's Section 10 names this the natural extension of its adversary
+models ("probabilistic counting algorithms ... analyze the existing
+implementations in an adversarial setting"); this subpackage carries the
+models over to linear counting and HyperLogLog, including constant-time
+forgery of register placements via MurmurHash inversion.
+"""
+
+from repro.counting.attacks import (
+    EvasionReport,
+    HllEvasionAttack,
+    HllInflationAttack,
+    InflationReport,
+    LinearCounterSaturation,
+)
+from repro.counting.countmin import (
+    CountInflationReport,
+    CountMinInflationAttack,
+    CountMinSketch,
+)
+from repro.counting.hyperloglog import HyperLogLog, alpha, rho
+from repro.counting.linear import LinearCounter
+
+__all__ = [
+    "CountInflationReport",
+    "CountMinInflationAttack",
+    "CountMinSketch",
+    "EvasionReport",
+    "HllEvasionAttack",
+    "HllInflationAttack",
+    "HyperLogLog",
+    "InflationReport",
+    "LinearCounter",
+    "LinearCounterSaturation",
+    "alpha",
+    "rho",
+]

@@ -1,0 +1,176 @@
+"""Adversarial analysis of probabilistic counters (paper Section 10).
+
+The paper's conclusion flags probabilistic counting as the next target
+for its adversary models: "Hashing (and the truncation that comes
+along) is the core mechanism.  It will be interesting to analyze the
+existing implementations in an adversarial setting."  This module does
+that analysis for the two classic counters:
+
+* **Cardinality inflation** (HyperLogLog): craft items whose hash tails
+  have maximal leading-zero runs, pinning registers at high rho values.
+  With MurmurHash the crafting is *constant-time* via
+  :func:`~repro.hashing.inversion.invert_murmur3_x64_128` -- one forged
+  item per register makes an almost-empty stream look like billions of
+  distinct items.
+* **Cardinality evasion** (HyperLogLog): craft all items to land in one
+  register with rho = 1; millions of distinct adversarial items then
+  register as a cardinality of ~1 register's worth -- a spammer flying
+  under a super-spreader detector's radar.
+* **Saturation** (linear counting): the Bloom-style chosen-insertion
+  attack carried over; ``floor(m)`` crafted items (one fresh bit each)
+  destroy the estimator (estimate -> infinity).
+
+The countermeasure is the same as for Bloom filters: keyed hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counting.hyperloglog import HyperLogLog
+from repro.counting.linear import LinearCounter
+from repro.exceptions import ParameterError
+from repro.hashing.inversion import invert_murmur3_x64_128
+
+__all__ = [
+    "InflationReport",
+    "EvasionReport",
+    "HllInflationAttack",
+    "HllEvasionAttack",
+    "LinearCounterSaturation",
+]
+
+
+@dataclass(frozen=True)
+class InflationReport:
+    """Outcome of a cardinality-inflation campaign."""
+
+    items_inserted: int
+    estimate_before: float
+    estimate_after: float
+
+    @property
+    def inflation_factor(self) -> float:
+        """How many distinct items the forged stream impersonates,
+        per item actually inserted."""
+        if self.items_inserted == 0:
+            return 1.0
+        return self.estimate_after / self.items_inserted
+
+
+@dataclass(frozen=True)
+class EvasionReport:
+    """Outcome of a cardinality-evasion campaign."""
+
+    distinct_items_inserted: int
+    estimate_after: float
+
+    @property
+    def evasion_factor(self) -> float:
+        """Distinct items hidden per unit of reported cardinality."""
+        return self.distinct_items_inserted / max(self.estimate_after, 1.0)
+
+
+class HllInflationAttack:
+    """Pin HyperLogLog registers at maximal rho with forged items.
+
+    Requires the deployment's (public) hash pipeline to be the default
+    murmur128-based one; each forged key is computed in constant time.
+    """
+
+    def __init__(self, target: HyperLogLog, seed: int = 0) -> None:
+        self.target = target
+        self.seed = seed
+
+    def forge_key(self, register: int, rho_value: int) -> bytes:
+        """A 16-byte key hitting ``register`` with the given rho.
+
+        The 64-bit h1 must start with the register index (p bits) and
+        continue with ``rho_value - 1`` zeros followed by a 1.
+        """
+        tail_bits = HyperLogLog.HASH_BITS - self.target.p
+        if not 1 <= rho_value <= tail_bits:
+            raise ParameterError(f"rho must be in [1, {tail_bits}]")
+        if not 0 <= register < self.target.m:
+            raise ParameterError(f"register {register} out of range")
+        tail = 1 << (tail_bits - rho_value)
+        h1 = (register << tail_bits) | tail
+        return invert_murmur3_x64_128(h1, 0, seed=self.seed)
+
+    def run(self, registers: int | None = None, rho_value: int | None = None) -> InflationReport:
+        """Pin ``registers`` registers (default: all) at ``rho_value``
+        (default: maximal) and report the estimate explosion."""
+        count = self.target.m if registers is None else registers
+        if not 0 < count <= self.target.m:
+            raise ParameterError("registers out of range")
+        tail_bits = HyperLogLog.HASH_BITS - self.target.p
+        rho_value = tail_bits if rho_value is None else rho_value
+        before = self.target.estimate()
+        for register in range(count):
+            self.target.add(self.forge_key(register, rho_value))
+        return InflationReport(
+            items_inserted=count,
+            estimate_before=before,
+            estimate_after=self.target.estimate(),
+        )
+
+
+class HllEvasionAttack:
+    """Hide arbitrarily many distinct items in one HLL register.
+
+    Every forged key lands in ``register`` with rho = 1 (the weakest
+    possible evidence), so the estimator barely moves no matter how many
+    distinct keys flow past -- the inverse of the inflation attack, and
+    the one a super-spreader wants.
+    """
+
+    def __init__(self, target: HyperLogLog, register: int = 0, seed: int = 0) -> None:
+        if not 0 <= register < target.m:
+            raise ParameterError(f"register {register} out of range")
+        self.target = target
+        self.register = register
+        self.seed = seed
+
+    def forge_key(self, variant: int) -> bytes:
+        """The ``variant``-th distinct key pinned to (register, rho=1)."""
+        tail_bits = HyperLogLog.HASH_BITS - self.target.p
+        top = 1 << (tail_bits - 1)  # leading tail bit set -> rho = 1
+        if variant >= top:
+            raise ParameterError("variant exhausts the register's key space")
+        h1 = (self.register << tail_bits) | top | variant
+        return invert_murmur3_x64_128(h1, 0, seed=self.seed)
+
+    def run(self, distinct_items: int) -> EvasionReport:
+        """Insert ``distinct_items`` distinct forged keys."""
+        if distinct_items <= 0:
+            raise ParameterError("distinct_items must be positive")
+        for variant in range(distinct_items):
+            self.target.add(self.forge_key(variant))
+        return EvasionReport(
+            distinct_items_inserted=distinct_items,
+            estimate_after=self.target.estimate(),
+        )
+
+
+class LinearCounterSaturation:
+    """Chosen-insertion saturation of a linear counter.
+
+    Index-level tiling (each crafted item sets one fresh bit) saturates
+    the bitmap with exactly m items; the estimator then returns
+    infinity.  The brute-force per-item cost is the k = 1 special case
+    of the Bloom pollution cost already measured in Fig. 5.
+    """
+
+    def __init__(self, target: LinearCounter) -> None:
+        self.target = target
+
+    def theoretical_items(self) -> int:
+        """m crafted items suffice (vs ~ m log m random ones)."""
+        return self.target.m
+
+    def run(self) -> float:
+        """Saturate and return the (infinite) estimate."""
+        for index in range(self.target.m):
+            if not self.target.bits.get(index):
+                self.target.add_index(index)
+        return self.target.estimate()

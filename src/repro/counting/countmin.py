@@ -1,0 +1,140 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005) and its adversary.
+
+The paper's related work cites Goldberg et al. on "path-quality
+monitoring in the presence of adversaries" and Venkataraman et al. on
+super-spreader detection -- both frequency/packet-statistics settings
+where the underlying sketch is exactly this structure.  The Bloom
+adversary models carry over verbatim:
+
+* a Count-Min sketch never *under*-estimates, so the chosen-insertion
+  adversary inflates a **victim's** count by inserting items that
+  collide with the victim in every row (the sketch analogue of
+  false-positive forgery: find x' with ``h_i(x') = h_i(victim)`` row by
+  row -- or all rows at once via MurmurHash inversion);
+* the countermeasure is, once more, keyed hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ParameterError
+from repro.hashing.base import ensure_bytes
+from repro.hashing.inversion import invert_murmur3_x64_128
+from repro.hashing.kirsch_mitzenmacher import km_indexes
+from repro.hashing.murmur import murmur3_x64_128
+
+__all__ = ["CountMinSketch", "CountInflationReport", "CountMinInflationAttack"]
+
+
+class CountMinSketch:
+    """d rows of w counters; estimate = min over rows.
+
+    Parameters
+    ----------
+    width:
+        Counters per row (w); error scales as 1/w.
+    depth:
+        Number of rows (d); failure probability scales as 2^-d.
+    pair_fn:
+        Hash producing the ``(h1, h2)`` pair expanded row-wise with
+        Kirsch-Mitzenmacher (row i uses index ``h1 + i*h2 mod w``) --
+        the common implementation shortcut, and the invertible pipeline
+        the attack exploits.  Pass a keyed pair for the countermeasure.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        pair_fn: Callable[[bytes], tuple[int, int]] | None = None,
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise ParameterError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._pair_fn = pair_fn or (lambda data: murmur3_x64_128(data, 0))
+        self.rows = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    def indexes(self, item: str | bytes) -> tuple[int, ...]:
+        """The per-row counter positions of ``item`` (public)."""
+        h1, h2 = self._pair_fn(ensure_bytes(item))
+        return km_indexes(h1, h2, self.depth, self.width)
+
+    def add(self, item: str | bytes, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``item``."""
+        if count <= 0:
+            raise ParameterError("count must be positive")
+        for row, index in zip(self.rows, self.indexes(item)):
+            row[index] += count
+        self.total += count
+
+    def estimate(self, item: str | bytes) -> int:
+        """Estimated count (never below the true count)."""
+        return min(row[index] for row, index in zip(self.rows, self.indexes(item)))
+
+    def __len__(self) -> int:
+        return self.total
+
+
+@dataclass(frozen=True)
+class CountInflationReport:
+    """Outcome of a victim-count inflation campaign."""
+
+    victim: str
+    true_count: int
+    estimate_before: int
+    estimate_after: int
+    forged_items: int
+
+    @property
+    def inflation(self) -> int:
+        """Counts added to the victim's estimate by the adversary."""
+        return self.estimate_after - self.estimate_before
+
+
+class CountMinInflationAttack:
+    """Inflate a victim's estimated count via full-collision forgeries.
+
+    Because the sketch derives all rows from one murmur128 pair, a
+    single inverted key collides with the victim in *every* row -- the
+    constant-time second pre-image again.  Each forged insertion then
+    adds 1 to the victim's estimate, framing a quiet flow as a heavy
+    hitter (the path-quality / super-spreader threat model).
+    """
+
+    def __init__(self, target: CountMinSketch, seed: int = 0) -> None:
+        self.target = target
+        self.seed = seed
+
+    def forge_colliding_key(self, victim: str | bytes, variant: int) -> bytes:
+        """A distinct key sharing the victim's (h1 mod w, h2) footprint.
+
+        ``h1`` may differ by any multiple of the width (indexes are
+        reduced mod w); varying that multiple yields unlimited distinct
+        keys with identical row positions.
+        """
+        h1, h2 = self.target._pair_fn(ensure_bytes(victim))
+        forged_h1 = (h1 % self.target.width) + variant * self.target.width
+        if forged_h1 >= 1 << 64:
+            raise ParameterError("variant too large for a 64-bit h1")
+        # h2 must be preserved exactly: rows use h1 + i*h2.
+        return invert_murmur3_x64_128(forged_h1, h2, seed=self.seed)
+
+    def run(self, victim: str | bytes, forged_items: int) -> CountInflationReport:
+        """Insert ``forged_items`` colliding keys and report the damage."""
+        if forged_items <= 0:
+            raise ParameterError("forged_items must be positive")
+        victim_str = victim if isinstance(victim, str) else victim.decode("latin-1")
+        before = self.target.estimate(victim)
+        for variant in range(1, forged_items + 1):
+            self.target.add(self.forge_colliding_key(victim, variant))
+        return CountInflationReport(
+            victim=victim_str,
+            true_count=before,
+            estimate_before=before,
+            estimate_after=self.target.estimate(victim),
+            forged_items=forged_items,
+        )

@@ -1,0 +1,80 @@
+"""Linear counting (Whang et al. 1990): cardinality from a bitmap.
+
+The simplest probabilistic counter: hash each item to one of m bits;
+estimate the number of distinct items from the fraction of zeros,
+``n_hat = -m ln(V_n)`` with ``V_n = zeros/m``.  The paper's conclusion
+points at exactly this family ("hashing, and the truncation that comes
+along, is the core mechanism") as the next target for its adversary
+models; :mod:`repro.counting.attacks` carries them over.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bitvector import BitVector
+from repro.exceptions import ParameterError
+from repro.hashing.base import HashFunction, ensure_bytes
+from repro.hashing.murmur import Murmur3_32
+
+__all__ = ["LinearCounter"]
+
+
+class LinearCounter:
+    """Bitmap-based distinct counter.
+
+    Parameters
+    ----------
+    m:
+        Bitmap size in bits; accuracy degrades as the map fills (load
+        factors beyond ~12 are unusable, and a *saturated* map returns
+        infinity -- exactly what the saturation adversary aims for).
+    hash_fn:
+        The (public, unless keyed) hash mapping items to bits; defaults
+        to MurmurHash3-32 as in common implementations.
+    """
+
+    def __init__(self, m: int, hash_fn: HashFunction | None = None) -> None:
+        if m <= 0:
+            raise ParameterError("m must be positive")
+        self.m = m
+        self.hash_fn = hash_fn or Murmur3_32(seed=0)
+        self.bits = BitVector(m)
+        self._insertions = 0
+
+    def index(self, item: str | bytes) -> int:
+        """The (predictable) bit an item maps to."""
+        return self.hash_fn.hash_int(ensure_bytes(item)) % self.m
+
+    def add(self, item: str | bytes) -> None:
+        """Record one item occurrence."""
+        self.bits.set(self.index(item))
+        self._insertions += 1
+
+    def add_index(self, index: int) -> None:
+        """Index-level insertion hook (attack simulators)."""
+        self.bits.set(index)
+        self._insertions += 1
+
+    def __len__(self) -> int:
+        return self._insertions
+
+    @property
+    def zero_fraction(self) -> float:
+        """``V_n``: fraction of bits still unset."""
+        return (self.m - self.bits.hamming_weight()) / self.m
+
+    def estimate(self) -> float:
+        """Distinct-count estimate ``-m ln(V_n)``.
+
+        A fully saturated map has no information left and returns
+        ``inf`` -- callers must treat that as an attack indicator, not a
+        number.
+        """
+        v = self.zero_fraction
+        if v == 0.0:
+            return math.inf
+        return -self.m * math.log(v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<LinearCounter m={self.m} estimate={self.estimate():.1f}>"

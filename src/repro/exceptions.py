@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A Bloom filter or attack parameter is out of its valid domain."""
+
+
+class CapacityError(ReproError):
+    """A bounded structure was asked to hold more than it was sized for."""
+
+
+class CraftingBudgetExceeded(ReproError):
+    """The brute-force crafting engine ran out of trials before success.
+
+    Attributes
+    ----------
+    trials:
+        Number of candidate items that were examined before giving up.
+    """
+
+    def __init__(self, message: str, trials: int):
+        super().__init__(message)
+        self.trials = trials
+
+
+class CounterOverflowError(ReproError):
+    """A counting-filter counter overflowed under the ``RAISE`` policy."""
+
+
+class InversionError(ReproError):
+    """A hash inversion was requested for an unsupported input shape."""

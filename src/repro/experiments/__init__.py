@@ -1,0 +1,8 @@
+"""One experiment per paper table/figure; see :mod:`repro.experiments.registry`.
+
+Run them all with ``python -m repro.experiments`` (or ``repro-experiments``
+once installed)."""
+
+from repro.experiments.runner import ExperimentResult, render_table
+
+__all__ = ["ExperimentResult", "render_table"]

@@ -1,0 +1,59 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments                 # everything, default scale
+    python -m repro.experiments fig3 table2     # a subset
+    python -m repro.experiments --scale 0.2     # quicker, smaller workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY, run_one
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of 'The Power of Evil "
+        "Choices in Bloom Filters' (DSN 2015).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {sorted(REGISTRY)})",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (1.0 = laptop-seconds defaults)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    args = parser.parse_args(argv)
+
+    ids = args.experiments or list(REGISTRY)
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiment ids {unknown}; known: {sorted(REGISTRY)}")
+
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_one(experiment_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Fig. 3 -- false-positive probability as a function of inserted items.
+
+Setup (paper Section 4.1): m = 3200, k = 4, up to n = 600 insertions,
+f_opt = 0.077.  Three regimes:
+
+* honest ``f``: uniform random insertions (eq. 1);
+* fully adversarial ``f_adv = (nk/m)^k`` (eq. 7), every item crafted;
+* partial attack: 400 honest insertions followed by crafted ones.
+
+Headline numbers to reproduce: the f_opt = 0.077 threshold is crossed at
+600 honest / 422 adversarial / 510 partial insertions, and
+f_adv(600) ~ 0.316.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary.workload import adversarial_insertions, honest_insertions
+from repro.core.bloom import BloomFilter
+from repro.core.params import adversarial_fpp, false_positive_probability, optimal_fpp
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["run", "analytic_partial_fpp", "analytic_crossing"]
+
+M = 3200
+K = 4
+N_MAX = 600
+HONEST_PREFIX = 400
+
+
+def analytic_partial_fpp(n: int, m: int = M, k: int = K, honest: int = HONEST_PREFIX) -> float:
+    """Expected FP after ``honest`` uniform then ``n - honest`` crafted
+    insertions: crafted items add exactly k set bits each on top of the
+    uniform expectation."""
+    if n <= honest:
+        return false_positive_probability(m, n, k)
+    expected_weight = m * (1.0 - math.exp(-k * honest / m)) + k * (n - honest)
+    return min(1.0, expected_weight / m) ** k
+
+
+def analytic_crossing(threshold: float, curve, n_max: int = N_MAX) -> int | None:
+    """First n in [1, n_max] where ``curve(n) > threshold``."""
+    for n in range(1, n_max + 1):
+        if curve(n) > threshold:
+            return n
+    return None
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 3 (scale only affects the empirical replication)."""
+    threshold = optimal_fpp(M, N_MAX)
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="False positive probability vs inserted items (m=3200, k=4)",
+        paper_claim=(
+            "threshold f_opt=0.077 crossed at 600 honest / 422 adversarial / "
+            "510 partial insertions; f_adv(600)=0.316"
+        ),
+        headers=["n", "f honest", "f adversarial", "f partial", "emp honest", "emp adversarial"],
+    )
+
+    # Empirical replications on real filters.
+    honest_filter = BloomFilter(M, K)
+    honest_trace = honest_insertions(honest_filter, N_MAX, seed=seed ^ 0xB10B)
+    adv_filter = BloomFilter(M, K)
+    adv_trace = adversarial_insertions(adv_filter, N_MAX, seed=seed ^ 0x5EED)
+    partial_filter = BloomFilter(M, K)
+    partial_trace = honest_insertions(partial_filter, HONEST_PREFIX, seed=seed ^ 0x31C5)
+    partial_tail = adversarial_insertions(
+        partial_filter, N_MAX - HONEST_PREFIX, seed=seed ^ 0x7777
+    )
+    partial_fpp = partial_trace.fpp + partial_tail.fpp
+
+    for n in range(50, N_MAX + 1, 50):
+        result.add_row(
+            n,
+            false_positive_probability(M, n, K),
+            adversarial_fpp(M, n, K),
+            analytic_partial_fpp(n),
+            honest_trace.fpp[n - 1],
+            adv_trace.fpp[n - 1],
+        )
+
+    cross_honest = analytic_crossing(threshold, lambda n: false_positive_probability(M, n, K))
+    cross_adv = analytic_crossing(threshold, lambda n: adversarial_fpp(M, n, K))
+    cross_partial = analytic_crossing(threshold, analytic_partial_fpp)
+    emp_cross_adv = adv_trace.threshold_crossing(threshold)
+    emp_cross_partial = None
+    for i, value in enumerate(partial_fpp):
+        if value > threshold:
+            emp_cross_partial = i + 1
+            break
+
+    result.note(f"f_opt threshold = {threshold:.4f} (paper: 0.077)")
+    result.note(
+        f"analytic crossings honest/adversarial/partial = "
+        f"{cross_honest or '>600'}/{cross_adv}/{cross_partial} (paper: 600/422/510)"
+    )
+    result.note(
+        f"empirical crossings adversarial/partial = {emp_cross_adv}/{emp_cross_partial}"
+    )
+    result.note(
+        f"f_adv(600) analytic={adversarial_fpp(M, N_MAX, K):.4f}, "
+        f"empirical={adv_trace.fpp[-1]:.4f} (paper: 0.316)"
+    )
+    result.note(
+        f"adversarial weight after 600 insertions: {adv_filter.hamming_weight} "
+        f"(= nk = {N_MAX * K}); honest weight: {honest_filter.hamming_weight} "
+        f"(expected {M * (1 - math.exp(-K * N_MAX / M)):.0f})"
+    )
+    return result

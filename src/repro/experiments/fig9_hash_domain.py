@@ -1,0 +1,59 @@
+"""Fig. 9 -- domain of application of cryptographic hash functions.
+
+An item needs ``k * ceil(log2 m)`` digest bits; Fig. 9 plots that demand
+against filter size m (up to 1 GByte) for f in {2^-5, ..., 2^-20} and
+overlays the budgets of SHA-1/256/384/512.  The paper's headline: "A
+single call to SHA-512 ... is enough to compute any Bloom filter with
+optimal parameters for f >= 2^-15 and m smaller than one GByte.  For
+f <= 2^-20, we need to make several calls."
+"""
+
+from __future__ import annotations
+
+from repro.countermeasures.recycled import hash_domain, k_for_fpp
+from repro.hashing.recycling import bits_required, calls_required
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["run"]
+
+FPPS = (2**-5, 2**-10, 2**-15, 2**-20)
+HASHES = ("sha1", "sha256", "sha384", "sha512")
+#: Filter sizes from 16 MBytes to 1 GByte (in bits).
+M_POINTS = tuple(8 * (2**20) * mb for mb in (16, 64, 128, 256, 512, 1024))
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 9 (purely analytic; scale unused)."""
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="Domain of application of hash functions (digest-bit demand)",
+        paper_claim=(
+            "one SHA-512 call covers every optimal filter with f >= 2^-15 and "
+            "m <= 1 GByte; f = 2^-20 needs several calls"
+        ),
+        headers=["f", "k", "m (MB)", "bits needed"] + [f"calls {h}" for h in HASHES],
+    )
+
+    for f in FPPS:
+        k = k_for_fpp(f)
+        for m in M_POINTS:
+            demand = bits_required(k, m)
+            calls = [
+                calls_required(k, m, hash_domain(f, name).digest_bits) for name in HASHES
+            ]
+            result.add_row(f"2^-{k}", k, m // 8 // 2**20, demand, *calls)
+
+    sha512_one_call = [
+        f"2^-{k_for_fpp(f)}"
+        for f in FPPS
+        if calls_required(k_for_fpp(f), M_POINTS[-1], 512) == 1
+    ]
+    result.note(
+        f"single SHA-512 call suffices at 1 GByte for f in {sha512_one_call} "
+        "(paper: f >= 2^-15)"
+    )
+    result.note(
+        f"f = 2^-20 at 1 GByte needs {calls_required(20, M_POINTS[-1], 512)} "
+        "SHA-512 calls (paper: 'several')"
+    )
+    return result

@@ -1,0 +1,49 @@
+"""Registry mapping experiment ids to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    analytics_checks,
+    fig3_false_positive,
+    fig5_pollution_cost,
+    fig6_ghost_cost,
+    fig8_dablooms,
+    fig9_hash_domain,
+    squid_hits,
+    table1_probabilities,
+    table2_query_time,
+    worst_case_params,
+)
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["REGISTRY", "run_all", "run_one"]
+
+#: Experiment id -> run(scale=..., seed=...) callable, in paper order.
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": fig3_false_positive.run,
+    "fig5": fig5_pollution_cost.run,
+    "fig6": fig6_ghost_cost.run,
+    "fig8": fig8_dablooms.run,
+    "fig9": fig9_hash_domain.run,
+    "table1": table1_probabilities.run,
+    "table2": table2_query_time.run,
+    "squid": squid_hits.run,
+    "analytics": analytics_checks.run,
+    "worstcase": worst_case_params.run,
+}
+
+
+def run_one(experiment_id: str, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Run a single experiment by id."""
+    if experiment_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[experiment_id](scale=scale, seed=seed)
+
+
+def run_all(scale: float = 1.0, seed: int = 0) -> list[ExperimentResult]:
+    """Run every experiment in paper order."""
+    return [run(scale=scale, seed=seed) for run in REGISTRY.values()]

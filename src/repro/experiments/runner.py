@@ -1,0 +1,86 @@
+"""Experiment framework: uniform results, rendering, and a registry.
+
+Every paper table/figure has one module exposing
+``run(scale: float = 1.0, seed: int = 0) -> ExperimentResult``.  The
+``scale`` knob shrinks workload sizes (the paper's costliest runs forge
+10^6 URLs over hours; scale 1.0 here is laptop-seconds) while keeping
+every formula and code path identical; EXPERIMENTS.md records the
+mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["ExperimentResult", "render_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly cell formatting (floats get adaptive precision)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    ``rows`` hold the series the paper plots/tabulates; ``notes`` carry
+    the headline comparisons (paper value vs measured value).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one table row."""
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        """Append one note line."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Full human-readable report for this experiment."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            "",
+            render_table(self.headers, self.rows),
+        ]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {line}" for line in self.notes)
+        return "\n".join(parts)
+
+
+#: Signature every experiment module's ``run`` satisfies.
+ExperimentRunner = Callable[..., ExperimentResult]

@@ -1,0 +1,75 @@
+"""Section 7 -- the Squid cache-digest experiment.
+
+Paper setup: two sibling proxies, a clean cache of 51 URLs, 100 URLs
+added by a malicious client of proxy1 (crafted to pollute its 762-bit
+digest), then 100 probe queries through proxy2.  Every probe that
+proxy1's digest wrongly claims costs proxy2 a wasted 10 ms round trip.
+
+Paper numbers: 79 % false hits polluted vs 40 % unpolluted.  Our
+mechanism-faithful baseline lands near the analytic digest FP (~9 %,
+since 151 honest entries in 762 bits give (W/m)^4 ~ 0.09 -- the paper
+itself notes Squid's 5n+7 sizing yields 0.09 at n = 200); the polluted
+run lands near (586/762)^4 ~ 0.35.  The *direction and leverage* of the
+attack (a ~4-5x jump in wasted round trips) reproduces; the control
+discrepancy is discussed in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.apps.squid.attack import CacheDigestAttack
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Section 7 measurement (scale raises probe count)."""
+    probes = max(100, int(100 * scale))
+    attack = CacheDigestAttack(
+        clean_urls=51, added_urls=100, probes=probes, sibling_rtt_ms=10.0, seed=seed ^ 0x5C1D
+    )
+    polluted, control = attack.run()
+
+    result = ExperimentResult(
+        experiment_id="squid",
+        title="Squid cache-digest pollution (51 clean + 100 added URLs)",
+        paper_claim=(
+            "pollution raises digest false hits from 40% to 79%; each false "
+            "hit wastes >= 1 sibling RTT (10 ms)"
+        ),
+        headers=[
+            "scenario",
+            "digest bits",
+            "digest weight",
+            "probes",
+            "false hits",
+            "false-hit rate",
+            "wasted latency (ms)",
+        ],
+    )
+    for report in (control, polluted):
+        result.add_row(
+            "polluted" if report.polluted else "control",
+            report.digest_bits,
+            report.digest_weight,
+            report.probes,
+            report.false_hits,
+            report.false_hit_rate,
+            report.added_latency_ms,
+        )
+
+    result.note(
+        f"digest size {polluted.digest_bits} bits (paper: 762 = 5*151+7)"
+    )
+    result.note(
+        f"false-hit amplification x{polluted.false_hit_rate / max(control.false_hit_rate, 1e-9):.1f} "
+        "(paper: 79% vs 40%, x2.0; our control matches the analytic digest FP "
+        "-- see EXPERIMENTS.md for the baseline discussion)"
+    )
+    control_analytic = (control.digest_weight / control.digest_bits) ** 4
+    polluted_analytic = (polluted.digest_weight / polluted.digest_bits) ** 4
+    result.note(
+        f"weight-implied digest fpp: control {control_analytic:.3f}, "
+        f"polluted {polluted_analytic:.3f}"
+    )
+    return result

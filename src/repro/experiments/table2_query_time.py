@@ -1,0 +1,127 @@
+"""Table 2 -- time to query a filter: naive vs recycled hashing.
+
+The paper benchmarks a filter with f = 2^-10 (k = 10) holding 1e6
+32-byte items: k naive salted calls per query versus digest-bit
+recycling, over MurmurHash-32, MD5, SHA-1/256/384/512, HMAC-SHA-1 and
+SipHash.  C/OpenSSL absolute numbers (e.g. SHA-256: 51 us naive,
+0.49 us recycled, x104) will not match CPython, but the *structure*
+must: recycling beats naive by roughly the call-count ratio, HMAC pays
+its two inner hash calls, and keyed hashing lands within a small factor
+of raw MurmurHash.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.bloom import BloomFilter
+from repro.core.params import BloomParameters
+from repro.experiments.runner import ExperimentResult
+from repro.hashing.base import IndexStrategy
+from repro.hashing.crypto import HashlibHash, HmacHash
+from repro.hashing.murmur import Murmur3_32
+from repro.hashing.recycling import RecyclingStrategy
+from repro.hashing.salted import SaltedHashStrategy
+from repro.hashing.siphash import SipHash24
+
+__all__ = ["run", "measure_query_time", "build_strategies"]
+
+KEY = bytes(range(16))
+
+
+def build_strategies() -> list[tuple[str, IndexStrategy | None, IndexStrategy | None]]:
+    """(name, naive strategy, recycled strategy) per Table 2 row.
+
+    MurmurHash-32 has no recycled variant in the paper (its digest is too
+    short to slice); mirrored here with None.
+    """
+    rows: list[tuple[str, IndexStrategy | None, IndexStrategy | None]] = [
+        (
+            "murmur3-32",
+            SaltedHashStrategy(Murmur3_32(seed=0)),
+            None,
+        )
+    ]
+    for algorithm in ("md5", "sha1", "sha256", "sha384", "sha512"):
+        fn = HashlibHash(algorithm)
+        rows.append((algorithm, SaltedHashStrategy(fn), RecyclingStrategy(fn)))
+    hmac = HmacHash(KEY, "sha1")
+    rows.append(("hmac-sha1", SaltedHashStrategy(hmac), RecyclingStrategy(hmac)))
+    sip = SipHash24(KEY)
+    rows.append(("siphash24", SaltedHashStrategy(sip), RecyclingStrategy(sip)))
+    return rows
+
+
+def measure_query_time(
+    strategy: IndexStrategy, m: int, k: int, items: list[bytes], repeats: int = 1
+) -> float:
+    """Mean microseconds per membership query under ``strategy``."""
+    target = BloomFilter(m, k, strategy)
+    for item in items[: len(items) // 2]:
+        target.add(item)
+    start = time.perf_counter()
+    total = 0
+    for _ in range(repeats):
+        for item in items:
+            if item in target:
+                total += 1
+    elapsed = time.perf_counter() - start
+    del total
+    return elapsed / (len(items) * repeats) * 1e6
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table 2 at laptop scale."""
+    n = max(500, int(20_000 * scale))
+    params = BloomParameters.design_optimal(n, 2**-10)
+    queries = max(200, int(2_000 * scale))
+    # 32-byte items, "corresponding to SHA-256 prefixes" in the paper.
+    items = [bytes([seed & 0xFF]) + i.to_bytes(31, "big") for i in range(queries)]
+
+    result = ExperimentResult(
+        experiment_id="table2",
+        title=f"Time to query a filter (f=2^-10, k={params.k}, m={params.m})",
+        paper_claim=(
+            "recycling speeds crypto-hash queries by x20-x104; recycled "
+            "HMAC-SHA-1 lands within ~x4 of SipHash and ~x2 of MurmurHash"
+        ),
+        headers=[
+            "hash",
+            "naive (us)",
+            "naive calls",
+            "recycled (us)",
+            "recycled calls",
+            "speedup",
+        ],
+    )
+
+    for name, naive, recycled in build_strategies():
+        naive_us = measure_query_time(naive, params.m, params.k, items)
+        if recycled is None:
+            result.add_row(
+                name, round(naive_us, 2), naive.hash_calls(params.k, params.m), "-", "-", "-"
+            )
+            continue
+        recycled_us = measure_query_time(recycled, params.m, params.k, items)
+        result.add_row(
+            name,
+            round(naive_us, 2),
+            naive.hash_calls(params.k, params.m),
+            round(recycled_us, 2),
+            recycled.hash_calls(params.k, params.m),
+            f"x{naive_us / recycled_us:.1f}",
+        )
+
+    result.note(
+        "absolute numbers are CPython, the paper's are C/OpenSSL; in "
+        "particular MurmurHash and SipHash are pure Python here (slow) while "
+        "MD5/SHA go through hashlib (C), inverting the paper's raw ordering -- "
+        "read the table through the call-count columns, which are "
+        "language-independent"
+    )
+    result.note(
+        "the recycling win tracks calls saved (k naive calls vs 1-4 recycled); "
+        "the paper's x20-x104 additionally benefits from C-level call costs"
+    )
+    result.note(f"scale={scale}: n={n}, {queries} queries per cell")
+    return result

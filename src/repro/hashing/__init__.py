@@ -1,0 +1,62 @@
+"""Hash substrate: every function and index-derivation rule the paper touches.
+
+Forward hashes
+    :mod:`~repro.hashing.noncrypto` (FNV, djb2, sdbm, one-at-a-time),
+    :mod:`~repro.hashing.murmur` (MurmurHash3 32/128),
+    :mod:`~repro.hashing.jenkins` (lookup3),
+    :mod:`~repro.hashing.siphash` (SipHash-2-4),
+    :mod:`~repro.hashing.crypto` (MD5/SHA family + HMAC via hashlib).
+
+Index derivation (the Bloom filter attack surface)
+    :mod:`~repro.hashing.salted` (k salted calls, pyBloom style),
+    :mod:`~repro.hashing.kirsch_mitzenmacher` (h1 + i*h2),
+    :mod:`~repro.hashing.recycling` (slice one long digest, paper Section 8.2).
+
+Adversarial tooling
+    :mod:`~repro.hashing.inversion` (constant-time MurmurHash3 pre-images),
+    :mod:`~repro.hashing.truncation` (security accounting for truncated digests).
+"""
+
+from repro.hashing.base import CallableHash, HashFunction, IndexStrategy, ensure_bytes
+from repro.hashing.crypto import HashlibHash, HmacHash, MD5, SHA1, SHA256, SHA384, SHA512
+from repro.hashing.jenkins import Lookup3, hashlittle, hashlittle2
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+from repro.hashing.murmur import Murmur3_32, Murmur3_x64_128, murmur3_32, murmur3_x64_128
+from repro.hashing.noncrypto import FNV1a32, FNV1a64, OneAtATime
+from repro.hashing.recycling import RecyclingStrategy, bits_required, calls_required
+from repro.hashing.salted import SaltedHashStrategy
+from repro.hashing.siphash import SipHash24, siphash24
+from repro.hashing.truncation import TruncatedHash, security_levels
+
+__all__ = [
+    "CallableHash",
+    "HashFunction",
+    "IndexStrategy",
+    "ensure_bytes",
+    "HashlibHash",
+    "HmacHash",
+    "MD5",
+    "SHA1",
+    "SHA256",
+    "SHA384",
+    "SHA512",
+    "Lookup3",
+    "hashlittle",
+    "hashlittle2",
+    "KirschMitzenmacherStrategy",
+    "Murmur3_32",
+    "Murmur3_x64_128",
+    "murmur3_32",
+    "murmur3_x64_128",
+    "FNV1a32",
+    "FNV1a64",
+    "OneAtATime",
+    "RecyclingStrategy",
+    "bits_required",
+    "calls_required",
+    "SaltedHashStrategy",
+    "SipHash24",
+    "siphash24",
+    "TruncatedHash",
+    "security_levels",
+]

@@ -1,0 +1,152 @@
+"""Common abstractions for the hash substrate.
+
+The paper's attacks all hinge on *how* applications derive Bloom filter
+indexes from items.  This module defines the two abstractions the rest of
+the package builds on:
+
+* :class:`HashFunction` -- a named function from bytes to a fixed-width
+  digest, with an explicit ``digest_bits`` so truncation can be accounted
+  for (NIST SP 800-107 style security levels, see
+  :mod:`repro.hashing.truncation`);
+* :class:`IndexStrategy` -- a rule turning an item into the ``k`` filter
+  indexes.  Every Bloom filter in :mod:`repro.core` is parameterised by a
+  strategy, which is exactly the attack surface the paper studies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable
+
+__all__ = [
+    "HashFunction",
+    "CallableHash",
+    "IndexStrategy",
+    "ensure_bytes",
+    "digest_to_int",
+    "int_to_digest",
+]
+
+
+def ensure_bytes(item: str | bytes) -> bytes:
+    """Canonicalise an item to bytes (UTF-8 for text).
+
+    Every hash in the package funnels through this helper so that a URL
+    inserted as ``str`` and queried as ``bytes`` hits the same bits.
+    """
+    if isinstance(item, bytes):
+        return item
+    if isinstance(item, str):
+        return item.encode("utf-8")
+    raise TypeError(f"items must be str or bytes, got {type(item).__name__}")
+
+
+def digest_to_int(digest: bytes) -> int:
+    """Interpret a digest as a big-endian unsigned integer."""
+    return int.from_bytes(digest, "big")
+
+
+def int_to_digest(value: int, length: int) -> bytes:
+    """Encode ``value`` as a big-endian digest of ``length`` bytes."""
+    return value.to_bytes(length, "big")
+
+
+class HashFunction(ABC):
+    """A named hash function with a fixed digest width.
+
+    Sub-classes implement :meth:`digest`; the convenience methods
+    (:meth:`hash_int`, :meth:`index`) are derived from it.
+    """
+
+    #: Human-readable name, e.g. ``"murmur3_32"`` or ``"sha256"``.
+    name: str = "hash"
+    #: Width of the digest in bits.
+    digest_bits: int = 0
+
+    @property
+    def digest_size(self) -> int:
+        """Digest width in bytes."""
+        return (self.digest_bits + 7) // 8
+
+    @abstractmethod
+    def digest(self, data: bytes) -> bytes:
+        """Return the raw digest of ``data``."""
+
+    def hash_int(self, item: str | bytes) -> int:
+        """Digest ``item`` and return it as an unsigned integer."""
+        return digest_to_int(self.digest(ensure_bytes(item)))
+
+    def index(self, item: str | bytes, m: int) -> int:
+        """Digest ``item`` reduced modulo ``m`` (a single filter index)."""
+        if m <= 0:
+            raise ValueError("m must be positive")
+        return self.hash_int(item) % m
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}/{self.digest_bits}b>"
+
+
+class CallableHash(HashFunction):
+    """Adapt a plain ``bytes -> int`` callable into a :class:`HashFunction`.
+
+    Useful for wrapping the module-level primitives (``murmur3_32`` etc.)
+    without writing a class per function.
+
+    Parameters
+    ----------
+    fn:
+        Callable mapping bytes to an unsigned integer smaller than
+        ``2**digest_bits``.
+    digest_bits:
+        Output width of ``fn``.
+    name:
+        Display name used in benchmarks and tables.
+    """
+
+    def __init__(self, fn: Callable[[bytes], int], digest_bits: int, name: str):
+        if digest_bits <= 0:
+            raise ValueError("digest_bits must be positive")
+        self._fn = fn
+        self.digest_bits = digest_bits
+        self.name = name
+
+    def digest(self, data: bytes) -> bytes:
+        return int_to_digest(self._fn(data) % (1 << self.digest_bits), self.digest_size)
+
+    def hash_int(self, item: str | bytes) -> int:
+        # Skip the bytes round-trip for speed; benchmarks use this path.
+        return self._fn(ensure_bytes(item)) % (1 << self.digest_bits)
+
+
+class IndexStrategy(ABC):
+    """A rule deriving the ``k`` filter indexes of an item.
+
+    Strategies are stateless with respect to the filter: they depend only
+    on the item, ``k`` and ``m``.  This is what makes the paper's attacks
+    possible -- an adversary who knows the strategy can predict, and hence
+    choose, where any item lands.
+    """
+
+    #: Display name for tables and benchmarks.
+    name: str = "strategy"
+
+    @abstractmethod
+    def indexes(self, item: str | bytes, k: int, m: int) -> tuple[int, ...]:
+        """Return the ``k`` indexes (each in ``[0, m)``) for ``item``."""
+
+    def hash_calls(self, k: int, m: int) -> int:
+        """Number of underlying hash invocations per item.
+
+        The paper's Table 2 compares strategies precisely on this count;
+        the default assumes one call per index (the naive scheme).
+        """
+        return k
+
+    def batch_indexes(
+        self, items: Iterable[str | bytes], k: int, m: int
+    ) -> list[tuple[int, ...]]:
+        """Vector form of :meth:`indexes` (convenience for experiments)."""
+        return [self.indexes(item, k, m) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

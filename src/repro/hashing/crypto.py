@@ -1,0 +1,122 @@
+"""Cryptographic hash functions and MACs (wrapping :mod:`hashlib`).
+
+The paper's point is not that MD5/SHA are weak but that developers
+*truncate* their digests (see :mod:`repro.hashing.truncation`) or burn a
+full call per Bloom index (the "naive" column of Table 2).  This module
+exposes the NIST family with explicit digest widths plus the HMAC
+construction used by the keyed countermeasure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from repro.hashing.base import HashFunction
+
+__all__ = [
+    "HashlibHash",
+    "MD5",
+    "SHA1",
+    "SHA256",
+    "SHA384",
+    "SHA512",
+    "HmacHash",
+    "by_name",
+    "CRYPTO_HASH_NAMES",
+]
+
+#: Names accepted by :func:`by_name`, in increasing digest width.
+CRYPTO_HASH_NAMES = ("md5", "sha1", "sha256", "sha384", "sha512")
+
+
+class HashlibHash(HashFunction):
+    """A hashlib-backed cryptographic hash with an optional prefix salt.
+
+    Parameters
+    ----------
+    algorithm:
+        Any name accepted by :func:`hashlib.new` (``"md5"``, ``"sha256"`` ...).
+    salt:
+        Bytes prepended to every message.  pyBloom-style index derivation
+        uses deterministic salts, which is exactly why the paper's
+        adversary can still brute-force pre-images: the salt is public.
+    """
+
+    def __init__(self, algorithm: str, salt: bytes = b"") -> None:
+        probe = hashlib.new(algorithm)
+        self.algorithm = algorithm
+        self.salt = salt
+        self.digest_bits = probe.digest_size * 8
+        self.name = algorithm if not salt else f"{algorithm}[salt={salt.hex()}]"
+
+    def digest(self, data: bytes) -> bytes:
+        h = hashlib.new(self.algorithm)
+        if self.salt:
+            h.update(self.salt)
+        h.update(data)
+        return h.digest()
+
+
+class MD5(HashlibHash):
+    """MD5 (128-bit).  Squid builds its cache digests from one MD5 call."""
+
+    def __init__(self, salt: bytes = b"") -> None:
+        super().__init__("md5", salt)
+
+
+class SHA1(HashlibHash):
+    """SHA-1 (160-bit)."""
+
+    def __init__(self, salt: bytes = b"") -> None:
+        super().__init__("sha1", salt)
+
+
+class SHA256(HashlibHash):
+    """SHA-256 (256-bit)."""
+
+    def __init__(self, salt: bytes = b"") -> None:
+        super().__init__("sha256", salt)
+
+
+class SHA384(HashlibHash):
+    """SHA-384 (384-bit)."""
+
+    def __init__(self, salt: bytes = b"") -> None:
+        super().__init__("sha384", salt)
+
+
+class SHA512(HashlibHash):
+    """SHA-512 (512-bit).  One call covers any filter with f >= 2^-15
+    and m <= 1 GByte (paper Fig. 9)."""
+
+    def __init__(self, salt: bytes = b"") -> None:
+        super().__init__("sha512", salt)
+
+
+class HmacHash(HashFunction):
+    """HMAC over a hashlib algorithm, keyed with a secret.
+
+    This is the paper's Section 8.2 countermeasure: with the key unknown,
+    index positions are unpredictable, so chosen-insertion and query-only
+    adversaries degrade to blind guessing.
+    """
+
+    def __init__(self, key: bytes, algorithm: str = "sha1") -> None:
+        if not key:
+            raise ValueError("HMAC key must be non-empty")
+        probe = hashlib.new(algorithm)
+        self.key = key
+        self.algorithm = algorithm
+        self.digest_bits = probe.digest_size * 8
+        self.name = f"hmac-{algorithm}"
+
+    def digest(self, data: bytes) -> bytes:
+        return _hmac.new(self.key, data, self.algorithm).digest()
+
+
+def by_name(name: str, salt: bytes = b"") -> HashlibHash:
+    """Instantiate a crypto hash from its lowercase name."""
+    if name not in CRYPTO_HASH_NAMES:
+        raise ValueError(f"unknown crypto hash {name!r}; expected one of {CRYPTO_HASH_NAMES}")
+    return HashlibHash(name, salt)

@@ -1,0 +1,211 @@
+"""Constant-time inversion of MurmurHash3 (the paper's forgery primitive).
+
+MurmurHash3's finalisers and block mixers are bijections built from
+xorshifts, odd-constant multiplications, rotations and additions -- all
+invertible on fixed-width words.  Given any target hash value and the
+public seed, one can therefore compute an input that produces it in
+constant time (paper Section 6.2: "the forgery of the required URLs is
+straightforward since MurmurHash can be inverted in constant time").
+
+This module inverts both variants:
+
+* :func:`invert_murmur3_32` -- a 4-byte pre-image for any 32-bit target;
+* :func:`invert_murmur3_x64_128` -- a 16-byte pre-image for any 128-bit
+  target pair ``(h1, h2)``.
+
+Both accept an optional plaintext *prefix* (length a multiple of the
+block size) so the forged item can start with a plausible URL stem; the
+steering block is appended after it.  Because Dablooms derives all k
+Bloom indexes from one MurmurHash3 x64_128 call via Kirsch-Mitzenmacher,
+inverting that call chooses all k counters at once -- the engine behind
+the counter-overflow attack of :mod:`repro.adversary.overflow`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.exceptions import InversionError
+from repro.hashing.murmur import (
+    _C1_32,
+    _C1_64,
+    _C2_32,
+    _C2_64,
+    murmur3_32,
+    murmur3_x64_128,
+)
+from repro.hashing.noncrypto import MASK32, MASK64, rotl32, rotl64
+
+__all__ = [
+    "unxorshift_right",
+    "fmix32_inverse",
+    "fmix64_inverse",
+    "invert_murmur3_32",
+    "invert_murmur3_x64_128",
+]
+
+_INV5_32 = pow(5, -1, 1 << 32)
+_INV5_64 = pow(5, -1, 1 << 64)
+_INV_C1_32 = pow(_C1_32, -1, 1 << 32)
+_INV_C2_32 = pow(_C2_32, -1, 1 << 32)
+_INV_C1_64 = pow(_C1_64, -1, 1 << 64)
+_INV_C2_64 = pow(_C2_64, -1, 1 << 64)
+_INV_FMIX32_A = pow(0x85EBCA6B, -1, 1 << 32)
+_INV_FMIX32_B = pow(0xC2B2AE35, -1, 1 << 32)
+_INV_FMIX64_A = pow(0xFF51AFD7ED558CCD, -1, 1 << 64)
+_INV_FMIX64_B = pow(0xC4CEB9FE1A85EC53, -1, 1 << 64)
+
+
+def unxorshift_right(value: int, shift: int, bits: int) -> int:
+    """Invert ``x ^= x >> shift`` on a ``bits``-wide word."""
+    if not 0 < shift < bits:
+        raise ValueError("shift must be in (0, bits)")
+    mask = (1 << bits) - 1
+    result = value
+    for _ in range(bits // shift):
+        result = value ^ (result >> shift)
+    return result & mask
+
+
+def fmix32_inverse(h: int) -> int:
+    """Invert :func:`repro.hashing.murmur.fmix32`."""
+    h = unxorshift_right(h, 16, 32)
+    h = (h * _INV_FMIX32_B) & MASK32
+    h = unxorshift_right(h, 13, 32)
+    h = (h * _INV_FMIX32_A) & MASK32
+    h = unxorshift_right(h, 16, 32)
+    return h
+
+
+def fmix64_inverse(h: int) -> int:
+    """Invert :func:`repro.hashing.murmur.fmix64`."""
+    h = unxorshift_right(h, 33, 64)
+    h = (h * _INV_FMIX64_B) & MASK64
+    h = unxorshift_right(h, 33, 64)
+    h = (h * _INV_FMIX64_A) & MASK64
+    h = unxorshift_right(h, 33, 64)
+    return h
+
+
+def _state32_after(prefix: bytes, seed: int) -> int:
+    """Internal murmur3_32 state after hashing ``prefix`` (whole blocks)."""
+    h = seed & MASK32
+    for i in range(0, len(prefix), 4):
+        k = struct.unpack_from("<I", prefix, i)[0]
+        k = (k * _C1_32) & MASK32
+        k = rotl32(k, 15)
+        k = (k * _C2_32) & MASK32
+        h ^= k
+        h = rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & MASK32
+    return h
+
+
+def invert_murmur3_32(target: int, seed: int = 0, prefix: bytes = b"") -> bytes:
+    """Return ``prefix + block`` (4 extra bytes) hashing to ``target``.
+
+    Raises
+    ------
+    InversionError
+        If ``prefix`` is not a multiple of 4 bytes (the steering block
+        must land on a block boundary).
+    """
+    if len(prefix) % 4:
+        raise InversionError("prefix length must be a multiple of 4 bytes")
+    target &= MASK32
+    length = len(prefix) + 4
+
+    h = fmix32_inverse(target)
+    h ^= length
+    # Undo the post-block update h = rotl(h ^ k', 13) * 5 + C.
+    h = ((h - 0xE6546B64) * _INV5_32) & MASK32
+    h = rotl32(h, 32 - 13)
+    k_mixed = h ^ _state32_after(prefix, seed)
+    # Undo the block pre-mix k' = rotl(k * c1, 15) * c2.
+    k = (k_mixed * _INV_C2_32) & MASK32
+    k = rotl32(k, 32 - 15)
+    k = (k * _INV_C1_32) & MASK32
+
+    candidate = prefix + struct.pack("<I", k)
+    assert murmur3_32(candidate, seed) == target, "inversion self-check failed"
+    return candidate
+
+
+def _state128_after(prefix: bytes, seed: int) -> tuple[int, int]:
+    """Internal murmur3_x64_128 state after hashing ``prefix`` blocks."""
+    h1 = seed & MASK64
+    h2 = seed & MASK64
+    for i in range(0, len(prefix), 16):
+        k1, k2 = struct.unpack_from("<QQ", prefix, i)
+        k1 = (k1 * _C1_64) & MASK64
+        k1 = rotl64(k1, 31)
+        k1 = (k1 * _C2_64) & MASK64
+        h1 ^= k1
+        h1 = rotl64(h1, 27)
+        h1 = (h1 + h2) & MASK64
+        h1 = (h1 * 5 + 0x52DCE729) & MASK64
+        k2 = (k2 * _C2_64) & MASK64
+        k2 = rotl64(k2, 33)
+        k2 = (k2 * _C1_64) & MASK64
+        h2 ^= k2
+        h2 = rotl64(h2, 31)
+        h2 = (h2 + h1) & MASK64
+        h2 = (h2 * 5 + 0x38495AB5) & MASK64
+    return h1, h2
+
+
+def invert_murmur3_x64_128(
+    target_h1: int, target_h2: int, seed: int = 0, prefix: bytes = b""
+) -> bytes:
+    """Return ``prefix + block`` (16 extra bytes) hashing to the target pair.
+
+    With Kirsch-Mitzenmacher index derivation, choosing
+    ``target_h1 = index`` and ``target_h2 = 0`` makes *all* k Bloom
+    indexes equal to ``index mod m`` -- the single-counter steering used
+    by the Dablooms overflow attack.
+
+    Raises
+    ------
+    InversionError
+        If ``prefix`` is not a multiple of 16 bytes.
+    """
+    if len(prefix) % 16:
+        raise InversionError("prefix length must be a multiple of 16 bytes")
+    t1 = target_h1 & MASK64
+    t2 = target_h2 & MASK64
+    length = len(prefix) + 16
+
+    # Undo the two final cross-additions.
+    f2 = (t2 - t1) & MASK64
+    f1 = (t1 - f2) & MASK64
+    a1 = fmix64_inverse(f1)
+    a2 = fmix64_inverse(f2)
+    # Undo the pre-finaliser cross-additions and the length XOR.
+    b2 = (a2 - a1) & MASK64
+    b1 = (a1 - b2) & MASK64
+    h1b = b1 ^ length
+    h2b = b2 ^ length
+
+    s1, s2 = _state128_after(prefix, seed)
+
+    # Undo the h1 lane of the block round.
+    v1 = ((h1b - 0x52DCE729) * _INV5_64) & MASK64
+    u1 = (v1 - s2) & MASK64
+    u1 = rotl64(u1, 64 - 27)
+    k1_mixed = u1 ^ s1
+    k1 = (k1_mixed * _INV_C2_64) & MASK64
+    k1 = rotl64(k1, 64 - 31)
+    k1 = (k1 * _INV_C1_64) & MASK64
+
+    # Undo the h2 lane (it saw the already-updated h1, i.e. h1b).
+    v2 = ((h2b - 0x38495AB5) * _INV5_64) & MASK64
+    u2 = (v2 - h1b) & MASK64
+    u2 = rotl64(u2, 64 - 31)
+    k2_mixed = u2 ^ s2
+    k2 = (k2_mixed * _INV_C1_64) & MASK64
+    k2 = rotl64(k2, 64 - 33)
+    k2 = (k2 * _INV_C2_64) & MASK64
+
+    candidate = prefix + struct.pack("<QQ", k1, k2)
+    assert murmur3_x64_128(candidate, seed) == (t1, t2), "inversion self-check failed"
+    return candidate

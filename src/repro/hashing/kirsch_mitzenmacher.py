@@ -1,0 +1,75 @@
+"""Kirsch-Mitzenmacher double hashing: k indexes from two hash values.
+
+Kirsch & Mitzenmacher ("Less hashing, same performance", 2008) showed
+that ``g_i(x) = h1(x) + i * h2(x) mod m`` preserves the asymptotic false
+positive probability while costing only two hash evaluations.  Dablooms
+uses this trick over the two 64-bit halves of one MurmurHash3 x64_128
+call -- a single hash invocation for the whole index set, which is also
+why inverting that one call (see :mod:`repro.hashing.inversion`) hands
+the adversary *all* k indexes at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hashing.base import HashFunction, IndexStrategy, ensure_bytes
+from repro.hashing.murmur import Murmur3_x64_128
+
+__all__ = ["KirschMitzenmacherStrategy", "km_indexes"]
+
+
+def km_indexes(h1: int, h2: int, k: int, m: int) -> tuple[int, ...]:
+    """Expand the pair ``(h1, h2)`` into k indexes modulo m."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if m <= 0:
+        raise ValueError("m must be positive")
+    return tuple((h1 + i * h2) % m for i in range(k))
+
+
+class KirschMitzenmacherStrategy(IndexStrategy):
+    """Derive all k indexes from one ``(h1, h2)`` pair.
+
+    Parameters
+    ----------
+    pair_fn:
+        Callable mapping item bytes to the ``(h1, h2)`` pair.  Defaults to
+        the two halves of MurmurHash3 x64_128 with seed 0, exactly as
+        Dablooms does.
+    name:
+        Display name override.
+    """
+
+    def __init__(
+        self,
+        pair_fn: Callable[[bytes], tuple[int, int]] | None = None,
+        name: str = "kirsch-mitzenmacher(murmur128)",
+    ) -> None:
+        if pair_fn is None:
+            pair_fn = Murmur3_x64_128(seed=0).halves
+        self._pair_fn = pair_fn
+        self.name = name
+
+    @classmethod
+    def from_two_hashes(
+        cls, h1: HashFunction, h2: HashFunction
+    ) -> "KirschMitzenmacherStrategy":
+        """Build the strategy from two independent hash objects."""
+
+        def pair(data: bytes) -> tuple[int, int]:
+            return h1.hash_int(data), h2.hash_int(data)
+
+        return cls(pair, name=f"kirsch-mitzenmacher({h1.name},{h2.name})")
+
+    def pair(self, item: str | bytes) -> tuple[int, int]:
+        """The raw ``(h1, h2)`` pair for ``item`` (used by attacks)."""
+        return self._pair_fn(ensure_bytes(item))
+
+    def indexes(self, item: str | bytes, k: int, m: int) -> tuple[int, ...]:
+        h1, h2 = self._pair_fn(ensure_bytes(item))
+        return km_indexes(h1, h2, k, m)
+
+    def hash_calls(self, k: int, m: int) -> int:
+        # One murmur128 call (or two plain calls) regardless of k.
+        return 1

@@ -1,0 +1,145 @@
+"""Classic non-cryptographic hash functions (from scratch).
+
+These are the "fast but forgeable" functions the paper warns about
+(Section 2): they pass statistical suites such as SMHasher yet offer no
+pre-image resistance whatsoever.  We implement the textbook family --
+FNV-1/1a, djb2, sdbm and Jenkins one-at-a-time -- plus the modulus mask
+helpers shared by :mod:`repro.hashing.murmur` and
+:mod:`repro.hashing.jenkins`.
+
+All functions take ``bytes`` and return an unsigned integer of the stated
+width.  They are deterministic and seedable where the original design
+allows a seed.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.base import CallableHash
+
+__all__ = [
+    "MASK32",
+    "MASK64",
+    "rotl32",
+    "rotl64",
+    "fnv1_32",
+    "fnv1a_32",
+    "fnv1_64",
+    "fnv1a_64",
+    "djb2",
+    "sdbm",
+    "one_at_a_time",
+    "FNV1a32",
+    "FNV1a64",
+    "OneAtATime",
+]
+
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_FNV32_PRIME = 0x01000193
+_FNV32_OFFSET = 0x811C9DC5
+_FNV64_PRIME = 0x00000100000001B3
+_FNV64_OFFSET = 0xCBF29CE484222325
+
+
+def rotl32(x: int, r: int) -> int:
+    """Rotate a 32-bit word left by ``r`` bits."""
+    r &= 31
+    return ((x << r) | (x >> (32 - r))) & MASK32
+
+
+def rotl64(x: int, r: int) -> int:
+    """Rotate a 64-bit word left by ``r`` bits."""
+    r &= 63
+    return ((x << r) | (x >> (64 - r))) & MASK64
+
+
+def fnv1_32(data: bytes) -> int:
+    """FNV-1 32-bit: multiply then XOR each byte."""
+    h = _FNV32_OFFSET
+    for byte in data:
+        h = (h * _FNV32_PRIME) & MASK32
+        h ^= byte
+    return h
+
+
+def fnv1a_32(data: bytes) -> int:
+    """FNV-1a 32-bit: XOR each byte then multiply (better avalanche)."""
+    h = _FNV32_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV32_PRIME) & MASK32
+    return h
+
+
+def fnv1_64(data: bytes) -> int:
+    """FNV-1 64-bit variant."""
+    h = _FNV64_OFFSET
+    for byte in data:
+        h = (h * _FNV64_PRIME) & MASK64
+        h ^= byte
+    return h
+
+
+def fnv1a_64(data: bytes) -> int:
+    """FNV-1a 64-bit variant."""
+    h = _FNV64_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV64_PRIME) & MASK64
+    return h
+
+
+def djb2(data: bytes) -> int:
+    """Bernstein's djb2 (``h = h*33 + c``), 32-bit truncation."""
+    h = 5381
+    for byte in data:
+        h = (h * 33 + byte) & MASK32
+    return h
+
+
+def sdbm(data: bytes) -> int:
+    """The sdbm hash (``h = c + (h<<6) + (h<<16) - h``), 32-bit."""
+    h = 0
+    for byte in data:
+        h = (byte + (h << 6) + (h << 16) - h) & MASK32
+    return h
+
+
+def one_at_a_time(data: bytes, seed: int = 0) -> int:
+    """Jenkins one-at-a-time hash (the original "Jenkins hash").
+
+    Referenced by the paper as [6]; widely copied into hash tables and,
+    regrettably, Bloom filters.
+    """
+    h = seed & MASK32
+    for byte in data:
+        h = (h + byte) & MASK32
+        h = (h + ((h << 10) & MASK32)) & MASK32
+        h ^= h >> 6
+    h = (h + ((h << 3) & MASK32)) & MASK32
+    h ^= h >> 11
+    h = (h + ((h << 15) & MASK32)) & MASK32
+    return h
+
+
+class FNV1a32(CallableHash):
+    """FNV-1a/32 wrapped as a :class:`~repro.hashing.base.HashFunction`."""
+
+    def __init__(self) -> None:
+        super().__init__(fnv1a_32, 32, "fnv1a_32")
+
+
+class FNV1a64(CallableHash):
+    """FNV-1a/64 wrapped as a :class:`~repro.hashing.base.HashFunction`."""
+
+    def __init__(self) -> None:
+        super().__init__(fnv1a_64, 64, "fnv1a_64")
+
+
+class OneAtATime(CallableHash):
+    """Jenkins one-at-a-time wrapped as a hash object (seedable)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed & MASK32
+        super().__init__(lambda data: one_at_a_time(data, self.seed), 32, "jenkins_oaat")

@@ -1,0 +1,108 @@
+"""Digest-bit recycling: the paper's Section 8.2 efficiency countermeasure.
+
+A Bloom filter needs ``k * ceil(log2 m)`` digest bits per item.  Rather
+than calling a (slow, secure) hash k times with k salts and discarding
+most of each digest, the paper recycles: call the hash once, slice the
+digest into consecutive ``ceil(log2 m)``-bit windows, and only make an
+additional salted call when the previous digest is exhausted.  Fig. 9
+maps which hash covers which (m, f) region in a single call; Table 2
+benchmarks the speedup (x20-x104 over naive crypto hashing).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing.base import HashFunction, IndexStrategy, digest_to_int, ensure_bytes
+
+__all__ = ["bits_required", "calls_required", "RecyclingStrategy"]
+
+
+def bits_required(k: int, m: int) -> int:
+    """Digest bits needed for one item: ``k * ceil(log2 m)`` (paper Fig. 9)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if m <= 1:
+        raise ValueError("m must be at least 2")
+    return k * math.ceil(math.log2(m))
+
+
+def calls_required(k: int, m: int, digest_bits: int) -> int:
+    """Hash invocations needed to gather :func:`bits_required` bits.
+
+    Windows never straddle two digests (each call yields
+    ``floor(digest_bits / ceil(log2 m))`` whole windows), matching how an
+    implementation would actually slice.
+    """
+    if digest_bits <= 0:
+        raise ValueError("digest_bits must be positive")
+    window = math.ceil(math.log2(m))
+    if window > digest_bits:
+        raise ValueError(
+            f"digest too narrow: one index needs {window} bits, digest has {digest_bits}"
+        )
+    per_call = digest_bits // window
+    return math.ceil(k / per_call)
+
+
+class RecyclingStrategy(IndexStrategy):
+    """Derive k indexes by slicing one (or few) long digests.
+
+    Parameters
+    ----------
+    hash_fn:
+        The underlying hash (typically :class:`~repro.hashing.crypto.SHA512`
+        or an :class:`~repro.hashing.crypto.HmacHash` for the keyed
+        variant).
+    salt:
+        Optional public prefix mixed into every call; successive calls for
+        the same item are domain-separated with a one-byte counter, the
+        "salt and recycle" of the paper.
+
+    Index extraction takes the top ``ceil(log2 m)`` bits per window and
+    reduces modulo m.  Windows are non-overlapping; a fresh salted call is
+    made only when the digest runs out of whole windows.
+    """
+
+    def __init__(self, hash_fn: HashFunction, salt: bytes = b"") -> None:
+        self.hash_fn = hash_fn
+        self.salt = salt
+        self.name = f"recycling({hash_fn.name})"
+
+    def _digest_int(self, data: bytes, call_index: int) -> int:
+        prefix = self.salt + bytes([call_index]) if call_index or self.salt else b""
+        return digest_to_int(self.hash_fn.digest(prefix + data))
+
+    def indexes(self, item: str | bytes, k: int, m: int) -> tuple[int, ...]:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if m <= 1:
+            raise ValueError("m must be at least 2")
+        data = ensure_bytes(item)
+        window = math.ceil(math.log2(m))
+        digest_bits = self.hash_fn.digest_bits
+        per_call = digest_bits // window
+        if per_call == 0:
+            raise ValueError(
+                f"digest too narrow: one index needs {window} bits, "
+                f"{self.hash_fn.name} has {digest_bits}"
+            )
+
+        out: list[int] = []
+        call_index = 0
+        value = self._digest_int(data, call_index)
+        remaining = per_call
+        shift = digest_bits - window
+        while len(out) < k:
+            if remaining == 0:
+                call_index += 1
+                value = self._digest_int(data, call_index)
+                remaining = per_call
+                shift = digest_bits - window
+            out.append(((value >> shift) & ((1 << window) - 1)) % m)
+            shift -= window
+            remaining -= 1
+        return tuple(out)
+
+    def hash_calls(self, k: int, m: int) -> int:
+        return calls_required(k, m, self.hash_fn.digest_bits)

@@ -1,0 +1,102 @@
+"""Salted multi-call index derivation (the naive scheme, pyBloom style).
+
+The straightforward way to get k "independent" hash functions from one
+primitive is to prepend k public deterministic salts and make k calls.
+pyBloom (the filter the Scrapy community plugs into its dedup stage)
+does exactly this over MD5/SHA digests; most non-cryptographic filters
+do it with k seeds.  The scheme is the "Naive" column of Table 2 --
+correct, but k times slower than recycling, and no harder to attack
+because the salts are public.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.hashing.base import HashFunction, IndexStrategy, ensure_bytes
+
+__all__ = ["SaltedHashStrategy", "SeededHashStrategy"]
+
+
+def _default_salts(k: int) -> list[bytes]:
+    return [b"repro-salt-%d:" % i for i in range(k)]
+
+
+class SaltedHashStrategy(IndexStrategy):
+    """k indexes via k salted calls to one hash function.
+
+    Parameters
+    ----------
+    hash_fn:
+        Underlying hash (crypto or not).
+    salts:
+        Public salts; defaults to a deterministic family.  Supplying fewer
+        salts than k raises at use time.
+    """
+
+    def __init__(self, hash_fn: HashFunction, salts: Sequence[bytes] | None = None) -> None:
+        self.hash_fn = hash_fn
+        self._salts = list(salts) if salts is not None else None
+        self.name = f"salted({hash_fn.name})"
+
+    def _salts_for(self, k: int) -> Sequence[bytes]:
+        if self._salts is None:
+            return _default_salts(k)
+        if len(self._salts) < k:
+            raise ValueError(f"{len(self._salts)} salts provided but k={k} required")
+        return self._salts
+
+    def indexes(self, item: str | bytes, k: int, m: int) -> tuple[int, ...]:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if m <= 0:
+            raise ValueError("m must be positive")
+        data = ensure_bytes(item)
+        salts = self._salts_for(k)
+        return tuple(self.hash_fn.hash_int(salts[i] + data) % m for i in range(k))
+
+    def hash_calls(self, k: int, m: int) -> int:
+        return k
+
+
+class SeededHashStrategy(IndexStrategy):
+    """k indexes via k differently-seeded instances of one hash family.
+
+    The non-cryptographic twin of :class:`SaltedHashStrategy`: MurmurHash
+    and friends take an integer seed, so implementations instantiate k
+    seeds ``0..k-1``.  Seeds are public, hence equally attackable.
+
+    Parameters
+    ----------
+    family:
+        Callable mapping a seed to a ``bytes -> int`` function.
+    digest_bits:
+        Width of the family's output.
+    """
+
+    def __init__(
+        self,
+        family: Callable[[int], Callable[[bytes], int]],
+        digest_bits: int,
+        name: str = "seeded",
+    ) -> None:
+        self._family = family
+        self.digest_bits = digest_bits
+        self.name = name
+        self._cache: dict[int, Callable[[bytes], int]] = {}
+
+    def _fn(self, seed: int) -> Callable[[bytes], int]:
+        if seed not in self._cache:
+            self._cache[seed] = self._family(seed)
+        return self._cache[seed]
+
+    def indexes(self, item: str | bytes, k: int, m: int) -> tuple[int, ...]:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if m <= 0:
+            raise ValueError("m must be positive")
+        data = ensure_bytes(item)
+        return tuple(self._fn(seed)(data) % m for seed in range(k))
+
+    def hash_calls(self, k: int, m: int) -> int:
+        return k

@@ -1,0 +1,101 @@
+"""Digest truncation and its security accounting.
+
+Truncating an l-bit digest to l' bits reduces pre-image and second
+pre-image resistance to 2^l' and collision resistance to 2^(l'/2)
+(NIST SP 800-107, paper Section 2).  Bloom filters truncate *implicitly*
+by reducing digests modulo m, which is why a "SHA-256-backed" filter can
+still be brute-forced: only ``log2(m)`` bits of the digest matter per
+index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hashing.base import HashFunction
+
+__all__ = ["TruncatedHash", "SecurityLevels", "security_levels", "effective_bits_per_index"]
+
+
+@dataclass(frozen=True)
+class SecurityLevels:
+    """Work factors (log2 of expected trials) for the three classic goals."""
+
+    preimage_bits: float
+    second_preimage_bits: float
+    collision_bits: float
+
+    def feasible(self, budget_log2: float = 40.0) -> dict[str, bool]:
+        """Which attacks fit in a compute budget of ``2**budget_log2`` trials.
+
+        The default of 2^40 is a generous laptop-scale budget; the paper's
+        attacks run within minutes-to-hours, i.e. well under 2^40.
+        """
+        return {
+            "preimage": self.preimage_bits <= budget_log2,
+            "second_preimage": self.second_preimage_bits <= budget_log2,
+            "collision": self.collision_bits <= budget_log2,
+        }
+
+
+def security_levels(digest_bits: int) -> SecurityLevels:
+    """Security of an (effectively) ``digest_bits``-wide hash output."""
+    if digest_bits <= 0:
+        raise ValueError("digest_bits must be positive")
+    return SecurityLevels(
+        preimage_bits=float(digest_bits),
+        second_preimage_bits=float(digest_bits),
+        collision_bits=digest_bits / 2.0,
+    )
+
+
+def effective_bits_per_index(m: int) -> float:
+    """Bits of digest a Bloom filter actually consumes per index.
+
+    Reducing modulo m keeps only ``log2(m)`` bits -- the implicit
+    truncation at the heart of the paper's feasibility argument.
+    """
+    if m <= 1:
+        raise ValueError("m must be at least 2")
+    return math.log2(m)
+
+
+class TruncatedHash(HashFunction):
+    """Truncate another hash to its first ``bits`` bits.
+
+    Mirrors what developers do when an algorithm needs fewer bits than the
+    digest provides.  The resulting function inherits the speed of the
+    inner hash but only ``bits`` of security.
+    """
+
+    def __init__(self, inner: HashFunction, bits: int) -> None:
+        if bits <= 0 or bits > inner.digest_bits:
+            raise ValueError(
+                f"truncation width must be in (0, {inner.digest_bits}], got {bits}"
+            )
+        self.inner = inner
+        self.digest_bits = bits
+        self.name = f"{inner.name}/{bits}"
+
+    def digest(self, data: bytes) -> bytes:
+        full = self.inner.digest(data)
+        nbytes = (self.digest_bits + 7) // 8
+        truncated = bytearray(full[:nbytes])
+        extra = 8 * nbytes - self.digest_bits
+        if extra:
+            # Mask the trailing bits of the last byte so exactly
+            # ``digest_bits`` bits survive.
+            truncated[-1] &= 0xFF << extra
+        return bytes(truncated)
+
+    def hash_int(self, item) -> int:
+        """The truncated value itself (always below ``2**digest_bits``)."""
+        value = super().hash_int(item)
+        extra = 8 * self.digest_size - self.digest_bits
+        return value >> extra
+
+    @property
+    def security(self) -> SecurityLevels:
+        """Security levels after truncation."""
+        return security_levels(self.digest_bits)

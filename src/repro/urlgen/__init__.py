@@ -1,0 +1,6 @@
+"""Deterministic fake-URL generation (offline stand-in for fake-factory)."""
+
+from repro.urlgen.faker import UrlFactory
+from repro.urlgen import wordlists
+
+__all__ = ["UrlFactory", "wordlists"]

@@ -1,0 +1,117 @@
+"""Deterministic generator of human-readable fake URLs.
+
+Stands in for the ``fake-factory`` package the paper used (offline
+substitute; see DESIGN.md).  All randomness flows from one seeded
+``random.Random``, so experiments and tests are reproducible, and the
+candidate streams are guaranteed collision-free via an embedded counter
+token -- brute-force crafting must never stall on duplicate candidates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.urlgen.wordlists import (
+    ADJECTIVES,
+    FILE_EXTENSIONS,
+    NOUNS,
+    SCHEMES,
+    SUBDOMAINS,
+    TLDS,
+    VERBS,
+)
+
+__all__ = ["UrlFactory"]
+
+
+class UrlFactory:
+    """Seeded factory for fake but plausible URLs.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal PRNG; equal seeds give equal streams.
+
+    Examples
+    --------
+    >>> factory = UrlFactory(seed=1)
+    >>> url = factory.url()
+    >>> url.startswith(("http://", "https://"))
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._counter = 0
+
+    def word(self) -> str:
+        """One random lowercase word."""
+        pool = self._rng.choice((ADJECTIVES, NOUNS, VERBS))
+        return self._rng.choice(pool)
+
+    def slug(self, words: int = 2) -> str:
+        """A hyphenated slug such as ``bright-harbor``."""
+        if words <= 0:
+            raise ValueError("words must be positive")
+        return "-".join(self.word() for _ in range(words))
+
+    def domain(self) -> str:
+        """A registrable domain such as ``silent-ridge.net``."""
+        return f"{self.slug(2)}.{self._rng.choice(TLDS)}"
+
+    def hostname(self) -> str:
+        """A full hostname, sometimes with a subdomain."""
+        domain = self.domain()
+        if self._rng.random() < 0.4:
+            return f"{self._rng.choice(SUBDOMAINS)}.{domain}"
+        return domain
+
+    def path(self, depth: int | None = None) -> str:
+        """An absolute path of 1-4 slug segments, maybe with an extension."""
+        if depth is None:
+            depth = self._rng.randint(1, 4)
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        segments = [self.slug(self._rng.randint(1, 2)) for _ in range(depth)]
+        if self._rng.random() < 0.3:
+            segments[-1] += "." + self._rng.choice(FILE_EXTENSIONS)
+        return "/" + "/".join(segments)
+
+    def url(self, unique: bool = True) -> str:
+        """One fake URL.
+
+        With ``unique=True`` (the default) a monotonic token is embedded
+        in the path, so no two URLs from the same factory collide --
+        mirroring the paper's forgery loops, which never retry an item.
+        """
+        scheme = self._rng.choice(SCHEMES)
+        base = f"{scheme}://{self.hostname()}{self.path()}"
+        if unique:
+            self._counter += 1
+            base = f"{base}/p{self._counter}"
+        return base
+
+    def urls(self, count: int) -> list[str]:
+        """A list of ``count`` distinct URLs."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.url() for _ in range(count)]
+
+    def candidate_stream(self, prefix: str | None = None) -> Iterator[str]:
+        """Infinite stream of distinct candidate URLs for brute forcing.
+
+        ``prefix`` pins scheme+host (an attacker forging links on her own
+        page keeps her domain fixed and varies only the path).
+        """
+        while True:
+            if prefix is None:
+                yield self.url()
+            else:
+                self._counter += 1
+                yield f"{prefix.rstrip('/')}{self.path()}/p{self._counter}"
+
+    def reset(self, seed: int) -> None:
+        """Re-seed the factory (restarts both the PRNG and the counter)."""
+        self._rng = random.Random(seed)
+        self._counter = 0

@@ -1,0 +1,79 @@
+"""Embedded word material for the fake URL generator.
+
+The paper uses the ``fake-factory`` Python package to generate "fake but
+human readable URLs" for its forgery experiments.  That package is not
+installable offline, so we embed a compact word corpus of our own; the
+attacks only care that candidates are plentiful, distinct and plausibly
+URL-shaped.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ADJECTIVES", "NOUNS", "VERBS", "TLDS", "SCHEMES", "SUBDOMAINS", "FILE_EXTENSIONS"]
+
+ADJECTIVES = (
+    "able", "actual", "agile", "amber", "ancient", "aqua", "atomic", "azure",
+    "bold", "brave", "bright", "broad", "bronze", "busy", "calm", "candid",
+    "casual", "chief", "civic", "clean", "clear", "clever", "cold", "cosmic",
+    "crimson", "curious", "daily", "dapper", "dark", "deep", "direct", "double",
+    "dynamic", "eager", "early", "east", "easy", "electric", "elegant", "epic",
+    "equal", "exact", "fair", "fast", "fierce", "fine", "firm", "first",
+    "fluent", "fresh", "frozen", "gentle", "giant", "glad", "global", "gold",
+    "grand", "green", "happy", "hardy", "hidden", "high", "honest", "humble",
+    "icy", "ideal", "indigo", "inner", "ivory", "jade", "jolly", "keen",
+    "kind", "large", "late", "lively", "local", "loyal", "lucid", "lunar",
+    "magic", "main", "major", "mellow", "merry", "mighty", "minor", "misty",
+    "modern", "narrow", "neat", "noble", "north", "novel", "olive", "open",
+    "orange", "pale", "patient", "plain", "polar", "prime", "proud", "pure",
+    "quick", "quiet", "rapid", "rare", "ready", "regal", "rich", "robust",
+    "rough", "round", "royal", "ruby", "rustic", "safe", "sage", "sandy",
+    "scarlet", "sharp", "shiny", "silent", "silver", "simple", "sleek", "slow",
+    "smart", "smooth", "snowy", "solar", "solid", "south", "spare", "stable",
+    "steady", "still", "stout", "strong", "subtle", "sunny", "super", "swift",
+    "tall", "tame", "teal", "tidy", "tiny", "topaz", "tough", "true",
+    "urban", "valid", "vast", "velvet", "vivid", "warm", "west", "wide",
+    "wild", "wise", "witty", "young", "zesty",
+)
+
+NOUNS = (
+    "anchor", "apple", "arch", "arrow", "atlas", "badge", "banner", "basin",
+    "beacon", "bell", "birch", "blade", "bloom", "board", "bolt", "book",
+    "booth", "branch", "brick", "bridge", "brook", "brush", "bucket", "cabin",
+    "cable", "candle", "canyon", "castle", "cedar", "chair", "chart", "cliff",
+    "cloud", "clover", "coast", "comet", "coral", "corner", "cotton", "course",
+    "crane", "crest", "crown", "crystal", "current", "dawn", "delta", "desk",
+    "dome", "door", "dune", "eagle", "ember", "engine", "falcon", "feather",
+    "fern", "field", "flame", "fleet", "flint", "forge", "fort", "fountain",
+    "fox", "frame", "garden", "gate", "glacier", "glen", "grove", "harbor",
+    "hawk", "hazel", "heron", "hill", "hollow", "horizon", "island", "ivy",
+    "jungle", "kernel", "kite", "lagoon", "lake", "lantern", "larch", "ledge",
+    "lens", "light", "lily", "lion", "lotus", "lynx", "maple", "marble",
+    "meadow", "mesa", "mill", "mirror", "moss", "mountain", "needle", "nest",
+    "oak", "ocean", "orbit", "orchard", "otter", "panel", "path", "peak",
+    "pearl", "pebble", "pine", "pillar", "plain", "planet", "plaza", "pond",
+    "portal", "prairie", "prism", "quarry", "quartz", "raven", "reef", "ridge",
+    "river", "rock", "root", "rose", "sail", "sand", "shell", "shore",
+    "signal", "sky", "slope", "sparrow", "spring", "spruce", "star", "stone",
+    "storm", "stream", "summit", "swan", "temple", "thorn", "tide", "timber",
+    "tower", "trail", "tree", "tulip", "valley", "vault", "vine", "walnut",
+    "wave", "well", "willow", "wind", "wolf", "yard",
+)
+
+VERBS = (
+    "archive", "blend", "boost", "browse", "build", "carve", "chase", "climb",
+    "craft", "create", "design", "discover", "draw", "drift", "explore", "find",
+    "fix", "float", "flow", "fly", "gather", "glide", "grow", "hunt",
+    "jump", "launch", "learn", "link", "list", "make", "map", "merge",
+    "paint", "plan", "play", "read", "ride", "run", "sail", "scan",
+    "search", "seek", "share", "shape", "show", "sketch", "spin", "start",
+    "store", "swim", "trace", "track", "trade", "travel", "view", "walk",
+    "watch", "weave", "write",
+)
+
+TLDS = ("com", "net", "org", "info", "biz", "io", "co", "dev", "app", "site")
+
+SCHEMES = ("http", "https")
+
+SUBDOMAINS = ("www", "blog", "shop", "news", "app", "api", "m", "cdn", "docs", "mail")
+
+FILE_EXTENSIONS = ("html", "php", "asp", "htm", "jsp")

@@ -1,0 +1,94 @@
+"""CraftingEngine: the brute-force forge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.crafting import CraftingEngine, expected_trials
+from repro.exceptions import CraftingBudgetExceeded, ParameterError
+from repro.hashing.crypto import SHA512
+from repro.hashing.recycling import RecyclingStrategy
+from repro.urlgen.faker import UrlFactory
+
+
+def make_engine(max_trials: int = 100_000) -> CraftingEngine:
+    return CraftingEngine(
+        RecyclingStrategy(SHA512()),
+        k=4,
+        m=256,
+        candidates=UrlFactory(seed=1).candidate_stream(),
+        max_trials=max_trials,
+    )
+
+
+def test_craft_satisfies_predicate():
+    engine = make_engine()
+    result = engine.craft(lambda idx: idx[0] < 32)
+    assert result.indexes[0] < 32
+    assert result.trials >= 1
+    assert engine.total_trials == result.trials
+
+
+def test_trivial_predicate_first_candidate():
+    engine = make_engine()
+    result = engine.craft(lambda idx: True)
+    assert result.trials == 1
+
+
+def test_budget_exceeded_raises_with_trial_count():
+    engine = make_engine(max_trials=50)
+    with pytest.raises(CraftingBudgetExceeded) as excinfo:
+        engine.craft(lambda idx: False)
+    assert excinfo.value.trials == 50
+    assert engine.total_trials == 50
+
+
+def test_craft_many_re_evaluates_predicate():
+    engine = make_engine()
+    seen: set[int] = set()
+
+    def predicate_factory():
+        taken = frozenset(seen)
+        return lambda idx: idx[0] not in taken
+
+    results = engine.craft_many(predicate_factory, 5)
+    for r in results:
+        seen.add(r.indexes[0])
+    assert len(results) == 5
+
+
+def test_craft_many_rejects_negative_count():
+    with pytest.raises(ParameterError):
+        make_engine().craft_many(lambda: (lambda idx: True), -1)
+
+
+def test_trial_accounting_accumulates():
+    engine = make_engine()
+    first = engine.craft(lambda idx: idx[0] % 8 == 0)
+    second = engine.craft(lambda idx: idx[0] % 8 == 1)
+    assert engine.total_trials == first.trials + second.trials
+
+
+def test_expected_trials():
+    assert expected_trials(0.5) == 2.0
+    assert expected_trials(1.0) == 1.0
+    with pytest.raises(ParameterError):
+        expected_trials(0.0)
+    with pytest.raises(ParameterError):
+        expected_trials(1.5)
+
+
+def test_measured_trials_match_geometric_expectation():
+    # Predicate with known probability 1/8: mean trials over many crafts
+    # should land near 8.
+    engine = make_engine(max_trials=10_000)
+    results = [engine.craft(lambda idx: idx[0] % 8 == 3) for _ in range(120)]
+    mean_trials = sum(r.trials for r in results) / len(results)
+    assert 5.5 <= mean_trials <= 11.0
+
+
+def test_invalid_construction():
+    with pytest.raises(ParameterError):
+        CraftingEngine(RecyclingStrategy(SHA512()), 0, 10, [], 10)
+    with pytest.raises(ParameterError):
+        CraftingEngine(RecyclingStrategy(SHA512()), 2, 10, [], 0)

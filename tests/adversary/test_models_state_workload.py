@@ -1,0 +1,126 @@
+"""Adversary models, state oracles, and workload builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.models import (
+    ALL_MODELS,
+    CHOSEN_INSERTION,
+    DELETION,
+    QUERY_ONLY,
+    AdversaryGoal,
+)
+from repro.adversary.state import bit_oracle
+from repro.adversary.workload import (
+    adversarial_insertions,
+    honest_insertions,
+    mixed_insertions,
+)
+from repro.core.bloom import BloomFilter
+from repro.core.cache_digest import CacheDigest
+from repro.core.counting import CountingBloomFilter
+from repro.core.partitioned import PartitionedBloomFilter
+from repro.exceptions import ParameterError
+
+
+# --- models -----------------------------------------------------------------
+
+def test_three_models_in_paper_order():
+    assert [m.name for m in ALL_MODELS] == ["chosen-insertion", "query-only", "deletion"]
+
+
+def test_capability_matrix():
+    assert CHOSEN_INSERTION.can_insert and not CHOSEN_INSERTION.can_delete
+    assert not QUERY_ONLY.can_insert and QUERY_ONLY.can_query
+    assert DELETION.can_delete and not DELETION.can_insert
+
+
+def test_goal_permissions():
+    assert CHOSEN_INSERTION.permits(AdversaryGoal.POLLUTION)
+    assert CHOSEN_INSERTION.permits(AdversaryGoal.SATURATION)
+    assert not CHOSEN_INSERTION.permits(AdversaryGoal.FALSE_NEGATIVE)
+    assert QUERY_ONLY.permits(AdversaryGoal.FALSE_POSITIVE)
+    assert QUERY_ONLY.permits(AdversaryGoal.LATENCY)
+    assert DELETION.permits(AdversaryGoal.FALSE_NEGATIVE)
+
+
+# --- state oracle -----------------------------------------------------------
+
+def test_oracle_bloom():
+    bf = BloomFilter(64, 2)
+    bf.add_indexes([5])
+    oracle = bit_oracle(bf)
+    assert oracle(5) and not oracle(6)
+
+
+def test_oracle_counting():
+    cbf = CountingBloomFilter(64, 2)
+    cbf.add_indexes([9])
+    oracle = bit_oracle(cbf)
+    assert oracle(9) and not oracle(10)
+
+
+def test_oracle_cache_digest():
+    cd = CacheDigest(10)
+    cd.add("http://a.example/")
+    oracle = bit_oracle(cd)
+    assert any(oracle(i) for i in cd.indexes("http://a.example/"))
+
+
+def test_oracle_partitioned():
+    pf = PartitionedBloomFilter(64, 2)
+    pf.add("x")
+    oracle = bit_oracle(pf)
+    assert all(oracle(i) for i in pf.indexes("x"))
+
+
+def test_oracle_duck_typed_adapter():
+    class Shim:
+        def __init__(self):
+            self.bits = BloomFilter(16, 1).bits
+            self.bits.set(3)
+
+    oracle = bit_oracle(Shim())
+    assert oracle(3) and not oracle(4)
+
+
+def test_oracle_rejects_unknown():
+    with pytest.raises(TypeError):
+        bit_oracle(object())
+
+
+# --- workloads --------------------------------------------------------------
+
+def test_honest_trace_shape(small_filter):
+    trace = honest_insertions(small_filter, 50, seed=3)
+    assert len(trace.items) == len(trace.fpp) == len(trace.weight) == 50
+    assert not any(trace.crafted)
+    assert trace.weight[-1] == small_filter.hamming_weight
+
+
+def test_adversarial_trace_weight_is_nk(small_filter):
+    trace = adversarial_insertions(small_filter, 40, seed=4)
+    assert all(trace.crafted)
+    assert trace.weight[-1] == 40 * small_filter.k
+
+
+def test_mixed_trace_concatenates(small_filter):
+    trace = mixed_insertions(small_filter, honest_count=30, adversarial_count=20)
+    assert len(trace.items) == 50
+    assert trace.crafted[:30] == [False] * 30
+    assert trace.crafted[30:] == [True] * 20
+
+
+def test_threshold_crossing(small_filter):
+    trace = adversarial_insertions(small_filter, 100, seed=9)
+    crossing = trace.threshold_crossing(trace.fpp[49])
+    assert crossing == 50 + 1  # first strictly-greater index
+    assert trace.threshold_crossing(2.0) is None
+
+
+def test_negative_counts_rejected(small_filter):
+    with pytest.raises(ParameterError):
+        honest_insertions(small_filter, -1)
+    with pytest.raises(ParameterError):
+        adversarial_insertions(small_filter, -1)

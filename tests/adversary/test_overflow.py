@@ -1,0 +1,118 @@
+"""Counter-overflow attack: the nk = a + 16b wipe (paper Section 6.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.overflow import CounterOverflowAttack, plan_overflow
+from repro.core.counters import OverflowPolicy
+from repro.core.counting import CountingBloomFilter
+from repro.exceptions import ParameterError
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+from repro.hashing.murmur import murmur3_x64_128
+
+
+def test_plan_residue_matches_paper_arithmetic():
+    # nk = a + 16b: the residue counter ends at a = nk mod 16.
+    plan = plan_overflow(n=100, k=7)
+    assert plan.total_items == 100
+    assert plan.residue_value == (100 * 7) % 16
+    # Full groups of 16 items (16*7 = 112 = 7*16 increments ≡ 0 mod 16).
+    full_groups = [c for c, t in plan.assignments.items() if t == 16]
+    assert len(full_groups) == 6
+
+
+def test_plan_exact_wipe_when_divisible():
+    plan = plan_overflow(n=64, k=7)  # 64*7 = 448 = 28*16
+    assert plan.residue_value == 0
+
+
+def test_plan_respects_filter_size():
+    with pytest.raises(ParameterError):
+        plan_overflow(n=10_000, k=1, counter_bits=4, m=4)
+
+
+def test_plan_validation():
+    with pytest.raises(ParameterError):
+        plan_overflow(0, 7)
+    with pytest.raises(ParameterError):
+        plan_overflow(10, 7, counter_bits=0)
+
+
+def test_forged_key_hits_single_counter(dablooms_slice):
+    attack = CounterOverflowAttack(dablooms_slice)
+    key = attack.forge_key(counter=17, variant=3)
+    indexes = dablooms_slice.indexes(key)
+    assert set(indexes) == {17}
+    h1, h2 = murmur3_x64_128(key, 0)
+    assert h2 == 0 and h1 % dablooms_slice.m == 17
+
+
+def test_forged_keys_are_distinct(dablooms_slice):
+    attack = CounterOverflowAttack(dablooms_slice)
+    keys = {attack.forge_key(5, v) for v in range(20)}
+    assert len(keys) == 20
+
+
+def test_forge_key_validation(dablooms_slice):
+    attack = CounterOverflowAttack(dablooms_slice)
+    with pytest.raises(ParameterError):
+        attack.forge_key(dablooms_slice.m, 0)  # out of range
+    with pytest.raises(ParameterError):
+        attack.forge_key(0, 2**60)  # h1 would overflow 64 bits
+
+
+def test_full_wipe(dablooms_slice):
+    attack = CounterOverflowAttack(dablooms_slice)
+    report = attack.run(64)  # 64 * 7 increments ≡ 0 mod 16
+    assert report.items_inserted == 64
+    assert report.nonzero_counters_after == 0
+    assert report.wiped
+    assert report.lost_keys == 64  # nothing inserted is found again
+    assert len(dablooms_slice) == 64  # yet the filter believes it is filling
+
+
+def test_partial_wipe_leaves_residue(dablooms_slice):
+    attack = CounterOverflowAttack(dablooms_slice)
+    report = attack.run(100)  # residue a = 700 mod 16 = 12
+    assert report.nonzero_counters_after == 1
+    assert report.wiped
+    assert report.overflow_events > 0
+
+
+def test_requires_km_strategy():
+    plain = CountingBloomFilter(100, 4, overflow=OverflowPolicy.WRAP)
+    with pytest.raises(ParameterError):
+        CounterOverflowAttack(plain)
+
+
+def test_requires_wrapping_counters():
+    saturating = CountingBloomFilter(
+        100, 4, strategy=KirschMitzenmacherStrategy(), overflow=OverflowPolicy.SATURATE
+    )
+    with pytest.raises(ParameterError):
+        CounterOverflowAttack(saturating)
+
+
+def test_requires_block_aligned_prefix(dablooms_slice):
+    with pytest.raises(ParameterError):
+        CounterOverflowAttack(dablooms_slice, prefix=b"http://evil.ex/")  # 15 bytes
+
+
+def test_saturating_counters_defeat_the_attack():
+    # Ablation: with SATURATE the same forged keys cannot wipe anything.
+    target = CountingBloomFilter(
+        958, 7, strategy=KirschMitzenmacherStrategy(), counter_bits=4,
+        overflow=OverflowPolicy.WRAP,
+    )
+    attack = CounterOverflowAttack(target)
+    keys = [attack.forge_key(5, v) for v in range(16)]
+
+    saturating = CountingBloomFilter(
+        958, 7, strategy=KirschMitzenmacherStrategy(), counter_bits=4,
+        overflow=OverflowPolicy.SATURATE,
+    )
+    for key in keys:
+        saturating.add(key)
+    assert saturating.counters.get(5) == 15  # pinned at max, still present
+    assert all(key in saturating for key in keys)

@@ -1,0 +1,108 @@
+"""Pollution attack: eq. (6) crafting, weight inflation, Fig. 3 numbers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary.pollution import (
+    PollutionAttack,
+    expected_pollution_trials,
+    pollution_success_probability,
+)
+from repro.core.bloom import BloomFilter
+from repro.core.counting import CountingBloomFilter
+from repro.exceptions import ParameterError
+
+
+def test_each_crafted_item_sets_k_fresh_bits(small_filter):
+    attack = PollutionAttack(small_filter)
+    report = attack.run(30)
+    assert report.weight_after == 30 * small_filter.k
+    assert report.weight_before == 0
+
+
+def test_crafted_indexes_satisfy_eq6(small_filter):
+    attack = PollutionAttack(small_filter)
+    result = attack.craft_one()
+    assert len(set(result.indexes)) == small_filter.k
+    assert not any(small_filter.bits.get(i) for i in result.indexes)
+
+
+def test_fpp_curve_matches_nk_over_m(small_filter):
+    attack = PollutionAttack(small_filter)
+    report = attack.run(25)
+    for i, fpp in enumerate(report.fpp_curve, start=1):
+        assert fpp == pytest.approx((i * small_filter.k / small_filter.m) ** small_filter.k)
+
+
+def test_attack_beats_honest_expectation(small_filter):
+    attack = PollutionAttack(small_filter)
+    attack.run(100)
+    honest_weight = small_filter.m * (1 - math.exp(-100 * 4 / small_filter.m))
+    assert small_filter.hamming_weight > honest_weight
+
+
+def test_run_without_insert_returns_items_only(small_filter):
+    attack = PollutionAttack(small_filter)
+    report = attack.run(5, insert=False)
+    assert small_filter.hamming_weight == 0
+    assert len(report.items) == 5
+
+
+def test_works_on_counting_filter():
+    cbf = CountingBloomFilter(1000, 3)
+    attack = PollutionAttack(cbf)
+    attack.run(20)
+    assert cbf.hamming_weight == 60
+
+
+def test_free_insertions_matches_birthday(small_filter):
+    attack = PollutionAttack(small_filter)
+    assert attack.free_insertions() == math.ceil(math.sqrt(3200) / 4)
+
+
+def test_report_totals(small_filter):
+    attack = PollutionAttack(small_filter)
+    report = attack.run(10)
+    assert report.total_trials == sum(r.trials for r in report.crafted)
+    assert len(report.items) == 10
+
+
+def test_success_probability_paper_vs_ordered():
+    paper = pollution_success_probability(3200, 400, 4, paper_formula=True)
+    ordered = pollution_success_probability(3200, 400, 4, paper_formula=False)
+    assert ordered == pytest.approx(paper * math.factorial(4))
+
+
+def test_success_probability_zero_when_no_room():
+    assert pollution_success_probability(100, 98, 4) == 0.0
+    assert expected_pollution_trials(100, 98, 4) == math.inf
+
+
+def test_success_probability_validation():
+    with pytest.raises(ParameterError):
+        pollution_success_probability(0, 0, 4)
+    with pytest.raises(ParameterError):
+        pollution_success_probability(100, 101, 4)
+
+
+def test_trials_grow_as_filter_fills(small_filter):
+    attack = PollutionAttack(small_filter)
+    early = attack.run(50).total_trials / 50
+    # Push the filter much fuller, then measure again.
+    attack.run(500)
+    late_report = attack.run(25)
+    late = late_report.total_trials / 25
+    assert late > early
+
+
+def test_fig3_threshold_crossed_at_422(small_filter):
+    # Analytic: (nk/m)^k > 0.077 first at n = 422.
+    attack = PollutionAttack(small_filter)
+    report = attack.run(430)
+    crossing = next(
+        i + 1 for i, f in enumerate(report.fpp_curve) if f > 0.077
+    )
+    assert crossing == 422

@@ -1,0 +1,86 @@
+"""Table 1 formulas and the feasibility ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.probabilities import (
+    attack_ordering,
+    deletion_overlap_probability,
+    deletion_probability_paper,
+    fp_forgery_bounds,
+    second_preimage_bloom,
+    second_preimage_hash,
+)
+from repro.exceptions import ParameterError
+
+
+def test_second_preimage_hash():
+    assert second_preimage_hash(160) == 2.0**-160
+    assert second_preimage_hash(32) == 2.0**-32
+    with pytest.raises(ParameterError):
+        second_preimage_hash(0)
+
+
+def test_second_preimage_bloom_much_easier_than_hash():
+    # Only k*log2(m) digest bits matter: 1/m^k >> 2^-l.
+    bloom = second_preimage_bloom(3200, 4)
+    assert bloom == pytest.approx(3200.0**-4)
+    assert bloom > second_preimage_hash(160) * 1e20
+
+
+def test_fp_forgery_bounds_bracket_the_rate():
+    lower, upper = fp_forgery_bounds(3200, 4)
+    assert lower == pytest.approx((4 / 3200) ** 4)
+    assert upper == 0.5**4
+    from repro.adversary.query import false_positive_success_probability
+
+    for weight in (4, 800, 1600):
+        rate = false_positive_success_probability(3200, weight, 4)
+        assert lower <= rate <= upper + 1e-12
+
+
+def test_deletion_paper_formula_verbatim():
+    # Reproduced exactly as printed -- it exceeds 1 for k > 1.
+    value = deletion_probability_paper(3200, 4)
+    assert value > 1.0
+    assert value == pytest.approx(
+        sum(
+            __import__("math").comb(4, i) * (3200 - i) ** 4 for i in range(1, 5)
+        )
+        / 3200**4
+    )
+
+
+def test_deletion_paper_formula_is_probability_for_k1():
+    value = deletion_probability_paper(3200, 1)
+    assert 0 < value < 1
+    assert value == pytest.approx((3200 - 1) / 3200)
+
+
+def test_deletion_overlap_probability():
+    p = deletion_overlap_probability(3200, 4)
+    assert p == pytest.approx(1 - ((3200 - 4) / 3200) ** 4)
+    assert 0 < p < 1
+    with pytest.raises(ParameterError):
+        deletion_overlap_probability(4, 4)
+
+
+def test_ordering_matches_paper_low_occupancy():
+    # Early in the filter's life: pollution easiest, deletion hardest.
+    ranked = attack_ordering(3200, 4, weight=400)
+    names = [name for name, _ in ranked]
+    assert names[0] == "pollution"
+    assert names[-1] == "deletion"
+
+
+def test_ordering_probabilities_are_sorted():
+    ranked = attack_ordering(3200, 4, weight=1000)
+    values = [p for _, p in ranked]
+    assert values == sorted(values, reverse=True)
+
+
+def test_forgery_overtakes_pollution_past_half_full():
+    # The crossover: once W > m/2, forging FPs becomes easier than polluting.
+    ranked = attack_ordering(3200, 4, weight=2400)
+    assert ranked[0][0] == "false-positive forgery"

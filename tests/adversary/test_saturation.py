@@ -1,0 +1,64 @@
+"""Saturation attack: m/k chosen items vs coupon-collector baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.saturation import SaturationAttack, random_saturation_count
+from repro.core.analysis import coupon_collector_items
+from repro.core.bloom import BloomFilter
+from repro.exceptions import ParameterError
+
+
+def test_saturates_with_m_over_k_items():
+    bf = BloomFilter(400, 4)
+    attack = SaturationAttack(bf)
+    report = attack.run()
+    assert report.saturated
+    assert report.insertions == 100 == attack.theoretical_items()
+    assert report.fill_ratio == 1.0
+
+
+def test_saturation_with_remainder():
+    bf = BloomFilter(103, 4)  # 103 = 25*4 + 3: last batch is padded
+    report = SaturationAttack(bf).run()
+    assert report.saturated
+    assert report.insertions == 26
+
+
+def test_saturated_filter_accepts_everything():
+    bf = BloomFilter(256, 4)
+    SaturationAttack(bf).run()
+    assert all(f"anything-{i}" in bf for i in range(50))
+
+
+def test_partial_presaturation_needs_fewer_items():
+    bf = BloomFilter(400, 4)
+    bf.add_indexes(range(200))  # half the filter already set
+    report = SaturationAttack(bf).run()
+    assert report.saturated
+    assert report.insertions == 50  # only the 200 remaining zeros / 4
+
+
+def test_random_baseline_larger_by_log_m():
+    bf = BloomFilter(500, 4)
+    attack = SaturationAttack(bf)
+    assert attack.random_baseline_items() == coupon_collector_items(500, 4)
+    assert attack.random_baseline_items() > 5 * attack.theoretical_items()
+
+
+def test_random_saturation_simulation_close_to_theory():
+    m, k = 300, 3
+    counts = [
+        random_saturation_count(m, k, random.Random(seed)) for seed in range(5)
+    ]
+    mean = sum(counts) / len(counts)
+    theory = coupon_collector_items(m, k)
+    assert 0.6 * theory <= mean <= 1.6 * theory
+
+
+def test_random_saturation_validation():
+    with pytest.raises(ParameterError):
+        random_saturation_count(0, 3)

@@ -1,0 +1,130 @@
+"""Dablooms service and its three attacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dablooms.attack import (
+    DabloomsOverflowAttack,
+    DabloomsPollutionAttack,
+    SecondPreimageDeletion,
+)
+from repro.apps.dablooms.service import ShorteningService
+from repro.exceptions import ParameterError
+
+
+# --- service -------------------------------------------------------------------
+
+def test_shorten_clean_url():
+    service = ShorteningService(slice_capacity=100)
+    result = service.shorten("http://fine.example/")
+    assert result.allowed and result.short_code.startswith("bit.ly/")
+    assert service.shortened == 1
+
+
+def test_reported_url_is_refused():
+    service = ShorteningService(slice_capacity=100)
+    service.report_malicious("http://phish.example/steal")
+    result = service.shorten("http://phish.example/steal")
+    assert not result.allowed
+    assert result.flagged_malicious
+    assert service.refused == 1
+
+
+def test_retract_unblocks():
+    service = ShorteningService(slice_capacity=100)
+    service.report_malicious("http://phish.example/x")
+    assert service.retract_malicious("http://phish.example/x")
+    assert service.shorten("http://phish.example/x").allowed
+
+
+def test_shorten_requires_url():
+    service = ShorteningService(slice_capacity=10)
+    with pytest.raises(ParameterError):
+        service.shorten("")
+
+
+def test_short_codes_unique():
+    service = ShorteningService(slice_capacity=10)
+    codes = {service.shorten(f"http://u{i}.example/").short_code for i in range(50)}
+    assert len(codes) == 50
+
+
+# --- pollution (Fig. 8 mechanics at small scale) --------------------------------
+
+def test_pollution_raises_compound_fpp():
+    polluted_service = ShorteningService(slice_capacity=150, f0=0.05)
+    polluted = DabloomsPollutionAttack(polluted_service, seed=1).run(
+        total_slices=2, polluted_last=2
+    )
+    honest_service = ShorteningService(slice_capacity=150, f0=0.05)
+    honest = DabloomsPollutionAttack(honest_service, seed=1).run(
+        total_slices=2, polluted_last=0
+    )
+    assert polluted.final_fpp > 2 * honest.final_fpp
+    assert polluted.crafting_trials > 0
+    assert honest.crafting_trials == 0
+
+
+def test_partial_pollution_hits_only_last_slices():
+    service = ShorteningService(slice_capacity=120, f0=0.05)
+    report = DabloomsPollutionAttack(service, seed=2).run(
+        total_slices=3, polluted_last=1
+    )
+    assert report.polluted_slices == [2]
+    slices = service.blocklist.slices
+    # The polluted slice carries exactly capacity*k nonzero counters.
+    assert slices[2].hamming_weight == 120 * slices[2].k
+    assert slices[0].hamming_weight < 120 * slices[0].k
+
+
+def test_pollution_validation():
+    service = ShorteningService(slice_capacity=10)
+    with pytest.raises(ParameterError):
+        DabloomsPollutionAttack(service).run(total_slices=2, polluted_last=3)
+
+
+# --- second pre-image deletion ---------------------------------------------------
+
+def test_doppelganger_shares_index_set():
+    service = ShorteningService(slice_capacity=50)
+    attack = SecondPreimageDeletion(service)
+    victim = "http://really-bad.example/malware"
+    forged = attack.forge_doppelganger(victim)
+    blocklist = service.blocklist
+    assert forged != victim.encode()
+    assert blocklist.strategy.indexes(forged, 7, 1000) == blocklist.strategy.indexes(
+        victim, 7, 1000
+    )
+
+
+def test_erase_victim_without_knowing_insertions():
+    service = ShorteningService(slice_capacity=50)
+    victim = "http://really-bad.example/phish"
+    service.report_malicious(victim)
+    assert service.is_blocked(victim)
+    attack = SecondPreimageDeletion(service)
+    assert attack.erase(victim)
+    assert service.shorten(victim).allowed  # malicious URL now sails through
+
+
+def test_second_preimage_requires_km_strategy():
+    service = ShorteningService(slice_capacity=10)
+    service.blocklist.strategy = object()  # break the expected pipeline
+    with pytest.raises(ParameterError):
+        SecondPreimageDeletion(service)
+
+
+# --- counter overflow -------------------------------------------------------------
+
+def test_overflow_marks_slice_full_but_empty():
+    service = ShorteningService(slice_capacity=64)
+    report = DabloomsOverflowAttack(service).run()
+    assert report.items_inserted == 64
+    assert report.nonzero_counters_after <= 1
+    assert report.lost_keys >= 60
+    blocklist = service.blocklist
+    assert blocklist.slice_fill(0) == 64  # "full" by the insertion counter
+    # Next report scales to a brand-new slice: memory wasted.
+    service.report_malicious("http://next.example/")
+    assert blocklist.slice_count == 2

@@ -1,0 +1,47 @@
+"""LOAF: the untrusted-maintainer boundary case."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.loaf import LoafMessage, LoafReceiver, forge_all_ones_filter
+from repro.core.bloom import BloomFilter
+from repro.exceptions import ParameterError
+
+
+def honest_message(friends: list[str]) -> LoafMessage:
+    book = BloomFilter(1024, 4)
+    for friend in friends:
+        book.add(friend)
+    return LoafMessage(
+        sender="honest@mail.example",
+        address_book_filter=book.to_bytes(),
+        filter_m=1024,
+        filter_k=4,
+    )
+
+
+def test_honest_filter_whitelists_friends_only():
+    receiver = LoafReceiver()
+    message = honest_message(["alice@x.example", "bob@y.example"])
+    assert receiver.is_whitelisted("alice@x.example", message)
+    assert not receiver.is_whitelisted("mallory@spam.example", message)
+
+
+def test_forged_filter_whitelists_the_world():
+    receiver = LoafReceiver()
+    forged = forge_all_ones_filter()
+    addresses = [f"victim-{i}@anywhere.example" for i in range(100)]
+    assert all(receiver.is_whitelisted(a, forged) for a in addresses)
+    assert receiver.whitelist_hits == 100
+
+
+def test_forged_filter_is_fully_saturated():
+    forged = forge_all_ones_filter(m=64, k=2)
+    restored = BloomFilter.from_bytes(64, 2, forged.address_book_filter)
+    assert restored.bits.hamming_weight() == 64
+
+
+def test_forge_validation():
+    with pytest.raises(ParameterError):
+        forge_all_ones_filter(m=0)

@@ -1,0 +1,135 @@
+"""Scrapy simulation: web graph, dupe filters, spider mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.scrapy.dupefilter import (
+    BloomDupeFilter,
+    FingerprintSetDupeFilter,
+    SCRAPY_FINGERPRINT_BYTES,
+)
+from repro.apps.scrapy.spider import Spider
+from repro.apps.scrapy.webgraph import WebGraph
+from repro.exceptions import ParameterError
+
+
+# --- web graph ----------------------------------------------------------------
+
+def test_random_site_reachable_and_sized():
+    site = WebGraph.random_site("victim.example", 100, seed=1)
+    assert len(site) == 100
+    root = site.urls()[0]
+    assert root == "http://victim.example/"
+    # BFS from the root reaches every page (tree links guarantee it).
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        url = frontier.pop()
+        for link in site.links_of(url):
+            if link not in seen:
+                seen.add(link)
+                frontier.append(link)
+    assert seen == set(site.urls())
+
+
+def test_random_site_deterministic():
+    a = WebGraph.random_site("x.example", 30, seed=7)
+    b = WebGraph.random_site("x.example", 30, seed=7)
+    assert a.urls() == b.urls()
+    assert all(a.links_of(u) == b.links_of(u) for u in a.urls())
+
+
+def test_links_of_unknown_is_empty():
+    assert WebGraph().links_of("http://nowhere.example/") == []
+
+
+def test_merge():
+    a = WebGraph()
+    a.add_page("http://a.example/", links=["http://a.example/1"])
+    b = WebGraph()
+    b.add_page("http://b.example/")
+    a.merge(b)
+    assert "http://b.example/" in a
+    assert len(a) == 2
+
+
+def test_random_site_validation():
+    with pytest.raises(ParameterError):
+        WebGraph.random_site("x", 0)
+
+
+# --- dupe filters ---------------------------------------------------------------
+
+def test_fingerprint_filter_exact():
+    df = FingerprintSetDupeFilter()
+    assert df.seen("http://a.example/") is False
+    assert df.seen("http://a.example/") is True
+    assert df.seen("http://b.example/") is False
+    assert df.marked == 2
+    assert df.memory_bytes() == 2 * SCRAPY_FINGERPRINT_BYTES
+
+
+def test_bloom_filter_check_and_mark():
+    df = BloomDupeFilter(capacity=100, error_rate=0.01)
+    assert df.seen("http://a.example/") is False
+    assert df.seen("http://a.example/") is True
+
+
+def test_bloom_filter_memory_far_smaller():
+    exact = FingerprintSetDupeFilter()
+    bloom = BloomDupeFilter(capacity=10_000, error_rate=0.001)
+    for i in range(10_000):
+        exact.seen(f"http://page-{i}.example/")
+    # The paper's motivation: Bloom dedup is an order of magnitude smaller.
+    assert bloom.memory_bytes() < exact.memory_bytes() / 10
+
+
+# --- spider ---------------------------------------------------------------------
+
+def test_full_crawl_with_exact_filter():
+    site = WebGraph.random_site("v.example", 80, seed=2)
+    spider = Spider(site, FingerprintSetDupeFilter())
+    stats = spider.crawl([site.urls()[0]])
+    assert stats.pages_crawled == 80
+    assert stats.coverage_of(site.urls()) == 1.0
+    assert stats.skipped_as_duplicate > 0  # cross links hit the filter
+
+
+def test_crawl_respects_max_pages():
+    site = WebGraph.random_site("v.example", 60, seed=3)
+    spider = Spider(site, FingerprintSetDupeFilter(), max_pages=10)
+    stats = spider.crawl([site.urls()[0]])
+    assert stats.pages_crawled == 10
+
+
+def test_seen_start_url_is_skipped():
+    site = WebGraph.random_site("v.example", 10, seed=4)
+    df = FingerprintSetDupeFilter()
+    df.seen(site.urls()[0])  # pre-mark the root
+    spider = Spider(site, df)
+    stats = spider.crawl([site.urls()[0]])
+    assert stats.pages_crawled == 0
+    assert stats.skipped_as_duplicate == 1
+
+
+def test_crawl_twice_is_idempotent():
+    site = WebGraph.random_site("v.example", 25, seed=5)
+    spider = Spider(site, FingerprintSetDupeFilter())
+    first = spider.crawl([site.urls()[0]])
+    second = spider.crawl([site.urls()[0]])
+    assert first.pages_crawled == 25
+    assert second.pages_crawled == 0
+
+
+def test_coverage_requires_urls():
+    site = WebGraph.random_site("v.example", 5, seed=6)
+    spider = Spider(site, FingerprintSetDupeFilter())
+    stats = spider.crawl([site.urls()[0]])
+    with pytest.raises(ParameterError):
+        stats.coverage_of([])
+
+
+def test_invalid_max_pages():
+    with pytest.raises(ParameterError):
+        Spider(WebGraph(), FingerprintSetDupeFilter(), max_pages=0)

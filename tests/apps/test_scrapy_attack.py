@@ -1,0 +1,81 @@
+"""The blinding and ghost-hiding attacks against the spider."""
+
+from __future__ import annotations
+
+from repro.apps.scrapy.attack import BlindingAttack, GhostHidingAttack
+from repro.apps.scrapy.dupefilter import BloomDupeFilter
+from repro.apps.scrapy.spider import Spider
+from repro.apps.scrapy.webgraph import WebGraph
+
+
+def test_blinding_reduces_victim_coverage():
+    victim = WebGraph.random_site("victim.example", 200, seed=11)
+    attack = BlindingAttack(
+        dupefilter_capacity=600, dupefilter_error_rate=0.05, seed=0xBAD
+    )
+    report = attack.run(victim, n_links=500)
+    assert report.victim_coverage_baseline == 1.0
+    assert report.victim_coverage_attacked < report.victim_coverage_baseline
+    assert report.blinded_fraction > 0.02
+    assert report.filter_fpp_after_attack > 0.01
+
+
+def test_blinding_scales_with_link_count():
+    victim = WebGraph.random_site("victim.example", 150, seed=12)
+    small = BlindingAttack(400, 0.05, seed=1).run(victim, n_links=100)
+    large = BlindingAttack(400, 0.05, seed=1).run(victim, n_links=500)
+    assert large.filter_fpp_after_attack > small.filter_fpp_after_attack
+    assert large.victim_coverage_attacked <= small.victim_coverage_attacked + 0.02
+
+
+def test_adversary_site_links_pollute_shadow_exactly():
+    attack = BlindingAttack(300, 0.05, seed=13)
+    site, trials = attack.build_adversary_site(n_links=50)
+    assert trials >= 50
+    root_links = site.links_of(attack.root_url)
+    assert len(root_links) == 50
+    # Replay: inserting root + links in order sets k fresh bits each time.
+    reference = BloomDupeFilter(300, 0.05)
+    reference.seen(attack.root_url)
+    weight_before = reference.filter.hamming_weight
+    for link in root_links:
+        reference.seen(link)
+    added = reference.filter.hamming_weight - weight_before
+    assert added == 50 * reference.filter.k
+
+
+def test_exact_dupefilter_immune_to_blinding():
+    # Ablation: the same adversary site cannot blind the fingerprint filter.
+    from repro.apps.scrapy.dupefilter import FingerprintSetDupeFilter
+
+    victim = WebGraph.random_site("victim.example", 100, seed=14)
+    attack = BlindingAttack(400, 0.05, seed=2)
+    site, _ = attack.build_adversary_site(n_links=300)
+    world = WebGraph().merge(site).merge(victim)
+    spider = Spider(world, FingerprintSetDupeFilter())
+    spider.crawl([attack.root_url])
+    stats = spider.crawl([victim.urls()[0]])
+    assert stats.coverage_of(victim.urls()) == 1.0
+
+
+def test_ghost_hiding_end_to_end():
+    world = WebGraph.random_site("public.example", 120, seed=15)
+    df = BloomDupeFilter(800, 0.05)
+    attack = GhostHidingAttack(df, seed=0x6057)
+    report = attack.run(world, crawl_first=["http://public.example/"])
+    assert not report.ghost_crawled  # the spider believed it had seen it
+    assert report.decoys_crawled == len(report.decoys) + 1  # root + decoys
+    assert report.crafting_trials > 0
+
+
+def test_ghost_stays_hidden_after_more_crawling():
+    # Bits only get set: a ghost forged now is a false positive forever.
+    world = WebGraph.random_site("public.example", 60, seed=16)
+    df = BloomDupeFilter(500, 0.05)
+    attack = GhostHidingAttack(df, seed=3)
+    report = attack.run(world, crawl_first=["http://public.example/"])
+    more = WebGraph.random_site("later.example", 40, seed=17)
+    world.merge(more)
+    spider = Spider(world, df)
+    spider.crawl(["http://later.example/"])
+    assert df.seen(report.ghost_url) is True  # still "seen"

@@ -1,0 +1,115 @@
+"""Squid simulation: proxies, digests, sibling protocol, the attack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.squid.attack import CacheDigestAttack
+from repro.apps.squid.httpsim import OriginServer, SimClock
+from repro.apps.squid.proxy import SquidProxy
+from repro.apps.squid.siblings import make_sibling_pair
+from repro.exceptions import ParameterError
+
+
+def test_clock_advances_monotonically():
+    clock = SimClock()
+    clock.advance(5)
+    clock.advance(0)
+    assert clock.now_ms == 5
+    with pytest.raises(ParameterError):
+        clock.advance(-1)
+
+
+def test_origin_serves_deterministic_content():
+    origin = OriginServer()
+    a = origin.fetch("http://x.example/")
+    assert a == origin.fetch("http://x.example/")
+    assert origin.requests == 2
+
+
+def test_local_cache_hit_is_free():
+    pair = make_sibling_pair()
+    pair.proxy1.client_fetch("http://page.example/")
+    outcome = pair.proxy1.client_fetch("http://page.example/")
+    assert outcome.source == "local"
+    assert outcome.latency_ms == 0
+
+
+def test_miss_goes_to_origin_without_digests():
+    pair = make_sibling_pair()
+    outcome = pair.proxy2.client_fetch("http://fresh.example/")
+    assert outcome.source == "origin"
+    assert outcome.latency_ms == 50.0
+
+
+def test_true_sibling_hit_saves_origin_fetch():
+    pair = make_sibling_pair()
+    pair.proxy1.client_fetch("http://shared.example/")
+    pair.exchange_digests()
+    outcome = pair.proxy2.client_fetch("http://shared.example/")
+    assert outcome.source == "sibling"
+    assert outcome.latency_ms == 10.0  # one RTT, no origin trip
+    assert pair.proxy2.stats.sibling_hits == 1
+
+
+def test_digest_false_hit_wastes_a_round_trip():
+    pair = make_sibling_pair()
+    for i in range(60):
+        pair.proxy1.client_fetch(f"http://fill-{i}.example/")
+    pair.exchange_digests()
+    # Find a URL the digest wrongly claims (dense digest -> false positives).
+    digest = pair.proxy1.digest
+    probe = None
+    for i in range(100_000):
+        candidate = f"http://probe-{i}.example/"
+        if candidate in digest and candidate not in pair.proxy1.cache:
+            probe = candidate
+            break
+    assert probe is not None, "no digest false positive found (unexpected)"
+    outcome = pair.proxy2.client_fetch(probe)
+    assert outcome.source == "origin"
+    assert outcome.sibling_false_hits == 1
+    assert outcome.latency_ms == 60.0  # wasted RTT + origin
+
+
+def test_proxy_cannot_sibling_itself():
+    pair = make_sibling_pair()
+    with pytest.raises(ParameterError):
+        pair.proxy1.add_sibling(pair.proxy1)
+
+
+def test_digest_rebuild_reflects_cache():
+    pair = make_sibling_pair()
+    pair.proxy1.client_fetch("http://one.example/")
+    digest = pair.proxy1.rebuild_digest()
+    assert "http://one.example/" in digest
+    assert digest.m == 5 * 1 + 7
+
+
+def test_stats_false_hit_rate():
+    pair = make_sibling_pair()
+    assert pair.proxy2.stats.false_hit_rate() == 0.0
+
+
+# --- the Section 7 attack -----------------------------------------------------
+
+def test_attack_reproduces_paper_shape():
+    attack = CacheDigestAttack(clean_urls=51, added_urls=100, probes=100, seed=7)
+    polluted, control = attack.run()
+    assert polluted.digest_bits == 762  # 5*(51+100)+7, the paper's size
+    assert polluted.false_hit_rate > 2 * control.false_hit_rate
+    assert polluted.added_latency_ms == polluted.false_hits * 10.0
+    assert control.polluted is False and polluted.polluted is True
+
+
+def test_attack_pollution_sets_fresh_bits():
+    attack = CacheDigestAttack(clean_urls=20, added_urls=30, probes=10, seed=8)
+    report = attack.run_scenario(polluted=True)
+    # 30 crafted URLs x 4 fresh bits on top of the clean-cache weight.
+    clean_only = attack.run_scenario(polluted=False)
+    assert report.digest_weight > clean_only.digest_weight
+
+
+def test_attack_validation():
+    with pytest.raises(ParameterError):
+        CacheDigestAttack(clean_urls=-1)

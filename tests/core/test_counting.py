@@ -1,0 +1,119 @@
+"""CountingBloomFilter: deletion semantics, overflow policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counters import OverflowPolicy
+from repro.core.counting import CountingBloomFilter
+from repro.exceptions import ParameterError
+
+
+def test_add_remove_round_trip(counting_filter):
+    counting_filter.add("x")
+    assert "x" in counting_filter
+    assert counting_filter.remove("x") is True
+    assert "x" not in counting_filter
+
+
+def test_remove_absent_item_reports_false(counting_filter):
+    assert counting_filter.remove("never-inserted") is False
+    assert counting_filter.deletions == 1
+
+
+def test_duplicate_insertions_survive_single_removal(counting_filter):
+    counting_filter.add("dup")
+    counting_filter.add("dup")
+    counting_filter.remove("dup")
+    assert "dup" in counting_filter  # counted twice, removed once
+    counting_filter.remove("dup")
+    assert "dup" not in counting_filter
+
+
+def test_removing_absent_item_can_create_false_negatives():
+    # The deletion-adversary mechanism: removing an item that merely
+    # *appears* present decrements a victim's counters.
+    cbf = CountingBloomFilter(8, 2)  # tiny filter forces overlaps
+    for i in range(6):
+        cbf.add(f"legit-{i}")
+    victims_before = [f"legit-{i}" for i in range(6) if f"legit-{i}" in cbf]
+    for probe in range(200):
+        item = f"probe-{probe}"
+        if item in cbf and not any(item == v for v in victims_before):
+            cbf.remove(item)
+    lost = [v for v in victims_before if v not in cbf]
+    # At this size collateral loss is essentially guaranteed.
+    assert lost
+
+
+def test_underflow_is_tracked():
+    cbf = CountingBloomFilter(64, 2)
+    cbf.remove("ghost")  # decrements zero counters
+    assert cbf.counters.underflow_events > 0
+
+
+def test_wrap_overflow_erases_membership(dablooms_slice):
+    # 16 single-target increments of a 4-bit counter wrap it to zero.
+    target = dablooms_slice
+    # Simulate k hits on one counter per item via add_indexes.
+    for _ in range(16):
+        target.add_indexes([5])
+    assert target.counters.get(5) == 0
+    assert target.overflow_events >= 1
+
+
+def test_saturate_overflow_keeps_membership():
+    cbf = CountingBloomFilter(32, 1, counter_bits=2, overflow=OverflowPolicy.SATURATE)
+    for _ in range(10):
+        cbf.add_indexes([3])
+    assert cbf.counters.get(3) == 3  # stuck at max, still non-zero
+
+
+def test_weight_and_fill(counting_filter):
+    counting_filter.add("a")
+    assert counting_filter.hamming_weight == len(counting_filter.support())
+    assert counting_filter.fill_ratio == counting_filter.hamming_weight / counting_filter.m
+
+
+def test_current_and_expected_fpp(counting_filter):
+    for i in range(100):
+        counting_filter.add(f"i-{i}")
+    assert 0 < counting_filter.current_fpp() < 1
+    assert 0 < counting_filter.expected_fpp() < 1
+
+
+def test_for_capacity():
+    cbf = CountingBloomFilter.for_capacity(100, 0.01)
+    assert cbf.m > 900  # ~9.6 counters per item
+    assert cbf.k in (6, 7)
+
+
+def test_invalid_construction():
+    with pytest.raises(ParameterError):
+        CountingBloomFilter(0, 1)
+    with pytest.raises(ParameterError):
+        CountingBloomFilter(10, 0)
+
+
+@settings(max_examples=25)
+@given(st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=25, unique=True))
+def test_property_insert_then_delete_all_restores_empty(items):
+    cbf = CountingBloomFilter(2048, 3)
+    for item in items:
+        cbf.add(item)
+    for item in items:
+        assert cbf.remove(item)
+    assert cbf.hamming_weight == 0
+    assert all(item not in cbf for item in items)
+
+
+@settings(max_examples=25)
+@given(st.lists(st.text(min_size=1, max_size=12), min_size=2, max_size=25, unique=True))
+def test_property_deleting_one_item_keeps_others(items):
+    cbf = CountingBloomFilter(4096, 3)
+    for item in items:
+        cbf.add(item)
+    removed = items[0]
+    cbf.remove(removed)
+    assert all(item in cbf for item in items[1:])

@@ -1,0 +1,213 @@
+"""Probabilistic counters (repro.counting): accuracy and attacks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.counting import (
+    HllEvasionAttack,
+    HllInflationAttack,
+    HyperLogLog,
+    LinearCounter,
+    LinearCounterSaturation,
+    alpha,
+    rho,
+)
+from repro.exceptions import ParameterError
+from repro.hashing.siphash import siphash24
+from repro.urlgen.faker import UrlFactory
+
+
+# --- primitives -------------------------------------------------------------
+
+def test_rho_values():
+    assert rho(0, 16) == 17  # all zeros convention
+    assert rho(1 << 15, 16) == 1  # leading bit set
+    assert rho(1, 16) == 16
+    assert rho(0b0001_0000_0000_0000, 16) == 4
+
+
+def test_alpha_constants():
+    assert alpha(16) == 0.673
+    assert alpha(32) == 0.697
+    assert alpha(64) == 0.709
+    assert alpha(1024) == pytest.approx(0.7213 / (1 + 1.079 / 1024))
+
+
+# --- HyperLogLog ------------------------------------------------------------
+
+def test_hll_accuracy_within_design_error():
+    hll = HyperLogLog(p=11)
+    true_n = 10_000
+    for url in UrlFactory(seed=1).urls(true_n):
+        hll.add(url)
+    estimate = hll.estimate()
+    assert abs(estimate - true_n) / true_n < 4 * hll.relative_error()
+
+
+def test_hll_duplicates_do_not_inflate():
+    hll = HyperLogLog(p=10)
+    for _ in range(1000):
+        hll.add("same-item")
+    assert hll.estimate() < 3  # one distinct item
+    assert len(hll) == 1000
+
+
+def test_hll_small_range_correction():
+    hll = HyperLogLog(p=10)
+    for url in UrlFactory(seed=2).urls(20):
+        hll.add(url)
+    assert abs(hll.estimate() - 20) < 8
+
+
+def test_hll_placement_is_public_and_stable():
+    hll = HyperLogLog(p=8)
+    assert hll.placement("item") == hll.placement("item")
+    register, r = hll.placement("item")
+    assert 0 <= register < hll.m
+    assert 1 <= r <= 64 - 8 + 1
+
+
+def test_hll_merge_is_union():
+    a = HyperLogLog(p=10)
+    b = HyperLogLog(p=10)
+    urls = UrlFactory(seed=3).urls(4000)
+    for url in urls[:2500]:
+        a.add(url)
+    for url in urls[1500:]:
+        b.add(url)
+    merged = a.merge(b)
+    assert abs(merged.estimate() - 4000) / 4000 < 4 * merged.relative_error()
+    with pytest.raises(ParameterError):
+        a.merge(HyperLogLog(p=11))
+
+
+def test_hll_precision_bounds():
+    with pytest.raises(ParameterError):
+        HyperLogLog(p=3)
+    with pytest.raises(ParameterError):
+        HyperLogLog(p=19)
+
+
+def test_hll_keyed_hash_variant():
+    key = bytes(range(16))
+    hll = HyperLogLog(p=10, hash64=lambda data: siphash24(key, data))
+    for url in UrlFactory(seed=4).urls(3000):
+        hll.add(url)
+    assert abs(hll.estimate() - 3000) / 3000 < 5 * hll.relative_error()
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=4, max_value=12))
+def test_hll_empty_estimate_is_zero(p):
+    assert HyperLogLog(p=p).estimate() == 0.0
+
+
+# --- linear counting --------------------------------------------------------
+
+def test_linear_counter_accuracy():
+    lc = LinearCounter(8192)
+    for url in UrlFactory(seed=5).urls(2000):
+        lc.add(url)
+    assert abs(lc.estimate() - 2000) / 2000 < 0.1
+
+
+def test_linear_counter_duplicates():
+    lc = LinearCounter(1024)
+    for _ in range(500):
+        lc.add("dup")
+    assert lc.estimate() == pytest.approx(-1024 * math.log(1023 / 1024))
+
+
+def test_linear_counter_validation():
+    with pytest.raises(ParameterError):
+        LinearCounter(0)
+
+
+# --- attacks ----------------------------------------------------------------
+
+def test_inflation_forged_key_hits_exact_placement():
+    hll = HyperLogLog(p=10)
+    attack = HllInflationAttack(hll)
+    key = attack.forge_key(register=5, rho_value=30)
+    assert hll.placement(key) == (5, 30)
+
+
+def test_inflation_explodes_the_estimate():
+    hll = HyperLogLog(p=8)
+    for url in UrlFactory(seed=6).urls(100):
+        hll.add(url)
+    report = HllInflationAttack(hll).run()
+    assert report.items_inserted == hll.m
+    assert report.estimate_after > 1e12  # a few hundred items look like trillions
+    assert report.inflation_factor > 1e9
+
+
+def test_partial_inflation_is_tunable():
+    # Pinning only a few registers stays inside the small-range (linear
+    # counting) correction; enough pinned registers escape it and the
+    # attacker can dial in intermediate fake cardinalities.
+    few = HllInflationAttack(HyperLogLog(p=8)).run(registers=32, rho_value=20)
+    assert few.estimate_after < 100  # correction still active
+
+    many = HllInflationAttack(HyperLogLog(p=8)).run(registers=200, rho_value=20)
+    assert 500 < many.estimate_after < 1e6  # past the correction, tunable
+
+    full = HllInflationAttack(HyperLogLog(p=8)).run()
+    assert full.estimate_after > many.estimate_after
+
+
+def test_inflation_validation():
+    hll = HyperLogLog(p=8)
+    attack = HllInflationAttack(hll)
+    with pytest.raises(ParameterError):
+        attack.forge_key(register=hll.m, rho_value=5)
+    with pytest.raises(ParameterError):
+        attack.forge_key(register=0, rho_value=0)
+    with pytest.raises(ParameterError):
+        attack.run(registers=0)
+
+
+def test_evasion_hides_distinct_items():
+    hll = HyperLogLog(p=10)
+    report = HllEvasionAttack(hll).run(2000)
+    assert report.distinct_items_inserted == 2000
+    assert report.estimate_after < 5  # thousands of items, cardinality ~1
+    assert report.evasion_factor > 400
+
+
+def test_evasion_keys_are_distinct():
+    attack = HllEvasionAttack(HyperLogLog(p=10))
+    keys = {attack.forge_key(v) for v in range(100)}
+    assert len(keys) == 100
+
+
+def test_evasion_validation():
+    hll = HyperLogLog(p=8)
+    with pytest.raises(ParameterError):
+        HllEvasionAttack(hll, register=hll.m)
+    with pytest.raises(ParameterError):
+        HllEvasionAttack(hll).run(0)
+
+
+def test_linear_saturation_destroys_estimator():
+    lc = LinearCounter(256)
+    attack = LinearCounterSaturation(lc)
+    assert attack.theoretical_items() == 256
+    assert attack.run() == math.inf
+
+
+def test_keyed_hll_defeats_inflation_forgery():
+    # The forged keys were crafted against murmur(seed 0); under SipHash
+    # they land on effectively random placements.
+    key = bytes(range(16))
+    keyed = HyperLogLog(p=8, hash64=lambda data: siphash24(key, data))
+    reference = HyperLogLog(p=8)
+    attack = HllInflationAttack(reference)
+    for register in range(reference.m):
+        keyed.add(attack.forge_key(register, 56))
+    # 256 forged keys behave like 256 random items, not like 2^56 each.
+    assert keyed.estimate() < 1000

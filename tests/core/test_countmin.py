@@ -1,0 +1,106 @@
+"""Count-Min sketch: estimator guarantees and the collision attack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counting import CountMinInflationAttack, CountMinSketch
+from repro.exceptions import ParameterError
+from repro.hashing.siphash import siphash24
+from repro.urlgen.faker import UrlFactory
+
+
+def test_never_underestimates():
+    sketch = CountMinSketch(width=256, depth=4)
+    truth: dict[str, int] = {}
+    factory = UrlFactory(seed=1)
+    urls = factory.urls(50)
+    for i, url in enumerate(urls):
+        count = (i % 5) + 1
+        sketch.add(url, count)
+        truth[url] = count
+    for url, count in truth.items():
+        assert sketch.estimate(url) >= count
+
+
+def test_reasonable_accuracy_when_sparse():
+    sketch = CountMinSketch(width=2048, depth=5)
+    for url in UrlFactory(seed=2).urls(200):
+        sketch.add(url)
+    # A sparse sketch should estimate most singletons exactly.
+    exact = sum(1 for url in UrlFactory(seed=2).urls(200) if sketch.estimate(url) == 1)
+    assert exact > 150
+
+
+def test_unseen_items_mostly_zero():
+    sketch = CountMinSketch(width=2048, depth=5)
+    for url in UrlFactory(seed=3).urls(100):
+        sketch.add(url)
+    zeros = sum(1 for url in UrlFactory(seed=4).urls(100) if sketch.estimate(url) == 0)
+    assert zeros > 80
+
+
+def test_total_and_validation():
+    sketch = CountMinSketch(width=16, depth=2)
+    sketch.add("a", 3)
+    assert len(sketch) == 3
+    with pytest.raises(ParameterError):
+        sketch.add("a", 0)
+    with pytest.raises(ParameterError):
+        CountMinSketch(0, 2)
+    with pytest.raises(ParameterError):
+        CountMinSketch(16, 0)
+
+
+def test_forged_key_collides_in_every_row():
+    sketch = CountMinSketch(width=512, depth=6)
+    attack = CountMinInflationAttack(sketch)
+    victim = "10.0.0.7:443"
+    forged = attack.forge_colliding_key(victim, variant=1)
+    assert forged != victim.encode()
+    assert sketch.indexes(forged) == sketch.indexes(victim)
+
+
+def test_forged_keys_are_distinct():
+    attack = CountMinInflationAttack(CountMinSketch(512, 4))
+    keys = {attack.forge_colliding_key("victim-flow", v) for v in range(1, 40)}
+    assert len(keys) == 39
+
+
+def test_inflation_frames_a_quiet_flow():
+    sketch = CountMinSketch(width=1024, depth=5)
+    victim = "10.0.0.7:443"
+    sketch.add(victim, 2)  # genuinely quiet
+    for url in UrlFactory(seed=5).urls(300):
+        sketch.add(url)
+
+    report = CountMinInflationAttack(sketch).run(victim, forged_items=500)
+    assert report.estimate_after >= 502  # 2 true + 500 forged
+    assert report.inflation >= 500
+    # min-over-rows cannot dodge: every row was hit.
+
+
+def test_keyed_sketch_defeats_the_forgery():
+    key = bytes(range(16))
+
+    def keyed_pair(data: bytes) -> tuple[int, int]:
+        return (
+            siphash24(key, b"\x00" + data),
+            siphash24(key, b"\x01" + data),
+        )
+
+    keyed = CountMinSketch(width=1024, depth=5, pair_fn=keyed_pair)
+    victim = "10.0.0.7:443"
+    keyed.add(victim, 2)
+    # Forge against the keyless model, insert into the keyed sketch.
+    forger = CountMinInflationAttack(CountMinSketch(1024, 5))
+    for variant in range(1, 301):
+        keyed.add(forger.forge_colliding_key(victim, variant))
+    # 300 random-looking items cannot pile onto the victim's min.
+    assert keyed.estimate(victim) < 20
+
+
+def test_run_validation():
+    attack = CountMinInflationAttack(CountMinSketch(64, 2))
+    with pytest.raises(ParameterError):
+        attack.run("x", 0)

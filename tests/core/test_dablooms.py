@@ -1,0 +1,116 @@
+"""Dablooms: scaling counting filter with the paper's parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counters import OverflowPolicy
+from repro.core.dablooms import Dablooms
+from repro.exceptions import ParameterError
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+
+
+def test_defaults_match_paper():
+    d = Dablooms(slice_capacity=100)
+    assert d.f0 == 0.01
+    assert d.r == 0.9
+    assert d.COUNTER_BITS == 4
+    assert d.overflow is OverflowPolicy.WRAP
+    assert isinstance(d.strategy, KirschMitzenmacherStrategy)
+
+
+def test_scales_on_capacity():
+    d = Dablooms(slice_capacity=50)
+    for i in range(120):
+        d.add(f"mal-{i}")
+    assert d.slice_count == 3
+    assert d.slice_fill(0) == 50
+    assert d.slice_fill(2) == 20
+
+
+def test_no_false_negatives_without_deletion():
+    d = Dablooms(slice_capacity=40)
+    items = [f"bad-{i}" for i in range(100)]
+    for item in items:
+        d.add(item)
+    assert all(item in d for item in items)
+
+
+def test_remove_from_correct_slice():
+    d = Dablooms(slice_capacity=30)
+    for i in range(60):
+        d.add(f"r-{i}")
+    assert d.remove("r-5") is True  # lives in slice 0
+    assert "r-5" not in d
+    assert d.remove("r-5") is False  # already gone
+
+
+def test_remove_unknown_is_noop():
+    d = Dablooms(slice_capacity=10)
+    d.add("present")
+    assert d.remove("absent-item") is False
+    assert "present" in d
+
+
+def test_compound_fpp_rises_with_slices():
+    d = Dablooms(slice_capacity=25, f0=0.05)
+    singles = []
+    for i in range(75):
+        d.add(f"c-{i}")
+        if (i + 1) % 25 == 0:
+            singles.append(d.compound_fpp(current=False))
+    assert singles == sorted(singles)  # more slices, higher compound F
+
+
+def test_slice_fpp_tightens():
+    d = Dablooms(slice_capacity=10, f0=0.01, r=0.9)
+    assert d.slice_fpp(1) == pytest.approx(0.009)
+    assert d.slice_fpp(9) == pytest.approx(0.01 * 0.9**9)
+
+
+def test_bulk_insertion_accounting_and_force_scale():
+    d = Dablooms(slice_capacity=100)
+    d.record_bulk_insertions(100)
+    assert d.slice_fill(0) == 100
+    d.force_scale()
+    assert d.slice_count == 2
+    with pytest.raises(ParameterError):
+        d.record_bulk_insertions(-1)
+
+
+def test_max_slices():
+    d = Dablooms(slice_capacity=5, max_slices=2)
+    with pytest.raises(ParameterError):
+        for i in range(50):
+            d.add(f"m-{i}")
+
+
+def test_overflow_telemetry():
+    d = Dablooms(slice_capacity=1000)
+    assert d.total_overflow_events() == 0
+    # Wrap one counter of the active slice 16 times.
+    for _ in range(16):
+        d.active_slice.add_indexes([0])
+    assert d.total_overflow_events() == 1
+
+
+def test_for_each_slice_visits_in_order():
+    d = Dablooms(slice_capacity=10)
+    for i in range(25):
+        d.add(f"v-{i}")
+    seen: list[int] = []
+    d.for_each_slice(lambda i, s: seen.append(i))
+    assert seen == [0, 1, 2]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"slice_capacity": 0},
+        {"slice_capacity": 10, "f0": 0.0},
+        {"slice_capacity": 10, "r": 1.5},
+    ],
+)
+def test_invalid_construction(kwargs):
+    with pytest.raises(ParameterError):
+        Dablooms(**kwargs)

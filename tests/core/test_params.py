@@ -1,0 +1,158 @@
+"""Parameter calculus: classical and worst-case formulas (paper eqs. 1-3, 7, 9-12)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import (
+    BloomParameters,
+    adversarial_fpp,
+    adversarial_optimal_fpp,
+    adversarial_optimal_k,
+    false_positive_exact,
+    false_positive_probability,
+    fpp_ratio,
+    honest_fpp_at_adversarial_k,
+    k_ratio,
+    optimal_fpp,
+    optimal_k,
+    optimal_m,
+    paper_size_inflation_factor,
+)
+from repro.exceptions import ParameterError
+
+
+def test_fig3_parameters():
+    # The paper's running example: m=3200, n=600 -> k_opt ~ 4, f ~ 0.077.
+    assert round(optimal_k(3200, 600)) == 4
+    assert optimal_fpp(3200, 600) == pytest.approx(0.077, abs=0.002)
+
+
+def test_optimal_m_inverts_optimal_fpp():
+    m = optimal_m(600, 0.077)
+    assert optimal_fpp(m, 600) <= 0.077
+    assert optimal_fpp(m - 10, 600) > 0.0769
+
+
+def test_approx_vs_exact_fpp_close():
+    approx = false_positive_probability(3200, 600, 4)
+    exact = false_positive_exact(3200, 600, 4)
+    assert approx == pytest.approx(exact, rel=0.01)
+
+
+def test_fpp_zero_for_empty_filter():
+    assert false_positive_probability(100, 0, 3) == 0.0
+    assert false_positive_exact(100, 0, 3) == 0.0
+    assert adversarial_fpp(100, 0, 3) == 0.0
+
+
+def test_adversarial_fpp_formula_and_clamp():
+    assert adversarial_fpp(3200, 600, 4) == pytest.approx((2400 / 3200) ** 4)
+    assert adversarial_fpp(3200, 600, 4) == pytest.approx(0.3164, abs=1e-3)
+    assert adversarial_fpp(100, 1000, 4) == 1.0  # saturated
+
+
+def test_adversarial_beats_honest_everywhere_past_birthday():
+    m, k = 3200, 4
+    for n in range(50, 601, 50):
+        assert adversarial_fpp(m, n, k) >= false_positive_probability(m, n, k)
+
+
+def test_adversarial_optimal_k_and_fpp():
+    # k_adv = m/(en): paper eq. 9-10.
+    assert adversarial_optimal_k(3200, 600) == pytest.approx(1.962, abs=1e-3)
+    assert adversarial_optimal_fpp(3200, 600) == pytest.approx(
+        math.exp(-3200 / (math.e * 600))
+    )
+
+
+def test_adversarial_k_minimises_adversarial_fpp():
+    m, n = 3200, 600
+    k_star = adversarial_optimal_k(m, n)
+    best = (n * k_star / m) ** k_star
+    for k in (1, 2, 3, 4, 6):
+        assert (n * k / m) ** k >= best - 1e-12
+
+
+def test_eq12_constant():
+    # ln f = -0.433 m/n at k_adv.
+    f = honest_fpp_at_adversarial_k(3200, 600)
+    assert math.log(f) == pytest.approx(-0.433 * 3200 / 600, rel=0.002)
+
+
+def test_k_ratio_is_e_ln2():
+    assert k_ratio() == pytest.approx(math.e * math.log(2))
+    assert k_ratio() == pytest.approx(1.88, abs=0.01)
+
+
+def test_fpp_ratio_matches_1_05_power():
+    # f_adv/f_opt = 1.05^(m/n) (paper Section 8.1).
+    ratio = fpp_ratio(3200, 600)
+    assert ratio == pytest.approx(1.05 ** (3200 / 600), rel=0.05)
+
+
+def test_paper_size_inflation_constant():
+    assert paper_size_inflation_factor() == pytest.approx(4.8, abs=0.05)
+
+
+def test_design_optimal():
+    params = BloomParameters.design_optimal(600, 0.077)
+    assert params.k == 4
+    assert params.mode == "optimal"
+    assert params.fpp <= 0.078
+
+
+def test_design_with_memory():
+    params = BloomParameters.design_with_memory(3200, 600)
+    assert (params.m, params.k) == (3200, 4)
+
+
+def test_design_worst_case():
+    params = BloomParameters.design_worst_case(600, 3200)
+    assert params.k == 2
+    assert params.mode == "worst-case"
+    # The hardened design caps the adversary below the classical design.
+    classical = BloomParameters.design_with_memory(3200, 600)
+    assert params.adversarial < classical.adversarial
+
+
+def test_bits_per_item():
+    params = BloomParameters(m=3200, k=4, n=600)
+    assert params.bits_per_item == pytest.approx(3200 / 600)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ParameterError):
+        optimal_k(0, 10)
+    with pytest.raises(ParameterError):
+        optimal_m(10, 1.5)
+    with pytest.raises(ParameterError):
+        false_positive_probability(100, -1, 2)
+    with pytest.raises(ParameterError):
+        BloomParameters(m=0, k=1, n=1)
+
+
+@given(
+    st.integers(min_value=100, max_value=100_000),
+    st.integers(min_value=1, max_value=1000),
+)
+def test_property_fpp_monotone_in_n(m, n):
+    k = 4
+    assert false_positive_probability(m, n + 1, k) >= false_positive_probability(m, n, k)
+
+
+@given(st.integers(min_value=10, max_value=5000))
+def test_property_optimal_m_monotone_in_n(n):
+    assert optimal_m(n + 1, 0.01) >= optimal_m(n, 0.01)
+
+
+@given(
+    st.integers(min_value=1000, max_value=50_000),
+    st.integers(min_value=10, max_value=500),
+)
+def test_property_adversarial_dominates_at_capacity(m, n):
+    k = max(1, round(optimal_k(m, n)))
+    assert adversarial_fpp(m, n, k) >= false_positive_probability(m, n, k) - 1e-12

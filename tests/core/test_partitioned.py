@@ -1,0 +1,64 @@
+"""PartitionedBloomFilter: per-partition placement and FP model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partitioned import PartitionedBloomFilter
+from repro.exceptions import ParameterError
+
+
+def test_rounds_m_down_to_multiple_of_k():
+    pf = PartitionedBloomFilter(1001, 4)
+    assert pf.m == 1000
+    assert pf.partition_bits == 250
+
+
+def test_indexes_land_in_own_partitions():
+    pf = PartitionedBloomFilter(1200, 4)
+    for item in ("a", "b", "c"):
+        indexes = pf.indexes(item)
+        for partition, index in enumerate(indexes):
+            assert partition * 300 <= index < (partition + 1) * 300
+
+
+def test_no_false_negatives():
+    pf = PartitionedBloomFilter(2048, 4)
+    items = [f"p-{i}" for i in range(100)]
+    for item in items:
+        pf.add(item)
+    assert all(item in pf for item in items)
+
+
+def test_add_reports_prior_presence():
+    pf = PartitionedBloomFilter(512, 2)
+    assert pf.add("x") is False
+    assert pf.add("x") is True
+
+
+def test_partition_weight_sums_to_total():
+    pf = PartitionedBloomFilter(400, 4)
+    for i in range(30):
+        pf.add(f"w-{i}")
+    assert sum(pf.partition_weight(i) for i in range(4)) == pf.hamming_weight
+
+
+def test_partition_weight_bounds():
+    pf = PartitionedBloomFilter(100, 4)
+    with pytest.raises(ParameterError):
+        pf.partition_weight(4)
+
+
+def test_current_fpp_is_product_of_partition_fills():
+    pf = PartitionedBloomFilter(40, 2)
+    for i in range(8):
+        pf.add(f"f-{i}")
+    w0, w1 = pf.partition_weight(0), pf.partition_weight(1)
+    assert pf.current_fpp() == pytest.approx((w0 / 20) * (w1 / 20))
+
+
+def test_invalid_construction():
+    with pytest.raises(ParameterError):
+        PartitionedBloomFilter(3, 4)  # m < k
+    with pytest.raises(ParameterError):
+        PartitionedBloomFilter(100, 0)

@@ -1,0 +1,117 @@
+"""ScalableBloomFilter: growth, tightening, compound FP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scalable import ScalableBloomFilter
+from repro.exceptions import ParameterError
+
+
+def test_starts_with_one_slice():
+    sbf = ScalableBloomFilter(slice_capacity=10, f0=0.01)
+    assert sbf.slice_count == 1
+
+
+def test_grows_on_threshold():
+    sbf = ScalableBloomFilter(slice_capacity=10, f0=0.01)
+    for i in range(25):
+        sbf.add(f"i-{i}")
+    assert sbf.slice_count == 3  # 10 + 10 + 5
+
+
+def test_no_false_negatives_across_slices():
+    sbf = ScalableBloomFilter(slice_capacity=20, f0=0.02)
+    items = [f"grow-{i}" for i in range(100)]
+    for item in items:
+        sbf.add(item)
+    assert all(item in sbf for item in items)
+    assert len(sbf) == 100
+
+
+def test_tightening_ratio():
+    sbf = ScalableBloomFilter(slice_capacity=10, f0=0.04, r=0.5)
+    assert sbf.slice_fpp(0) == 0.04
+    assert sbf.slice_fpp(1) == 0.02
+    assert sbf.slice_fpp(3) == pytest.approx(0.005)
+
+
+def test_growth_factor_scales_capacity():
+    sbf = ScalableBloomFilter(slice_capacity=8, f0=0.01, growth=2)
+    assert sbf.slice_capacity_at(0) == 8
+    assert sbf.slice_capacity_at(2) == 32
+    for i in range(8 + 16 + 1):
+        sbf.add(f"g-{i}")
+    assert sbf.slice_count == 3
+
+
+def test_later_slices_are_bigger_for_tighter_targets():
+    sbf = ScalableBloomFilter(slice_capacity=50, f0=0.01, r=0.5)
+    for i in range(101):
+        sbf.add(f"s-{i}")
+    sizes = [s.m for s in sbf.slices]
+    assert sizes == sorted(sizes)
+    assert sizes[1] > sizes[0]
+
+
+def test_compound_fpp_design_and_current():
+    sbf = ScalableBloomFilter(slice_capacity=30, f0=0.05)
+    for i in range(60):
+        sbf.add(f"c-{i}")
+    design = sbf.compound_fpp(current=False)
+    current = sbf.compound_fpp(current=True)
+    assert 0 < design < 1
+    assert 0 <= current < 1
+    # With two slices the design compound must exceed a single slice's f0*r.
+    assert design > sbf.slice_fpp(1) * 0.9
+
+
+def test_max_slices_enforced():
+    sbf = ScalableBloomFilter(slice_capacity=5, f0=0.01, max_slices=2)
+    with pytest.raises(ParameterError):
+        for i in range(100):
+            sbf.add(f"x-{i}")
+
+
+def test_total_bits_accumulates():
+    sbf = ScalableBloomFilter(slice_capacity=10, f0=0.01)
+    before = sbf.total_bits
+    for i in range(15):
+        sbf.add(f"t-{i}")
+    assert sbf.total_bits > before
+
+
+def test_add_returns_prior_presence():
+    sbf = ScalableBloomFilter(slice_capacity=100, f0=0.001)
+    assert sbf.add("q") is False
+    assert sbf.add("q") is True
+
+
+def test_strategy_factory_called_per_slice():
+    calls: list[int] = []
+
+    def factory(i: int):
+        calls.append(i)
+        from repro.core.bloom import default_strategy
+
+        return default_strategy()
+
+    sbf = ScalableBloomFilter(slice_capacity=5, f0=0.01, strategy_factory=factory)
+    for i in range(12):
+        sbf.add(f"f-{i}")
+    assert calls == [0, 1, 2]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"slice_capacity": 0, "f0": 0.1},
+        {"slice_capacity": 10, "f0": 0.0},
+        {"slice_capacity": 10, "f0": 1.5},
+        {"slice_capacity": 10, "f0": 0.1, "r": 0.0},
+        {"slice_capacity": 10, "f0": 0.1, "growth": 0},
+    ],
+)
+def test_invalid_construction(kwargs):
+    with pytest.raises(ParameterError):
+        ScalableBloomFilter(**kwargs)

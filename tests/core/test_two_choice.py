@@ -1,0 +1,95 @@
+"""Two-choice Bloom filter: average-case win, worst-case loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.two_choice_attack import TwoChoicePollutionAttack
+from repro.core.bloom import BloomFilter
+from repro.core.two_choice import TwoChoiceBloomFilter
+from repro.exceptions import ParameterError
+from repro.urlgen.faker import UrlFactory
+
+
+def test_no_false_negatives():
+    tc = TwoChoiceBloomFilter(2048, 4)
+    items = [f"i-{n}" for n in range(200)]
+    for item in items:
+        tc.add(item)
+    assert all(item in tc for item in items)
+
+
+def test_add_reports_prior_presence():
+    tc = TwoChoiceBloomFilter(512, 3)
+    assert tc.add("x") is False
+    assert tc.add("x") is True
+
+
+def test_groups_are_independent_and_stable():
+    tc = TwoChoiceBloomFilter(1024, 4)
+    group_a, group_b = tc.groups("item")
+    assert tc.groups("item") == (group_a, group_b)
+    assert group_a != group_b
+
+
+def test_chooses_lighter_group():
+    tc = TwoChoiceBloomFilter(1024, 4)
+    group_a, group_b = tc.groups("victim")
+    # Pre-set all of group A: inserting the item should pick A (0 new
+    # bits) and leave group B untouched.
+    tc.add_indexes(group_a)
+    weight_before = tc.hamming_weight
+    tc.add("victim")
+    assert tc.hamming_weight == weight_before
+
+
+def test_average_case_beats_classic_filter():
+    # The Lumetta-Mitzenmacher win: fewer set bits for the same workload.
+    m, k, n = 4096, 4, 700
+    classic = BloomFilter(m, k)
+    two_choice = TwoChoiceBloomFilter(m, k)
+    for url in UrlFactory(seed=1).urls(n):
+        classic.add(url)
+    for url in UrlFactory(seed=1).urls(n):
+        two_choice.add(url)
+    assert two_choice.hamming_weight < classic.hamming_weight
+
+
+def test_worst_case_is_worse_than_classic():
+    # The paper's answer: under chosen insertions the two-choice filter
+    # ends at the same weight nk but with a bigger query-side OR.
+    m, k, n = 2048, 4, 150
+    classic_forced = (n * k / m) ** k
+    tc = TwoChoiceBloomFilter(m, k)
+    assert tc.worst_case_fpp(n) > classic_forced
+    assert tc.worst_case_fpp(n) == pytest.approx(1 - (1 - classic_forced) ** 2)
+
+
+def test_pollution_attack_defeats_the_choice():
+    tc = TwoChoiceBloomFilter(2048, 4)
+    report = TwoChoicePollutionAttack(tc, seed=2).run(60)
+    assert report.weight_after == 60 * tc.k  # every insertion added k ones
+    assert report.fpp_curve[-1] == pytest.approx(tc.worst_case_fpp(60))
+
+
+def test_crafting_cost_is_constant_factor_harder():
+    # Both-groups-fresh is roughly the square of one-group-fresh per
+    # trial while sparse -- a constant factor, not a defence.
+    m, k = 4096, 4
+    tc = TwoChoiceBloomFilter(m, k)
+    report = TwoChoicePollutionAttack(tc, seed=3).run(50)
+    assert report.total_trials < 50 * 25  # far from prohibitive
+
+
+def test_current_fpp_or_semantics():
+    tc = TwoChoiceBloomFilter(64, 2)
+    tc.add_indexes(range(32))
+    single = (32 / 64) ** 2
+    assert tc.current_fpp() == pytest.approx(1 - (1 - single) ** 2)
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        TwoChoiceBloomFilter(0, 2)
+    with pytest.raises(ParameterError):
+        TwoChoiceBloomFilter(16, 0)

@@ -1,0 +1,122 @@
+"""Keyed hashing countermeasure: unpredictability kills crafting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.crafting import CraftingEngine
+from repro.adversary.pollution import PollutionAttack
+from repro.countermeasures.keyed import (
+    KeyedBloomFilter,
+    generate_key,
+    hmac_strategy,
+    siphash_strategy,
+)
+from repro.exceptions import ParameterError
+from repro.urlgen.faker import UrlFactory
+
+
+def test_generate_key_length_and_uniqueness():
+    assert len(generate_key()) == 16
+    assert generate_key() != generate_key()
+    with pytest.raises(ParameterError):
+        generate_key(8)
+
+
+def test_keyed_filter_basics():
+    kbf = KeyedBloomFilter(1024, 4, key=bytes(16))
+    kbf.add("item")
+    assert "item" in kbf
+    assert "other" not in kbf
+
+
+@pytest.mark.parametrize("mac", ["siphash", "hmac-sha1", "hmac-sha256"])
+def test_all_mac_variants_work(mac):
+    kbf = KeyedBloomFilter(512, 3, key=bytes(16), mac=mac)
+    kbf.add("x")
+    assert "x" in kbf
+
+
+def test_unknown_mac_rejected():
+    with pytest.raises(ParameterError):
+        KeyedBloomFilter(64, 2, mac="md5-plain")
+
+
+def test_siphash_needs_16_byte_key():
+    with pytest.raises(ParameterError):
+        KeyedBloomFilter(64, 2, key=b"short", mac="siphash")
+
+
+def test_for_capacity_uses_classical_optimum():
+    kbf = KeyedBloomFilter.for_capacity(600, 0.077, key=bytes(16))
+    assert kbf.k == 4  # with a key, the classical optimum is safe again
+
+
+def test_key_changes_indexes():
+    a = KeyedBloomFilter(4096, 4, key=bytes(16))
+    b = KeyedBloomFilter(4096, 4, key=bytes(range(16)))
+    assert a.indexes("victim") != b.indexes("victim")
+
+
+def test_strategies_differ_between_keys():
+    assert siphash_strategy(bytes(16)).indexes("u", 4, 512) != siphash_strategy(
+        bytes(range(16))
+    ).indexes("u", 4, 512)
+    assert hmac_strategy(b"k1").indexes("u", 4, 512) != hmac_strategy(b"k2").indexes(
+        "u", 4, 512
+    )
+
+
+def test_adversary_without_key_cannot_craft_efficiently():
+    # The adversary guesses a key; her crafted items must satisfy the
+    # predicate under the REAL key far less often than with knowledge.
+    real = KeyedBloomFilter(256, 4, key=bytes(range(16)))
+    for i in range(20):
+        real.add(f"seed-{i}")
+
+    guessed_strategy = siphash_strategy(bytes(16))  # wrong key
+    engine = CraftingEngine(
+        guessed_strategy,
+        real.k,
+        real.m,
+        UrlFactory(seed=1).candidate_stream(),
+        max_trials=50_000,
+    )
+    support = real.support()
+    # Craft 30 'ghosts' under the guessed key; check them under the real key.
+    hits = 0
+    for _ in range(30):
+        result = engine.craft(lambda idx: all(i in support for i in idx))
+        if result.item in real:
+            hits += 1
+    # Under the real key these are just random items: success rate must be
+    # near the blind (W/m)^k base rate, i.e. essentially never 30/30.
+    blind_rate = (real.hamming_weight / real.m) ** real.k
+    assert hits / 30 < max(10 * blind_rate, 0.2)
+
+
+def test_pollution_attack_against_shadow_fails_on_real_filter():
+    # The classic blinding setup collapses: the attacker's shadow filter
+    # uses her guessed key, so her "fresh bit" items are ordinary inserts.
+    real = KeyedBloomFilter(2048, 4, key=bytes(range(16)))
+    shadow = KeyedBloomFilter(2048, 4, key=bytes(16))  # wrong key
+    attack = PollutionAttack(shadow, seed=2)
+    report = attack.run(100, insert=True)
+    for item in report.items:
+        real.add(item)
+    # Under the attacker's model the weight would be exactly nk.
+    assert shadow.hamming_weight == 100 * 4
+    # On the real filter collisions happen as for random items.
+    assert real.hamming_weight < 100 * 4
+
+
+def test_keyed_filter_blocks_ghost_forgery_within_budget():
+    # Query-only adversary with full oracle access to the real filter but
+    # no key: each candidate is a ghost with probability (W/m)^k ~ 1e-11
+    # here, so a 5000-candidate budget must find nothing.
+    real = KeyedBloomFilter(4096, 6, key=bytes(range(16)))
+    for i in range(10):
+        real.add(f"x-{i}")
+    factory = UrlFactory(seed=3)
+    ghosts = sum(1 for _ in range(5_000) if factory.url() in real)
+    assert ghosts == 0

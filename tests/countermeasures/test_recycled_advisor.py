@@ -1,0 +1,113 @@
+"""Recycling helpers (Fig. 9 calculus) and the threat-model advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.models import ALL_MODELS
+from repro.countermeasures.advisor import ThreatAssessment, covers, recommend
+from repro.countermeasures.recycled import (
+    fig9_grid,
+    hash_domain,
+    k_for_fpp,
+    max_m_single_call,
+    recycled_filter,
+)
+from repro.exceptions import ParameterError
+from repro.hashing.recycling import calls_required
+
+
+def test_k_for_fpp():
+    assert k_for_fpp(2**-10) == 10
+    assert k_for_fpp(0.01) == 7
+    with pytest.raises(ParameterError):
+        k_for_fpp(0.0)
+
+
+def test_recycled_filter_single_call_for_moderate_size():
+    bf = recycled_filter(10_000, 2**-10, "sha512")
+    assert bf.strategy.hash_calls(bf.k, bf.m) == 1
+    bf.add("u")
+    assert "u" in bf
+
+
+def test_max_m_single_call():
+    # SHA-512, k=10: window 51 bits -> m up to 2^51.
+    assert max_m_single_call(512, 10) == 2**51
+    # SHA-1, k=20: window 8 bits -> m up to 256.
+    assert max_m_single_call(160, 20) == 2**8
+    assert max_m_single_call(64, 100) == 0  # digest too narrow
+
+
+def test_hash_domain_sha512_covers_paper_claim():
+    # One SHA-512 call covers f >= 2^-15 up to 1 GByte (paper Fig. 9).
+    one_gb = 8 * 2**30
+    for f in (2**-5, 2**-10, 2**-15):
+        assert hash_domain(f, "sha512").calls_at_1gb == 1
+    assert hash_domain(2**-20, "sha512").calls_at_1gb > 1
+    assert calls_required(20, one_gb, 512) == 2
+
+
+def test_hash_domain_fields():
+    domain = hash_domain(2**-10, "sha256")
+    assert domain.hash_name == "sha256"
+    assert domain.k == 10
+    assert domain.max_mbytes_one_call == domain.max_m_one_call / 8 / 2**20
+
+
+def test_fig9_grid_is_complete():
+    grid = fig9_grid()
+    assert len(grid) == 16  # 4 hashes x 4 FP targets
+    # Wider digests never need more calls than narrower ones.
+    for f in (2**-5, 2**-10, 2**-15, 2**-20):
+        calls = [d.calls_at_1gb for d in grid if d.f == f]
+        # grid order: sha1, sha256, sha384, sha512 for each f
+        assert calls == sorted(calls, reverse=True)
+
+
+# --- advisor ---------------------------------------------------------------------
+
+def test_keyed_recommendation_first_when_secret_possible():
+    recs = recommend(ThreatAssessment())
+    assert "keyed hashing" in recs[0].measure
+    assert set(recs[0].stops) == {"chosen-insertion", "query-only", "deletion"}
+
+
+def test_performance_critical_prefers_siphash():
+    fast = recommend(ThreatAssessment(performance_critical=True))
+    assert "SipHash" in fast[0].measure
+    slow = recommend(ThreatAssessment(performance_critical=False))
+    assert "HMAC" in slow[0].measure
+
+
+def test_no_secret_falls_back_to_worst_case_params():
+    recs = recommend(ThreatAssessment(server_side_secret_possible=False))
+    assert "worst-case parameters" in recs[0].measure
+    assert recs[0].stops == ("chosen-insertion",)
+
+
+def test_deletion_exposure_adds_counter_guidance():
+    recs = recommend(ThreatAssessment(supports_deletion=True))
+    measures = [r.measure for r in recs]
+    assert any("saturating" in m for m in measures)
+
+
+def test_exact_structure_always_last_resort():
+    recs = recommend(ThreatAssessment())
+    assert "exact structure" in recs[-1].measure
+
+
+def test_covers_all_models_with_key():
+    recs = recommend(ThreatAssessment())
+    assert all(covers(recs, model) for model in ALL_MODELS)
+
+
+def test_covers_partial_without_key():
+    recs = recommend(
+        ThreatAssessment(server_side_secret_possible=False, supports_deletion=False)
+    )
+    stopped = {name for rec in recs for name in rec.stops}
+    # The exact-structure fallback still covers everything in principle...
+    assert "query-only" in stopped
+    # ...but the first (Bloom-preserving) recommendation does not.
+    assert recs[0].stops == ("chosen-insertion",)

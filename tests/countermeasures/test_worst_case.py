@@ -1,0 +1,68 @@
+"""Worst-case parameter countermeasure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary.pollution import PollutionAttack
+from repro.core.bloom import BloomFilter
+from repro.core.params import BloomParameters
+from repro.countermeasures.worst_case import compare_designs, harden, paper_constants
+
+
+def test_comparison_shape():
+    cmp = compare_designs(3200, 600)
+    assert cmp.k_optimal == 4
+    assert cmp.k_worst_case == 2
+    assert cmp.hash_call_savings == 2.0
+    # The hardened design trades a small honest penalty...
+    assert 1.0 < cmp.honest_penalty < 1.5
+    # ...for a big cut in what the adversary can force.
+    assert cmp.adversarial_gain > 2.0
+
+
+def test_hardened_adversarial_matches_closed_form():
+    cmp = compare_designs(3200, 600)
+    k = cmp.k_worst_case
+    assert cmp.worst_case_adv == pytest.approx((600 * k / 3200) ** k)
+
+
+def test_harden_rederives_k():
+    params = BloomParameters.design_optimal(600, 0.077)
+    hardened = harden(params)
+    assert hardened.mode == "worst-case"
+    assert hardened.m == params.m
+    assert hardened.k < params.k
+
+
+def test_paper_constants():
+    constants = paper_constants()
+    assert constants["k_opt/k_adv (= e ln2)"] == pytest.approx(math.e * math.log(2))
+    assert constants["size inflation m'/m"] == pytest.approx(4.8, abs=0.05)
+
+
+def test_empirical_pollution_capped_by_hardening():
+    # Run the same full pollution campaign against both designs.
+    optimal = BloomFilter(3200, 4)
+    PollutionAttack(optimal, seed=1).run(600)
+    hardened = BloomFilter.worst_case(600, 3200)
+    PollutionAttack(hardened, seed=1).run(600)
+    assert optimal.current_fpp() == pytest.approx(0.316, abs=0.01)
+    assert hardened.current_fpp() == pytest.approx(0.1406, abs=0.01)
+    assert hardened.current_fpp() < optimal.current_fpp() / 2
+
+
+def test_hardening_does_not_stop_query_only_adversary():
+    # The paper's caveat: worst-case parameters defeat chosen-insertion
+    # but ghosts remain craftable because hashing stays public.
+    from repro.adversary.query import GhostForgery
+    from repro.urlgen.faker import UrlFactory
+
+    hardened = BloomFilter.worst_case(600, 3200)
+    factory = UrlFactory(seed=4)
+    for _ in range(600):
+        hardened.add(factory.url())
+    ghost = GhostForgery(hardened).craft_one()
+    assert ghost.item in hardened

@@ -1,0 +1,34 @@
+"""The experiments CLI (python -m repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_run_single_experiment(capsys):
+    assert main(["fig9"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out
+    assert "SHA-512" in out or "sha512" in out
+    assert "finished in" in out
+
+
+def test_run_subset_with_scale(capsys):
+    assert main(["table1", "--scale", "0.05", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Attack success probabilities" in out
+
+
+def test_unknown_id_errors():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["not-an-experiment"])
+    assert excinfo.value.code == 2
+
+
+def test_help_lists_registry(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    assert "fig3" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Every experiment runs at tiny scale and reproduces its headline claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.runner import ExperimentResult, format_value, render_table
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(registry.REGISTRY) == {
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig8",
+        "fig9",
+        "table1",
+        "table2",
+        "squid",
+        "analytics",
+        "worstcase",
+    }
+
+
+def test_run_one_unknown_id():
+    with pytest.raises(KeyError):
+        registry.run_one("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(registry.REGISTRY))
+def test_each_experiment_runs_and_renders(experiment_id):
+    result = registry.run_one(experiment_id, scale=0.05, seed=1)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, "experiment produced no rows"
+    rendered = result.render()
+    assert result.title in rendered
+    assert "paper claim" in rendered
+
+
+def test_fig3_thresholds():
+    result = registry.run_one("fig3", scale=1.0, seed=0)
+    blob = "\n".join(result.notes)
+    # The three paper crossings, exactly.
+    assert "600/422" in blob.replace(">600/422", "600/422")
+    assert "0.316" in blob
+
+
+def test_fig5_cost_grows_with_minus_log_f():
+    result = registry.run_one("fig5", scale=0.08, seed=0)
+    times = [row[6] for row in result.rows]
+    assert times[0] < times[-1]
+    trials = [row[4] for row in result.rows]
+    assert trials == sorted(trials)
+
+
+def test_fig6_cost_falls_with_occupation():
+    result = registry.run_one("fig6", scale=0.08, seed=0)
+    k5 = [row for row in result.rows if row[0] == "2^-5"]
+    expected = [row[3] for row in k5]
+    assert expected == sorted(expected, reverse=True)
+
+
+def test_fig8_monotone_in_polluted_slices():
+    result = registry.run_one("fig8", scale=0.03, seed=0)
+    compound = [row[1] for row in result.rows]
+    assert compound == sorted(compound)
+    assert compound[-1] > 5 * compound[0]  # full attack >> no attack
+
+
+def test_fig9_sha512_claim():
+    result = registry.run_one("fig9")
+    assert any("2^-15" in note for note in result.notes)
+
+
+def test_table1_orders_attacks():
+    result = registry.run_one("table1", scale=0.05, seed=0)
+    names = [row[0] for row in result.rows]
+    assert "false-positive forgery" in names
+    assert any("deletion" in n for n in names)
+
+
+def test_table2_recycling_wins(capsys):
+    result = registry.run_one("table2", scale=0.05, seed=0)
+    for row in result.rows:
+        if row[3] == "-":
+            continue
+        naive_us, recycled_us = row[1], row[3]
+        assert recycled_us < naive_us  # recycling is always faster
+
+
+def test_squid_attack_amplifies_false_hits():
+    result = registry.run_one("squid", scale=1.0, seed=0)
+    rates = {row[0]: row[5] for row in result.rows}
+    assert rates["polluted"] > 2 * rates["control"]
+    bits = {row[0]: row[1] for row in result.rows}
+    assert bits["polluted"] == 762
+
+
+def test_worstcase_validates_ceiling():
+    result = registry.run_one("worstcase", scale=0.3, seed=0)
+    notes = "\n".join(result.notes)
+    assert "1.88" in notes
+    assert "4.8" in notes
+
+
+# --- runner utilities -------------------------------------------------------------
+
+def test_format_value():
+    assert format_value(True) == "yes"
+    assert format_value(0.0) == "0"
+    assert format_value(0.25) == "0.25"
+    assert format_value(1.23456e-7) == "1.23e-07"
+    assert format_value("text") == "text"
+
+
+def test_render_table_alignment():
+    table = render_table(["a", "long-header"], [[1, 2], [333, 4]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_result_add_row_and_note():
+    result = ExperimentResult("x", "t", "claim", headers=["h"])
+    result.add_row(1)
+    result.note("n")
+    assert result.rows == [[1]]
+    assert "note: n" in result.render()

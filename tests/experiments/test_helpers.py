@@ -1,0 +1,72 @@
+"""Analytic helpers inside the experiment modules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import adversarial_fpp, false_positive_probability
+from repro.experiments.fig3_false_positive import analytic_crossing, analytic_partial_fpp
+from repro.experiments.fig5_pollution_cost import expected_total_trials
+from repro.experiments.fig6_ghost_cost import expected_ghost_trials
+from repro.experiments.fig8_dablooms import oracle_pollute_slice
+
+
+def test_partial_fpp_matches_honest_before_switch():
+    for n in (50, 200, 400):
+        assert analytic_partial_fpp(n) == false_positive_probability(3200, n, 4)
+
+
+def test_partial_fpp_adds_k_bits_per_crafted_item():
+    honest_weight = 3200 * (1 - math.exp(-4 * 400 / 3200))
+    expected = ((honest_weight + 4 * 100) / 3200) ** 4
+    assert analytic_partial_fpp(500) == pytest.approx(expected)
+
+
+def test_partial_fpp_clamps_at_one():
+    assert analytic_partial_fpp(10_000) == 1.0
+
+
+def test_analytic_crossings_reproduce_paper():
+    threshold = 0.077
+    assert analytic_crossing(threshold, lambda n: adversarial_fpp(3200, n, 4)) == 422
+    assert analytic_crossing(threshold, analytic_partial_fpp) in (505, 506, 507, 508)
+    assert analytic_crossing(2.0, analytic_partial_fpp) is None
+
+
+def test_expected_total_trials_monotone_in_k():
+    # More hash functions -> lower acceptance -> more trials, strictly.
+    m = 20_000
+    trials = [expected_total_trials(m, k, 200) for k in (5, 10, 15, 20)]
+    assert trials == sorted(trials)
+    assert trials[-1] > 10 * trials[0]
+
+
+def test_expected_ghost_trials_inverse_power_law():
+    m, k = 10_000, 5
+    sparse = expected_ghost_trials(m, k, weight=1000)
+    dense = expected_ghost_trials(m, k, weight=5000)
+    assert sparse / dense == pytest.approx((5000 / 1000) ** k)
+    assert expected_ghost_trials(m, k, weight=0) == math.inf
+
+
+def test_oracle_pollution_sets_exactly_nk_counters():
+    import random
+
+    from repro.core.counting import CountingBloomFilter
+
+    slice_filter = CountingBloomFilter(2000, 5)
+    oracle_pollute_slice(slice_filter, 100, random.Random(1))
+    assert slice_filter.hamming_weight == 500
+    assert len(slice_filter) == 100
+
+
+def test_oracle_pollution_survives_exhaustion():
+    import random
+
+    from repro.core.counting import CountingBloomFilter
+
+    tiny = CountingBloomFilter(20, 4)
+    oracle_pollute_slice(tiny, 10, random.Random(2))  # 40 > 20 zeros
+    assert tiny.hamming_weight == 20  # fully saturated, no crash

@@ -1,0 +1,59 @@
+"""HashFunction/CallableHash/IndexStrategy base machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hashing.base import (
+    CallableHash,
+    digest_to_int,
+    ensure_bytes,
+    int_to_digest,
+)
+
+
+def test_ensure_bytes_identity_and_utf8():
+    assert ensure_bytes(b"raw") == b"raw"
+    assert ensure_bytes("héllo") == "héllo".encode("utf-8")
+
+
+def test_ensure_bytes_rejects_other_types():
+    with pytest.raises(TypeError):
+        ensure_bytes(123)
+    with pytest.raises(TypeError):
+        ensure_bytes(None)
+
+
+def test_digest_int_round_trip():
+    raw = b"\x01\x02\x03\x04"
+    assert int_to_digest(digest_to_int(raw), 4) == raw
+    assert digest_to_int(raw) == 0x01020304
+
+
+def test_callable_hash_masks_to_width():
+    fn = CallableHash(lambda data: 0x1FFFF, digest_bits=16, name="mask-test")
+    assert fn.hash_int(b"x") == 0xFFFF
+    assert fn.digest(b"x") == b"\xff\xff"
+    assert fn.digest_size == 2
+
+
+def test_callable_hash_rejects_bad_width():
+    with pytest.raises(ValueError):
+        CallableHash(lambda d: 0, digest_bits=0, name="bad")
+
+
+def test_index_modulo():
+    fn = CallableHash(lambda data: 1234, digest_bits=32, name="const")
+    assert fn.index(b"anything", 100) == 34
+    with pytest.raises(ValueError):
+        fn.index(b"anything", -1)
+
+
+def test_batch_indexes_matches_single():
+    from repro.hashing.salted import SaltedHashStrategy
+    from repro.hashing.crypto import MD5
+
+    strategy = SaltedHashStrategy(MD5())
+    items = ["a", "b", "c"]
+    batch = strategy.batch_indexes(items, 3, 50)
+    assert batch == [strategy.indexes(i, 3, 50) for i in items]

@@ -1,0 +1,79 @@
+"""hashlib wrappers and HMAC: correctness against the standard library."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+import pytest
+
+from repro.hashing.crypto import (
+    CRYPTO_HASH_NAMES,
+    MD5,
+    SHA1,
+    SHA256,
+    SHA384,
+    SHA512,
+    HashlibHash,
+    HmacHash,
+    by_name,
+)
+
+
+@pytest.mark.parametrize("cls,algorithm,bits", [
+    (MD5, "md5", 128),
+    (SHA1, "sha1", 160),
+    (SHA256, "sha256", 256),
+    (SHA384, "sha384", 384),
+    (SHA512, "sha512", 512),
+])
+def test_digest_matches_hashlib(cls, algorithm, bits):
+    fn = cls()
+    assert fn.digest_bits == bits
+    assert fn.digest(b"payload") == hashlib.new(algorithm, b"payload").digest()
+
+
+def test_salt_is_prepended():
+    salted = SHA256(salt=b"s:")
+    assert salted.digest(b"x") == hashlib.sha256(b"s:x").digest()
+    assert "salt" in salted.name
+
+
+def test_by_name_valid_and_invalid():
+    assert by_name("sha512").digest_bits == 512
+    with pytest.raises(ValueError):
+        by_name("sha3-999")
+
+
+def test_crypto_hash_names_ordered_by_width():
+    widths = [HashlibHash(n).digest_bits for n in CRYPTO_HASH_NAMES]
+    assert widths == sorted(widths)
+
+
+def test_hmac_matches_stdlib():
+    key = b"secret-key"
+    fn = HmacHash(key, "sha1")
+    assert fn.digest(b"msg") == hmac.new(key, b"msg", "sha1").digest()
+    assert fn.digest_bits == 160
+    assert fn.name == "hmac-sha1"
+
+
+def test_hmac_key_changes_output():
+    assert HmacHash(b"k1").digest(b"m") != HmacHash(b"k2").digest(b"m")
+
+
+def test_hmac_rejects_empty_key():
+    with pytest.raises(ValueError):
+        HmacHash(b"")
+
+
+def test_hash_int_and_index():
+    fn = SHA1()
+    value = fn.hash_int(b"abc")
+    assert value == int.from_bytes(hashlib.sha1(b"abc").digest(), "big")
+    assert fn.index(b"abc", 100) == value % 100
+
+
+def test_index_rejects_bad_modulus():
+    with pytest.raises(ValueError):
+        SHA1().index(b"abc", 0)

@@ -1,0 +1,106 @@
+"""MurmurHash3 inversion: the constant-time forgery primitive."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InversionError
+from repro.hashing.inversion import (
+    fmix32_inverse,
+    fmix64_inverse,
+    invert_murmur3_32,
+    invert_murmur3_x64_128,
+    unxorshift_right,
+)
+from repro.hashing.murmur import fmix32, fmix64, murmur3_32, murmur3_x64_128
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_fmix32_round_trip(x):
+    assert fmix32_inverse(fmix32(x)) == x
+    assert fmix32(fmix32_inverse(x)) == x
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_fmix64_round_trip(x):
+    assert fmix64_inverse(fmix64(x)) == x
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=1, max_value=31),
+)
+def test_unxorshift_right(x, shift):
+    assert unxorshift_right(x ^ (x >> shift), shift, 32) == x
+
+
+def test_unxorshift_rejects_bad_shift():
+    with pytest.raises(ValueError):
+        unxorshift_right(1, 0, 32)
+    with pytest.raises(ValueError):
+        unxorshift_right(1, 32, 32)
+
+
+@settings(max_examples=50)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_invert_murmur32_hits_any_target(target, seed):
+    preimage = invert_murmur3_32(target, seed)
+    assert len(preimage) == 4
+    assert murmur3_32(preimage, seed) == target
+
+
+def test_invert_murmur32_with_prefix():
+    prefix = b"http://evil.co/a"  # 16 bytes, multiple of 4
+    preimage = invert_murmur3_32(0xCAFEBABE, seed=11, prefix=prefix)
+    assert preimage.startswith(prefix)
+    assert murmur3_32(preimage, 11) == 0xCAFEBABE
+
+
+def test_invert_murmur32_rejects_misaligned_prefix():
+    with pytest.raises(InversionError):
+        invert_murmur3_32(1, prefix=b"abc")
+
+
+@settings(max_examples=50)
+@given(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_invert_murmur128_hits_any_target_pair(t1, t2, seed):
+    preimage = invert_murmur3_x64_128(t1, t2, seed)
+    assert len(preimage) == 16
+    assert murmur3_x64_128(preimage, seed) == (t1, t2)
+
+
+def test_invert_murmur128_with_prefix():
+    prefix = b"http://evil.tld/"  # 16 bytes
+    preimage = invert_murmur3_x64_128(7, 0, seed=0, prefix=prefix)
+    assert preimage.startswith(prefix)
+    assert murmur3_x64_128(preimage, 0) == (7, 0)
+
+
+def test_invert_murmur128_rejects_misaligned_prefix():
+    with pytest.raises(InversionError):
+        invert_murmur3_x64_128(1, 2, prefix=b"0123456789")
+
+
+def test_second_preimage_of_real_item():
+    # Forge a different input with the same 128-bit hash: the Bloom-level
+    # second pre-image that erases victims from Dablooms.
+    victim = b"http://malicious.example/phishing-page"
+    target = murmur3_x64_128(victim, 0)
+    forged = invert_murmur3_x64_128(*target, seed=0)
+    assert forged != victim
+    assert murmur3_x64_128(forged, 0) == target
+
+
+def test_distinct_variants_give_distinct_preimages():
+    # h1 = c + j*m for varying j: infinitely many distinct single-counter keys.
+    m = 958
+    keys = {invert_murmur3_x64_128(5 + j * m, 0, seed=0) for j in range(50)}
+    assert len(keys) == 50

@@ -1,0 +1,92 @@
+"""FNV / djb2 / sdbm / one-at-a-time: vectors and basic properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.noncrypto import (
+    FNV1a32,
+    FNV1a64,
+    MASK32,
+    MASK64,
+    OneAtATime,
+    djb2,
+    fnv1_32,
+    fnv1_64,
+    fnv1a_32,
+    fnv1a_64,
+    one_at_a_time,
+    rotl32,
+    rotl64,
+    sdbm,
+)
+
+
+def test_fnv_offset_basis_on_empty():
+    assert fnv1_32(b"") == 0x811C9DC5
+    assert fnv1a_32(b"") == 0x811C9DC5
+    assert fnv1_64(b"") == 0xCBF29CE484222325
+    assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+
+def test_fnv1a_known_vectors():
+    # Published FNV-1a vectors.
+    assert fnv1a_32(b"a") == 0xE40C292C
+    assert fnv1a_32(b"foobar") == 0xBF9CF968
+    assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+    assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+
+def test_fnv1_and_fnv1a_differ():
+    assert fnv1_32(b"ab") != fnv1a_32(b"ab")
+    assert fnv1_64(b"ab") != fnv1a_64(b"ab")
+
+
+def test_djb2_known_value():
+    # djb2("") is the initial constant 5381.
+    assert djb2(b"") == 5381
+    # h("a") = 5381*33 + 97
+    assert djb2(b"a") == (5381 * 33 + 97) & MASK32
+
+
+def test_sdbm_empty_and_single():
+    assert sdbm(b"") == 0
+    assert sdbm(b"a") == 97  # h = c + 0 + 0 - 0
+
+
+def test_one_at_a_time_deterministic_and_seeded():
+    assert one_at_a_time(b"key") == one_at_a_time(b"key")
+    assert one_at_a_time(b"key", 1) != one_at_a_time(b"key", 2)
+
+
+@given(st.binary(max_size=64))
+def test_all_in_32bit_range(data):
+    for fn in (fnv1_32, fnv1a_32, djb2, sdbm, one_at_a_time):
+        assert 0 <= fn(data) <= MASK32
+
+
+@given(st.binary(max_size=64))
+def test_fnv64_in_range(data):
+    assert 0 <= fnv1_64(data) <= MASK64
+    assert 0 <= fnv1a_64(data) <= MASK64
+
+
+@pytest.mark.parametrize("r", [0, 1, 13, 31, 32, 45])
+def test_rotl32_inverse_pairs(r):
+    x = 0x12345678
+    assert rotl32(rotl32(x, r), (32 - r) % 32) == x
+
+
+@pytest.mark.parametrize("r", [0, 1, 27, 33, 63, 64])
+def test_rotl64_inverse_pairs(r):
+    x = 0x0123456789ABCDEF
+    assert rotl64(rotl64(x, r), (64 - r) % 64) == x
+
+
+def test_wrapper_objects():
+    assert FNV1a32().hash_int(b"foobar") == 0xBF9CF968
+    assert FNV1a64().hash_int(b"foobar") == 0x85944171F73967E8
+    oaat = OneAtATime(seed=5)
+    assert oaat.hash_int(b"x") == one_at_a_time(b"x", 5)
+    assert oaat.digest_bits == 32

@@ -1,0 +1,153 @@
+"""Index strategies: salted, seeded, Kirsch-Mitzenmacher, recycling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.crypto import MD5, SHA512
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy, km_indexes
+from repro.hashing.murmur import Murmur3_x64_128, murmur3_32
+from repro.hashing.noncrypto import FNV1a64
+from repro.hashing.recycling import RecyclingStrategy, bits_required, calls_required
+from repro.hashing.salted import SaltedHashStrategy, SeededHashStrategy
+
+ALL_STRATEGIES = [
+    SaltedHashStrategy(SHA512()),
+    SaltedHashStrategy(MD5()),
+    KirschMitzenmacherStrategy(),
+    RecyclingStrategy(SHA512()),
+    RecyclingStrategy(MD5()),
+    SeededHashStrategy(lambda seed: (lambda d: murmur3_32(d, seed)), 32, "seeded-murmur"),
+]
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+def test_indexes_in_range_and_deterministic(strategy):
+    indexes = strategy.indexes("http://example.com/page", 7, 1000)
+    assert len(indexes) == 7
+    assert all(0 <= i < 1000 for i in indexes)
+    assert strategy.indexes("http://example.com/page", 7, 1000) == indexes
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+def test_str_and_bytes_agree(strategy):
+    assert strategy.indexes("item", 4, 512) == strategy.indexes(b"item", 4, 512)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+def test_invalid_parameters_rejected(strategy):
+    with pytest.raises(ValueError):
+        strategy.indexes("x", 0, 100)
+    with pytest.raises(ValueError):
+        strategy.indexes("x", 4, 0)
+
+
+def test_km_expansion_formula():
+    assert km_indexes(5, 3, 4, 100) == (5, 8, 11, 14)
+    assert km_indexes(99, 2, 3, 100) == (99, 1, 3)
+
+
+def test_km_zero_stride_targets_single_position():
+    # The degenerate pair the overflow attack forges.
+    assert km_indexes(42, 0, 7, 100) == (42,) * 7
+
+
+def test_km_uses_murmur_halves():
+    strategy = KirschMitzenmacherStrategy()
+    h1, h2 = Murmur3_x64_128(seed=0).halves(b"key")
+    assert strategy.indexes(b"key", 3, 977) == km_indexes(h1, h2, 3, 977)
+    assert strategy.pair(b"key") == (h1, h2)
+
+
+def test_km_single_hash_call():
+    assert KirschMitzenmacherStrategy().hash_calls(10, 1000) == 1
+
+
+def test_km_from_two_hashes():
+    strategy = KirschMitzenmacherStrategy.from_two_hashes(FNV1a64(), MD5())
+    indexes = strategy.indexes(b"abc", 5, 333)
+    assert len(indexes) == 5
+    h1 = FNV1a64().hash_int(b"abc")
+    h2 = MD5().hash_int(b"abc")
+    assert indexes == km_indexes(h1, h2, 5, 333)
+
+
+def test_salted_uses_distinct_salts():
+    strategy = SaltedHashStrategy(MD5())
+    # With one fixed salt the k indexes would all be equal.
+    indexes = strategy.indexes(b"abc", 8, 2**20)
+    assert len(set(indexes)) > 1
+
+
+def test_salted_custom_salts_and_shortage():
+    strategy = SaltedHashStrategy(MD5(), salts=[b"a", b"b"])
+    assert len(strategy.indexes(b"x", 2, 100)) == 2
+    with pytest.raises(ValueError):
+        strategy.indexes(b"x", 3, 100)
+
+
+def test_salted_hash_calls_is_k():
+    assert SaltedHashStrategy(MD5()).hash_calls(9, 100) == 9
+
+
+def test_bits_required_formula():
+    assert bits_required(10, 1024) == 100  # 10 * 10
+    assert bits_required(4, 3200) == 48  # 4 * 12
+    with pytest.raises(ValueError):
+        bits_required(0, 100)
+    with pytest.raises(ValueError):
+        bits_required(4, 1)
+
+
+def test_calls_required_whole_windows():
+    # 512-bit digest, window 10 bits -> 51 windows per call.
+    assert calls_required(10, 1024, 512) == 1
+    assert calls_required(52, 1024, 512) == 2
+    # window wider than digest is impossible
+    with pytest.raises(ValueError):
+        calls_required(1, 2**129, 128)
+
+
+def test_recycling_hash_calls_matches_calls_required():
+    strategy = RecyclingStrategy(MD5())  # 128 bits
+    # window for m=3200 is 12 bits -> 10 windows/call -> k=25 needs 3 calls.
+    assert strategy.hash_calls(25, 3200) == calls_required(25, 3200, 128)
+
+
+def test_recycling_needs_extra_calls_when_digest_exhausted():
+    strategy = RecyclingStrategy(MD5())
+    indexes = strategy.indexes(b"item", 25, 3200)
+    assert len(indexes) == 25
+    assert all(0 <= i < 3200 for i in indexes)
+
+
+def test_recycling_rejects_too_narrow_digest():
+    strategy = RecyclingStrategy(MD5())
+    with pytest.raises(ValueError):
+        strategy.indexes(b"item", 1, 2**140)
+
+
+def test_recycling_salt_changes_indexes():
+    plain = RecyclingStrategy(SHA512())
+    salted = RecyclingStrategy(SHA512(), salt=b"deploy-1:")
+    assert plain.indexes(b"u", 5, 4096) != salted.indexes(b"u", 5, 4096)
+
+
+def test_recycling_windows_come_from_single_digest():
+    # For small k the windows must be consecutive slices of one digest.
+    fn = SHA512()
+    strategy = RecyclingStrategy(fn)
+    m = 1 << 16  # window exactly 16 bits
+    digest = int.from_bytes(fn.digest(b"item"), "big")
+    expected = tuple((digest >> (512 - 16 * (i + 1))) & 0xFFFF for i in range(4))
+    assert strategy.indexes(b"item", 4, m) == tuple(e % m for e in expected)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=2, max_value=10000))
+def test_recycling_property_range(k, m):
+    strategy = RecyclingStrategy(SHA512())
+    indexes = strategy.indexes(b"prop", k, m)
+    assert len(indexes) == k
+    assert all(0 <= i < m for i in indexes)

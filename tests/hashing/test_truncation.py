@@ -1,0 +1,72 @@
+"""Digest truncation and its security accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.crypto import SHA256
+from repro.hashing.truncation import (
+    TruncatedHash,
+    effective_bits_per_index,
+    security_levels,
+)
+
+
+def test_truncation_keeps_prefix_bits():
+    inner = SHA256()
+    truncated = TruncatedHash(inner, 64)
+    full = inner.digest(b"data")
+    assert truncated.digest(b"data") == full[:8]
+    assert truncated.digest_bits == 64
+
+
+def test_truncation_masks_partial_byte():
+    truncated = TruncatedHash(SHA256(), 12)  # 1.5 bytes
+    digest = truncated.digest(b"data")
+    assert len(digest) == 2
+    assert digest[-1] & 0x0F == 0  # low 4 bits masked away
+
+
+@pytest.mark.parametrize("bits", [0, -8, 257])
+def test_invalid_truncation_widths(bits):
+    with pytest.raises(ValueError):
+        TruncatedHash(SHA256(), bits)
+
+
+def test_security_levels_follow_nist_rule():
+    levels = security_levels(64)
+    assert levels.preimage_bits == 64
+    assert levels.second_preimage_bits == 64
+    assert levels.collision_bits == 32
+
+
+def test_feasibility_classification():
+    weak = security_levels(24).feasible(budget_log2=40)
+    assert weak == {"preimage": True, "second_preimage": True, "collision": True}
+    strong = security_levels(256).feasible(budget_log2=40)
+    assert strong == {"preimage": False, "second_preimage": False, "collision": False}
+    # Collision feasible but pre-image not: the 2^(l/2) gap.
+    middle = security_levels(64).feasible(budget_log2=40)
+    assert middle["collision"] and not middle["preimage"]
+
+
+def test_effective_bits_per_index():
+    # A Bloom filter mod m keeps only log2(m) bits -- the implicit
+    # truncation driving the paper's feasibility table.
+    assert effective_bits_per_index(1024) == 10
+    assert effective_bits_per_index(3200) == pytest.approx(11.64, abs=0.01)
+    with pytest.raises(ValueError):
+        effective_bits_per_index(1)
+
+
+def test_truncated_hash_security_property():
+    truncated = TruncatedHash(SHA256(), 20)
+    assert truncated.security.preimage_bits == 20
+
+
+@given(st.integers(min_value=1, max_value=256))
+def test_truncated_width_respected(bits):
+    truncated = TruncatedHash(SHA256(), bits)
+    value = truncated.hash_int(b"x")
+    assert value < 2**bits

@@ -1,0 +1,42 @@
+"""Exception hierarchy contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    CapacityError,
+    CounterOverflowError,
+    CraftingBudgetExceeded,
+    InversionError,
+    ParameterError,
+    ReproError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [ParameterError, CapacityError, CraftingBudgetExceeded, CounterOverflowError, InversionError],
+)
+def test_all_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+
+
+def test_parameter_error_is_value_error():
+    # Library misuse should be catchable as plain ValueError too.
+    assert issubclass(ParameterError, ValueError)
+    with pytest.raises(ValueError):
+        raise ParameterError("bad m")
+
+
+def test_crafting_budget_carries_trials():
+    exc = CraftingBudgetExceeded("gave up", trials=123)
+    assert exc.trials == 123
+    assert "gave up" in str(exc)
+
+
+def test_library_raises_catchable_base():
+    from repro.core.bloom import BloomFilter
+
+    with pytest.raises(ReproError):
+        BloomFilter(0, 1)

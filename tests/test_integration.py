@@ -1,0 +1,111 @@
+"""Cross-module integration tests: full attack->countermeasure stories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.pollution import PollutionAttack
+from repro.adversary.query import GhostForgery
+from repro.apps.scrapy.attack import BlindingAttack
+from repro.apps.scrapy.dupefilter import BloomDupeFilter
+from repro.apps.scrapy.spider import Spider
+from repro.apps.scrapy.webgraph import WebGraph
+from repro.core.bloom import BloomFilter
+from repro.core.dablooms import Dablooms
+from repro.countermeasures.keyed import KeyedBloomFilter
+from repro.countermeasures.worst_case import compare_designs
+from repro.urlgen.faker import UrlFactory
+
+
+def test_story_pollute_then_flood_with_ghosts():
+    """Chosen-insertion pollution makes query-only forgery cheap."""
+    target = BloomFilter(3200, 4)
+    # Before pollution: ghosts are expensive.
+    factory = UrlFactory(seed=1)
+    for _ in range(100):
+        target.add(factory.url())
+    sparse_probability = GhostForgery(target).success_probability()
+
+    PollutionAttack(target, seed=2).run(500)
+    dense_probability = GhostForgery(target).success_probability()
+    assert dense_probability > 20 * sparse_probability
+
+    # And the forged ghosts genuinely fool the filter.
+    ghosts = GhostForgery(target, seed=3).craft(5)
+    assert all(g.item in target for g in ghosts)
+
+
+def test_story_blinding_vs_hardened_spider():
+    """The same blinding campaign, against optimal and worst-case filters."""
+    victim = WebGraph.random_site("victim.example", 150, seed=21)
+
+    attack = BlindingAttack(500, 0.05, seed=5)
+    report = attack.run(victim, n_links=400)
+
+    # Hardened spider: same memory, worst-case k.
+    reference = BloomDupeFilter(500, 0.05)
+    m = reference.filter.m
+    hardened_filter = BloomFilter.worst_case(500, m)
+    hardened = BloomDupeFilter.__new__(BloomDupeFilter)
+    hardened.filter = hardened_filter
+    hardened.capacity = 500
+    hardened.error_rate = 0.05
+    hardened.marked = 0
+
+    site, _ = attack.build_adversary_site(n_links=400)
+    world = WebGraph().merge(site).merge(victim)
+    spider = Spider(world, hardened)
+    spider.crawl([attack.root_url])
+    stats = spider.crawl([victim.urls()[0]])
+    hardened_coverage = stats.coverage_of(victim.urls())
+
+    # The attack was crafted against k=4 geometry; on the hardened filter
+    # it degenerates and coverage stays at least as good.
+    assert hardened_coverage >= report.victim_coverage_attacked
+
+
+def test_story_keyed_filter_ends_the_arms_race():
+    """Crafted items lose their edge entirely once hashing is keyed."""
+    keyed = KeyedBloomFilter(3200, 4, key=bytes(range(16)))
+    shadow = BloomFilter(3200, 4)  # what the attacker *thinks* is deployed
+    report = PollutionAttack(shadow, seed=6).run(300, insert=True)
+    for item in report.items:
+        keyed.add(item)
+    # On the attacker's model every item added 4 fresh bits; on the keyed
+    # filter the same items behave like random inserts.
+    assert shadow.hamming_weight == 1200
+    import math
+
+    expected_random = 3200 * (1 - math.exp(-1200 / 3200))
+    assert abs(keyed.hamming_weight - expected_random) < 0.05 * 3200
+
+
+def test_story_dablooms_lifecycle_under_attack():
+    """Report, pollute, overflow: the blocklist ends up bigger and blinder."""
+    from repro.apps.dablooms.attack import DabloomsOverflowAttack
+    from repro.apps.dablooms.service import ShorteningService
+
+    service = ShorteningService(slice_capacity=64, f0=0.05)
+    real_threats = [f"http://threat-{i}.example/" for i in range(30)]
+    for url in real_threats:
+        service.report_malicious(url)
+    assert all(service.is_blocked(u) for u in real_threats)
+
+    # Overflow the remainder of the first slice, then one more report
+    # forces a scale-up.
+    DabloomsOverflowAttack(service).run(64 - 30)
+    service.report_malicious("http://post-attack.example/")
+    assert service.blocklist.slice_count == 2
+    # Collateral: wrapped counters may have erased real threats too.
+    surviving = sum(1 for u in real_threats if service.is_blocked(u))
+    assert surviving <= len(real_threats)
+
+
+def test_design_comparison_consistent_with_live_filters():
+    cmp = compare_designs(3200, 600)
+    live_optimal = BloomFilter(3200, cmp.k_optimal)
+    live_hardened = BloomFilter(3200, cmp.k_worst_case)
+    PollutionAttack(live_optimal, seed=7).run(600)
+    PollutionAttack(live_hardened, seed=7).run(600)
+    assert live_optimal.current_fpp() == pytest.approx(cmp.optimal_adv, rel=0.02)
+    assert live_hardened.current_fpp() == pytest.approx(cmp.worst_case_adv, rel=0.02)

@@ -1,0 +1,119 @@
+"""Model-based stateful tests (hypothesis RuleBasedStateMachine).
+
+Each machine drives a probabilistic structure through random operation
+sequences while maintaining an exact reference model, checking the
+structure's one-sided guarantees at every step:
+
+* a classic Bloom filter may lie "present" but never "absent" for an
+  inserted item, and its weight never exceeds ``insertions * k``;
+* a counting filter additionally honours deletions of its own items;
+* a Count-Min sketch never under-estimates any item's true count.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+from repro.core.counting import CountingBloomFilter
+from repro.counting import CountMinSketch
+
+_ITEMS = st.text(
+    alphabet="abcdefghijklmnop0123456789-/", min_size=1, max_size=24
+)
+
+
+class BloomFilterMachine(RuleBasedStateMachine):
+    """Classic filter vs an exact set."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.filter = BloomFilter(2048, 3)
+        self.model: set[str] = set()
+
+    @rule(item=_ITEMS)
+    def add(self, item: str) -> None:
+        self.filter.add(item)
+        self.model.add(item)
+
+    @rule(item=_ITEMS)
+    def query_never_false_negative(self, item: str) -> None:
+        if item in self.model:
+            assert item in self.filter
+
+    @invariant()
+    def weight_bounded(self) -> None:
+        assert self.filter.hamming_weight <= len(self.filter) * self.filter.k
+        assert self.filter.hamming_weight <= self.filter.m
+
+    @invariant()
+    def fpp_estimates_consistent(self) -> None:
+        assert 0.0 <= self.filter.current_fpp() <= 1.0
+
+
+class CountingFilterMachine(RuleBasedStateMachine):
+    """Counting filter vs an exact multiset, with safe deletions only."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.filter = CountingBloomFilter(4096, 3, counter_bits=8)
+        self.model: dict[str, int] = {}
+
+    @rule(item=_ITEMS)
+    def add(self, item: str) -> None:
+        self.filter.add(item)
+        self.model[item] = self.model.get(item, 0) + 1
+
+    @rule(item=_ITEMS)
+    def remove_if_present_in_model(self, item: str) -> None:
+        # Only legitimate deletions (the service checked its database):
+        # the false-negative attacks need *illegitimate* ones, tested
+        # separately in tests/adversary/test_deletion.py.
+        if self.model.get(item, 0) > 0:
+            self.filter.remove(item)
+            self.model[item] -= 1
+
+    @rule(item=_ITEMS)
+    def membership_is_sound(self, item: str) -> None:
+        if self.model.get(item, 0) > 0:
+            assert item in self.filter
+
+    @invariant()
+    def counter_mass_matches_model(self) -> None:
+        # With 8-bit counters and bounded sequences nothing saturates, so
+        # total counter mass is exactly k * (live model mass).
+        live = sum(self.model.values())
+        mass = sum(self.filter.counters.values())
+        assert mass == live * self.filter.k
+
+
+class CountMinMachine(RuleBasedStateMachine):
+    """Count-Min sketch vs an exact counter dict."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sketch = CountMinSketch(width=512, depth=4)
+        self.model: dict[str, int] = {}
+
+    @rule(item=_ITEMS, count=st.integers(min_value=1, max_value=5))
+    def add(self, item: str, count: int) -> None:
+        self.sketch.add(item, count)
+        self.model[item] = self.model.get(item, 0) + count
+
+    @rule(item=_ITEMS)
+    def never_underestimates(self, item: str) -> None:
+        assert self.sketch.estimate(item) >= self.model.get(item, 0)
+
+    @invariant()
+    def total_preserved(self) -> None:
+        assert len(self.sketch) == sum(self.model.values())
+
+
+TestBloomFilterMachine = BloomFilterMachine.TestCase
+TestCountingFilterMachine = CountingFilterMachine.TestCase
+TestCountMinMachine = CountMinMachine.TestCase
+
+for testcase in (TestBloomFilterMachine, TestCountingFilterMachine, TestCountMinMachine):
+    testcase.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)

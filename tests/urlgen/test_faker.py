@@ -1,0 +1,82 @@
+"""UrlFactory: determinism, uniqueness, URL shape."""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+import pytest
+
+from repro.urlgen.faker import UrlFactory
+
+URL_PATTERN = re.compile(r"^https?://[a-z0-9.-]+/[a-zA-Z0-9./-]*$")
+
+
+def test_same_seed_same_stream():
+    a = UrlFactory(seed=5).urls(20)
+    b = UrlFactory(seed=5).urls(20)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    assert UrlFactory(seed=1).urls(5) != UrlFactory(seed=2).urls(5)
+
+
+def test_urls_are_unique():
+    urls = UrlFactory(seed=3).urls(2000)
+    assert len(set(urls)) == 2000
+
+
+def test_urls_look_like_urls(url_factory):
+    for url in url_factory.urls(100):
+        assert URL_PATTERN.match(url), url
+
+
+def test_candidate_stream_is_unique_and_infinite(url_factory):
+    stream = url_factory.candidate_stream()
+    sample = list(itertools.islice(stream, 500))
+    assert len(set(sample)) == 500
+
+
+def test_candidate_stream_with_prefix(url_factory):
+    stream = url_factory.candidate_stream(prefix="http://evil.example")
+    for url in itertools.islice(stream, 50):
+        assert url.startswith("http://evil.example/")
+
+
+def test_domain_and_hostname_shapes(url_factory):
+    assert re.match(r"^[a-z]+-[a-z]+\.[a-z]+$", url_factory.domain())
+    hostname = url_factory.hostname()
+    assert "." in hostname
+
+
+def test_path_depth_control(url_factory):
+    path = url_factory.path(depth=3)
+    assert path.startswith("/")
+    # allow for a possible file extension on the last segment
+    assert len(path.split("/")) == 4
+
+
+def test_slug_word_count(url_factory):
+    assert len(url_factory.slug(3).split("-")) == 3
+    with pytest.raises(ValueError):
+        url_factory.slug(0)
+
+
+def test_non_unique_urls_can_repeat_shape(url_factory):
+    url = url_factory.url(unique=False)
+    assert URL_PATTERN.match(url)
+
+
+def test_reset_restarts_stream():
+    factory = UrlFactory(seed=8)
+    first = factory.urls(5)
+    factory.reset(8)
+    assert factory.urls(5) == first
+
+
+def test_count_validation(url_factory):
+    with pytest.raises(ValueError):
+        url_factory.urls(-1)
+    with pytest.raises(ValueError):
+        url_factory.path(depth=0)
