@@ -1,0 +1,128 @@
+"""Bench: the service hot path -- batched vs scalar filter operations,
+and the gateway end to end.
+
+Not a paper artifact: this guards the batch API that makes the
+:mod:`repro.service` gateway worth fronting filters with.  The headline
+check is ``contains_batch`` beating the scalar query loop on a 10k-item
+batch; the replay benchmark times the full sharded gateway under the
+mixed honest+adversarial workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.experiments.runner import render_table
+from repro.service import HashShardPicker, MembershipGateway, SaturationGuard
+from repro.service.driver import AdversarialTrafficDriver
+from repro.urlgen.faker import UrlFactory
+
+BATCH_10K = UrlFactory(seed=0xBEEF).urls(10_000)
+M, K = 65_536, 4
+
+
+def _half_full_filter() -> BloomFilter:
+    target = BloomFilter(M, K)
+    target.add_batch(BATCH_10K[:5_000])
+    return target
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_contains_scalar_10k(benchmark):
+    target = _half_full_filter()
+    hits = benchmark(lambda: sum(1 for item in BATCH_10K if item in target))
+    assert hits >= 5_000
+
+
+def test_contains_batch_10k(benchmark):
+    target = _half_full_filter()
+    hits = benchmark(lambda: sum(target.contains_batch(BATCH_10K)))
+    assert hits >= 5_000
+
+
+def test_add_batch_10k(benchmark):
+    def build() -> int:
+        target = BloomFilter(M, K)
+        target.add_batch(BATCH_10K)
+        return target.hamming_weight
+
+    weight = benchmark(build)
+    assert weight > 0
+
+
+def test_batch_beats_scalar_on_10k(report):
+    """The acceptance check: vectorized batch ops beat the scalar loop."""
+    target = _half_full_filter()
+    scalar_q = _best_of(lambda: [item in target for item in BATCH_10K])
+    batch_q = _best_of(lambda: target.contains_batch(BATCH_10K))
+    assert target.contains_batch(BATCH_10K) == [item in target for item in BATCH_10K]
+
+    def scalar_add() -> None:
+        fresh = BloomFilter(M, K)
+        for item in BATCH_10K:
+            fresh.add(item)
+
+    def batch_add() -> None:
+        BloomFilter(M, K).add_batch(BATCH_10K)
+
+    scalar_a = _best_of(scalar_add)
+    batch_a = _best_of(batch_add)
+
+    report(
+        "service hot path, 10k items (best of 3):\n"
+        + render_table(
+            ["op", "scalar_us/item", "batch_us/item", "speedup"],
+            [
+                ["contains", scalar_q * 100, batch_q * 100, scalar_q / batch_q],
+                ["add", scalar_a * 100, batch_a * 100, scalar_a / batch_a],
+            ],
+        )
+    )
+    assert batch_q < scalar_q, "contains_batch must beat the scalar query loop"
+    assert batch_a < scalar_a, "add_batch must beat the scalar insert loop"
+
+
+def test_gateway_replay(benchmark, report):
+    """Time the full gateway under the mixed honest+adversarial replay."""
+    import asyncio
+
+    def replay_once():
+        gateway = MembershipGateway(
+            lambda: BloomFilter(1024, 4),
+            shards=4,
+            picker=HashShardPicker(),
+            guard=SaturationGuard(0.4),
+        )
+        driver = AdversarialTrafficDriver(gateway, seed=3, max_trials=50_000)
+        return asyncio.run(
+            driver.run(
+                honest_clients=2,
+                honest_inserts=200,
+                honest_queries=200,
+                pollution_inserts=120,
+                ghost_queries=16,
+                ghost_min_fill=0.15,
+                probe_queries=200,
+            )
+        )
+
+    result = benchmark.pedantic(replay_once, rounds=1, iterations=1)
+    report(
+        f"gateway replay: {result.operations} ops at "
+        f"{result.throughput:,.0f} ops/s, {result.rotations} rotation(s), "
+        f"ghosts {result.ghost_hits}/{result.ghost_queries}, "
+        f"amplification x{result.amplification:,.0f}"
+    )
+    assert result.rotations >= 1, "aimed pollution should force a rotation"
+    assert result.ghost_hit_rate > result.honest_fp_rate

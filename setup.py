@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e .`).
+
+All metadata lives in pyproject.toml's [project] table (setuptools>=61
+reads it); this file exists so environments without the `wheel` package
+or network access for build isolation can still do an editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -15,6 +15,10 @@ This package implements, from scratch and in pure Python:
   proxies) -- :mod:`repro.apps`;
 * the countermeasures (worst-case parameters, keyed hashing, recycling) --
   :mod:`repro.countermeasures`;
+* the serving layer the attacks are aimed at in deployment: a sharded
+  asyncio membership gateway with batched APIs, keyed routing, rate
+  limiting, saturation-guard rotation and an adversarial traffic
+  driver -- :mod:`repro.service`;
 * one experiment per paper table/figure -- :mod:`repro.experiments`
   (run them with ``python -m repro.experiments``).
 """
@@ -35,6 +39,8 @@ from repro.core.params import (
 )
 from repro.core.scalable import ScalableBloomFilter
 from repro.countermeasures.keyed import KeyedBloomFilter
+from repro.service.config import ServiceConfig
+from repro.service.gateway import MembershipGateway
 
 __version__ = "1.0.0"
 
@@ -45,7 +51,9 @@ __all__ = [
     "CountingBloomFilter",
     "Dablooms",
     "KeyedBloomFilter",
+    "MembershipGateway",
     "ScalableBloomFilter",
+    "ServiceConfig",
     "adversarial_fpp",
     "adversarial_optimal_fpp",
     "adversarial_optimal_k",

@@ -8,9 +8,13 @@ with popcount via ``int.bit_count``.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
-__all__ = ["BitVector"]
+__all__ = ["BitVector", "popcount"]
+
+def popcount(data: bytes | bytearray) -> int:
+    """Number of set bits in a byte string."""
+    return int.from_bytes(data, "little").bit_count()
 
 
 class BitVector:
@@ -78,6 +82,87 @@ class BitVector:
         self._bytes[byte] &= ~mask & 0xFF
         return was_set
 
+    # ------------------------------------------------------------------
+    # Batch operations (the service hot path)
+    # ------------------------------------------------------------------
+    #
+    # These exist because per-bit ``get``/``set`` calls dominate the cost
+    # of a Bloom filter operation in pure Python: each one pays a method
+    # dispatch, an attribute load and a bounds check.  The batch forms
+    # hoist the locals once and validate up front, so the inner loops
+    # touch raw bytes only.
+
+    def set_indexes(self, indexes: Sequence[int]) -> int:
+        """Set every bit in ``indexes`` in one pass; return how many were
+        newly set (0 means the positions were already all 1).
+
+        Duplicate indexes are counted once (the second occurrence finds
+        the bit already set).  Validates every position *before* writing
+        any bit, so an out-of-range index leaves the vector untouched.
+        """
+        size = self._size
+        for index in indexes:
+            if not 0 <= index < size:
+                raise IndexError(f"bit index {index} out of range [0, {size})")
+        buf = self._bytes
+        newly = 0
+        for index in indexes:
+            byte = index >> 3
+            mask = 1 << (index & 7)
+            old = buf[byte]
+            if not old & mask:
+                buf[byte] = old | mask
+                newly += 1
+        return newly
+
+    def union_update(self, raw: bytes | bytearray) -> int:
+        """OR a same-sized byte payload into this vector in one pass
+        (how a received digest is merged); returns the number of newly-
+        set bits, counted byte-wise from each OR delta.
+
+        Payload bits past ``size`` (the padding of the last byte) are
+        ignored, keeping weight/support consistent -- same rule as
+        :meth:`set_all`.
+        """
+        buf = self._bytes
+        if len(raw) != len(buf):
+            raise ValueError(f"expected {len(buf)} bytes, got {len(raw)}")
+        extra = 8 * len(buf) - self._size
+        newly = 0
+        last = len(buf) - 1
+        for byte, incoming in enumerate(raw):
+            if byte == last and extra:
+                incoming &= 0xFF >> extra
+            old = buf[byte]
+            new = old | incoming
+            if new != old:
+                buf[byte] = new
+                newly += (new ^ old).bit_count()
+        return newly
+
+    def all_set(self, indexes: Iterable[int]) -> bool:
+        """True iff every bit in ``indexes`` is 1 (short-circuits on the
+        first 0 -- the membership-query hot path)."""
+        size = self._size
+        buf = self._bytes
+        for index in indexes:
+            if not 0 <= index < size:
+                raise IndexError(f"bit index {index} out of range [0, {size})")
+            if not buf[index >> 3] & (1 << (index & 7)):
+                return False
+        return True
+
+    def get_many(self, indexes: Iterable[int]) -> list[bool]:
+        """Read many bits in one pass (no short-circuit)."""
+        size = self._size
+        buf = self._bytes
+        out: list[bool] = []
+        for index in indexes:
+            if not 0 <= index < size:
+                raise IndexError(f"bit index {index} out of range [0, {size})")
+            out.append(bool(buf[index >> 3] & (1 << (index & 7))))
+        return out
+
     def set_all(self) -> None:
         """Saturate the vector (every bit to 1)."""
         self._bytes[:] = b"\xff" * len(self._bytes)
@@ -92,7 +177,7 @@ class BitVector:
 
     def hamming_weight(self) -> int:
         """Number of set bits, ``wH(z)`` in the paper."""
-        return int.from_bytes(self._bytes, "little").bit_count()
+        return popcount(self._bytes)
 
     def support(self) -> set[int]:
         """The set of 1-positions, ``supp(z)`` in the paper."""

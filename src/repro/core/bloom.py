@@ -120,8 +120,33 @@ class BloomFilter(MembershipFilter):
                 self._weight += 1
         self._insertions += 1
 
+    def add_batch(self, items: Iterable[str | bytes]) -> list[bool]:
+        """Vectorized :meth:`add`: one hashing pass over the whole batch,
+        then one byte-touching pass per item via
+        :meth:`~repro.core.bitvector.BitVector.set_indexes`."""
+        bits = self.bits
+        set_indexes = bits.set_indexes
+        results: list[bool] = []
+        weight = 0
+        for indexes in self.strategy.batch_indexes(items, self.k, self.m):
+            newly = set_indexes(indexes)
+            weight += newly
+            results.append(newly == 0)
+        self._weight += weight
+        self._insertions += len(results)
+        return results
+
     def __contains__(self, item: str | bytes) -> bool:
         return all(self.bits.get(i) for i in self.indexes(item))
+
+    def contains_batch(self, items: Iterable[str | bytes]) -> list[bool]:
+        """Vectorized membership: batch hashing plus the short-circuiting
+        :meth:`~repro.core.bitvector.BitVector.all_set` probe."""
+        all_set = self.bits.all_set
+        return [
+            all_set(indexes)
+            for indexes in self.strategy.batch_indexes(items, self.k, self.m)
+        ]
 
     def contains_indexes(self, indexes: Iterable[int]) -> bool:
         """Membership test on pre-computed positions."""
@@ -189,7 +214,10 @@ class BloomFilter(MembershipFilter):
         """Bitwise union (valid only for identical parameters/strategy)."""
         self._check_compatible(other)
         out = BloomFilter(self.m, self.k, self.strategy)
-        out.bits = self.bits | other.bits
+        out.bits = self.bits.copy()
+        out.bits.union_update(other.bits.to_bytes())
+        # Recompute rather than trust the operands' counters: callers
+        # (e.g. the loaf forgery) mutate .bits directly.
         out._weight = out.bits.hamming_weight()
         out._insertions = self._insertions + other._insertions
         return out

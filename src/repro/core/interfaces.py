@@ -8,6 +8,7 @@ filter, Dablooms or a Squid cache digest.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
 
 __all__ = ["MembershipFilter", "DeletableFilter"]
 
@@ -32,6 +33,19 @@ class MembershipFilter(ABC):
     @abstractmethod
     def __len__(self) -> int:
         """Number of insertions performed (not distinct items)."""
+
+    def add_batch(self, items: Iterable[str | bytes]) -> list[bool]:
+        """Insert every item; returns the per-item :meth:`add` results.
+
+        The default is a plain loop so every structure gets the batch API
+        for free; hot-path implementations (:class:`~repro.core.bloom.
+        BloomFilter`) override it with a single-pass vectorized form.
+        """
+        return [self.add(item) for item in items]
+
+    def contains_batch(self, items: Sequence[str | bytes]) -> list[bool]:
+        """Query every item; returns one membership answer per item."""
+        return [item in self for item in items]
 
 
 class DeletableFilter(MembershipFilter):

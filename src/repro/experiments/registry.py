@@ -11,6 +11,7 @@ from repro.experiments import (
     fig6_ghost_cost,
     fig8_dablooms,
     fig9_hash_domain,
+    service_throughput,
     squid_hits,
     table1_probabilities,
     table2_query_time,
@@ -32,6 +33,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "squid": squid_hits.run,
     "analytics": analytics_checks.run,
     "worstcase": worst_case_params.run,
+    "service": service_throughput.run,
 }
 
 

@@ -1,0 +1,171 @@
+"""Service-level experiment: the paper's attacks against a deployed gateway.
+
+Everything the paper measures happens to a filter *object*; this
+experiment re-measures it at the layer real deployments care about -- a
+sharded membership service under concurrent traffic.  Four scenarios run
+the same honest workload through a
+:class:`~repro.service.gateway.MembershipGateway`:
+
+* ``honest``            -- no adversary (baseline throughput/FP rate);
+* ``aimed-pollution``   -- public shard routing, so the chosen-insertion
+  adversary aims every crafted item at shard 0 (Section 4.1,
+  concentrated ``shards``-fold) and follows with ghost queries
+  (Section 4.2);
+* ``aimed+rate-limit``  -- same attack behind a per-client token bucket;
+* ``keyed-routing``     -- the gateway routes with a secret SipHash key,
+  the adversary still aims via the public hash and now sprays shards.
+
+Notes also record the batch-API microbenchmark (vectorized
+``contains_batch``/``add_batch`` vs the scalar loop) that makes the
+gateway's hot path worth having.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core.bloom import BloomFilter
+from repro.experiments.runner import ExperimentResult
+from repro.service.admission import ClientRateLimiter, SaturationGuard
+from repro.service.driver import AdversarialTrafficDriver, TrafficReport
+from repro.service.gateway import MembershipGateway
+from repro.service.sharding import HashShardPicker, KeyedShardPicker
+from repro.urlgen.faker import UrlFactory
+
+__all__ = ["run"]
+
+_SHARDS = 4
+_K = 4
+_THRESHOLD = 0.35
+
+
+def _batch_microbench(scale: float, seed: int) -> tuple[int, float, float, float, float]:
+    """(items, scalar_q_us, batch_q_us, scalar_a_us, batch_a_us) per item."""
+    count = max(1_000, int(10_000 * scale))
+    items = UrlFactory(seed=seed + 11).urls(count)
+    target = BloomFilter(65_536, _K)
+    target.add_batch(items[: count // 2])
+
+    start = time.perf_counter()
+    scalar_answers = [item in target for item in items]
+    scalar_q = time.perf_counter() - start
+    start = time.perf_counter()
+    batch_answers = target.contains_batch(items)
+    batch_q = time.perf_counter() - start
+    assert scalar_answers == batch_answers
+
+    scalar_target = BloomFilter(65_536, _K)
+    batch_target = BloomFilter(65_536, _K)
+    start = time.perf_counter()
+    for item in items:
+        scalar_target.add(item)
+    scalar_a = time.perf_counter() - start
+    start = time.perf_counter()
+    batch_target.add_batch(items)
+    batch_a = time.perf_counter() - start
+    assert scalar_target.to_bytes() == batch_target.to_bytes()
+
+    to_us = 1e6 / count
+    return count, scalar_q * to_us, batch_q * to_us, scalar_a * to_us, batch_a * to_us
+
+
+def _scenario(
+    name: str,
+    scale: float,
+    seed: int,
+    keyed_routing: bool,
+    rate_limit: float | None,
+    attack: bool,
+) -> tuple[str, TrafficReport, MembershipGateway]:
+    shard_m = max(256, int(4096 * scale))
+    gateway = MembershipGateway(
+        lambda: BloomFilter(shard_m, _K),
+        shards=_SHARDS,
+        picker=KeyedShardPicker() if keyed_routing else HashShardPicker(),
+        guard=SaturationGuard(_THRESHOLD),
+        limiter=ClientRateLimiter(rate_limit, burst=32) if rate_limit else None,
+    )
+    # The adversary always aims through the *public* router; when the
+    # gateway keys its routing, that aim is wrong.
+    driver = AdversarialTrafficDriver(
+        gateway, seed=seed, attacker_router=HashShardPicker(), max_trials=250_000
+    )
+    report = asyncio.run(
+        driver.run(
+            honest_clients=3,
+            honest_inserts=max(40, int(800 * scale)),
+            honest_queries=max(40, int(800 * scale)),
+            batch=16,
+            pollution_inserts=max(30, int(240 * scale)) if attack else 0,
+            ghost_queries=max(8, int(48 * scale)) if attack else 0,
+            ghost_min_fill=_THRESHOLD * 0.6,
+            target_shard=0,
+            probe_queries=max(100, int(800 * scale)),
+        )
+    )
+    return name, report, gateway
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Run the service-throughput experiment at the given ``scale``."""
+    result = ExperimentResult(
+        experiment_id="service",
+        title="Sharded membership service under adversarial traffic",
+        paper_claim=(
+            "deployed behind a service, chosen-insertion pollution aimed at one "
+            "shard saturates it and ghost queries amplify the false-positive "
+            "rate by orders of magnitude; keyed routing and rotation restore "
+            "the honest profile"
+        ),
+        headers=[
+            "scenario",
+            "routing",
+            "ops",
+            "ops/s",
+            "rotations",
+            "limited",
+            "shard0_fill",
+            "ghost_hit",
+            "honest_fp",
+            "amplif",
+        ],
+    )
+
+    scenarios = [
+        _scenario("honest", scale, seed, keyed_routing=False, rate_limit=None, attack=False),
+        _scenario("aimed-pollution", scale, seed, keyed_routing=False, rate_limit=None, attack=True),
+        _scenario("aimed+rate-limit", scale, seed, keyed_routing=False, rate_limit=400.0, attack=True),
+        _scenario("keyed-routing", scale, seed, keyed_routing=True, rate_limit=None, attack=True),
+    ]
+    for name, report, gateway in scenarios:
+        shard0 = report.snapshots[0]
+        result.add_row(
+            name,
+            gateway.picker.name.split("(")[0],
+            report.operations,
+            round(report.throughput),
+            report.rotations,
+            report.rate_limited,
+            round(shard0.fill_ratio, 3),
+            round(report.ghost_hit_rate, 3),
+            round(report.honest_fp_rate, 4),
+            round(report.amplification, 1),
+        )
+
+    by_name = {name: report for name, report, _ in scenarios}
+    aimed = by_name["aimed-pollution"]
+    keyed = by_name["keyed-routing"]
+    result.note(
+        f"aimed pollution triggers {aimed.rotations} rotation(s) and ghosts hit "
+        f"{aimed.ghost_hit_rate:.0%}; keyed routing absorbs the same attack with "
+        f"{keyed.rotations} rotation(s) of the target shard"
+    )
+
+    count, scalar_q, batch_q, scalar_a, batch_a = _batch_microbench(scale, seed)
+    result.note(
+        f"batch hot path ({count} items): query {scalar_q:.2f} -> {batch_q:.2f} "
+        f"us/item (x{scalar_q / batch_q:.2f}), insert {scalar_a:.2f} -> "
+        f"{batch_a:.2f} us/item (x{scalar_a / batch_a:.2f})"
+    )
+    return result

@@ -104,5 +104,45 @@ class RecyclingStrategy(IndexStrategy):
             remaining -= 1
         return tuple(out)
 
+    def batch_indexes(
+        self, items, k: int, m: int
+    ) -> list[tuple[int, ...]]:
+        """Single-pass batch hashing: the window geometry (widths, shifts,
+        masks) is derived once for the whole batch instead of per item, and
+        the common one-call-per-item case runs with no inner loop state.
+
+        Falls back to the scalar :meth:`indexes` when the digest is too
+        narrow for k windows or a salt forces multi-call recycling.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if m <= 1:
+            raise ValueError("m must be at least 2")
+        window = math.ceil(math.log2(m))
+        digest_bits = self.hash_fn.digest_bits
+        per_call = digest_bits // window
+        if per_call == 0:
+            raise ValueError(
+                f"digest too narrow: one index needs {window} bits, "
+                f"{self.hash_fn.name} has {digest_bits}"
+            )
+        if self.salt or per_call < k:
+            return [self.indexes(item, k, m) for item in items]
+        digest = self.hash_fn.digest
+        mask = (1 << window) - 1
+        shifts = tuple(digest_bits - window * (j + 1) for j in range(k))
+        values = (
+            int.from_bytes(digest(ensure_bytes(item)), "big") for item in items
+        )
+        if mask == m - 1:
+            # Power-of-two m: the window mask already reduces modulo m.
+            return [
+                tuple((value >> shift) & mask for shift in shifts) for value in values
+            ]
+        return [
+            tuple(((value >> shift) & mask) % m for shift in shifts)
+            for value in values
+        ]
+
     def hash_calls(self, k: int, m: int) -> int:
         return calls_required(k, m, self.hash_fn.digest_bits)

@@ -1,0 +1,54 @@
+"""The membership-service subsystem: filters as deployed.
+
+Everything else in the package studies a Bloom filter as an object; this
+package studies it as a *service* -- the setting in which the paper's
+attacks actually bite.  It provides:
+
+* :mod:`repro.service.gateway` -- an asyncio membership gateway fronting
+  N filter shards with batched query/insert APIs;
+* :mod:`repro.service.sharding` -- pluggable shard routers (public hash
+  vs the keyed countermeasure applied to routing);
+* :mod:`repro.service.admission` -- per-client rate limiting and the
+  saturation guard that operationalizes filter rotation;
+* :mod:`repro.service.telemetry` -- per-shard counters and latency
+  histograms;
+* :mod:`repro.service.driver` -- a concurrent traffic driver replaying
+  honest + adversarial workloads and reporting attack amplification.
+"""
+
+from repro.service.admission import (
+    ClientRateLimiter,
+    RateLimited,
+    SaturationGuard,
+    TokenBucket,
+)
+from repro.service.config import ServiceConfig
+from repro.service.driver import AdversarialTrafficDriver, TrafficReport, replay
+from repro.service.gateway import MembershipGateway, RotationEvent
+from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
+from repro.service.telemetry import (
+    LatencyHistogram,
+    ShardSnapshot,
+    ShardTelemetry,
+    render_snapshots,
+)
+
+__all__ = [
+    "AdversarialTrafficDriver",
+    "ClientRateLimiter",
+    "HashShardPicker",
+    "KeyedShardPicker",
+    "LatencyHistogram",
+    "MembershipGateway",
+    "RateLimited",
+    "RotationEvent",
+    "SaturationGuard",
+    "ServiceConfig",
+    "ShardPicker",
+    "ShardSnapshot",
+    "ShardTelemetry",
+    "TokenBucket",
+    "TrafficReport",
+    "render_snapshots",
+    "replay",
+]

@@ -1,0 +1,82 @@
+"""Configuration bundle for the membership gateway.
+
+One frozen dataclass holds every deployment knob -- shard geometry,
+routing mode, admission limits, the saturation threshold -- so an
+experiment or demo can describe a whole service in one literal and
+rebuild it with ``MembershipGateway.from_config`` (identically, provided
+any keyed modes pin their keys; unpinned keys are drawn fresh per build).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment parameters of a :class:`~repro.service.gateway.MembershipGateway`.
+
+    Parameters
+    ----------
+    shards:
+        Number of filter shards behind the router.
+    shard_m, shard_k:
+        Geometry of each shard's Bloom filter.
+    rotation_threshold:
+        Fill ratio at which the saturation guard retires a shard and
+        swaps in a fresh filter (the paper's recycled-filter
+        countermeasure); ``None`` disables rotation.
+    rate_limit:
+        Per-client admitted operations per second; ``None`` means
+        unlimited.
+    burst:
+        Token-bucket burst size used with ``rate_limit``.
+    keyed_routing:
+        Route items to shards with a secret SipHash key instead of a
+        public hash, so an adversary cannot aim traffic at one shard.
+    keyed_filters:
+        Build each shard as a :class:`~repro.countermeasures.keyed.
+        KeyedBloomFilter` (per-shard secret key) instead of the default
+        unkeyed recycled-SHA-512 filter.
+    routing_key, filter_key:
+        Explicit 16-byte secrets for the keyed modes.  ``None`` draws
+        fresh random keys at build time -- note that such a gateway
+        cannot be rebuilt identically from the config alone; pin the
+        keys when reproducibility (or a future shard restore) matters.
+    """
+
+    shards: int = 4
+    shard_m: int = 4096
+    shard_k: int = 4
+    rotation_threshold: float | None = 0.5
+    rate_limit: float | None = None
+    burst: int = 64
+    keyed_routing: bool = False
+    keyed_filters: bool = False
+    routing_key: bytes | None = None
+    filter_key: bytes | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("routing_key", "filter_key"):
+            key = getattr(self, name)
+            if key is not None and len(key) != 16:
+                raise ParameterError(f"{name} must be exactly 16 bytes")
+        if self.shards <= 0:
+            raise ParameterError(f"shards must be positive, got {self.shards}")
+        if self.shard_m <= 0 or self.shard_k <= 0:
+            raise ParameterError("shard_m and shard_k must be positive")
+        if self.rotation_threshold is not None and not 0 < self.rotation_threshold <= 1:
+            raise ParameterError("rotation_threshold must be in (0, 1]")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ParameterError("rate_limit must be positive (or None)")
+        if self.burst <= 0:
+            raise ParameterError("burst must be positive")
+
+    @property
+    def total_bits(self) -> int:
+        """Bits held across all shards."""
+        return self.shards * self.shard_m

@@ -1,0 +1,413 @@
+"""Adversarial traffic driver: replay paper workloads against the gateway.
+
+Everything before this module attacks a filter object in-process, one
+query at a time.  The driver closes the loop to the deployed setting:
+several honest clients and an adversary run concurrently as asyncio
+tasks against a :class:`~repro.service.gateway.MembershipGateway`, and
+the result is reported in service terms -- throughput, rate-limited
+calls, rotations, and *attack amplification* (how much better crafted
+ghost queries hit than honest false positives).
+
+The adversary model follows the paper: it knows the shard filters' bit
+state (white-box) and crafts with :class:`~repro.adversary.pollution.
+PollutionAttack` / :class:`~repro.adversary.query.GhostForgery`, but it
+must route its items through the same shard router as everyone else.
+With the public :class:`~repro.service.sharding.HashShardPicker` it can
+aim every crafted item at one shard; hand the driver a mismatched
+``attacker_router`` (the gateway holding a keyed one) and the same
+attack sprays shards uselessly.  Crafting re-binds to the *current*
+shard filter every chunk, so a rotation silently invalidates the
+adversary's accumulated knowledge -- exactly the operational value of
+the recycled-filter countermeasure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.adversary.pollution import PollutionAttack
+from repro.adversary.query import GhostForgery
+from repro.exceptions import CraftingBudgetExceeded, ParameterError
+from repro.service.admission import RateLimited, filter_state
+from repro.service.gateway import MembershipGateway
+from repro.service.sharding import ShardPicker
+from repro.service.telemetry import ShardSnapshot, render_snapshots
+from repro.urlgen.faker import UrlFactory
+
+__all__ = ["TrafficReport", "AdversarialTrafficDriver", "replay"]
+
+
+@dataclass
+class TrafficReport:
+    """Outcome of one mixed honest/adversarial replay."""
+
+    elapsed_s: float = 0.0
+    operations: int = 0
+    honest_inserts: int = 0
+    honest_queries: int = 0
+    rate_limited: int = 0
+    pollution_crafted: int = 0
+    pollution_trials: int = 0
+    crafting_exhausted: int = 0
+    ghost_crafted: int = 0
+    ghost_queries: int = 0
+    ghost_hits: int = 0
+    probe_queries: int = 0
+    probe_false_positives: int = 0
+    rotations: int = 0
+    snapshots: list[ShardSnapshot] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Gateway operations per wall-clock second of the replay.
+
+        Wall-clock includes the adversary's in-loop crafting time (the
+        deployed view of the attack's cost); only the honest-only
+        scenario measures pure gateway capacity.
+        """
+        return self.operations / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def honest_fp_rate(self) -> float:
+        """False-positive rate of never-inserted honest probes."""
+        if not self.probe_queries:
+            return 0.0
+        return self.probe_false_positives / self.probe_queries
+
+    @property
+    def ghost_hit_rate(self) -> float:
+        """Fraction of crafted ghost queries the service answered present."""
+        return self.ghost_hits / self.ghost_queries if self.ghost_queries else 0.0
+
+    @property
+    def amplification(self) -> float:
+        """Ghost hit rate over the honest FP base rate (floored at one
+        probe's resolution so an all-negative probe set stays finite)."""
+        if not self.ghost_queries:
+            return 0.0
+        floor = 1.0 / self.probe_queries if self.probe_queries else 1.0
+        return self.ghost_hit_rate / max(self.honest_fp_rate, floor)
+
+    def render(self) -> str:
+        """Human-readable replay summary plus the per-shard table."""
+        lines = [
+            f"elapsed: {self.elapsed_s:.3f}s  "
+            f"ops: {self.operations}  throughput: {self.throughput:,.0f} ops/s",
+            f"honest: {self.honest_inserts} inserts, {self.honest_queries} queries"
+            f"  rate-limited: {self.rate_limited}",
+            f"pollution: {self.pollution_crafted} crafted "
+            f"({self.pollution_trials} trials, {self.crafting_exhausted} exhausted)",
+            f"ghosts: {self.ghost_hits}/{self.ghost_queries} hit "
+            f"(honest FP rate {self.honest_fp_rate:.4f}, "
+            f"amplification x{self.amplification:,.0f})",
+            f"rotations: {self.rotations}",
+            "",
+            render_snapshots(self.snapshots),
+        ]
+        return "\n".join(lines)
+
+
+class AdversarialTrafficDriver:
+    """Concurrent replay of honest + adversarial traffic.
+
+    Parameters
+    ----------
+    gateway:
+        The service under test.
+    seed:
+        Base seed; every client derives its own stream from it.
+    attacker_router:
+        The adversary's view of the shard router.  Defaults to the
+        gateway's own picker (public routing = white-box aiming); pass a
+        different picker to model a keyed router the adversary can only
+        guess at.
+    max_trials:
+        Per-item crafting budget for pollution/ghost forging.
+    craft_chunk:
+        Items crafted per re-bind to the live shard filter; small chunks
+        track rotations closely, large ones amortise setup.
+    backoff:
+        Seconds a client sleeps after a :class:`RateLimited` rejection
+        before trying again (keeps throttled clients from spinning).
+    """
+
+    def __init__(
+        self,
+        gateway: MembershipGateway,
+        seed: int = 0,
+        attacker_router: ShardPicker | None = None,
+        max_trials: int = 250_000,
+        craft_chunk: int = 8,
+        backoff: float = 0.01,
+    ) -> None:
+        if craft_chunk <= 0:
+            raise ParameterError("craft_chunk must be positive")
+        self.gateway = gateway
+        self.seed = seed
+        self.attacker_router = attacker_router or gateway.picker
+        self.max_trials = max_trials
+        self.craft_chunk = craft_chunk
+        self.backoff = backoff
+
+    # ------------------------------------------------------------------
+    # Adversarial crafting
+    # ------------------------------------------------------------------
+
+    def _routed_candidates(self, factory: UrlFactory, shard_id: int):
+        """Candidate URLs the *attacker's* router maps to ``shard_id``."""
+        pick = self.attacker_router.pick
+        shards = self.gateway.shards
+        return (
+            url for url in factory.candidate_stream() if pick(url, shards) == shard_id
+        )
+
+    def craft_pollution(
+        self, shard_id: int, count: int, report: TrafficReport, seed_offset: int = 0
+    ) -> list[str]:
+        """Craft up to ``count`` polluting items aimed at ``shard_id``,
+        judged against the shard's *current* filter state."""
+        factory = UrlFactory(seed=self.seed ^ 0xA77AC3 ^ seed_offset)
+        attack = PollutionAttack(
+            self.gateway.filters[shard_id],
+            candidates=self._routed_candidates(factory, shard_id),
+            max_trials=self.max_trials,
+        )
+        items: list[str] = []
+        for _ in range(count):
+            try:
+                result = attack.craft_one()
+            except CraftingBudgetExceeded as exc:
+                report.crafting_exhausted += 1
+                report.pollution_trials += exc.trials
+                break
+            items.append(result.item)
+            report.pollution_trials += result.trials
+        report.pollution_crafted += len(items)
+        return items
+
+    def craft_ghosts(
+        self, shard_id: int, count: int, report: TrafficReport, seed_offset: int = 0
+    ) -> list[str]:
+        """Craft up to ``count`` ghost (false-positive) queries for
+        ``shard_id``'s current filter."""
+        factory = UrlFactory(seed=self.seed ^ 0x6057 ^ seed_offset)
+        forgery = GhostForgery(
+            self.gateway.filters[shard_id],
+            candidates=self._routed_candidates(factory, shard_id),
+            max_trials=self.max_trials,
+        )
+        items: list[str] = []
+        for _ in range(count):
+            try:
+                items.append(forgery.craft_one().item)
+            except CraftingBudgetExceeded:
+                report.crafting_exhausted += 1
+                break
+        report.ghost_crafted += len(items)
+        return items
+
+    # ------------------------------------------------------------------
+    # Client coroutines
+    # ------------------------------------------------------------------
+
+    async def _honest_client(
+        self,
+        index: int,
+        inserts: int,
+        queries: int,
+        batch: int,
+        report: TrafficReport,
+    ) -> None:
+        """Insert fresh URLs, then query a mix of known and fresh ones."""
+        gateway = self.gateway
+        client = f"honest-{index}"
+        factory = UrlFactory(seed=self.seed + 7919 * (index + 1))
+        inserted: list[str] = []
+        attempted = 0
+        while attempted < inserts:
+            size = min(batch, inserts - attempted)
+            chunk = factory.urls(size)
+            try:
+                await gateway.insert_batch(chunk, client=client)
+                inserted.extend(chunk)
+                report.honest_inserts += size
+                report.operations += size
+            except RateLimited:
+                # Dropped, not retried: progress must not depend on
+                # admission, so a throttled client sheds load instead
+                # of queueing it.
+                report.rate_limited += size
+                await asyncio.sleep(self.backoff)
+            attempted += size
+            await asyncio.sleep(0)
+        sent = 0
+        while sent < queries:
+            size = min(batch, queries - sent)
+            half = size // 2
+            known = inserted[sent % max(len(inserted), 1) :][:half] if inserted else []
+            fresh = factory.urls(size - len(known))
+            chunk = known + fresh
+            try:
+                await gateway.query_batch(chunk, client=client)
+                report.honest_queries += len(chunk)
+                report.operations += len(chunk)
+            except RateLimited:
+                report.rate_limited += len(chunk)
+                await asyncio.sleep(self.backoff)
+            sent += size
+            await asyncio.sleep(0)
+
+    async def _pollution_client(
+        self, target_shard: int, count: int, report: TrafficReport
+    ) -> None:
+        """Craft-and-insert loop aimed at one shard, re-binding to the
+        live filter each chunk so rotations reset its knowledge."""
+        gateway = self.gateway
+        chunk = self.craft_chunk
+        if gateway.max_batch is not None:
+            chunk = min(chunk, gateway.max_batch)
+        sent = 0
+        chunk_index = 0
+        while sent < count:
+            size = min(chunk, count - sent)
+            items = self.craft_pollution(
+                target_shard, size, report, seed_offset=chunk_index
+            )
+            chunk_index += 1
+            if not items:
+                break
+            try:
+                await gateway.insert_batch(items, client="attacker")
+                report.operations += len(items)
+            except RateLimited:
+                report.rate_limited += len(items)
+                await asyncio.sleep(self.backoff)
+            sent += len(items)
+            await asyncio.sleep(0)
+
+    async def _ghost_client(
+        self,
+        target_shard: int,
+        count: int,
+        min_fill: float,
+        report: TrafficReport,
+    ) -> None:
+        """Wait until the target shard is worth forging against, then
+        fire crafted false-positive queries.
+
+        Forging cost per ghost is ~``fill^-k`` trials, so crafting
+        against a near-empty shard would burn the whole trial budget;
+        the client idles (bounded) until pollution or honest traffic
+        has raised the fill ratio.
+        """
+        gateway = self.gateway
+        waited = 0.0
+        while waited < 5.0:
+            _, fill = filter_state(gateway.filters[target_shard])
+            if fill >= min_fill:
+                break
+            await asyncio.sleep(0.005)
+            waited += 0.005
+        chunk = self.craft_chunk
+        if gateway.max_batch is not None:
+            chunk = min(chunk, gateway.max_batch)
+        sent = 0
+        chunk_index = 0
+        while sent < count:
+            size = min(chunk, count - sent)
+            items = self.craft_ghosts(
+                target_shard, size, report, seed_offset=chunk_index
+            )
+            chunk_index += 1
+            if not items:
+                break
+            try:
+                answers = await gateway.query_batch(items, client="ghost")
+                report.ghost_queries += len(items)
+                report.ghost_hits += sum(answers)
+                report.operations += len(items)
+            except RateLimited:
+                report.rate_limited += len(items)
+                await asyncio.sleep(self.backoff)
+            sent += len(items)
+            await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    async def run(
+        self,
+        honest_clients: int = 3,
+        honest_inserts: int = 300,
+        honest_queries: int = 300,
+        batch: int = 16,
+        pollution_inserts: int = 120,
+        ghost_queries: int = 32,
+        ghost_min_fill: float = 0.3,
+        target_shard: int = 0,
+        probe_queries: int = 400,
+    ) -> TrafficReport:
+        """Replay the full mixed workload concurrently and report.
+
+        Honest clients, the pollution attacker and the ghost forger all
+        run as parallel tasks; afterwards a quiet probe of fresh URLs
+        measures the service-wide honest false-positive rate so the
+        report can state the attack amplification.
+        """
+        if honest_clients < 0 or pollution_inserts < 0 or ghost_queries < 0:
+            raise ParameterError("workload sizes must be non-negative")
+        # Batches beyond the admission burst can never be admitted; the
+        # gateway rejects them outright, so well-behaved clients clamp.
+        if self.gateway.max_batch is not None:
+            batch = min(batch, self.gateway.max_batch)
+        report = TrafficReport()
+        rotations_before = self.gateway.rotations
+        per_client_inserts = honest_inserts // max(honest_clients, 1)
+        per_client_queries = honest_queries // max(honest_clients, 1)
+        tasks = [
+            self._honest_client(
+                i, per_client_inserts, per_client_queries, batch, report
+            )
+            for i in range(honest_clients)
+        ]
+        if pollution_inserts:
+            tasks.append(
+                self._pollution_client(target_shard, pollution_inserts, report)
+            )
+        if ghost_queries:
+            tasks.append(
+                self._ghost_client(target_shard, ghost_queries, ghost_min_fill, report)
+            )
+        start = time.perf_counter()
+        await asyncio.gather(*tasks)
+        # Throughput covers the concurrent replay only; the probe below
+        # is measurement, not load, so it stays outside the clock.
+        report.elapsed_s = time.perf_counter() - start
+        # Quiet probe: fresh, never-inserted URLs through the whole service.
+        # The probe backs off politely when admission pushes back, so the
+        # FP measurement completes even under a strict rate limit.
+        probe_factory = UrlFactory(seed=self.seed ^ 0xF0F0F0)
+        for offset in range(0, probe_queries, batch):
+            chunk = probe_factory.urls(min(batch, probe_queries - offset))
+            for _ in range(50):
+                try:
+                    answers = await self.gateway.query_batch(chunk, client="probe")
+                except RateLimited:
+                    await asyncio.sleep(0.02)
+                    continue
+                report.probe_queries += len(chunk)
+                report.probe_false_positives += sum(answers)
+                break
+        report.rotations = self.gateway.rotations - rotations_before
+        report.snapshots = self.gateway.snapshot()
+        return report
+
+
+def replay(gateway: MembershipGateway, **workload) -> TrafficReport:
+    """Synchronous convenience wrapper around
+    :meth:`AdversarialTrafficDriver.run` (fresh event loop)."""
+    driver = AdversarialTrafficDriver(gateway)
+    return asyncio.run(driver.run(**workload))

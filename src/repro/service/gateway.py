@@ -1,0 +1,266 @@
+"""The asyncio membership gateway: N filter shards behind one API.
+
+This is the serving layer the paper's attacks assume exists: a network
+membership service (Squid digest peer, dupefilter RPC, spam-check
+endpoint) fronting Bloom filters and fed by untrusted clients.  The
+gateway hash-partitions the key space across shards, serialises access
+per shard with an ``asyncio.Lock`` (so concurrent batches interleave
+across shards but never corrupt one), records per-shard telemetry, and
+runs admission control -- rate limiting on the way in, saturation-guard
+rotation on the way out.
+
+Batches are first-class: ``query_batch``/``insert_batch`` group items by
+shard and hand each group to the filter's vectorized
+``contains_batch``/``add_batch`` in one lock acquisition, which is where
+the hot-path speedup of :mod:`repro.core.bitvector` actually pays off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.bloom import BloomFilter
+from repro.core.interfaces import MembershipFilter
+from repro.countermeasures.keyed import KeyedBloomFilter
+from repro.exceptions import ParameterError
+from repro.service.admission import (
+    ClientRateLimiter,
+    RateLimited,
+    SaturationGuard,
+    filter_state,
+)
+from repro.service.config import ServiceConfig
+from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
+from repro.service.telemetry import ShardSnapshot, ShardTelemetry, render_snapshots
+
+__all__ = ["RotationEvent", "MembershipGateway"]
+
+
+@dataclass(frozen=True)
+class RotationEvent:
+    """One saturation-guard rotation: which shard retired what."""
+
+    shard_id: int
+    retired_weight: int
+    retired_fill: float
+    retired_insertions: int
+
+
+class MembershipGateway:
+    """Sharded membership service over any :class:`MembershipFilter`.
+
+    Parameters
+    ----------
+    filter_factory:
+        Zero-argument callable building one shard's filter; called once
+        per shard at start and again on every rotation.
+    shards:
+        Number of shards.
+    picker:
+        Shard router; defaults to the (attackable) public
+        :class:`~repro.service.sharding.HashShardPicker`.
+    guard:
+        Saturation guard; ``None`` disables rotation.
+    limiter:
+        Per-client admission; defaults to unlimited.
+    clock:
+        Injectable latency clock (tests pin it).
+    """
+
+    def __init__(
+        self,
+        filter_factory: Callable[[], MembershipFilter],
+        shards: int = 4,
+        picker: ShardPicker | None = None,
+        guard: SaturationGuard | None = None,
+        limiter: ClientRateLimiter | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if shards <= 0:
+            raise ParameterError(f"shards must be positive, got {shards}")
+        self.filter_factory = filter_factory
+        self.shards = shards
+        self.picker = picker or HashShardPicker()
+        self.guard = guard
+        self.limiter = limiter or ClientRateLimiter(None)
+        self._clock = clock
+        self._filters = [filter_factory() for _ in range(shards)]
+        self._locks = [asyncio.Lock() for _ in range(shards)]
+        self._telemetry = [ShardTelemetry(i) for i in range(shards)]
+        self.rotation_log: list[RotationEvent] = []
+
+    @classmethod
+    def from_config(cls, config: ServiceConfig) -> "MembershipGateway":
+        """Build a gateway (filters, router, admission) from one config."""
+        if config.keyed_filters:
+            factory: Callable[[], MembershipFilter] = lambda: KeyedBloomFilter(
+                config.shard_m, config.shard_k, key=config.filter_key
+            )
+        else:
+            factory = lambda: BloomFilter(config.shard_m, config.shard_k)
+        picker: ShardPicker = (
+            KeyedShardPicker(config.routing_key)
+            if config.keyed_routing
+            else HashShardPicker()
+        )
+        guard = (
+            SaturationGuard(config.rotation_threshold)
+            if config.rotation_threshold is not None
+            else None
+        )
+        limiter = ClientRateLimiter(config.rate_limit, config.burst)
+        return cls(
+            factory, shards=config.shards, picker=picker, guard=guard, limiter=limiter
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def filters(self) -> tuple[MembershipFilter, ...]:
+        """Current shard filters (replaced on rotation; treat as a view)."""
+        return tuple(self._filters)
+
+    def shard_of(self, item: str | bytes) -> int:
+        """Which shard owns ``item`` under the current router."""
+        return self.picker.pick(item, self.shards)
+
+    @property
+    def rotations(self) -> int:
+        """Total saturation-guard rotations across all shards."""
+        return len(self.rotation_log)
+
+    def snapshot(self) -> list[ShardSnapshot]:
+        """Frozen per-shard stats (counters + live filter state)."""
+        out = []
+        for telemetry, filt in zip(self._telemetry, self._filters):
+            weight, fill = filter_state(filt)
+            out.append(telemetry.snapshot(weight, fill))
+        return out
+
+    def render_stats(self) -> str:
+        """Human-readable per-shard stats table."""
+        return render_snapshots(self.snapshot())
+
+    # ------------------------------------------------------------------
+    # Serving API
+    # ------------------------------------------------------------------
+
+    @property
+    def max_batch(self) -> int | None:
+        """Largest admissible batch (the limiter's burst), or ``None``
+        when admission is unlimited."""
+        return self.limiter.burst if self.limiter.rate is not None else None
+
+    def _admit(self, client: str, tokens: int) -> None:
+        limit = self.max_batch
+        if limit is not None and tokens > limit:
+            # A bucket can never hold more than its burst, so this batch
+            # would be rejected forever -- fail loudly and permanently
+            # instead of raising the (retryable) RateLimited.
+            raise ParameterError(
+                f"batch of {tokens} exceeds the admission burst {limit}; "
+                "split the batch"
+            )
+        if not self.limiter.admit(client, tokens):
+            raise RateLimited(client)
+
+    def _group_by_shard(
+        self, items: Sequence[str | bytes]
+    ) -> dict[int, list[int]]:
+        """Map shard id -> positions in ``items`` routed to it."""
+        pick = self.picker.pick
+        shards = self.shards
+        groups: dict[int, list[int]] = {}
+        for position, item in enumerate(items):
+            groups.setdefault(pick(item, shards), []).append(position)
+        return groups
+
+    def _maybe_rotate(self, shard_id: int) -> bool:
+        """Swap in a fresh filter when the guard fires (lock must be held)."""
+        filt = self._filters[shard_id]
+        if self.guard is None or not self.guard.should_rotate(filt):
+            return False
+        weight, fill = filter_state(filt)
+        self.rotation_log.append(
+            RotationEvent(
+                shard_id=shard_id,
+                retired_weight=weight,
+                retired_fill=fill,
+                retired_insertions=len(filt),
+            )
+        )
+        self._filters[shard_id] = self.filter_factory()
+        self._telemetry[shard_id].rotations += 1
+        return True
+
+    async def insert(self, item: str | bytes, client: str = "anon") -> bool:
+        """Insert one item; returns the filter's ``add`` result."""
+        results = await self.insert_batch([item], client=client)
+        return results[0]
+
+    async def query(self, item: str | bytes, client: str = "anon") -> bool:
+        """Membership query for one item."""
+        results = await self.query_batch([item], client=client)
+        return results[0]
+
+    async def insert_batch(
+        self, items: Sequence[str | bytes], client: str = "anon"
+    ) -> list[bool]:
+        """Insert a batch; items are grouped per shard and each group is
+        applied under that shard's lock via the vectorized ``add_batch``.
+
+        Raises :class:`RateLimited` (before touching any shard) when the
+        client's token bucket cannot cover the whole batch.
+        """
+        if not items:
+            return []
+        self._admit(client, len(items))
+        clock = self._clock
+        results: list[bool] = [False] * len(items)
+        for shard_id, positions in self._group_by_shard(items).items():
+            async with self._locks[shard_id]:
+                filt = self._filters[shard_id]
+                start = clock()
+                answers = filt.add_batch([items[p] for p in positions])
+                elapsed = clock() - start
+                telemetry = self._telemetry[shard_id]
+                telemetry.inserts += len(positions)
+                telemetry.insert_latency.record(elapsed)
+                self._maybe_rotate(shard_id)
+            for position, answer in zip(positions, answers):
+                results[position] = answer
+        return results
+
+    async def query_batch(
+        self, items: Sequence[str | bytes], client: str = "anon"
+    ) -> list[bool]:
+        """Query a batch; same shard-grouped, lock-per-shard discipline."""
+        if not items:
+            return []
+        self._admit(client, len(items))
+        clock = self._clock
+        results: list[bool] = [False] * len(items)
+        for shard_id, positions in self._group_by_shard(items).items():
+            async with self._locks[shard_id]:
+                filt = self._filters[shard_id]
+                start = clock()
+                answers = filt.contains_batch([items[p] for p in positions])
+                elapsed = clock() - start
+                telemetry = self._telemetry[shard_id]
+                telemetry.queries += len(positions)
+                telemetry.positives += sum(answers)
+                telemetry.query_latency.record(elapsed)
+            for position, answer in zip(positions, answers):
+                results[position] = answer
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MembershipGateway shards={self.shards} picker={self.picker.name} "
+            f"rotations={self.rotations}>"
+        )

@@ -1,0 +1,165 @@
+"""Lightweight per-shard telemetry for the membership gateway.
+
+Pure-python, allocation-light instrumentation: log2-bucketed latency
+histograms (fixed 32-bucket arrays, no per-sample storage) plus mutable
+per-shard counters the gateway bumps on its hot path.  ``snapshot()``
+freezes everything into plain dataclasses for reporting, so readers
+never race the serving loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.experiments.runner import render_table
+
+__all__ = [
+    "LatencyHistogram",
+    "ShardTelemetry",
+    "ShardSnapshot",
+    "render_snapshots",
+]
+
+#: Histogram bucket count: bucket ``i`` holds calls in ``[2^i, 2^(i+1))``
+#: microseconds, so 32 buckets span sub-microsecond to ~71 minutes.
+_BUCKETS = 32
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram with microsecond resolution.
+
+    ``record`` costs one bit_length and one list increment -- cheap
+    enough to sit inside the gateway's per-call path.  Quantiles are
+    resolved to the upper edge of the owning bucket (conservative).
+    """
+
+    __slots__ = ("_buckets", "_count", "_sum")
+
+    def __init__(self) -> None:
+        self._buckets = [0] * _BUCKETS
+        self._count = 0
+        self._sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one call latency (in seconds)."""
+        if seconds < 0:
+            raise ParameterError("latency cannot be negative")
+        micros = int(seconds * 1e6)
+        bucket = micros.bit_length() - 1 if micros > 0 else 0
+        self._buckets[min(bucket, _BUCKETS - 1)] += 1
+        self._count += 1
+        self._sum += seconds
+
+    @property
+    def count(self) -> int:
+        """Number of recorded calls."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Latency (seconds) bounding the ``q``-quantile from above."""
+        if not 0 <= q <= 1:
+            raise ParameterError("quantile must be in [0, 1]")
+        if not self._count:
+            return 0.0
+        rank = q * self._count
+        seen = 0
+        for bucket, hits in enumerate(self._buckets):
+            seen += hits
+            if seen >= rank and hits:
+                return (2 ** (bucket + 1)) / 1e6
+        return (2**_BUCKETS) / 1e6  # pragma: no cover - unreachable
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one (cross-shard rollups)."""
+        for i, hits in enumerate(other._buckets):
+            self._buckets[i] += hits
+        self._count += other._count
+        self._sum += other._sum
+
+
+class ShardTelemetry:
+    """Mutable counters for one shard, owned by the gateway."""
+
+    __slots__ = (
+        "shard_id",
+        "inserts",
+        "queries",
+        "positives",
+        "rotations",
+        "insert_latency",
+        "query_latency",
+    )
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.inserts = 0
+        self.queries = 0
+        self.positives = 0
+        self.rotations = 0
+        self.insert_latency = LatencyHistogram()
+        self.query_latency = LatencyHistogram()
+
+    def snapshot(self, weight: int, fill_ratio: float) -> "ShardSnapshot":
+        """Freeze the counters together with the filter state."""
+        return ShardSnapshot(
+            shard_id=self.shard_id,
+            inserts=self.inserts,
+            queries=self.queries,
+            positives=self.positives,
+            rotations=self.rotations,
+            weight=weight,
+            fill_ratio=fill_ratio,
+            query_p50_us=self.query_latency.quantile(0.5) * 1e6,
+            query_p99_us=self.query_latency.quantile(0.99) * 1e6,
+        )
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """Point-in-time view of one shard (counters + filter state)."""
+
+    shard_id: int
+    inserts: int
+    queries: int
+    positives: int
+    rotations: int
+    weight: int
+    fill_ratio: float
+    query_p50_us: float
+    query_p99_us: float
+
+
+def render_snapshots(snapshots: list[ShardSnapshot]) -> str:
+    """Aligned per-shard stats table (the demo / experiment output)."""
+    headers = [
+        "shard",
+        "inserts",
+        "queries",
+        "positives",
+        "rotations",
+        "weight",
+        "fill",
+        "q_p50_us",
+        "q_p99_us",
+    ]
+    rows = [
+        [
+            s.shard_id,
+            s.inserts,
+            s.queries,
+            s.positives,
+            s.rotations,
+            s.weight,
+            round(s.fill_ratio, 3),
+            round(s.query_p50_us, 1),
+            round(s.query_p99_us, 1),
+        ]
+        for s in snapshots
+    ]
+    return render_table(headers, rows)

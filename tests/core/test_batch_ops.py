@@ -1,0 +1,122 @@
+"""The batch membership API on every filter family.
+
+``MembershipFilter`` ships default ``add_batch``/``contains_batch``
+loops; ``BloomFilter`` overrides them with vectorized single-pass forms.
+Either way the contract is the same: a batch call must be exactly
+equivalent to the per-item loop, for every structure in the package.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.cache_digest import CacheDigest
+from repro.core.counting import CountingBloomFilter
+from repro.core.dablooms import Dablooms
+from repro.core.partitioned import PartitionedBloomFilter
+from repro.core.scalable import ScalableBloomFilter
+from repro.core.two_choice import TwoChoiceBloomFilter
+from repro.countermeasures.keyed import KeyedBloomFilter
+from repro.urlgen.faker import UrlFactory
+
+FACTORIES = {
+    "bloom": lambda: BloomFilter(2048, 4),
+    "keyed": lambda: KeyedBloomFilter(2048, 4, key=bytes(range(16))),
+    "counting": lambda: CountingBloomFilter(2048, 4),
+    "partitioned": lambda: PartitionedBloomFilter(2048, 4),
+    "two-choice": lambda: TwoChoiceBloomFilter(2048, 4),
+    "scalable": lambda: ScalableBloomFilter(64, 0.01),
+    "dablooms": lambda: Dablooms(64),
+    "cache-digest": lambda: CacheDigest(capacity=300),
+}
+
+ITEMS = UrlFactory(seed=0xBA7C).urls(120)
+PROBES = ITEMS[:40] + UrlFactory(seed=0x9999).urls(200)
+
+
+@pytest.mark.parametrize("family", FACTORIES, ids=list(FACTORIES))
+def test_add_batch_equals_scalar_add(family):
+    scalar, batch = FACTORIES[family](), FACTORIES[family]()
+    expected = [scalar.add(item) for item in ITEMS]
+    assert batch.add_batch(ITEMS) == expected
+    assert len(batch) == len(scalar) == len(ITEMS)
+    assert [item in batch for item in PROBES] == [item in scalar for item in PROBES]
+
+
+@pytest.mark.parametrize("family", FACTORIES, ids=list(FACTORIES))
+def test_contains_batch_equals_scalar_contains(family):
+    target = FACTORIES[family]()
+    target.add_batch(ITEMS[:60])
+    assert target.contains_batch(PROBES) == [item in target for item in PROBES]
+    # Inserted items are always reported present (no false negatives).
+    assert all(target.contains_batch(ITEMS[:60]))
+
+
+@pytest.mark.parametrize("family", FACTORIES, ids=list(FACTORIES))
+def test_empty_batches(family):
+    target = FACTORIES[family]()
+    assert target.add_batch([]) == []
+    assert target.contains_batch([]) == []
+    assert len(target) == 0
+
+
+@pytest.mark.parametrize(
+    "m,k,salt",
+    [
+        (2048, 4, b""),  # power-of-two fast path (mask-only reduction)
+        (3000, 4, b""),  # non-power-of-two: the `% m` branch
+        (3000, 4, b"s"),  # salted: falls back to the scalar path
+        (97, 8, b""),  # tiny m, window far narrower than the digest
+    ],
+)
+def test_recycling_batch_indexes_match_scalar(m, k, salt):
+    from repro.hashing.crypto import SHA512
+    from repro.hashing.recycling import RecyclingStrategy
+
+    strategy = RecyclingStrategy(SHA512(), salt=salt)
+    items = ITEMS[:40]
+    assert strategy.batch_indexes(items, k, m) == [
+        strategy.indexes(item, k, m) for item in items
+    ]
+
+
+def test_recycling_batch_multi_call_fallback_matches_scalar():
+    # 64-bit digest, m=4096 -> 12-bit windows, 5 per call: k=9 needs a
+    # second salted call, forcing the multi-call fallback in batch_indexes.
+    from repro.hashing.recycling import RecyclingStrategy
+    from repro.hashing.siphash import SipHash24
+
+    strategy = RecyclingStrategy(SipHash24(bytes(16)))
+    items = ITEMS[:40]
+    assert strategy.batch_indexes(items, 9, 4096) == [
+        strategy.indexes(item, 9, 4096) for item in items
+    ]
+
+
+def test_bloom_batch_accepts_bytes_and_str():
+    target = BloomFilter(1024, 3)
+    target.add_batch(["http://a.example", b"http://b.example"])
+    # str/bytes spellings of the same item hit the same bits.
+    assert target.contains_batch([b"http://a.example", "http://b.example"]) == [
+        True,
+        True,
+    ]
+
+
+def test_bloom_add_batch_maintains_weight_and_fpp():
+    scalar, batch = BloomFilter(4096, 4), BloomFilter(4096, 4)
+    for item in ITEMS:
+        scalar.add(item)
+    batch.add_batch(ITEMS)
+    assert batch.hamming_weight == scalar.hamming_weight
+    assert batch.current_fpp() == scalar.current_fpp()
+    assert batch.to_bytes() == scalar.to_bytes()
+
+
+def test_bloom_add_batch_already_present_convention():
+    target = BloomFilter(2048, 4)
+    first = target.add_batch(["x", "y", "x"])
+    # Third insert repeats the first item: every index already set.
+    assert first == [False, False, True]
+    assert target.add_batch(["x", "y"]) == [True, True]

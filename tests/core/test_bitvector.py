@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.bitvector import BitVector
+from repro.core.bitvector import BitVector, popcount
 
 
 def test_initially_empty():
@@ -105,6 +105,100 @@ def test_equality_and_unhashable():
     assert (a == "not a vector") is False or (a == "not a vector") is NotImplemented or True
     with pytest.raises(TypeError):
         hash(a)
+
+
+# --- batch operations (the service hot path) -------------------------------------
+
+
+def test_set_indexes_counts_newly_set():
+    vec = BitVector(64)
+    assert vec.set_indexes([1, 9, 17]) == 3
+    assert vec.set_indexes([1, 9, 25]) == 1  # two already set
+    assert vec.support() == {1, 9, 17, 25}
+
+
+def test_set_indexes_duplicates_counted_once():
+    vec = BitVector(32)
+    assert vec.set_indexes([5, 5, 5, 6]) == 2
+    assert vec.hamming_weight() == 2
+
+
+def test_set_indexes_out_of_range_leaves_vector_untouched():
+    vec = BitVector(16)
+    vec.set(3)
+    before = vec.to_bytes()
+    for bad_batch in ([0, 16], [-1], [5, 1000, 6]):
+        with pytest.raises(IndexError):
+            vec.set_indexes(bad_batch)
+        assert vec.to_bytes() == before  # validation precedes any write
+
+
+def test_all_set_and_get_many():
+    vec = BitVector.from_indices(40, [0, 8, 39])
+    assert vec.all_set([0, 8, 39]) is True
+    assert vec.all_set([0, 8, 38]) is False
+    assert vec.all_set([]) is True
+    assert vec.get_many([0, 1, 8, 38, 39]) == [True, False, True, False, True]
+    with pytest.raises(IndexError):
+        vec.all_set([40])
+    with pytest.raises(IndexError):
+        vec.get_many([-1])
+
+
+def test_batch_matches_scalar_on_byte_boundaries():
+    # Sizes straddling byte boundaries: padding bits must stay untouched.
+    for size in (8, 9, 15, 16, 17, 64, 65):
+        vec = BitVector(size)
+        indexes = list(range(0, size, 3)) + [size - 1]
+        scalar = BitVector(size)
+        for i in indexes:
+            scalar.set(i)
+        assert vec.set_indexes(indexes) == len(set(indexes))
+        assert vec == scalar
+        assert vec.hamming_weight() == len(set(indexes))
+
+
+def test_union_update_counts_new_bits_bytewise():
+    vec = BitVector.from_indices(24, [0, 9])
+    other = BitVector.from_indices(24, [0, 9, 10, 23])
+    assert vec.union_update(other.to_bytes()) == 2
+    assert vec.support() == {0, 9, 10, 23}
+    assert vec.union_update(other.to_bytes()) == 0
+    with pytest.raises(ValueError):
+        vec.union_update(b"\x00")
+
+
+def test_union_update_ignores_padding_bits():
+    vec = BitVector(12)  # 2 bytes, 4 padding bits
+    assert vec.union_update(b"\xff\xff") == 12
+    assert vec.hamming_weight() == 12
+    assert vec.fill_ratio() == 1.0
+    assert max(vec.support()) == 11  # nothing past size leaks in
+
+
+def test_popcount_table():
+    assert popcount(b"") == 0
+    assert popcount(b"\x00\xff\x01") == 9
+    assert popcount(bytes(range(256))) == sum(bin(i).count("1") for i in range(256))
+
+
+def test_popcount_after_clear():
+    vec = BitVector(64)
+    vec.set_indexes(range(0, 64, 2))
+    assert popcount(vec.to_bytes()) == vec.hamming_weight() == 32
+    for i in range(0, 64, 4):
+        vec.clear(i)
+    assert popcount(vec.to_bytes()) == vec.hamming_weight() == 16
+    vec.clear_all()
+    assert popcount(vec.to_bytes()) == vec.hamming_weight() == 0
+
+
+@given(st.sets(st.integers(min_value=0, max_value=499), max_size=60))
+def test_set_indexes_matches_scalar_sets(positions):
+    batch = BitVector(500)
+    assert batch.set_indexes(sorted(positions)) == len(positions)
+    assert batch == BitVector.from_indices(500, positions)
+    assert batch.all_set(list(positions)) is True
 
 
 @given(st.sets(st.integers(min_value=0, max_value=499), max_size=60))

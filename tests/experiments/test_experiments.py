@@ -20,6 +20,7 @@ def test_registry_covers_every_paper_artifact():
         "squid",
         "analytics",
         "worstcase",
+        "service",
     }
 
 

@@ -1,0 +1,143 @@
+"""The adversarial traffic driver: crafting, concurrency, reporting."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.exceptions import ParameterError
+from repro.service.admission import SaturationGuard
+from repro.service.driver import AdversarialTrafficDriver, TrafficReport, replay
+from repro.service.gateway import MembershipGateway
+from repro.service.sharding import HashShardPicker, KeyedShardPicker
+
+
+def make_gateway(m: int = 512, **kwargs) -> MembershipGateway:
+    kwargs.setdefault("shards", 4)
+    kwargs.setdefault("picker", HashShardPicker())
+    return MembershipGateway(lambda: BloomFilter(m, 4), **kwargs)
+
+
+def small_workload(**overrides) -> dict:
+    workload = dict(
+        honest_clients=2,
+        honest_inserts=60,
+        honest_queries=60,
+        batch=8,
+        pollution_inserts=40,
+        ghost_queries=8,
+        ghost_min_fill=0.1,
+        target_shard=0,
+        probe_queries=120,
+    )
+    workload.update(overrides)
+    return workload
+
+
+def test_crafted_pollution_aims_at_target_shard():
+    gateway = make_gateway()
+    driver = AdversarialTrafficDriver(gateway, seed=5, max_trials=100_000)
+    report = TrafficReport()
+    items = driver.craft_pollution(0, 12, report)
+    assert len(items) == 12
+    assert report.pollution_crafted == 12
+    assert report.pollution_trials >= 12
+    # Every crafted item routes to the target shard and pollutes it:
+    # k fresh bits per insert, by the paper's eq. (6) predicate.
+    before = gateway.filters[0].hamming_weight
+    for item in items:
+        assert gateway.shard_of(item) == 0
+        gateway.filters[0].add(item)
+    assert gateway.filters[0].hamming_weight == before + 12 * 4
+
+
+def test_crafted_ghosts_hit_polluted_shard():
+    gateway = make_gateway()
+    shard0 = gateway.filters[0]
+    # Pre-fill the shard so ghost forging is affordable.
+    filler = AdversarialTrafficDriver(gateway, seed=9, max_trials=100_000)
+    report = TrafficReport()
+    for item in filler.craft_pollution(0, 30, report):
+        shard0.add(item)
+    ghosts = filler.craft_ghosts(0, 6, report)
+    assert len(ghosts) == 6
+    assert report.ghost_crafted == 6
+    for ghost in ghosts:
+        assert gateway.shard_of(ghost) == 0
+        assert ghost in shard0  # a false positive by construction
+
+
+def test_replay_reports_consistent_counts():
+    gateway = make_gateway(guard=SaturationGuard(0.35))
+    driver = AdversarialTrafficDriver(gateway, seed=11, max_trials=100_000)
+    report = asyncio.run(driver.run(**small_workload()))
+    assert report.honest_inserts == 60
+    assert report.honest_queries == 60
+    assert report.probe_queries == 120
+    assert report.elapsed_s > 0
+    assert report.operations > 0
+    assert report.throughput > 0
+    assert len(report.snapshots) == 4
+    # The aimed attack concentrates inserts on the target shard.
+    inserts = [s.inserts for s in report.snapshots]
+    assert inserts[0] == max(inserts)
+    rendered = report.render()
+    assert "pollution" in rendered and "shard" in rendered
+
+
+def test_replay_triggers_rotation_under_aimed_pollution():
+    gateway = make_gateway(m=256, guard=SaturationGuard(0.35))
+    driver = AdversarialTrafficDriver(gateway, seed=2, max_trials=100_000)
+    report = asyncio.run(driver.run(**small_workload(pollution_inserts=60)))
+    assert report.rotations >= 1
+    assert gateway.rotation_log[0].shard_id == 0
+
+
+def test_keyed_routing_disperses_misrouted_attack():
+    # Gateway routes with a secret key; the adversary aims via the
+    # public hash, so its crafted stream scatters across shards.
+    gateway = make_gateway(picker=KeyedShardPicker(bytes(16)))
+    driver = AdversarialTrafficDriver(
+        gateway, seed=5, attacker_router=HashShardPicker(), max_trials=100_000
+    )
+    report = TrafficReport()
+    items = driver.craft_pollution(0, 16, report)
+    landed = [gateway.shard_of(item) for item in items]
+    assert len(set(landed)) > 1  # no longer concentrated on shard 0
+
+
+def test_ghost_amplification_exceeds_honest_baseline():
+    gateway = make_gateway(guard=None)
+    driver = AdversarialTrafficDriver(gateway, seed=23, max_trials=100_000)
+    report = asyncio.run(driver.run(**small_workload(ghost_queries=12)))
+    assert report.ghost_queries > 0
+    assert report.ghost_hit_rate > report.honest_fp_rate
+    assert report.amplification > 1
+
+
+def test_replay_sync_wrapper():
+    gateway = make_gateway()
+    report = replay(gateway, **small_workload(pollution_inserts=0, ghost_queries=0))
+    assert isinstance(report, TrafficReport)
+    assert report.pollution_crafted == 0
+    assert report.ghost_queries == 0
+    assert report.amplification == 0.0
+
+
+def test_driver_validation():
+    gateway = make_gateway()
+    with pytest.raises(ParameterError):
+        AdversarialTrafficDriver(gateway, craft_chunk=0)
+    driver = AdversarialTrafficDriver(gateway)
+    with pytest.raises(ParameterError):
+        asyncio.run(driver.run(honest_clients=-1))
+
+
+def test_empty_report_properties():
+    report = TrafficReport()
+    assert report.throughput == 0.0
+    assert report.honest_fp_rate == 0.0
+    assert report.ghost_hit_rate == 0.0
+    assert report.amplification == 0.0

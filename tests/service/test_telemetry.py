@@ -1,0 +1,93 @@
+"""Telemetry: latency histograms, shard counters, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.service.telemetry import (
+    LatencyHistogram,
+    ShardTelemetry,
+    render_snapshots,
+)
+
+
+def test_histogram_empty():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.quantile(0.5) == 0.0
+
+
+def test_histogram_records_and_buckets():
+    hist = LatencyHistogram()
+    for micros in (1, 2, 4, 8, 1000):
+        hist.record(micros / 1e6)
+    assert hist.count == 5
+    assert hist.mean == pytest.approx(1015 / 5 / 1e6)
+    # The p50 bucket upper edge covers the 4us sample.
+    assert hist.quantile(0.5) >= 4 / 1e6
+    # p99 lands in the 1000us sample's bucket [512, 1024): upper edge 1024us.
+    assert hist.quantile(0.99) == pytest.approx(1024 / 1e6)
+
+
+def test_histogram_quantiles_are_monotone():
+    hist = LatencyHistogram()
+    for micros in (1, 3, 9, 27, 81, 243, 729):
+        hist.record(micros / 1e6)
+    quantiles = [hist.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.99)]
+    assert quantiles == sorted(quantiles)
+
+
+def test_histogram_sub_microsecond_and_huge_samples():
+    hist = LatencyHistogram()
+    hist.record(0.0)  # clamps into bucket 0
+    hist.record(1e-9)
+    hist.record(10_000.0)  # clamps into the last bucket
+    assert hist.count == 3
+    assert hist.quantile(1.0) > 0
+
+
+def test_histogram_rejects_negative():
+    with pytest.raises(ParameterError):
+        LatencyHistogram().record(-1e-6)
+    with pytest.raises(ParameterError):
+        LatencyHistogram().quantile(1.5)
+
+
+def test_histogram_merge():
+    a, b = LatencyHistogram(), LatencyHistogram()
+    a.record(2e-6)
+    b.record(8e-6)
+    b.record(32e-6)
+    a.merge(b)
+    assert a.count == 3
+    assert a.mean == pytest.approx(42e-6 / 3)
+
+
+def test_shard_telemetry_snapshot():
+    telemetry = ShardTelemetry(3)
+    telemetry.inserts = 10
+    telemetry.queries = 20
+    telemetry.positives = 5
+    telemetry.rotations = 1
+    telemetry.query_latency.record(16e-6)
+    snap = telemetry.snapshot(weight=100, fill_ratio=0.25)
+    assert snap.shard_id == 3
+    assert snap.inserts == 10
+    assert snap.queries == 20
+    assert snap.positives == 5
+    assert snap.rotations == 1
+    assert snap.weight == 100
+    assert snap.fill_ratio == 0.25
+    assert snap.query_p50_us == pytest.approx(32.0)
+
+
+def test_render_snapshots_table():
+    snaps = [
+        ShardTelemetry(i).snapshot(weight=i * 10, fill_ratio=i / 10) for i in range(3)
+    ]
+    table = render_snapshots(snaps)
+    lines = table.splitlines()
+    assert "shard" in lines[0] and "rotations" in lines[0]
+    assert len(lines) == 2 + 3  # header, rule, one row per shard
