@@ -1,23 +1,36 @@
 """Bench: the service hot path -- batched vs scalar filter operations,
-and the gateway end to end.
+the gateway end to end, and the serving stack's transports side by side.
 
 Not a paper artifact: this guards the batch API that makes the
 :mod:`repro.service` gateway worth fronting filters with.  The headline
 check is ``contains_batch`` beating the scalar query loop on a 10k-item
 batch; the replay benchmark times the full sharded gateway under the
-mixed honest+adversarial workload.
+mixed honest+adversarial workload; the transport benchmark replays one
+honest workload in-process, over TCP against the local backend, and over
+TCP against the process-pool backend, so the cost of each serving layer
+stays visible.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
+from functools import partial
 
 import pytest
 
 from repro.core.bloom import BloomFilter
 from repro.experiments.runner import render_table
-from repro.service import HashShardPicker, MembershipGateway, SaturationGuard
-from repro.service.driver import AdversarialTrafficDriver
+from repro.service import (
+    AdversarialTrafficDriver,
+    HashShardPicker,
+    LocalBackend,
+    MembershipClient,
+    MembershipGateway,
+    MembershipServer,
+    ProcessPoolBackend,
+    SaturationGuard,
+)
 from repro.urlgen.faker import UrlFactory
 
 BATCH_10K = UrlFactory(seed=0xBEEF).urls(10_000)
@@ -95,7 +108,6 @@ def test_batch_beats_scalar_on_10k(report):
 
 def test_gateway_replay(benchmark, report):
     """Time the full gateway under the mixed honest+adversarial replay."""
-    import asyncio
 
     def replay_once():
         gateway = MembershipGateway(
@@ -126,3 +138,75 @@ def test_gateway_replay(benchmark, report):
     )
     assert result.rotations >= 1, "aimed pollution should force a rotation"
     assert result.ghost_hit_rate > result.honest_fp_rate
+
+
+def _shard_1024() -> BloomFilter:
+    return BloomFilter(1024, 4)
+
+
+HONEST_WORKLOAD = dict(
+    honest_clients=3,
+    honest_inserts=300,
+    honest_queries=300,
+    batch=16,
+    pollution_inserts=0,
+    ghost_queries=0,
+    probe_queries=100,
+)
+
+
+def _replay_inproc():
+    gateway = MembershipGateway(_shard_1024, shards=4, picker=HashShardPicker())
+    driver = AdversarialTrafficDriver(gateway, seed=17)
+    return asyncio.run(driver.run(**HONEST_WORKLOAD))
+
+
+def _replay_tcp(backend_kind: str):
+    factory = partial(BloomFilter, 1024, 4)
+    backend = (
+        ProcessPoolBackend(factory, 4)
+        if backend_kind == "procpool"
+        else LocalBackend(factory, 4)
+    )
+    gateway = MembershipGateway(factory, backend=backend, picker=HashShardPicker())
+
+    async def scenario():
+        async with MembershipServer(gateway) as server:
+            client = MembershipClient(*server.address)
+            driver = AdversarialTrafficDriver(gateway, seed=17, transport=client)
+            result = await driver.run(**HONEST_WORKLOAD)
+            await client.aclose()
+            return result
+
+    try:
+        return asyncio.run(scenario())
+    finally:
+        gateway.close()
+
+
+def test_transport_overhead(report):
+    """One honest workload across the three serving configurations.
+
+    Counts must be identical (the transport must not change behaviour);
+    throughput shows what each layer costs.
+    """
+    inproc = _replay_inproc()
+    tcp_local = _replay_tcp("local")
+    tcp_pool = _replay_tcp("procpool")
+    rows = [
+        ["inproc", inproc.operations, inproc.throughput, inproc.honest_fp_rate],
+        ["tcp-local", tcp_local.operations, tcp_local.throughput, tcp_local.honest_fp_rate],
+        ["tcp-procpool", tcp_pool.operations, tcp_pool.throughput, tcp_pool.honest_fp_rate],
+    ]
+    report(
+        "transports, honest workload (600 ops + probe):\n"
+        + render_table(["transport", "ops", "ops/s", "honest_fp"], rows)
+    )
+    # The transport changes the cost of serving, never the answers.
+    assert inproc.operations == tcp_local.operations == tcp_pool.operations
+    assert (
+        inproc.honest_fp_rate
+        == tcp_local.honest_fp_rate
+        == tcp_pool.honest_fp_rate
+    )
+    assert min(r.throughput for r in (inproc, tcp_local, tcp_pool)) > 0

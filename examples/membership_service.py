@@ -3,14 +3,18 @@
 
 Boots the sharded asyncio gateway (``repro.service``), replays a mixed
 honest + pollution + ghost-query workload through the adversarial
-traffic driver, and prints the per-shard stats.  Three acts:
+traffic driver, and prints the per-shard stats.  Four acts:
 
   1. public routing -- the adversary aims every crafted item at shard 0,
      saturates it, and the saturation guard rotates it mid-run;
   2. the same attack against a rate-limited gateway -- the attacker's
      insert budget collapses;
   3. keyed routing -- the adversary can no longer aim, pollution sprays
-     across shards, and the target shard stays healthy.
+     across shards, and the target shard stays healthy;
+  4. the full serving stack -- the same attack over TCP against a
+     process-pool backend (one worker per shard), then a snapshot,
+     a simulated restart, and proof the warm gateway answers
+     identically.
 
 Run: ``python examples/membership_service.py``
 """
@@ -18,6 +22,7 @@ Run: ``python examples/membership_service.py``
 from __future__ import annotations
 
 import asyncio
+from functools import partial
 
 from repro.core import BloomFilter
 from repro.service import (
@@ -25,9 +30,15 @@ from repro.service import (
     ClientRateLimiter,
     HashShardPicker,
     KeyedShardPicker,
+    MembershipClient,
     MembershipGateway,
+    MembershipServer,
+    ProcessPoolBackend,
     SaturationGuard,
+    restore_gateway,
+    snapshot_gateway,
 )
+from repro.urlgen.faker import UrlFactory
 
 SHARDS = 4
 SHARD_M = 2048
@@ -75,6 +86,53 @@ def run_act(title: str, gateway: MembershipGateway) -> None:
     print()
 
 
+async def run_act_networked() -> None:
+    """Act 4: the attack over TCP + process pool, then a warm restart."""
+    print("=== act 4: full stack (TCP wire, process-pool shards, snapshot) ===")
+    factory = partial(BloomFilter, SHARD_M, SHARD_K)
+    gateway = MembershipGateway(
+        factory,
+        backend=ProcessPoolBackend(factory, SHARDS),
+        picker=HashShardPicker(),
+        guard=SaturationGuard(THRESHOLD),
+    )
+    try:
+        async with MembershipServer(gateway) as server:
+            host, port = server.address
+            print(f"gateway: {SHARDS} shard workers behind tcp://{host}:{port}")
+            client = MembershipClient(host, port)
+            driver = AdversarialTrafficDriver(
+                gateway, seed=7, attacker_router=HashShardPicker(), transport=client
+            )
+            report = await driver.run(**WORKLOAD)
+            print(report.render())
+            await client.aclose()
+
+        # Snapshot, "restart" into a fresh gateway (new workers), re-probe.
+        raw = snapshot_gateway(gateway)
+        restarted = MembershipGateway(
+            factory,
+            backend=ProcessPoolBackend(factory, SHARDS),
+            picker=HashShardPicker(),
+            guard=SaturationGuard(THRESHOLD),
+        )
+        try:
+            restore_gateway(restarted, raw)
+            probes = UrlFactory(seed=0xCAFE).urls(200)
+            before = await gateway.query_batch(probes)
+            after = await restarted.query_batch(probes)
+            print(
+                f"warm restart: {len(raw)} snapshot bytes, "
+                f"{restarted.rotations} rotation event(s) carried over, "
+                f"200 probe answers {'identical' if before == after else 'DIVERGED'}"
+            )
+        finally:
+            restarted.close()
+    finally:
+        gateway.close()
+    print()
+
+
 if __name__ == "__main__":
     run_act("act 1: aimed pollution against public routing", build_gateway())
     run_act(
@@ -82,3 +140,4 @@ if __name__ == "__main__":
         build_gateway(rate_limit=400.0),
     )
     run_act("act 3: same attack, keyed (secret) routing", build_gateway(keyed_routing=True))
+    asyncio.run(run_act_networked())

@@ -9,6 +9,7 @@ recycled SHA-512 bits, keyed HMAC, ...).
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable
 
 from repro.core.bitvector import BitVector
@@ -18,12 +19,52 @@ from repro.core.params import (
     adversarial_fpp,
     false_positive_probability,
 )
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SnapshotError
 from repro.hashing.base import IndexStrategy
 from repro.hashing.crypto import SHA512
 from repro.hashing.recycling import RecyclingStrategy
 
-__all__ = ["BloomFilter", "default_strategy"]
+__all__ = [
+    "BloomFilter",
+    "default_strategy",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "parse_snapshot",
+]
+
+#: Magic bytes opening every serialised filter snapshot.
+SNAPSHOT_MAGIC = b"RBFS"
+#: Version written into new snapshots; bump on any layout change.
+SNAPSHOT_VERSION = 1
+
+#: Header layout: magic, version, m, k, insertions, payload length.
+_SNAPSHOT_HEADER = struct.Struct(">4sHQIQI")
+
+
+def parse_snapshot(raw: bytes) -> tuple[int, int, int, bytes]:
+    """Validate a filter snapshot and return ``(m, k, insertions, bits)``.
+
+    The header is deliberately stable (magic + version + geometry +
+    payload length, all fixed-width big-endian) so that a snapshot taken
+    by one service build restores under a later one, and corruption is
+    caught before any state is touched.
+    """
+    if len(raw) < _SNAPSHOT_HEADER.size:
+        raise SnapshotError(
+            f"filter snapshot truncated: {len(raw)} bytes, "
+            f"need at least {_SNAPSHOT_HEADER.size}"
+        )
+    magic, version, m, k, insertions, length = _SNAPSHOT_HEADER.unpack_from(raw)
+    if magic != SNAPSHOT_MAGIC:
+        raise SnapshotError(f"bad filter snapshot magic {magic!r}")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(f"unsupported filter snapshot version {version}")
+    payload = raw[_SNAPSHOT_HEADER.size :]
+    if len(payload) != length:
+        raise SnapshotError(
+            f"filter snapshot payload is {len(payload)} bytes, header says {length}"
+        )
+    return m, k, insertions, payload
 
 
 def default_strategy() -> IndexStrategy:
@@ -208,6 +249,55 @@ class BloomFilter(MembershipFilter):
         filt = cls(m, k, strategy)
         filt.bits = BitVector.from_bytes(m, raw)
         filt._weight = filt.bits.hamming_weight()
+        return filt
+
+    def snapshot_bytes(self) -> bytes:
+        """Serialise the full filter state under a stable header.
+
+        Unlike :meth:`to_bytes` (raw bits, as a cache digest ships them)
+        this includes magic, version, geometry and the insertion count,
+        so a service can persist a shard and restore it warm.  The index
+        strategy is *not* serialised -- it is configuration (and for
+        keyed filters, a secret), supplied again at restore time.
+        """
+        payload = self.bits.to_bytes()
+        header = _SNAPSHOT_HEADER.pack(
+            SNAPSHOT_MAGIC,
+            SNAPSHOT_VERSION,
+            self.m,
+            self.k,
+            self._insertions,
+            len(payload),
+        )
+        return header + payload
+
+    def restore_snapshot(self, raw: bytes) -> None:
+        """Load a :meth:`snapshot_bytes` payload into this filter in place.
+
+        Geometry must match; on any mismatch or corruption the filter is
+        left untouched.  Restoring in place (rather than constructing) is
+        what lets a keyed subclass keep its key and strategy.
+        """
+        m, k, insertions, payload = parse_snapshot(raw)
+        if (m, k) != (self.m, self.k):
+            raise SnapshotError(
+                f"snapshot geometry (m={m}, k={k}) does not match "
+                f"filter (m={self.m}, k={self.k})"
+            )
+        self.bits = BitVector.from_bytes(m, payload)
+        self._weight = self.bits.hamming_weight()
+        self._insertions = insertions
+
+    @classmethod
+    def from_snapshot(
+        cls, raw: bytes, strategy: IndexStrategy | None = None
+    ) -> "BloomFilter":
+        """Rebuild a plain filter from a :meth:`snapshot_bytes` payload."""
+        m, k, insertions, payload = parse_snapshot(raw)
+        filt = cls(m, k, strategy)
+        filt.bits = BitVector.from_bytes(m, payload)
+        filt._weight = filt.bits.hamming_weight()
+        filt._insertions = insertions
         return filt
 
     def union(self, other: "BloomFilter") -> "BloomFilter":

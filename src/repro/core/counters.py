@@ -110,6 +110,70 @@ class CounterArray:
         self._values[index] = value
         return value
 
+    # ------------------------------------------------------------------
+    # Batch operations (the counting-filter hot path)
+    # ------------------------------------------------------------------
+    #
+    # Mirrors of BitVector's batch forms: validate every position before
+    # touching any counter, hoist the backing bytearray, and keep the
+    # event-tally semantics of the scalar increment/decrement.
+
+    def all_positive(self, indexes) -> bool:
+        """True iff every counter in ``indexes`` is non-zero (the
+        counting-filter membership probe, short-circuiting on zero)."""
+        size = self._size
+        values = self._values
+        for index in indexes:
+            if not 0 <= index < size:
+                raise IndexError(f"counter index {index} out of range [0, {size})")
+            if not values[index]:
+                return False
+        return True
+
+    def increment_all(
+        self, indexes, policy: OverflowPolicy = OverflowPolicy.SATURATE
+    ) -> None:
+        """Increment every counter in ``indexes`` under ``policy``.
+
+        Validates all positions up front so a bad index leaves the array
+        untouched; duplicate indexes are incremented once per occurrence
+        (exactly like repeated scalar calls -- the overflow attack's
+        steering items rely on that)."""
+        size = self._size
+        values = self._values
+        maximum = self._max
+        for index in indexes:
+            if not 0 <= index < size:
+                raise IndexError(f"counter index {index} out of range [0, {size})")
+        for index in indexes:
+            value = values[index]
+            if value >= maximum:
+                self.overflow_events += 1
+                if policy is OverflowPolicy.RAISE:
+                    raise CounterOverflowError(
+                        f"counter {index} overflowed past {maximum}"
+                    )
+                if policy is OverflowPolicy.SATURATE:
+                    continue
+                values[index] = 0  # WRAP
+            else:
+                values[index] = value + 1
+
+    def decrement_all(self, indexes) -> None:
+        """Decrement every counter in ``indexes`` (floor at 0), tallying
+        underflows exactly like the scalar :meth:`decrement`."""
+        size = self._size
+        values = self._values
+        for index in indexes:
+            if not 0 <= index < size:
+                raise IndexError(f"counter index {index} out of range [0, {size})")
+        for index in indexes:
+            value = values[index]
+            if value == 0:
+                self.underflow_events += 1
+            else:
+                values[index] = value - 1
+
     def nonzero_count(self) -> int:
         """Number of counters currently greater than zero."""
         return sum(1 for v in self._values if v)

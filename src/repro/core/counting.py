@@ -109,6 +109,47 @@ class CountingBloomFilter(DeletableFilter):
     def __contains__(self, item: str | bytes) -> bool:
         return all(self.counters.get(i) > 0 for i in self.indexes(item))
 
+    # ------------------------------------------------------------------
+    # Batch operations (one hashing pass, counter-touching loops)
+    # ------------------------------------------------------------------
+
+    def add_batch(self, items) -> list[bool]:
+        """Vectorized :meth:`add`: hash the whole batch in one strategy
+        pass, then apply counter increments item by item (the membership
+        probe for item ``i`` sees the increments of items ``< i``, so
+        results match the scalar loop exactly)."""
+        counters = self.counters
+        overflow = self.overflow
+        results: list[bool] = []
+        for indexes in self.strategy.batch_indexes(items, self.k, self.m):
+            results.append(counters.all_positive(indexes))
+            counters.increment_all(indexes, overflow)
+            # Counted per item so a RAISE-policy overflow mid-batch
+            # leaves len(self) exactly where the scalar loop would.
+            self._insertions += 1
+        return results
+
+    def contains_batch(self, items) -> list[bool]:
+        """Vectorized membership: batch hashing plus the short-circuiting
+        :meth:`~repro.core.counters.CounterArray.all_positive` probe."""
+        all_positive = self.counters.all_positive
+        return [
+            all_positive(indexes)
+            for indexes in self.strategy.batch_indexes(items, self.k, self.m)
+        ]
+
+    def remove_batch(self, items) -> list[bool]:
+        """Vectorized :meth:`remove`, same sequential-parity contract as
+        :meth:`add_batch` (deleting item ``i`` affects item ``i+1``'s
+        presence probe)."""
+        counters = self.counters
+        results: list[bool] = []
+        for indexes in self.strategy.batch_indexes(items, self.k, self.m):
+            results.append(counters.all_positive(indexes))
+            counters.decrement_all(indexes)
+            self._deletions += 1
+        return results
+
     def __len__(self) -> int:
         return self._insertions
 

@@ -147,6 +147,76 @@ class Dablooms(DeletableFilter):
     def __contains__(self, item: str | bytes) -> bool:
         return any(item in s for s in self.slices)
 
+    # ------------------------------------------------------------------
+    # Batch operations (per-slice grouped hashing)
+    # ------------------------------------------------------------------
+    #
+    # Indexes depend on each slice's geometry, so a batch is hashed once
+    # *per slice* rather than once per item per slice -- the strategy's
+    # vectorized ``batch_indexes`` runs over the whole chunk for every
+    # slice that must be consulted.  Counter reads/writes stay sequential
+    # per item, so results match the scalar loop exactly (including the
+    # case where inserting item i makes item i+1 appear present).
+
+    def add_batch(self, items) -> list[bool]:
+        """Vectorized :meth:`add`: chunk the batch by the active slice's
+        remaining capacity, hash each chunk once per slice, then apply
+        per-item membership probes and increments in order."""
+        items = list(items)
+        results: list[bool] = []
+        pos = 0
+        while pos < len(items):
+            if self._slice_fill[-1] >= self.slice_capacity:
+                self._grow()
+            room = self.slice_capacity - self._slice_fill[-1]
+            chunk = items[pos : pos + room]
+            slices = self.slices
+            per_slice = [
+                s.strategy.batch_indexes(chunk, s.k, s.m) for s in slices
+            ]
+            active = slices[-1]
+            active_counters = active.counters
+            active_indexes = per_slice[-1]
+            overflow = active.overflow
+            probes = [
+                (s.counters.all_positive, indexes)
+                for s, indexes in zip(slices, per_slice)
+            ]
+            for j in range(len(chunk)):
+                results.append(
+                    any(all_positive(indexes[j]) for all_positive, indexes in probes)
+                )
+                active_counters.increment_all(active_indexes[j], overflow)
+                # All bookkeeping per item, so a RAISE-policy overflow
+                # mid-chunk leaves counts exactly like the scalar loop.
+                active._insertions += 1
+                self._slice_fill[-1] += 1
+                self._insertions += 1
+            pos += len(chunk)
+        return results
+
+    def contains_batch(self, items) -> list[bool]:
+        """Vectorized membership: consult slices oldest-first, hashing the
+        still-unresolved remainder of the batch against each one."""
+        items = list(items)
+        answers = [False] * len(items)
+        pending = list(range(len(items)))
+        for slice_filter in self.slices:
+            if not pending:
+                break
+            indexes = slice_filter.strategy.batch_indexes(
+                [items[j] for j in pending], slice_filter.k, slice_filter.m
+            )
+            all_positive = slice_filter.counters.all_positive
+            still_pending: list[int] = []
+            for j, item_indexes in zip(pending, indexes):
+                if all_positive(item_indexes):
+                    answers[j] = True
+                else:
+                    still_pending.append(j)
+            pending = still_pending
+        return answers
+
     def __len__(self) -> int:
         return self._insertions
 

@@ -54,3 +54,11 @@ class DeletableFilter(MembershipFilter):
     @abstractmethod
     def remove(self, item: str | bytes) -> bool:
         """Delete ``item``; returns True if it appeared to be present."""
+
+    def remove_batch(self, items: Iterable[str | bytes]) -> list[bool]:
+        """Delete every item; returns the per-item :meth:`remove` results.
+
+        Plain loop by default; counting structures override it with a
+        single hashing pass (same contract as :meth:`add_batch`).
+        """
+        return [self.remove(item) for item in items]

@@ -36,5 +36,32 @@ class CounterOverflowError(ReproError):
     """A counting-filter counter overflowed under the ``RAISE`` policy."""
 
 
+class ProtocolError(ReproError):
+    """A wire frame violated the membership-service protocol.
+
+    Raised for truncated frames, oversized or zero frame lengths, unknown
+    opcodes/status bytes, and payloads that end mid-field.  The server
+    answers with a protocol-error status (when it can) and closes the
+    connection; the client raises this directly.
+    """
+
+
+class BackendError(ReproError):
+    """A shard backend failed to execute an operation.
+
+    Wraps errors that crossed a process boundary (the original traceback
+    lives in the worker); the message carries the worker-side exception
+    type and text.
+    """
+
+
+class SnapshotError(ReproError):
+    """A snapshot payload is malformed or does not match the target.
+
+    Raised on bad magic/version, truncated payloads, and geometry
+    mismatches (restoring an m=4096 shard snapshot into an m=1024
+    gateway must fail loudly, never corrupt state)."""
+
+
 class InversionError(ReproError):
     """A hash inversion was requested for an unsupported input shape."""

@@ -2,8 +2,8 @@
 
 Everything the paper measures happens to a filter *object*; this
 experiment re-measures it at the layer real deployments care about -- a
-sharded membership service under concurrent traffic.  Four scenarios run
-the same honest workload through a
+sharded membership service under concurrent traffic.  Five in-process
+scenarios run the same honest workload through a
 :class:`~repro.service.gateway.MembershipGateway`:
 
 * ``honest``            -- no adversary (baseline throughput/FP rate);
@@ -13,7 +13,17 @@ the same honest workload through a
   (Section 4.2);
 * ``aimed+rate-limit``  -- same attack behind a per-client token bucket;
 * ``keyed-routing``     -- the gateway routes with a secret SipHash key,
-  the adversary still aims via the public hash and now sprays shards.
+  the adversary still aims via the public hash and now sprays shards;
+* ``latency-attack``    -- the worst-case-latency query stream of
+  Section 4.2 aimed at shard 0, read off that shard's query p99.
+
+Then the *same seeded attack workload* is replayed over three
+transports -- in-process, TCP against a local backend, and TCP against a
+process-pool backend (one worker process per shard) -- so real serving
+overhead and multi-core parallelism become reproduction outputs rather
+than folklore.  Finally the aimed-pollution gateway is snapshotted,
+restored into a fresh instance, and re-probed to demonstrate the
+warm-restart path.
 
 Notes also record the batch-API microbenchmark (vectorized
 ``contains_batch``/``add_batch`` vs the scalar loop) that makes the
@@ -24,13 +34,19 @@ from __future__ import annotations
 
 import asyncio
 import time
+from functools import partial
 
 from repro.core.bloom import BloomFilter
+from repro.exceptions import SnapshotError
 from repro.experiments.runner import ExperimentResult
 from repro.service.admission import ClientRateLimiter, SaturationGuard
+from repro.service.backends import LocalBackend, ProcessPoolBackend, ShardBackend
+from repro.service.client import MembershipClient
 from repro.service.driver import AdversarialTrafficDriver, TrafficReport
 from repro.service.gateway import MembershipGateway
+from repro.service.server import MembershipServer
 from repro.service.sharding import HashShardPicker, KeyedShardPicker
+from repro.service.snapshots import restore_gateway, snapshot_gateway
 from repro.urlgen.faker import UrlFactory
 
 __all__ = ["run"]
@@ -38,6 +54,11 @@ __all__ = ["run"]
 _SHARDS = 4
 _K = 4
 _THRESHOLD = 0.35
+
+
+def _shard_filter(m: int) -> BloomFilter:
+    """Module-level shard factory (picklable for the process backend)."""
+    return BloomFilter(m, _K)
 
 
 def _batch_microbench(scale: float, seed: int) -> tuple[int, float, float, float, float]:
@@ -70,6 +91,22 @@ def _batch_microbench(scale: float, seed: int) -> tuple[int, float, float, float
     return count, scalar_q * to_us, batch_q * to_us, scalar_a * to_us, batch_a * to_us
 
 
+def _workload(scale: float, attack: bool, latency: bool = False) -> dict:
+    return dict(
+        honest_clients=3,
+        honest_inserts=max(40, int(800 * scale)),
+        honest_queries=max(40, int(800 * scale)),
+        batch=16,
+        pollution_inserts=max(30, int(240 * scale)) if attack else 0,
+        ghost_queries=max(8, int(48 * scale)) if attack else 0,
+        ghost_min_fill=_THRESHOLD * 0.6,
+        latency_queries=max(16, int(96 * scale)) if latency else 0,
+        latency_min_fill=_THRESHOLD * 0.4,
+        target_shard=0,
+        probe_queries=max(100, int(800 * scale)),
+    )
+
+
 def _scenario(
     name: str,
     scale: float,
@@ -77,6 +114,7 @@ def _scenario(
     keyed_routing: bool,
     rate_limit: float | None,
     attack: bool,
+    latency: bool = False,
 ) -> tuple[str, TrafficReport, MembershipGateway]:
     shard_m = max(256, int(4096 * scale))
     gateway = MembershipGateway(
@@ -91,20 +129,49 @@ def _scenario(
     driver = AdversarialTrafficDriver(
         gateway, seed=seed, attacker_router=HashShardPicker(), max_trials=250_000
     )
-    report = asyncio.run(
-        driver.run(
-            honest_clients=3,
-            honest_inserts=max(40, int(800 * scale)),
-            honest_queries=max(40, int(800 * scale)),
-            batch=16,
-            pollution_inserts=max(30, int(240 * scale)) if attack else 0,
-            ghost_queries=max(8, int(48 * scale)) if attack else 0,
-            ghost_min_fill=_THRESHOLD * 0.6,
-            target_shard=0,
-            probe_queries=max(100, int(800 * scale)),
-        )
-    )
+    report = asyncio.run(driver.run(**_workload(scale, attack, latency)))
     return name, report, gateway
+
+
+async def _replay_over_tcp(
+    backend_kind: str, scale: float, seed: int, attack: bool
+) -> tuple[TrafficReport, MembershipGateway]:
+    """Replay a seeded workload through the wire layer."""
+    shard_m = max(256, int(4096 * scale))
+    factory = partial(_shard_filter, shard_m)
+    backend: ShardBackend = (
+        ProcessPoolBackend(factory, _SHARDS)
+        if backend_kind == "procpool"
+        else LocalBackend(factory, _SHARDS)
+    )
+    gateway = MembershipGateway(
+        factory,
+        backend=backend,
+        picker=HashShardPicker(),
+        guard=SaturationGuard(_THRESHOLD),
+    )
+    try:
+        async with MembershipServer(gateway) as server:
+            client = MembershipClient(*server.address)
+            try:
+                driver = AdversarialTrafficDriver(
+                    gateway,
+                    seed=seed,
+                    attacker_router=HashShardPicker(),
+                    max_trials=250_000,
+                    transport=client,
+                )
+                report = await driver.run(**_workload(scale, attack=attack))
+            finally:
+                await client.aclose()
+    finally:
+        gateway.close()
+    return report, gateway
+
+
+def _probe_answers(gateway: MembershipGateway, seed: int, count: int) -> list[bool]:
+    probes = UrlFactory(seed=seed ^ 0x5EED).urls(count)
+    return asyncio.run(gateway.query_batch(probes, client="restart-probe"))
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
@@ -116,10 +183,12 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             "deployed behind a service, chosen-insertion pollution aimed at one "
             "shard saturates it and ghost queries amplify the false-positive "
             "rate by orders of magnitude; keyed routing and rotation restore "
-            "the honest profile"
+            "the honest profile; the attack is transport-independent while "
+            "serving overhead and parallelism are not"
         ),
         headers=[
             "scenario",
+            "transport",
             "routing",
             "ops",
             "ops/s",
@@ -129,6 +198,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             "ghost_hit",
             "honest_fp",
             "amplif",
+            "shard0_p99_us",
         ],
     )
 
@@ -137,12 +207,15 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         _scenario("aimed-pollution", scale, seed, keyed_routing=False, rate_limit=None, attack=True),
         _scenario("aimed+rate-limit", scale, seed, keyed_routing=False, rate_limit=400.0, attack=True),
         _scenario("keyed-routing", scale, seed, keyed_routing=True, rate_limit=None, attack=True),
+        _scenario("latency-attack", scale, seed, keyed_routing=False, rate_limit=None, attack=False, latency=True),
     ]
-    for name, report, gateway in scenarios:
+
+    def add_row(name: str, transport: str, routing: str, report: TrafficReport) -> None:
         shard0 = report.snapshots[0]
         result.add_row(
             name,
-            gateway.picker.name.split("(")[0],
+            transport,
+            routing,
             report.operations,
             round(report.throughput),
             report.rotations,
@@ -151,7 +224,11 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             round(report.ghost_hit_rate, 3),
             round(report.honest_fp_rate, 4),
             round(report.amplification, 1),
+            round(shard0.query_p99_us, 1),
         )
+
+    for name, report, gateway in scenarios:
+        add_row(name, "inproc", gateway.picker.name.split("(")[0], report)
 
     by_name = {name: report for name, report, _ in scenarios}
     aimed = by_name["aimed-pollution"]
@@ -161,6 +238,65 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         f"{aimed.ghost_hit_rate:.0%}; keyed routing absorbs the same attack with "
         f"{keyed.rotations} rotation(s) of the target shard"
     )
+    latency = by_name["latency-attack"]
+    honest = by_name["honest"]
+    result.note(
+        f"latency-query stream: {latency.latency_queries} worst-case negatives "
+        f"walking {latency.latency_mean_probes:.1f} probes each push shard0 query "
+        f"p99 to {latency.snapshots[0].query_p99_us:.1f}us "
+        f"(honest baseline {honest.snapshots[0].query_p99_us:.1f}us)"
+    )
+
+    # -- transport comparison ---------------------------------------------
+    # The same seeded *attack* workload replays over TCP against both
+    # backends (same row structure as the in-process run: that is the
+    # transport-independence claim) ...
+    tcp_local, _ = asyncio.run(_replay_over_tcp("local", scale, seed, attack=True))
+    tcp_pool, _ = asyncio.run(_replay_over_tcp("procpool", scale, seed, attack=True))
+    add_row("aimed-pollution", "tcp-local", "murmur3", tcp_local)
+    add_row("aimed-pollution", "tcp-procpool", "murmur3", tcp_pool)
+    # ... while serving overhead is read off the *honest* workload, whose
+    # clock contains no adversarial crafting time.
+    honest_local, _ = asyncio.run(_replay_over_tcp("local", scale, seed, attack=False))
+    honest_pool, _ = asyncio.run(_replay_over_tcp("procpool", scale, seed, attack=False))
+    add_row("honest", "tcp-local", "murmur3", honest_local)
+    add_row("honest", "tcp-procpool", "murmur3", honest_pool)
+    if honest_local.throughput > 0 and honest_pool.throughput > 0:
+        result.note(
+            f"serving overhead (honest workload): inproc "
+            f"{honest.throughput:,.0f} -> tcp-local "
+            f"{honest_local.throughput:,.0f} ops/s "
+            f"(x{honest.throughput / honest_local.throughput:.1f} slower over the "
+            f"wire); tcp-procpool {honest_pool.throughput:,.0f} ops/s "
+            f"(x{honest_local.throughput / honest_pool.throughput:.2f} vs "
+            f"tcp-local; one worker per shard, speedup needs multi-core and "
+            f"CPU-bound batches)"
+        )
+
+    # -- warm restart: snapshot, restore, identical answers --------------
+    _, aimed_report, aimed_gateway = scenarios[1]
+    probe_count = max(100, int(400 * scale))
+    before = _probe_answers(aimed_gateway, seed, probe_count)
+    raw = snapshot_gateway(aimed_gateway)
+    shard_m = max(256, int(4096 * scale))
+    restarted = MembershipGateway(
+        lambda: BloomFilter(shard_m, _K),
+        shards=_SHARDS,
+        picker=HashShardPicker(),
+        guard=SaturationGuard(_THRESHOLD),
+    )
+    restore_gateway(restarted, raw)
+    after = _probe_answers(restarted, seed, probe_count)
+    identical = before == after
+    result.note(
+        f"warm restart: {len(raw)} snapshot bytes restore {restarted.rotations} "
+        f"rotation event(s) and all shard bits; {probe_count} probe answers "
+        f"{'identical' if identical else 'DIVERGED'} after restart"
+    )
+    if not identical:
+        # A hard failure, not an assert: this invariant must hold even
+        # under `python -O`, and the CI smoke run leans on it.
+        raise SnapshotError("restored gateway diverged from the snapshot source")
 
     count, scalar_q, batch_q, scalar_a, batch_a = _batch_microbench(scale, seed)
     result.note(

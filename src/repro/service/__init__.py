@@ -2,18 +2,28 @@
 
 Everything else in the package studies a Bloom filter as an object; this
 package studies it as a *service* -- the setting in which the paper's
-attacks actually bite.  It provides:
+attacks actually bite.  The stack is layered, transport-agnostic, and
+restartable:
 
-* :mod:`repro.service.gateway` -- an asyncio membership gateway fronting
-  N filter shards with batched query/insert APIs;
+* :mod:`repro.service.backends` -- where shard filters live: in-process
+  (:class:`LocalBackend`) or one worker process per shard
+  (:class:`ProcessPoolBackend`), behind one batched contract;
+* :mod:`repro.service.gateway` -- the asyncio membership gateway
+  fronting N shards with batched query/insert APIs over any backend;
 * :mod:`repro.service.sharding` -- pluggable shard routers (public hash
   vs the keyed countermeasure applied to routing);
 * :mod:`repro.service.admission` -- per-client rate limiting and the
   saturation guard that operationalizes filter rotation;
 * :mod:`repro.service.telemetry` -- per-shard counters and latency
   histograms;
+* :mod:`repro.service.codec` / :mod:`repro.service.server` /
+  :mod:`repro.service.client` -- a length-prefixed binary wire protocol
+  with an asyncio TCP server and pooled client;
+* :mod:`repro.service.snapshots` -- warm-restart persistence of shard
+  bits, the rotation log and telemetry;
 * :mod:`repro.service.driver` -- a concurrent traffic driver replaying
-  honest + adversarial workloads and reporting attack amplification.
+  honest + adversarial workloads over any transport and reporting
+  attack amplification.
 """
 
 from repro.service.admission import (
@@ -22,10 +32,31 @@ from repro.service.admission import (
     SaturationGuard,
     TokenBucket,
 )
+from repro.service.backends import (
+    BatchReply,
+    LocalBackend,
+    ProcessPoolBackend,
+    ShardBackend,
+    ShardState,
+)
+from repro.service.client import MembershipClient
 from repro.service.config import ServiceConfig
-from repro.service.driver import AdversarialTrafficDriver, TrafficReport, replay
+from repro.service.driver import (
+    AdversarialTrafficDriver,
+    ServiceTransport,
+    TrafficReport,
+    replay,
+)
 from repro.service.gateway import MembershipGateway, RotationEvent
+from repro.service.server import MembershipServer
 from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
+from repro.service.snapshots import (
+    GatewaySnapshot,
+    load_snapshot,
+    restore_gateway,
+    save_snapshot,
+    snapshot_gateway,
+)
 from repro.service.telemetry import (
     LatencyHistogram,
     ShardSnapshot,
@@ -35,20 +66,33 @@ from repro.service.telemetry import (
 
 __all__ = [
     "AdversarialTrafficDriver",
+    "BatchReply",
     "ClientRateLimiter",
+    "GatewaySnapshot",
     "HashShardPicker",
     "KeyedShardPicker",
     "LatencyHistogram",
+    "LocalBackend",
+    "MembershipClient",
     "MembershipGateway",
+    "MembershipServer",
+    "ProcessPoolBackend",
     "RateLimited",
     "RotationEvent",
     "SaturationGuard",
     "ServiceConfig",
+    "ServiceTransport",
+    "ShardBackend",
     "ShardPicker",
     "ShardSnapshot",
+    "ShardState",
     "ShardTelemetry",
     "TokenBucket",
     "TrafficReport",
+    "load_snapshot",
     "render_snapshots",
     "replay",
+    "restore_gateway",
+    "save_snapshot",
+    "snapshot_gateway",
 ]

@@ -1,0 +1,388 @@
+"""Shard backends: where a gateway's filters actually live.
+
+The gateway used to own its shard filters directly; this module makes
+that a pluggable layer so the same serving API can front
+
+* :class:`LocalBackend` -- filters in the gateway's own process (the
+  original in-loop arrangement, zero overhead, no parallelism), and
+* :class:`ProcessPoolBackend` -- one dedicated worker process per shard,
+  batched dispatch over a pipe, so the CPU-bound work (hashing every
+  item of a batch, crafting-heavy adversarial streams) runs on as many
+  cores as there are shards.
+
+Both speak the same small contract: batched insert/query that return the
+answers *and* the shard's post-operation state in one hop (so the
+saturation guard never needs a second round trip), plus rotation,
+snapshot export/restore, and a white-box ``shard_view`` for the paper's
+adversary model and for tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+import weakref
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.bloom import BloomFilter
+from repro.core.interfaces import MembershipFilter
+from repro.exceptions import BackendError, ParameterError
+from repro.service.admission import filter_state
+
+__all__ = [
+    "ShardState",
+    "BatchReply",
+    "ShardBackend",
+    "LocalBackend",
+    "ProcessPoolBackend",
+]
+
+
+@dataclass(frozen=True)
+class ShardState:
+    """Point-in-time filter state of one shard.
+
+    Field names deliberately mirror :class:`~repro.core.bloom.
+    BloomFilter` properties so :func:`~repro.service.admission.
+    filter_state` (and hence the saturation guard) reads a state the
+    same way it reads a live filter.
+    """
+
+    hamming_weight: int
+    fill_ratio: float
+    insertions: int
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """Answers of one batched operation plus the shard's state after it."""
+
+    answers: list[bool]
+    state: ShardState
+
+
+def _state_of(filt: MembershipFilter) -> ShardState:
+    weight, fill = filter_state(filt)
+    return ShardState(hamming_weight=weight, fill_ratio=fill, insertions=len(filt))
+
+
+class ShardBackend(ABC):
+    """N filter shards behind a uniform batched interface.
+
+    The batched operations are async (a process backend awaits a worker
+    round trip); the state/snapshot accessors are sync -- they are used
+    by telemetry, the adversary's white-box probes and persistence, all
+    off the latency-critical path.
+    """
+
+    #: Number of shards this backend serves.
+    shards: int
+    #: Display name for reports ("local", "process-pool").
+    name: str = "backend"
+
+    @abstractmethod
+    async def insert_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
+        """Apply ``add_batch`` on one shard; answers + post-op state."""
+
+    @abstractmethod
+    async def query_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
+        """Apply ``contains_batch`` on one shard; answers + post-op state."""
+
+    @abstractmethod
+    async def rotate(self, shard_id: int) -> None:
+        """Replace one shard's filter with a fresh factory build."""
+
+    @abstractmethod
+    def state(self, shard_id: int) -> ShardState:
+        """Current filter state of one shard (cheap, lock-free probe)."""
+
+    @abstractmethod
+    def export_shard(self, shard_id: int) -> bytes:
+        """Serialise one shard via the stable core snapshot header."""
+
+    @abstractmethod
+    def restore_shard(self, shard_id: int, raw: bytes) -> None:
+        """Load a snapshot payload into one shard (geometry-checked)."""
+
+    @abstractmethod
+    def shard_view(self, shard_id: int) -> MembershipFilter:
+        """A filter exposing the shard's current bit state.
+
+        For a local backend this is the live filter itself; for a
+        process backend it is a reconstructed copy (the white-box
+        adversary's view -- mutating it does not touch the shard).
+        """
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; no-op by default)."""
+
+    def _check_shard(self, shard_id: int) -> None:
+        if not 0 <= shard_id < self.shards:
+            raise ParameterError(
+                f"shard_id {shard_id} out of range [0, {self.shards})"
+            )
+
+    def __enter__(self) -> "ShardBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} shards={self.shards}>"
+
+
+def _snapshot_capable(filt: MembershipFilter) -> BloomFilter:
+    if not isinstance(filt, BloomFilter):
+        raise BackendError(
+            f"shard snapshots need a BloomFilter-family shard, "
+            f"got {type(filt).__name__}"
+        )
+    return filt
+
+
+class LocalBackend(ShardBackend):
+    """The original arrangement: shard filters live in this process.
+
+    Zero serving overhead (method calls), full white-box access, no
+    parallelism -- everything runs on the event loop's core.
+    """
+
+    name = "local"
+
+    def __init__(
+        self, filter_factory: Callable[[], MembershipFilter], shards: int
+    ) -> None:
+        if shards <= 0:
+            raise ParameterError(f"shards must be positive, got {shards}")
+        self.shards = shards
+        self._factory = filter_factory
+        self._filters = [filter_factory() for _ in range(shards)]
+
+    async def insert_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
+        self._check_shard(shard_id)
+        filt = self._filters[shard_id]
+        answers = filt.add_batch(items)
+        return BatchReply(answers=answers, state=_state_of(filt))
+
+    async def query_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
+        self._check_shard(shard_id)
+        filt = self._filters[shard_id]
+        answers = filt.contains_batch(items)
+        return BatchReply(answers=answers, state=_state_of(filt))
+
+    async def rotate(self, shard_id: int) -> None:
+        self._check_shard(shard_id)
+        self._filters[shard_id] = self._factory()
+
+    def state(self, shard_id: int) -> ShardState:
+        self._check_shard(shard_id)
+        return _state_of(self._filters[shard_id])
+
+    def export_shard(self, shard_id: int) -> bytes:
+        self._check_shard(shard_id)
+        return _snapshot_capable(self._filters[shard_id]).snapshot_bytes()
+
+    def restore_shard(self, shard_id: int, raw: bytes) -> None:
+        self._check_shard(shard_id)
+        _snapshot_capable(self._filters[shard_id]).restore_snapshot(raw)
+
+    def shard_view(self, shard_id: int) -> MembershipFilter:
+        self._check_shard(shard_id)
+        return self._filters[shard_id]
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+
+def _shard_worker_main(conn, filter_factory: Callable[[], MembershipFilter]) -> None:
+    """One shard's worker loop: recv an op, run it on the filter, reply.
+
+    Runs until the pipe closes or a ``close`` op arrives.  Errors are
+    shipped back as ``("err", message)`` instead of killing the worker,
+    so one bad batch cannot take a shard down.
+    """
+    filt = filter_factory()
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if op == "insert":
+                reply = BatchReply(filt.add_batch(payload), _state_of(filt))
+            elif op == "query":
+                reply = BatchReply(filt.contains_batch(payload), _state_of(filt))
+            elif op == "state":
+                reply = _state_of(filt)
+            elif op == "rotate":
+                filt = filter_factory()
+                reply = None
+            elif op == "export":
+                reply = _snapshot_capable(filt).snapshot_bytes()
+            elif op == "restore":
+                _snapshot_capable(filt).restore_snapshot(payload)
+                reply = None
+            elif op == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ValueError(f"unknown shard op {op!r}")
+            conn.send(("ok", reply))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            try:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+def _terminate_processes(processes) -> None:
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=2.0)
+
+
+class _Worker:
+    """Parent-side handle on one shard worker: process, pipe, pipe lock."""
+
+    __slots__ = ("process", "conn", "lock")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        # The pipe carries strictly alternating request/reply pairs; the
+        # lock keeps the asyncio batch path and the sync state/snapshot
+        # probes from interleaving frames.
+        self.lock = threading.Lock()
+
+
+class ProcessPoolBackend(ShardBackend):
+    """One worker process per shard, batched dispatch over pipes.
+
+    Each shard's hashing and bit work runs in its own process, so a
+    multi-shard gateway under concurrent batches uses multiple cores --
+    the scaling step the ROADMAP asks for.  Per-shard dispatch stays
+    batched: one pipe round trip carries a whole ``add_batch``/
+    ``contains_batch`` group, which is what keeps the hop affordable.
+
+    Parameters
+    ----------
+    filter_factory:
+        Zero-argument callable building one shard's filter, executed in
+        the worker.  It must be *deterministic* (pin any keys): the
+        parent builds one template from the same factory to reconstruct
+        white-box views, and rotation rebuilds in the worker.  Under the
+        default ``fork`` start method any callable works; under
+        ``spawn`` it must be picklable.
+    shards:
+        Number of worker processes.
+    mp_context:
+        Explicit multiprocessing context; defaults to ``fork`` where
+        available (lets closures cross), else the platform default.
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        filter_factory: Callable[[], MembershipFilter],
+        shards: int,
+        mp_context=None,
+    ) -> None:
+        if shards <= 0:
+            raise ParameterError(f"shards must be positive, got {shards}")
+        if mp_context is None:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                mp_context = multiprocessing.get_context()
+        self.shards = shards
+        self._template = filter_factory()
+        self._workers: list[_Worker] = []
+        self._closed = False
+        try:
+            for _ in range(shards):
+                parent_conn, child_conn = mp_context.Pipe()
+                process = mp_context.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, filter_factory),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_Worker(process, parent_conn))
+        except Exception:
+            _terminate_processes([w.process for w in self._workers])
+            raise
+        # Safety net: if close() is never called, terminate at GC/exit.
+        self._finalizer = weakref.finalize(
+            self, _terminate_processes, [w.process for w in self._workers]
+        )
+
+    def _roundtrip(self, shard_id: int, op: str, payload=None):
+        self._check_shard(shard_id)
+        if self._closed:
+            raise BackendError("backend is closed")
+        worker = self._workers[shard_id]
+        with worker.lock:
+            try:
+                worker.conn.send((op, payload))
+                status, reply = worker.conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise BackendError(
+                    f"shard {shard_id} worker is gone ({exc!r})"
+                ) from exc
+        if status == "err":
+            raise BackendError(f"shard {shard_id} worker failed: {reply}")
+        return reply
+
+    async def insert_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
+        return await asyncio.to_thread(self._roundtrip, shard_id, "insert", list(items))
+
+    async def query_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
+        return await asyncio.to_thread(self._roundtrip, shard_id, "query", list(items))
+
+    async def rotate(self, shard_id: int) -> None:
+        await asyncio.to_thread(self._roundtrip, shard_id, "rotate")
+
+    def state(self, shard_id: int) -> ShardState:
+        return self._roundtrip(shard_id, "state")
+
+    def export_shard(self, shard_id: int) -> bytes:
+        return self._roundtrip(shard_id, "export")
+
+    def restore_shard(self, shard_id: int, raw: bytes) -> None:
+        self._roundtrip(shard_id, "restore", raw)
+
+    def shard_view(self, shard_id: int) -> MembershipFilter:
+        """Reconstruct the shard's filter from an exported snapshot.
+
+        The view shares the parent template's strategy, so it answers
+        ``indexes``/``__contains__`` exactly like the worker's filter --
+        provided the factory is deterministic (see class docstring).
+        """
+        raw = self.export_shard(shard_id)
+        template = _snapshot_capable(self._template)
+        return BloomFilter.from_snapshot(raw, strategy=template.strategy)
+
+    def close(self) -> None:
+        """Shut every worker down (graceful close, then terminate)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            with worker.lock:
+                try:
+                    worker.conn.send(("close", None))
+                    worker.conn.recv()
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+                worker.conn.close()
+        self._finalizer()

@@ -1,0 +1,221 @@
+"""TCP client for the membership service.
+
+Mirrors the gateway's serving API (``insert``/``query``/``insert_batch``/
+``query_batch``/``stats``) over the length-prefixed codec, raising the
+same exceptions the in-process gateway raises -- so the adversarial
+traffic driver can treat a client and a gateway interchangeably (its
+``transport`` knob).
+
+Connections are pooled: each in-flight request checks out one TCP
+connection (opening a new one up to ``max_connections``), so concurrent
+client coroutines keep multiple requests on the wire at once -- without
+that, a single serialized socket would idle every shard but one and
+hide the process-pool backend's parallelism entirely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.exceptions import BackendError, ParameterError, ProtocolError
+from repro.service.admission import RateLimited
+from repro.service.codec import (
+    OP_INSERT,
+    OP_INSERT_BATCH,
+    OP_QUERY,
+    OP_QUERY_BATCH,
+    OP_STATS,
+    ST_INVALID,
+    ST_OK,
+    ST_PROTOCOL,
+    ST_RATE_LIMITED,
+    Response,
+    decode_response,
+    encode_frame,
+    encode_request,
+    read_frame,
+)
+
+__all__ = ["MembershipClient"]
+
+
+@dataclass
+class _Connection:
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - platform noise
+            pass
+
+
+class MembershipClient:
+    """Membership-service client over one or more pooled TCP connections.
+
+    Parameters
+    ----------
+    host, port:
+        The server address (see :meth:`~repro.service.server.
+        MembershipServer.start`).
+    max_connections:
+        Ceiling on concurrently open connections; requests beyond it
+        wait for a free one.
+    """
+
+    def __init__(self, host: str, port: int, max_connections: int = 8) -> None:
+        if max_connections <= 0:
+            raise ParameterError("max_connections must be positive")
+        self.host = host
+        self.port = port
+        self._free: list[_Connection] = []
+        self._slots = asyncio.Semaphore(max_connections)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+
+    async def _acquire(self) -> _Connection:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        await self._slots.acquire()
+        if self._free:
+            return self._free.pop()
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        except BaseException:
+            self._slots.release()
+            raise
+        return _Connection(reader, writer)
+
+    def _release(self, conn: _Connection) -> None:
+        if self._closed:
+            # aclose() ran while this request was in flight: close the
+            # connection now instead of re-pooling it forever.
+            conn.writer.close()
+        else:
+            self._free.append(conn)
+        self._slots.release()
+
+    async def _discard(self, conn: _Connection) -> None:
+        await conn.close()
+        self._slots.release()
+
+    async def _request(self, payload: bytes, client: str) -> Response:
+        conn = await self._acquire()
+        try:
+            conn.writer.write(encode_frame(payload))
+            await conn.writer.drain()
+            raw = await read_frame(conn.reader)
+        except BaseException:
+            await self._discard(conn)
+            raise
+        if raw is None:
+            await self._discard(conn)
+            raise ProtocolError("server closed the connection mid-request")
+        try:
+            response = decode_response(raw)
+        except ProtocolError:
+            await self._discard(conn)
+            raise
+        if response.status in (ST_PROTOCOL,):
+            # The server drops the stream after a protocol error reply.
+            await self._discard(conn)
+        else:
+            self._release(conn)
+        return self._check(response, client)
+
+    @staticmethod
+    def _check(response: Response, client: str) -> Response:
+        """Map non-OK statuses onto the gateway's exception types."""
+        if response.status == ST_OK:
+            return response
+        if response.status == ST_RATE_LIMITED:
+            raise RateLimited(client)
+        if response.status == ST_INVALID:
+            raise ParameterError(response.message or "invalid request")
+        if response.status == ST_PROTOCOL:
+            raise ProtocolError(response.message or "protocol violation")
+        raise BackendError(response.message or "server error")
+
+    # ------------------------------------------------------------------
+    # Serving API (gateway-shaped)
+    # ------------------------------------------------------------------
+
+    async def insert(self, item: str | bytes, client: str = "anon") -> bool:
+        """Insert one item; returns the filter's ``add`` result."""
+        response = await self._request(
+            encode_request(OP_INSERT, [item], client=client), client
+        )
+        return self._answers(response, 1)[0]
+
+    async def query(self, item: str | bytes, client: str = "anon") -> bool:
+        """Membership query for one item."""
+        response = await self._request(
+            encode_request(OP_QUERY, [item], client=client), client
+        )
+        return self._answers(response, 1)[0]
+
+    async def insert_batch(
+        self, items: list[str | bytes], client: str = "anon"
+    ) -> list[bool]:
+        """Insert a batch; one frame out, one packed-bit frame back."""
+        if not items:
+            return []
+        response = await self._request(
+            encode_request(OP_INSERT_BATCH, list(items), client=client), client
+        )
+        return self._answers(response, len(items))
+
+    async def query_batch(
+        self, items: list[str | bytes], client: str = "anon"
+    ) -> list[bool]:
+        """Query a batch; same framing as :meth:`insert_batch`."""
+        if not items:
+            return []
+        response = await self._request(
+            encode_request(OP_QUERY_BATCH, list(items), client=client), client
+        )
+        return self._answers(response, len(items))
+
+    async def stats(self, client: str = "anon") -> list[dict]:
+        """Per-shard stats snapshots (JSON dicts mirroring
+        :class:`~repro.service.telemetry.ShardSnapshot`)."""
+        response = await self._request(
+            encode_request(OP_STATS, client=client), client
+        )
+        if response.stats is None:
+            raise ProtocolError("stats response carried no stats")
+        return response.stats
+
+    @staticmethod
+    def _answers(response: Response, expected: int) -> list[bool]:
+        if response.answers is None or len(response.answers) != expected:
+            got = None if response.answers is None else len(response.answers)
+            raise ProtocolError(
+                f"expected {expected} answers, got {got}"
+            )
+        return response.answers
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Close every pooled connection."""
+        self._closed = True
+        while self._free:
+            await self._free.pop().close()
+
+    async def __aenter__(self) -> "MembershipClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MembershipClient {self.host}:{self.port}>"

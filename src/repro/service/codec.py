@@ -1,0 +1,320 @@
+"""Length-prefixed binary wire codec for the membership service.
+
+One frame = a 4-byte big-endian payload length followed by the payload.
+Requests open with an opcode byte, responses with a status byte; batch
+answers travel as packed bits (one byte per eight membership answers),
+so a 10k-item query batch replies in ~1.25 KiB.
+
+The codec is deliberately paranoid: every field read checks the
+remaining length, frame lengths are bounded, and any violation raises
+:class:`~repro.exceptions.ProtocolError` *before* partial state is acted
+on -- an adversarial client is the normal client for this service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import asdict, dataclass
+
+from repro.exceptions import ProtocolError
+from repro.service.telemetry import ShardSnapshot
+
+__all__ = [
+    "MAX_FRAME",
+    "OP_INSERT",
+    "OP_QUERY",
+    "OP_INSERT_BATCH",
+    "OP_QUERY_BATCH",
+    "OP_STATS",
+    "ST_OK",
+    "ST_RATE_LIMITED",
+    "ST_INVALID",
+    "ST_ERROR",
+    "ST_PROTOCOL",
+    "Request",
+    "Response",
+    "encode_frame",
+    "read_frame",
+    "encode_request",
+    "decode_request",
+    "encode_answers",
+    "encode_error",
+    "encode_stats",
+    "decode_response",
+    "pack_bools",
+    "unpack_bools",
+]
+
+#: Hard ceiling on one frame's payload (keeps a hostile length prefix
+#: from allocating gigabytes); generous for the batch sizes admission
+#: control allows.
+MAX_FRAME = 4 * 1024 * 1024
+
+# Request opcodes.
+OP_INSERT = 1
+OP_QUERY = 2
+OP_INSERT_BATCH = 3
+OP_QUERY_BATCH = 4
+OP_STATS = 5
+
+_OPS = frozenset({OP_INSERT, OP_QUERY, OP_INSERT_BATCH, OP_QUERY_BATCH, OP_STATS})
+
+# Response status bytes.
+ST_OK = 0
+ST_RATE_LIMITED = 1
+ST_INVALID = 2
+ST_ERROR = 3
+ST_PROTOCOL = 4
+
+_STATUSES = frozenset({ST_OK, ST_RATE_LIMITED, ST_INVALID, ST_ERROR, ST_PROTOCOL})
+
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded client request."""
+
+    op: int
+    client: str
+    items: list[str | bytes]
+
+
+@dataclass(frozen=True)
+class Response:
+    """A decoded server response; exactly one payload field is set."""
+
+    status: int
+    answers: list[bool] | None = None
+    message: str | None = None
+    stats: list[dict] | None = None
+
+
+# ----------------------------------------------------------------------
+# Bit packing
+# ----------------------------------------------------------------------
+
+def pack_bools(values: list[bool]) -> bytes:
+    """Pack booleans into bytes, LSB-first within each byte."""
+    out = bytearray((len(values) + 7) // 8)
+    for i, value in enumerate(values):
+        if value:
+            out[i >> 3] |= 1 << (i & 7)
+    return bytes(out)
+
+
+def unpack_bools(raw: bytes, count: int) -> list[bool]:
+    """Inverse of :func:`pack_bools` for ``count`` values."""
+    if len(raw) != (count + 7) // 8:
+        raise ProtocolError(
+            f"answer bitmap is {len(raw)} bytes for {count} answers"
+        )
+    return [bool(raw[i >> 3] & (1 << (i & 7))) for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def encode_frame(payload: bytes) -> bytes:
+    """Prefix a payload with its 4-byte length."""
+    if not payload:
+        raise ProtocolError("refusing to encode an empty frame")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return _U32.pack(len(payload)) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`ProtocolError` on a torn header, a zero/oversized
+    length, or a payload cut short.
+    """
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)}/4 bytes)"
+        ) from exc
+    (length,) = _U32.unpack(header)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"truncated frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Cursor-based payload reads (every read is bounds-checked)
+# ----------------------------------------------------------------------
+
+class _Cursor:
+    __slots__ = ("raw", "pos")
+
+    def __init__(self, raw: bytes) -> None:
+        self.raw = raw
+        self.pos = 0
+
+    def take(self, count: int, what: str) -> bytes:
+        end = self.pos + count
+        if end > len(self.raw):
+            raise ProtocolError(
+                f"payload ends inside {what} "
+                f"(need {count} bytes at offset {self.pos}, have {len(self.raw) - self.pos})"
+            )
+        chunk = self.raw[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u8(self, what: str) -> int:
+        return self.take(1, what)[0]
+
+    def u16(self, what: str) -> int:
+        return _U16.unpack(self.take(2, what))[0]
+
+    def u32(self, what: str) -> int:
+        return _U32.unpack(self.take(4, what))[0]
+
+    def done(self) -> None:
+        if self.pos != len(self.raw):
+            raise ProtocolError(
+                f"{len(self.raw) - self.pos} trailing bytes after payload"
+            )
+
+
+def _decode_text(raw: bytes, what: str) -> str:
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"{what} is not valid UTF-8") from exc
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+def encode_request(
+    op: int, items: list[str | bytes] | None = None, client: str = "anon"
+) -> bytes:
+    """Encode a request payload (frame it with :func:`encode_frame`)."""
+    if op not in _OPS:
+        raise ProtocolError(f"unknown opcode {op}")
+    items = items or []
+    if op in (OP_INSERT, OP_QUERY) and len(items) != 1:
+        raise ProtocolError("single-item ops carry exactly one item")
+    client_raw = client.encode("utf-8")
+    if len(client_raw) > 0xFFFF:
+        raise ProtocolError("client id too long")
+    parts = [bytes([op]), _U16.pack(len(client_raw)), client_raw, _U32.pack(len(items))]
+    for item in items:
+        if isinstance(item, str):
+            raw, is_text = item.encode("utf-8"), 1
+        elif isinstance(item, bytes):
+            raw, is_text = item, 0
+        else:
+            raise ProtocolError(f"items must be str or bytes, got {type(item).__name__}")
+        parts.append(bytes([is_text]))
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def decode_request(payload: bytes) -> Request:
+    """Decode and validate a request payload."""
+    cursor = _Cursor(payload)
+    op = cursor.u8("opcode")
+    if op not in _OPS:
+        raise ProtocolError(f"unknown opcode {op}")
+    client = _decode_text(cursor.take(cursor.u16("client length"), "client id"), "client id")
+    count = cursor.u32("item count")
+    # Each item costs at least 5 bytes on the wire; a hostile count that
+    # cannot fit in the remaining payload is rejected before allocation.
+    if count * 5 > len(payload) - cursor.pos:
+        raise ProtocolError(f"item count {count} exceeds payload size")
+    items: list[str | bytes] = []
+    for _ in range(count):
+        is_text = cursor.u8("item flag")
+        if is_text not in (0, 1):
+            raise ProtocolError(f"bad item flag {is_text}")
+        raw = cursor.take(cursor.u32("item length"), "item bytes")
+        items.append(_decode_text(raw, "text item") if is_text else raw)
+    cursor.done()
+    if op in (OP_INSERT, OP_QUERY) and len(items) != 1:
+        raise ProtocolError("single-item ops carry exactly one item")
+    if op == OP_STATS and items:
+        raise ProtocolError("stats requests carry no items")
+    return Request(op=op, client=client, items=items)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+def encode_answers(answers: list[bool]) -> bytes:
+    """OK response carrying packed membership answers."""
+    return bytes([ST_OK]) + _U32.pack(len(answers)) + pack_bools(answers)
+
+
+def encode_error(status: int, message: str) -> bytes:
+    """Non-OK response carrying a diagnostic message."""
+    if status not in _STATUSES or status == ST_OK:
+        raise ProtocolError(f"bad error status {status}")
+    raw = message.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        # Truncate on a character boundary so the reply stays valid UTF-8.
+        raw = raw[:0xFFFF].decode("utf-8", "ignore").encode("utf-8")
+    return bytes([status]) + _U16.pack(len(raw)) + raw
+
+
+def encode_stats(snapshots: list[ShardSnapshot]) -> bytes:
+    """OK response carrying per-shard stats as JSON."""
+    raw = json.dumps([asdict(s) for s in snapshots]).encode("utf-8")
+    return bytes([ST_OK, 0xFF]) + _U32.pack(len(raw)) + raw
+
+
+def decode_response(payload: bytes) -> Response:
+    """Decode a response payload (answers, stats, or an error)."""
+    cursor = _Cursor(payload)
+    status = cursor.u8("status")
+    if status not in _STATUSES:
+        raise ProtocolError(f"unknown status byte {status}")
+    if status != ST_OK:
+        message = _decode_text(
+            cursor.take(cursor.u16("message length"), "message"), "message"
+        )
+        cursor.done()
+        return Response(status=status, message=message)
+    # OK responses: answers (count + bitmap) or stats (0xFF marker + JSON).
+    # Unambiguous: an answer count opening with 0xFF would mean >= 2^32-2^24
+    # answers, far beyond what MAX_FRAME can carry.
+    marker = cursor.raw[cursor.pos : cursor.pos + 1]
+    if marker == b"\xff":
+        cursor.u8("stats marker")
+        raw = cursor.take(cursor.u32("stats length"), "stats JSON")
+        cursor.done()
+        try:
+            stats = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError("stats payload is not valid JSON") from exc
+        if not isinstance(stats, list):
+            raise ProtocolError("stats payload must be a JSON list")
+        return Response(status=ST_OK, stats=stats)
+    count = cursor.u32("answer count")
+    answers = unpack_bools(cursor.take((count + 7) // 8, "answer bitmap"), count)
+    cursor.done()
+    return Response(status=ST_OK, answers=answers)

@@ -46,7 +46,14 @@ class ServiceConfig:
         Explicit 16-byte secrets for the keyed modes.  ``None`` draws
         fresh random keys at build time -- note that such a gateway
         cannot be rebuilt identically from the config alone; pin the
-        keys when reproducibility (or a future shard restore) matters.
+        keys when reproducibility (or a snapshot restore) matters.
+    backend:
+        Where the shard filters live: ``"local"`` keeps them in the
+        gateway's process (the default, zero-overhead arrangement);
+        ``"process"`` runs each shard in its own worker process (one
+        core per shard for the CPU-bound hashing).  Process backends
+        resolve an unpinned ``filter_key`` once at build time so every
+        worker, white-box view and snapshot restore agrees.
     """
 
     shards: int = 4
@@ -59,8 +66,13 @@ class ServiceConfig:
     keyed_filters: bool = False
     routing_key: bytes | None = None
     filter_key: bytes | None = None
+    backend: str = "local"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("local", "process"):
+            raise ParameterError(
+                f"backend must be 'local' or 'process', got {self.backend!r}"
+            )
         for name in ("routing_key", "filter_key"):
             key = getattr(self, name)
             if key is not None and len(key) != 16:

@@ -10,15 +10,25 @@ ghost queries hit than honest false positives).
 
 The adversary model follows the paper: it knows the shard filters' bit
 state (white-box) and crafts with :class:`~repro.adversary.pollution.
-PollutionAttack` / :class:`~repro.adversary.query.GhostForgery`, but it
-must route its items through the same shard router as everyone else.
-With the public :class:`~repro.service.sharding.HashShardPicker` it can
-aim every crafted item at one shard; hand the driver a mismatched
+PollutionAttack` / :class:`~repro.adversary.query.GhostForgery` /
+:class:`~repro.adversary.query.LatencyQueryForgery`, but it must route
+its items through the same shard router as everyone else.  With the
+public :class:`~repro.service.sharding.HashShardPicker` it can aim every
+crafted item at one shard; hand the driver a mismatched
 ``attacker_router`` (the gateway holding a keyed one) and the same
 attack sprays shards uselessly.  Crafting re-binds to the *current*
 shard filter every chunk, so a rotation silently invalidates the
 adversary's accumulated knowledge -- exactly the operational value of
 the recycled-filter countermeasure.
+
+Transport is a knob: by default traffic goes straight into the gateway
+object (in-process), but any object with the gateway's
+``insert_batch``/``query_batch`` signature -- notably
+:class:`~repro.service.client.MembershipClient` -- can carry it instead,
+so the identical seeded workload replays over TCP against a local or
+process-pool backend and the serving overhead becomes measurable.  The
+white-box crafting state is always read from the gateway itself: the
+paper's adversary knows the filter, however the traffic travels.
 """
 
 from __future__ import annotations
@@ -26,17 +36,30 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.adversary.pollution import PollutionAttack
-from repro.adversary.query import GhostForgery
+from repro.adversary.query import GhostForgery, LatencyQueryForgery
 from repro.exceptions import CraftingBudgetExceeded, ParameterError
-from repro.service.admission import RateLimited, filter_state
+from repro.service.admission import RateLimited
 from repro.service.gateway import MembershipGateway
 from repro.service.sharding import ShardPicker
 from repro.service.telemetry import ShardSnapshot, render_snapshots
 from repro.urlgen.faker import UrlFactory
 
-__all__ = ["TrafficReport", "AdversarialTrafficDriver", "replay"]
+__all__ = ["ServiceTransport", "TrafficReport", "AdversarialTrafficDriver", "replay"]
+
+
+class ServiceTransport(Protocol):
+    """Anything that can carry the driver's traffic to a gateway."""
+
+    async def insert_batch(
+        self, items: list[str | bytes], client: str = "anon"
+    ) -> list[bool]: ...
+
+    async def query_batch(
+        self, items: list[str | bytes], client: str = "anon"
+    ) -> list[bool]: ...
 
 
 @dataclass
@@ -54,6 +77,9 @@ class TrafficReport:
     ghost_crafted: int = 0
     ghost_queries: int = 0
     ghost_hits: int = 0
+    latency_crafted: int = 0
+    latency_queries: int = 0
+    latency_probes_touched: int = 0
     probe_queries: int = 0
     probe_false_positives: int = 0
     rotations: int = 0
@@ -82,6 +108,14 @@ class TrafficReport:
         return self.ghost_hits / self.ghost_queries if self.ghost_queries else 0.0
 
     @property
+    def latency_mean_probes(self) -> float:
+        """Mean bit positions a short-circuit query walks per crafted
+        worst-case-latency item (k for a k-index filter, by design)."""
+        if not self.latency_crafted:
+            return 0.0
+        return self.latency_probes_touched / self.latency_crafted
+
+    @property
     def amplification(self) -> float:
         """Ghost hit rate over the honest FP base rate (floored at one
         probe's resolution so an all-negative probe set stays finite)."""
@@ -102,6 +136,8 @@ class TrafficReport:
             f"ghosts: {self.ghost_hits}/{self.ghost_queries} hit "
             f"(honest FP rate {self.honest_fp_rate:.4f}, "
             f"amplification x{self.amplification:,.0f})",
+            f"latency queries: {self.latency_queries} sent "
+            f"({self.latency_mean_probes:.1f} probes walked/crafted item)",
             f"rotations: {self.rotations}",
             "",
             render_snapshots(self.snapshots),
@@ -115,7 +151,7 @@ class AdversarialTrafficDriver:
     Parameters
     ----------
     gateway:
-        The service under test.
+        The service under test (always the white-box state source).
     seed:
         Base seed; every client derives its own stream from it.
     attacker_router:
@@ -124,13 +160,17 @@ class AdversarialTrafficDriver:
         different picker to model a keyed router the adversary can only
         guess at.
     max_trials:
-        Per-item crafting budget for pollution/ghost forging.
+        Per-item crafting budget for pollution/ghost/latency forging.
     craft_chunk:
         Items crafted per re-bind to the live shard filter; small chunks
         track rotations closely, large ones amortise setup.
     backoff:
         Seconds a client sleeps after a :class:`RateLimited` rejection
         before trying again (keeps throttled clients from spinning).
+    transport:
+        Carrier of the actual traffic; defaults to the gateway itself
+        (in-process).  Pass a :class:`~repro.service.client.
+        MembershipClient` to replay the same workload over TCP.
     """
 
     def __init__(
@@ -141,10 +181,12 @@ class AdversarialTrafficDriver:
         max_trials: int = 250_000,
         craft_chunk: int = 8,
         backoff: float = 0.01,
+        transport: ServiceTransport | None = None,
     ) -> None:
         if craft_chunk <= 0:
             raise ParameterError("craft_chunk must be positive")
         self.gateway = gateway
+        self.transport: ServiceTransport = transport if transport is not None else gateway
         self.seed = seed
         self.attacker_router = attacker_router or gateway.picker
         self.max_trials = max_trials
@@ -170,7 +212,7 @@ class AdversarialTrafficDriver:
         judged against the shard's *current* filter state."""
         factory = UrlFactory(seed=self.seed ^ 0xA77AC3 ^ seed_offset)
         attack = PollutionAttack(
-            self.gateway.filters[shard_id],
+            self.gateway.shard_view(shard_id),
             candidates=self._routed_candidates(factory, shard_id),
             max_trials=self.max_trials,
         )
@@ -194,7 +236,7 @@ class AdversarialTrafficDriver:
         ``shard_id``'s current filter."""
         factory = UrlFactory(seed=self.seed ^ 0x6057 ^ seed_offset)
         forgery = GhostForgery(
-            self.gateway.filters[shard_id],
+            self.gateway.shard_view(shard_id),
             candidates=self._routed_candidates(factory, shard_id),
             max_trials=self.max_trials,
         )
@@ -206,6 +248,30 @@ class AdversarialTrafficDriver:
                 report.crafting_exhausted += 1
                 break
         report.ghost_crafted += len(items)
+        return items
+
+    def craft_latency_queries(
+        self, shard_id: int, count: int, report: TrafficReport, seed_offset: int = 0
+    ) -> list[str]:
+        """Craft up to ``count`` worst-case-latency queries (k-1 set bits
+        then one unset) for ``shard_id``'s current filter."""
+        view = self.gateway.shard_view(shard_id)
+        factory = UrlFactory(seed=self.seed ^ 0x1A7EC1 ^ seed_offset)
+        forgery = LatencyQueryForgery(
+            view,
+            candidates=self._routed_candidates(factory, shard_id),
+            max_trials=self.max_trials,
+        )
+        items: list[str] = []
+        for _ in range(count):
+            try:
+                item = forgery.craft_one().item
+            except CraftingBudgetExceeded:
+                report.crafting_exhausted += 1
+                break
+            items.append(item)
+            report.latency_probes_touched += forgery.probes_touched(view.indexes(item))
+        report.latency_crafted += len(items)
         return items
 
     # ------------------------------------------------------------------
@@ -221,7 +287,7 @@ class AdversarialTrafficDriver:
         report: TrafficReport,
     ) -> None:
         """Insert fresh URLs, then query a mix of known and fresh ones."""
-        gateway = self.gateway
+        transport = self.transport
         client = f"honest-{index}"
         factory = UrlFactory(seed=self.seed + 7919 * (index + 1))
         inserted: list[str] = []
@@ -230,7 +296,7 @@ class AdversarialTrafficDriver:
             size = min(batch, inserts - attempted)
             chunk = factory.urls(size)
             try:
-                await gateway.insert_batch(chunk, client=client)
+                await transport.insert_batch(chunk, client=client)
                 inserted.extend(chunk)
                 report.honest_inserts += size
                 report.operations += size
@@ -250,7 +316,7 @@ class AdversarialTrafficDriver:
             fresh = factory.urls(size - len(known))
             chunk = known + fresh
             try:
-                await gateway.query_batch(chunk, client=client)
+                await transport.query_batch(chunk, client=client)
                 report.honest_queries += len(chunk)
                 report.operations += len(chunk)
             except RateLimited:
@@ -259,33 +325,75 @@ class AdversarialTrafficDriver:
             sent += size
             await asyncio.sleep(0)
 
-    async def _pollution_client(
-        self, target_shard: int, count: int, report: TrafficReport
+    async def _attack_loop(
+        self,
+        count: int,
+        report: TrafficReport,
+        craft,
+        send,
+        on_sent=None,
     ) -> None:
-        """Craft-and-insert loop aimed at one shard, re-binding to the
-        live filter each chunk so rotations reset its knowledge."""
-        gateway = self.gateway
+        """Shared craft/send/backoff chunk loop of every attack client.
+
+        ``craft(size, chunk_index)`` re-binds to the live shard filter
+        each chunk (so rotations reset the adversary's knowledge),
+        ``send(items)`` carries one crafted chunk over the transport, and
+        ``on_sent(items, answers)`` does the per-attack accounting; the
+        admitted-operation and rate-limited bookkeeping is identical for
+        all of them and lives here once.
+        """
         chunk = self.craft_chunk
-        if gateway.max_batch is not None:
-            chunk = min(chunk, gateway.max_batch)
+        if self.gateway.max_batch is not None:
+            chunk = min(chunk, self.gateway.max_batch)
         sent = 0
         chunk_index = 0
         while sent < count:
             size = min(chunk, count - sent)
-            items = self.craft_pollution(
-                target_shard, size, report, seed_offset=chunk_index
-            )
+            items = craft(size, chunk_index)
             chunk_index += 1
             if not items:
                 break
             try:
-                await gateway.insert_batch(items, client="attacker")
+                answers = await send(items)
+                if on_sent is not None:
+                    on_sent(items, answers)
                 report.operations += len(items)
             except RateLimited:
                 report.rate_limited += len(items)
                 await asyncio.sleep(self.backoff)
             sent += len(items)
             await asyncio.sleep(0)
+
+    async def _pollution_client(
+        self, target_shard: int, count: int, report: TrafficReport
+    ) -> None:
+        """Craft-and-insert loop aimed at one shard."""
+        await self._attack_loop(
+            count,
+            report,
+            craft=lambda size, index: self.craft_pollution(
+                target_shard, size, report, seed_offset=index
+            ),
+            send=lambda items: self.transport.insert_batch(items, client="attacker"),
+        )
+
+    async def _wait_for_fill(self, shard_id: int, min_fill: float) -> None:
+        """Idle (bounded) until the shard is worth forging against.
+
+        Forging cost per item is ~``fill^-k`` trials, so crafting against
+        a near-empty shard would burn the whole trial budget; honest and
+        pollution traffic raise the fill first.
+        """
+        waited = 0.0
+        while waited < 5.0:
+            # Off-thread: a process backend answers over a pipe that may
+            # be busy with an in-flight batch, and this poll must not
+            # stall the event loop (and with it, that very batch).
+            state = await asyncio.to_thread(self.gateway.shard_state, shard_id)
+            if state.fill_ratio >= min_fill:
+                break
+            await asyncio.sleep(0.005)
+            waited += 0.005
 
     async def _ghost_client(
         self,
@@ -294,45 +402,51 @@ class AdversarialTrafficDriver:
         min_fill: float,
         report: TrafficReport,
     ) -> None:
-        """Wait until the target shard is worth forging against, then
-        fire crafted false-positive queries.
+        """Fire crafted false-positive queries once the shard fills."""
+        await self._wait_for_fill(target_shard, min_fill)
 
-        Forging cost per ghost is ~``fill^-k`` trials, so crafting
-        against a near-empty shard would burn the whole trial budget;
-        the client idles (bounded) until pollution or honest traffic
-        has raised the fill ratio.
+        def on_sent(items: list[str], answers: list[bool]) -> None:
+            report.ghost_queries += len(items)
+            report.ghost_hits += sum(answers)
+
+        await self._attack_loop(
+            count,
+            report,
+            craft=lambda size, index: self.craft_ghosts(
+                target_shard, size, report, seed_offset=index
+            ),
+            send=lambda items: self.transport.query_batch(items, client="ghost"),
+            on_sent=on_sent,
+        )
+
+    async def _latency_client(
+        self,
+        target_shard: int,
+        count: int,
+        min_fill: float,
+        report: TrafficReport,
+    ) -> None:
+        """Fire worst-case-latency negative queries (paper Section 4.2).
+
+        Each crafted item walks a short-circuiting query through k-1 set
+        bits before the final miss -- the per-lookup worst case.  The
+        effect is read off the target shard's query latency histogram
+        (p99) in the per-shard snapshot table.
         """
-        gateway = self.gateway
-        waited = 0.0
-        while waited < 5.0:
-            _, fill = filter_state(gateway.filters[target_shard])
-            if fill >= min_fill:
-                break
-            await asyncio.sleep(0.005)
-            waited += 0.005
-        chunk = self.craft_chunk
-        if gateway.max_batch is not None:
-            chunk = min(chunk, gateway.max_batch)
-        sent = 0
-        chunk_index = 0
-        while sent < count:
-            size = min(chunk, count - sent)
-            items = self.craft_ghosts(
-                target_shard, size, report, seed_offset=chunk_index
-            )
-            chunk_index += 1
-            if not items:
-                break
-            try:
-                answers = await gateway.query_batch(items, client="ghost")
-                report.ghost_queries += len(items)
-                report.ghost_hits += sum(answers)
-                report.operations += len(items)
-            except RateLimited:
-                report.rate_limited += len(items)
-                await asyncio.sleep(self.backoff)
-            sent += len(items)
-            await asyncio.sleep(0)
+        await self._wait_for_fill(target_shard, min_fill)
+
+        def on_sent(items: list[str], answers: list[bool]) -> None:
+            report.latency_queries += len(items)
+
+        await self._attack_loop(
+            count,
+            report,
+            craft=lambda size, index: self.craft_latency_queries(
+                target_shard, size, report, seed_offset=index
+            ),
+            send=lambda items: self.transport.query_batch(items, client="latency"),
+            on_sent=on_sent,
+        )
 
     # ------------------------------------------------------------------
     # Entry points
@@ -347,17 +461,25 @@ class AdversarialTrafficDriver:
         pollution_inserts: int = 120,
         ghost_queries: int = 32,
         ghost_min_fill: float = 0.3,
+        latency_queries: int = 0,
+        latency_min_fill: float = 0.3,
         target_shard: int = 0,
         probe_queries: int = 400,
     ) -> TrafficReport:
         """Replay the full mixed workload concurrently and report.
 
-        Honest clients, the pollution attacker and the ghost forger all
-        run as parallel tasks; afterwards a quiet probe of fresh URLs
-        measures the service-wide honest false-positive rate so the
-        report can state the attack amplification.
+        Honest clients, the pollution attacker, the ghost forger and the
+        worst-case-latency forger all run as parallel tasks; afterwards a
+        quiet probe of fresh URLs measures the service-wide honest
+        false-positive rate so the report can state the attack
+        amplification.
         """
-        if honest_clients < 0 or pollution_inserts < 0 or ghost_queries < 0:
+        if (
+            honest_clients < 0
+            or pollution_inserts < 0
+            or ghost_queries < 0
+            or latency_queries < 0
+        ):
             raise ParameterError("workload sizes must be non-negative")
         # Batches beyond the admission burst can never be admitted; the
         # gateway rejects them outright, so well-behaved clients clamp.
@@ -381,6 +503,12 @@ class AdversarialTrafficDriver:
             tasks.append(
                 self._ghost_client(target_shard, ghost_queries, ghost_min_fill, report)
             )
+        if latency_queries:
+            tasks.append(
+                self._latency_client(
+                    target_shard, latency_queries, latency_min_fill, report
+                )
+            )
         start = time.perf_counter()
         await asyncio.gather(*tasks)
         # Throughput covers the concurrent replay only; the probe below
@@ -394,7 +522,7 @@ class AdversarialTrafficDriver:
             chunk = probe_factory.urls(min(batch, probe_queries - offset))
             for _ in range(50):
                 try:
-                    answers = await self.gateway.query_batch(chunk, client="probe")
+                    answers = await self.transport.query_batch(chunk, client="probe")
                 except RateLimited:
                     await asyncio.sleep(0.02)
                     continue
@@ -406,8 +534,12 @@ class AdversarialTrafficDriver:
         return report
 
 
-def replay(gateway: MembershipGateway, **workload) -> TrafficReport:
+def replay(
+    gateway: MembershipGateway,
+    transport: ServiceTransport | None = None,
+    **workload,
+) -> TrafficReport:
     """Synchronous convenience wrapper around
     :meth:`AdversarialTrafficDriver.run` (fresh event loop)."""
-    driver = AdversarialTrafficDriver(gateway)
+    driver = AdversarialTrafficDriver(gateway, transport=transport)
     return asyncio.run(driver.run(**workload))

@@ -1,4 +1,4 @@
-"""The asyncio membership gateway: N filter shards behind one API.
+"""The membership gateway: N filter shards behind one serving API.
 
 This is the serving layer the paper's attacks assume exists: a network
 membership service (Squid digest peer, dupefilter RPC, spam-check
@@ -9,10 +9,19 @@ across shards but never corrupt one), records per-shard telemetry, and
 runs admission control -- rate limiting on the way in, saturation-guard
 rotation on the way out.
 
+Since the layered refactor the gateway no longer owns its filters: a
+:class:`~repro.service.backends.ShardBackend` does.  The default
+:class:`~repro.service.backends.LocalBackend` keeps them in-process (the
+original arrangement); a :class:`~repro.service.backends.
+ProcessPoolBackend` runs each shard in its own worker process so the
+CPU-bound hashing parallelises across cores.  Every backend returns the
+shard's post-operation state with each batch, so rotation decisions cost
+no extra hop.
+
 Batches are first-class: ``query_batch``/``insert_batch`` group items by
-shard and hand each group to the filter's vectorized
-``contains_batch``/``add_batch`` in one lock acquisition, which is where
-the hot-path speedup of :mod:`repro.core.bitvector` actually pays off.
+shard and hand each group to the backend in one lock acquisition, which
+is where the hot-path speedup of :mod:`repro.core.bitvector` (and, for
+process backends, the per-core parallelism) actually pays off.
 """
 
 from __future__ import annotations
@@ -20,18 +29,19 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Sequence
 
 from repro.core.bloom import BloomFilter
 from repro.core.interfaces import MembershipFilter
-from repro.countermeasures.keyed import KeyedBloomFilter
+from repro.countermeasures.keyed import KeyedBloomFilter, generate_key
 from repro.exceptions import ParameterError
 from repro.service.admission import (
     ClientRateLimiter,
     RateLimited,
     SaturationGuard,
-    filter_state,
 )
+from repro.service.backends import LocalBackend, ProcessPoolBackend, ShardBackend, ShardState
 from repro.service.config import ServiceConfig
 from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
 from repro.service.telemetry import ShardSnapshot, ShardTelemetry, render_snapshots
@@ -49,16 +59,26 @@ class RotationEvent:
     retired_insertions: int
 
 
+def _config_filter(m: int, k: int, keyed: bool, key: bytes | None) -> MembershipFilter:
+    """Module-level shard factory (picklable, so it crosses to workers)."""
+    if keyed:
+        return KeyedBloomFilter(m, k, key=key)
+    return BloomFilter(m, k)
+
+
 class MembershipGateway:
     """Sharded membership service over any :class:`MembershipFilter`.
 
     Parameters
     ----------
     filter_factory:
-        Zero-argument callable building one shard's filter; called once
-        per shard at start and again on every rotation.
+        Zero-argument callable building one shard's filter; used to
+        construct the default :class:`~repro.service.backends.
+        LocalBackend` (and by it, again on every rotation).  Optional
+        when an explicit ``backend`` is supplied.
     shards:
-        Number of shards.
+        Number of shards (ignored when ``backend`` is given -- the
+        backend's count wins).
     picker:
         Shard router; defaults to the (attackable) public
         :class:`~repro.service.sharding.HashShardPicker`.
@@ -68,39 +88,66 @@ class MembershipGateway:
         Per-client admission; defaults to unlimited.
     clock:
         Injectable latency clock (tests pin it).
+    backend:
+        Explicit shard backend; ``None`` builds a ``LocalBackend`` from
+        ``filter_factory``.
     """
 
     def __init__(
         self,
-        filter_factory: Callable[[], MembershipFilter],
+        filter_factory: Callable[[], MembershipFilter] | None = None,
         shards: int = 4,
         picker: ShardPicker | None = None,
         guard: SaturationGuard | None = None,
         limiter: ClientRateLimiter | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        backend: ShardBackend | None = None,
     ) -> None:
-        if shards <= 0:
-            raise ParameterError(f"shards must be positive, got {shards}")
+        if backend is None:
+            if filter_factory is None:
+                raise ParameterError("provide a filter_factory or a backend")
+            if shards <= 0:
+                raise ParameterError(f"shards must be positive, got {shards}")
+            backend = LocalBackend(filter_factory, shards)
+        self.backend = backend
         self.filter_factory = filter_factory
-        self.shards = shards
+        self.shards = backend.shards
         self.picker = picker or HashShardPicker()
         self.guard = guard
         self.limiter = limiter or ClientRateLimiter(None)
         self._clock = clock
-        self._filters = [filter_factory() for _ in range(shards)]
-        self._locks = [asyncio.Lock() for _ in range(shards)]
-        self._telemetry = [ShardTelemetry(i) for i in range(shards)]
+        self._locks = [asyncio.Lock() for _ in range(self.shards)]
+        self._telemetry = [ShardTelemetry(i) for i in range(self.shards)]
         self.rotation_log: list[RotationEvent] = []
 
     @classmethod
     def from_config(cls, config: ServiceConfig) -> "MembershipGateway":
-        """Build a gateway (filters, router, admission) from one config."""
-        if config.keyed_filters:
-            factory: Callable[[], MembershipFilter] = lambda: KeyedBloomFilter(
-                config.shard_m, config.shard_k, key=config.filter_key
+        """Build a gateway (backend, filters, router, admission) from one
+        config.
+
+        With ``backend="process"`` the shard factory must be
+        deterministic so the workers, the parent's white-box views and
+        any snapshot restore all agree -- an unpinned ``filter_key`` is
+        therefore resolved to one fresh key *here* (shared by all
+        shards) rather than drawn per shard as the local backend does.
+        """
+        if config.backend == "process":
+            key = config.filter_key
+            if config.keyed_filters and key is None:
+                key = generate_key(16)
+            factory: Callable[[], MembershipFilter] = partial(
+                _config_filter, config.shard_m, config.shard_k,
+                config.keyed_filters, key,
             )
+            backend: ShardBackend | None = ProcessPoolBackend(factory, config.shards)
         else:
-            factory = lambda: BloomFilter(config.shard_m, config.shard_k)
+            if config.keyed_filters:
+                factory = lambda: KeyedBloomFilter(
+                    config.shard_m, config.shard_k, key=config.filter_key
+                )
+            else:
+                factory = lambda: BloomFilter(config.shard_m, config.shard_k)
+            backend = None
         picker: ShardPicker = (
             KeyedShardPicker(config.routing_key)
             if config.keyed_routing
@@ -113,7 +160,12 @@ class MembershipGateway:
         )
         limiter = ClientRateLimiter(config.rate_limit, config.burst)
         return cls(
-            factory, shards=config.shards, picker=picker, guard=guard, limiter=limiter
+            factory,
+            shards=config.shards,
+            picker=picker,
+            guard=guard,
+            limiter=limiter,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -122,8 +174,17 @@ class MembershipGateway:
 
     @property
     def filters(self) -> tuple[MembershipFilter, ...]:
-        """Current shard filters (replaced on rotation; treat as a view)."""
-        return tuple(self._filters)
+        """Per-shard filter views (live objects for a local backend,
+        reconstructed copies for a process backend; treat as a view)."""
+        return tuple(self.backend.shard_view(i) for i in range(self.shards))
+
+    def shard_view(self, shard_id: int) -> MembershipFilter:
+        """One shard's filter view (the white-box adversary's window)."""
+        return self.backend.shard_view(shard_id)
+
+    def shard_state(self, shard_id: int) -> ShardState:
+        """One shard's (weight, fill, insertions) without copying bits."""
+        return self.backend.state(shard_id)
 
     def shard_of(self, item: str | bytes) -> int:
         """Which shard owns ``item`` under the current router."""
@@ -134,17 +195,44 @@ class MembershipGateway:
         """Total saturation-guard rotations across all shards."""
         return len(self.rotation_log)
 
+    @property
+    def telemetry(self) -> tuple[ShardTelemetry, ...]:
+        """Live per-shard counters (mutated by the serving path)."""
+        return tuple(self._telemetry)
+
     def snapshot(self) -> list[ShardSnapshot]:
         """Frozen per-shard stats (counters + live filter state)."""
         out = []
-        for telemetry, filt in zip(self._telemetry, self._filters):
-            weight, fill = filter_state(filt)
-            out.append(telemetry.snapshot(weight, fill))
+        for shard_id, telemetry in enumerate(self._telemetry):
+            state = self.backend.state(shard_id)
+            out.append(telemetry.snapshot(state.hamming_weight, state.fill_ratio))
         return out
 
     def render_stats(self) -> str:
         """Human-readable per-shard stats table."""
         return render_snapshots(self.snapshot())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def export_snapshot(self) -> bytes:
+        """Serialise every shard, the rotation log and telemetry into one
+        warm-restart payload (see :mod:`repro.service.snapshots`)."""
+        from repro.service.snapshots import snapshot_gateway
+
+        return snapshot_gateway(self)
+
+    def restore_snapshot(self, raw: bytes) -> None:
+        """Load an :meth:`export_snapshot` payload into this gateway.
+
+        The gateway must be built from the same config (shard count and
+        geometry are checked; routing/filter keys are configuration and
+        must be pinned for the restored filters to answer identically).
+        """
+        from repro.service.snapshots import restore_gateway
+
+        restore_gateway(self, raw)
 
     # ------------------------------------------------------------------
     # Serving API
@@ -180,21 +268,23 @@ class MembershipGateway:
             groups.setdefault(pick(item, shards), []).append(position)
         return groups
 
-    def _maybe_rotate(self, shard_id: int) -> bool:
-        """Swap in a fresh filter when the guard fires (lock must be held)."""
-        filt = self._filters[shard_id]
-        if self.guard is None or not self.guard.should_rotate(filt):
+    async def _maybe_rotate(self, shard_id: int, state: ShardState) -> bool:
+        """Swap in a fresh filter when the guard fires (lock must be held).
+
+        ``state`` is the post-operation shard state the backend returned
+        with the batch, so the guard decision costs no extra hop.
+        """
+        if self.guard is None or not self.guard.should_rotate(state):
             return False
-        weight, fill = filter_state(filt)
         self.rotation_log.append(
             RotationEvent(
                 shard_id=shard_id,
-                retired_weight=weight,
-                retired_fill=fill,
-                retired_insertions=len(filt),
+                retired_weight=state.hamming_weight,
+                retired_fill=state.fill_ratio,
+                retired_insertions=state.insertions,
             )
         )
-        self._filters[shard_id] = self.filter_factory()
+        await self.backend.rotate(shard_id)
         self._telemetry[shard_id].rotations += 1
         return True
 
@@ -212,7 +302,7 @@ class MembershipGateway:
         self, items: Sequence[str | bytes], client: str = "anon"
     ) -> list[bool]:
         """Insert a batch; items are grouped per shard and each group is
-        applied under that shard's lock via the vectorized ``add_batch``.
+        dispatched to the backend under that shard's lock.
 
         Raises :class:`RateLimited` (before touching any shard) when the
         client's token bucket cannot cover the whole batch.
@@ -224,15 +314,16 @@ class MembershipGateway:
         results: list[bool] = [False] * len(items)
         for shard_id, positions in self._group_by_shard(items).items():
             async with self._locks[shard_id]:
-                filt = self._filters[shard_id]
                 start = clock()
-                answers = filt.add_batch([items[p] for p in positions])
+                reply = await self.backend.insert_batch(
+                    shard_id, [items[p] for p in positions]
+                )
                 elapsed = clock() - start
                 telemetry = self._telemetry[shard_id]
                 telemetry.inserts += len(positions)
                 telemetry.insert_latency.record(elapsed)
-                self._maybe_rotate(shard_id)
-            for position, answer in zip(positions, answers):
+                await self._maybe_rotate(shard_id, reply.state)
+            for position, answer in zip(positions, reply.answers):
                 results[position] = answer
         return results
 
@@ -247,20 +338,31 @@ class MembershipGateway:
         results: list[bool] = [False] * len(items)
         for shard_id, positions in self._group_by_shard(items).items():
             async with self._locks[shard_id]:
-                filt = self._filters[shard_id]
                 start = clock()
-                answers = filt.contains_batch([items[p] for p in positions])
+                reply = await self.backend.query_batch(
+                    shard_id, [items[p] for p in positions]
+                )
                 elapsed = clock() - start
                 telemetry = self._telemetry[shard_id]
                 telemetry.queries += len(positions)
-                telemetry.positives += sum(answers)
+                telemetry.positives += sum(reply.answers)
                 telemetry.query_latency.record(elapsed)
-            for position, answer in zip(positions, answers):
+            for position, answer in zip(positions, reply.answers):
                 results[position] = answer
         return results
+
+    def close(self) -> None:
+        """Release the backend's resources (worker processes etc.)."""
+        self.backend.close()
+
+    def __enter__(self) -> "MembershipGateway":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<MembershipGateway shards={self.shards} picker={self.picker.name} "
-            f"rotations={self.rotations}>"
+            f"backend={self.backend.name} rotations={self.rotations}>"
         )

@@ -1,0 +1,186 @@
+"""Asyncio TCP front-end for the membership gateway.
+
+Puts an actual protocol on the serving API: clients connect over a
+socket, speak the length-prefixed codec of :mod:`repro.service.codec`,
+and hit the same admission control, shard routing and telemetry as
+in-process callers -- which is exactly the setting the paper's
+adversaries assume (a query interface, not an object reference).
+
+Error discipline mirrors the gateway's: retryable admission pushback
+becomes a ``ST_RATE_LIMITED`` response, permanent misuse (over-burst
+batches) becomes ``ST_INVALID``, and protocol violations get a
+best-effort ``ST_PROTOCOL`` reply before the connection is dropped --
+a client sending garbage forfeits the stream, not the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.exceptions import ParameterError, ProtocolError
+from repro.service.admission import RateLimited
+from repro.service.codec import (
+    OP_INSERT,
+    OP_INSERT_BATCH,
+    OP_QUERY,
+    OP_QUERY_BATCH,
+    OP_STATS,
+    ST_ERROR,
+    ST_INVALID,
+    ST_PROTOCOL,
+    ST_RATE_LIMITED,
+    Request,
+    decode_request,
+    encode_answers,
+    encode_error,
+    encode_frame,
+    encode_stats,
+    read_frame,
+)
+from repro.service.gateway import MembershipGateway
+
+__all__ = ["MembershipServer"]
+
+
+class MembershipServer:
+    """Serve a :class:`~repro.service.gateway.MembershipGateway` over TCP.
+
+    Parameters
+    ----------
+    gateway:
+        The gateway to front; the server adds no policy of its own.
+    host, port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(
+        self, gateway: MembershipGateway, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.gateway = gateway
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+        #: Connections accepted over the server's lifetime.
+        self.connections = 0
+        #: Protocol violations that caused a connection drop.
+        self.protocol_errors = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._server is None:
+            raise ProtocolError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        if self._server is not None:
+            raise ProtocolError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        return self.address
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop open connections, close the socket."""
+        if self._server is None:
+            return
+        self._server.close()
+        for task in tuple(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "MembershipServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        peer = writer.get_extra_info("peername")
+        default_client = f"{peer[0]}:{peer[1]}" if peer else "tcp"
+        try:
+            while True:
+                try:
+                    payload = await read_frame(reader)
+                except ProtocolError as exc:
+                    self.protocol_errors += 1
+                    await self._try_reply(writer, encode_error(ST_PROTOCOL, str(exc)))
+                    break
+                if payload is None:
+                    break
+                try:
+                    request = decode_request(payload)
+                except ProtocolError as exc:
+                    self.protocol_errors += 1
+                    await self._try_reply(writer, encode_error(ST_PROTOCOL, str(exc)))
+                    break
+                response = await self._dispatch(request, default_client)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-stream; nothing to clean up
+        except asyncio.CancelledError:
+            pass  # server shutdown drops open connections cleanly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # a second cancel can land while the socket drains
+
+    @staticmethod
+    async def _try_reply(writer: asyncio.StreamWriter, response: bytes) -> None:
+        """Best-effort error reply; the connection is dropped either way."""
+        try:
+            writer.write(encode_frame(response))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _dispatch(self, request: Request, default_client: str) -> bytes:
+        """Run one decoded request against the gateway."""
+        client = request.client or default_client
+        try:
+            if request.op in (OP_INSERT, OP_INSERT_BATCH):
+                answers = await self.gateway.insert_batch(request.items, client=client)
+                return encode_answers(answers)
+            if request.op in (OP_QUERY, OP_QUERY_BATCH):
+                answers = await self.gateway.query_batch(request.items, client=client)
+                return encode_answers(answers)
+            if request.op == OP_STATS:
+                # snapshot() probes every shard synchronously; for a
+                # process backend that is one pipe round trip per shard,
+                # so keep it off the event-loop thread.
+                snapshots = await asyncio.to_thread(self.gateway.snapshot)
+                return encode_stats(snapshots)
+            return encode_error(ST_PROTOCOL, f"unhandled opcode {request.op}")
+        except RateLimited as exc:
+            return encode_error(ST_RATE_LIMITED, str(exc))
+        except ParameterError as exc:
+            return encode_error(ST_INVALID, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            return encode_error(ST_ERROR, f"{type(exc).__name__}: {exc}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "listening" if self._server else "stopped"
+        return f"<MembershipServer {state} gateway={self.gateway!r}>"

@@ -1,0 +1,231 @@
+"""Warm-restart snapshots: durable gateway state on disk.
+
+The recycled-filter countermeasure only works operationally if its state
+survives restarts -- a gateway that forgets its rotation history (and
+its shard bits) on every deploy hands the adversary a fresh, empty
+filter to measure against.  This module serialises everything a gateway
+accumulates at serving time:
+
+* every shard's filter, via the stable per-filter header of
+  :meth:`repro.core.bloom.BloomFilter.snapshot_bytes`;
+* the rotation log (which shard retired what, at which fill);
+* per-shard telemetry (counters and both latency histograms).
+
+What is *not* serialised is configuration: shard geometry, routing and
+filter keys, admission limits.  Restore targets a gateway built from
+the same :class:`~repro.service.config.ServiceConfig`; geometry is
+checked shard by shard, keys must be pinned for restored filters to
+answer identically (the config docstring says the same).
+
+The layout is fixed-width big-endian throughout, magic-and-versioned,
+and every length is validated before any state is touched -- a corrupt
+snapshot fails cleanly, it never half-restores.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.exceptions import SnapshotError
+from repro.service.telemetry import _BUCKETS, ShardTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.gateway import MembershipGateway, RotationEvent
+
+__all__ = [
+    "GATEWAY_MAGIC",
+    "GATEWAY_VERSION",
+    "GatewaySnapshot",
+    "snapshot_gateway",
+    "parse_gateway_snapshot",
+    "restore_gateway",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+#: Magic bytes opening every gateway snapshot file.
+GATEWAY_MAGIC = b"RGSN"
+#: Version written into new snapshots; bump on any layout change.
+GATEWAY_VERSION = 1
+
+_HEADER = struct.Struct(">4sHII")          # magic, version, shards, rotations
+_ROTATION = struct.Struct(">IQQd")         # shard_id, weight, insertions, fill
+_COUNTERS = struct.Struct(">QQQQ")         # inserts, queries, positives, rotations
+# count, sum_seconds, one u64 per latency bucket (width shared with
+# telemetry so the formats cannot drift apart).
+_HISTOGRAM = struct.Struct(f">Qd{_BUCKETS}Q")
+_BLOCK_LEN = struct.Struct(">I")           # per-shard filter block length
+
+
+@dataclass(frozen=True)
+class GatewaySnapshot:
+    """Parsed form of one gateway snapshot."""
+
+    shards: int
+    rotation_log: list["RotationEvent"]
+    telemetry: list[ShardTelemetry]
+    filter_blocks: list[bytes]
+
+
+def _histogram_state(packed: tuple) -> tuple[int, float, tuple[int, ...]]:
+    count, total, *buckets = packed
+    return count, total, tuple(buckets)
+
+
+def snapshot_gateway(gateway: "MembershipGateway") -> bytes:
+    """Serialise ``gateway`` into one warm-restart payload."""
+    parts = [
+        _HEADER.pack(
+            GATEWAY_MAGIC, GATEWAY_VERSION, gateway.shards, len(gateway.rotation_log)
+        )
+    ]
+    for event in gateway.rotation_log:
+        parts.append(
+            _ROTATION.pack(
+                event.shard_id,
+                event.retired_weight,
+                event.retired_insertions,
+                event.retired_fill,
+            )
+        )
+    for shard_id, telemetry in enumerate(gateway.telemetry):
+        state = telemetry.to_state()
+        parts.append(
+            _COUNTERS.pack(
+                state["inserts"], state["queries"], state["positives"], state["rotations"]
+            )
+        )
+        for key in ("insert_latency", "query_latency"):
+            count, total, buckets = state[key]
+            parts.append(_HISTOGRAM.pack(count, total, *buckets))
+        block = gateway.backend.export_shard(shard_id)
+        parts.append(_BLOCK_LEN.pack(len(block)))
+        parts.append(block)
+    return b"".join(parts)
+
+
+def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
+    """Validate and parse a :func:`snapshot_gateway` payload."""
+    from repro.service.gateway import RotationEvent
+
+    def take(size: int, what: str) -> bytes:
+        nonlocal pos
+        end = pos + size
+        if end > len(raw):
+            raise SnapshotError(
+                f"gateway snapshot ends inside {what} "
+                f"(need {size} bytes at offset {pos})"
+            )
+        chunk = raw[pos:end]
+        pos = end
+        return chunk
+
+    pos = 0
+    magic, version, shards, rotation_count = _HEADER.unpack(
+        take(_HEADER.size, "header")
+    )
+    if magic != GATEWAY_MAGIC:
+        raise SnapshotError(f"bad gateway snapshot magic {magic!r}")
+    if version != GATEWAY_VERSION:
+        raise SnapshotError(f"unsupported gateway snapshot version {version}")
+    rotation_log = []
+    for _ in range(rotation_count):
+        shard_id, weight, insertions, fill = _ROTATION.unpack(
+            take(_ROTATION.size, "rotation event")
+        )
+        rotation_log.append(
+            RotationEvent(
+                shard_id=shard_id,
+                retired_weight=weight,
+                retired_fill=fill,
+                retired_insertions=insertions,
+            )
+        )
+    telemetry: list[ShardTelemetry] = []
+    filter_blocks: list[bytes] = []
+    for shard_id in range(shards):
+        inserts, queries, positives, rotations = _COUNTERS.unpack(
+            take(_COUNTERS.size, f"shard {shard_id} counters")
+        )
+        insert_hist = _histogram_state(
+            _HISTOGRAM.unpack(take(_HISTOGRAM.size, f"shard {shard_id} insert histogram"))
+        )
+        query_hist = _histogram_state(
+            _HISTOGRAM.unpack(take(_HISTOGRAM.size, f"shard {shard_id} query histogram"))
+        )
+        telemetry.append(
+            ShardTelemetry.from_state(
+                shard_id,
+                {
+                    "inserts": inserts,
+                    "queries": queries,
+                    "positives": positives,
+                    "rotations": rotations,
+                    "insert_latency": insert_hist,
+                    "query_latency": query_hist,
+                },
+            )
+        )
+        (block_len,) = _BLOCK_LEN.unpack(take(_BLOCK_LEN.size, f"shard {shard_id} block length"))
+        filter_blocks.append(take(block_len, f"shard {shard_id} filter block"))
+    if pos != len(raw):
+        raise SnapshotError(f"{len(raw) - pos} trailing bytes after gateway snapshot")
+    return GatewaySnapshot(
+        shards=shards,
+        rotation_log=rotation_log,
+        telemetry=telemetry,
+        filter_blocks=filter_blocks,
+    )
+
+
+def restore_gateway(gateway: "MembershipGateway", raw: bytes) -> None:
+    """Load a snapshot into a gateway built from the same config.
+
+    Shard filters are restored through the backend (so this works for
+    local and process-pool deployments alike), then the rotation log and
+    telemetry are replaced.  Geometry mismatches abort before the first
+    shard is touched.
+    """
+    snapshot = parse_gateway_snapshot(raw)
+    if snapshot.shards != gateway.shards:
+        raise SnapshotError(
+            f"snapshot holds {snapshot.shards} shards, gateway has {gateway.shards}"
+        )
+    # Dry-run the geometry check across every block first: restore must
+    # be all-or-nothing, and backends validate only at apply time.
+    from repro.core.bloom import parse_snapshot
+
+    for shard_id, block in enumerate(snapshot.filter_blocks):
+        m, k, _, _ = parse_snapshot(block)
+        # Header-only comparison: export_shard ships the current bits,
+        # but parse_snapshot reads geometry without rebuilding a filter.
+        current_m, current_k, _, _ = parse_snapshot(
+            gateway.backend.export_shard(shard_id)
+        )
+        if (m, k) != (current_m, current_k):
+            raise SnapshotError(
+                f"shard {shard_id} snapshot is (m={m}, k={k}), "
+                f"gateway shard is (m={current_m}, k={current_k})"
+            )
+    for shard_id, block in enumerate(snapshot.filter_blocks):
+        gateway.backend.restore_shard(shard_id, block)
+    gateway.rotation_log[:] = snapshot.rotation_log
+    gateway._telemetry[:] = snapshot.telemetry
+
+
+def save_snapshot(gateway: "MembershipGateway", path: str | Path) -> Path:
+    """Write :func:`snapshot_gateway` output to ``path`` atomically-ish
+    (tmp file + rename) and return the final path."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(snapshot_gateway(gateway))
+    tmp.replace(path)
+    return path
+
+
+def load_snapshot(gateway: "MembershipGateway", path: str | Path) -> None:
+    """Read a snapshot file and restore it into ``gateway``."""
+    restore_gateway(gateway, Path(path).read_bytes())

@@ -10,6 +10,7 @@ never race the serving loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.exceptions import ParameterError
 from repro.experiments.runner import render_table
@@ -82,6 +83,25 @@ class LatencyHistogram:
         self._count += other._count
         self._sum += other._sum
 
+    def to_state(self) -> tuple[int, float, tuple[int, ...]]:
+        """Durable state ``(count, sum_seconds, buckets)`` for snapshots."""
+        return (self._count, self._sum, tuple(self._buckets))
+
+    @classmethod
+    def from_state(
+        cls, count: int, total: float, buckets: Sequence[int]
+    ) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_state` output."""
+        if len(buckets) != _BUCKETS:
+            raise ParameterError(
+                f"histogram state needs {_BUCKETS} buckets, got {len(buckets)}"
+            )
+        histogram = cls()
+        histogram._count = count
+        histogram._sum = total
+        histogram._buckets = list(buckets)
+        return histogram
+
 
 class ShardTelemetry:
     """Mutable counters for one shard, owned by the gateway."""
@@ -104,6 +124,29 @@ class ShardTelemetry:
         self.rotations = 0
         self.insert_latency = LatencyHistogram()
         self.query_latency = LatencyHistogram()
+
+    def to_state(self) -> dict:
+        """Durable counter state for gateway snapshots."""
+        return {
+            "inserts": self.inserts,
+            "queries": self.queries,
+            "positives": self.positives,
+            "rotations": self.rotations,
+            "insert_latency": self.insert_latency.to_state(),
+            "query_latency": self.query_latency.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, shard_id: int, state: dict) -> "ShardTelemetry":
+        """Rebuild one shard's counters from :meth:`to_state` output."""
+        telemetry = cls(shard_id)
+        telemetry.inserts = state["inserts"]
+        telemetry.queries = state["queries"]
+        telemetry.positives = state["positives"]
+        telemetry.rotations = state["rotations"]
+        telemetry.insert_latency = LatencyHistogram.from_state(*state["insert_latency"])
+        telemetry.query_latency = LatencyHistogram.from_state(*state["query_latency"])
+        return telemetry
 
     def snapshot(self, weight: int, fill_ratio: float) -> "ShardSnapshot":
         """Freeze the counters together with the filter state."""

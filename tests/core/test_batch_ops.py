@@ -94,6 +94,87 @@ def test_recycling_batch_multi_call_fallback_matches_scalar():
     ]
 
 
+DELETABLE = {
+    "counting": FACTORIES["counting"],
+    "dablooms": FACTORIES["dablooms"],
+}
+
+
+@pytest.mark.parametrize("family", DELETABLE, ids=list(DELETABLE))
+def test_remove_batch_equals_scalar_remove(family):
+    scalar, batch = DELETABLE[family](), DELETABLE[family]()
+    scalar.add_batch(ITEMS[:80])
+    batch.add_batch(ITEMS[:80])
+    victims = ITEMS[40:100]  # half present, half never inserted
+    expected = [scalar.remove(item) for item in victims]
+    assert batch.remove_batch(victims) == expected
+    assert [item in batch for item in PROBES] == [item in scalar for item in PROBES]
+
+
+def test_counting_batch_preserves_counter_values_and_events():
+    from repro.core.counters import OverflowPolicy
+
+    scalar = CountingBloomFilter(512, 4, counter_bits=4, overflow=OverflowPolicy.WRAP)
+    batch = CountingBloomFilter(512, 4, counter_bits=4, overflow=OverflowPolicy.WRAP)
+    # Hammer a small filter so counters overflow and wrap (the Section
+    # 6.2 precondition): batch and scalar must wrap identically.
+    stream = ITEMS * 6
+    for item in stream:
+        scalar.add(item)
+    batch.add_batch(stream)
+    assert batch.counters.values() == scalar.counters.values()
+    assert batch.overflow_events == scalar.overflow_events
+    for item in ITEMS[:30]:
+        scalar.remove(item)
+    batch.remove_batch(ITEMS[:30])
+    assert batch.counters.values() == scalar.counters.values()
+    assert batch.counters.underflow_events == scalar.counters.underflow_events
+    assert batch.deletions == scalar.deletions
+
+
+def test_counting_batch_raise_policy_aborts_like_scalar():
+    from repro.core.counters import OverflowPolicy
+    from repro.exceptions import CounterOverflowError
+
+    # Narrow 1-bit counters overflow on the first repeated item.
+    scalar = CountingBloomFilter(2048, 4, counter_bits=1, overflow=OverflowPolicy.RAISE)
+    with pytest.raises(CounterOverflowError):
+        for item in ITEMS[:10] + ITEMS[:10]:
+            scalar.add(item)
+    batch = CountingBloomFilter(2048, 4, counter_bits=1, overflow=OverflowPolicy.RAISE)
+    with pytest.raises(CounterOverflowError):
+        batch.add_batch(ITEMS[:10] + ITEMS[:10])
+    # A mid-batch abort leaves the insertion count where the scalar
+    # loop's abort left it -- items before the overflow are counted.
+    assert len(batch) == len(scalar)
+
+
+def test_counting_batch_sequential_parity_within_one_batch():
+    # The second occurrence of an item inside one batch must see the
+    # first occurrence's increments -- exactly like the scalar loop.
+    scalar, batch = CountingBloomFilter(2048, 4), CountingBloomFilter(2048, 4)
+    stream = ["x", "y", "x", "z", "y", "x"]
+    assert batch.add_batch(stream) == [scalar.add(i) for i in stream]
+    assert batch.add_batch(stream) == [True] * 6
+
+
+def test_dablooms_batch_grows_slices_like_scalar():
+    scalar, batch = Dablooms(64), Dablooms(64)
+    stream = UrlFactory(seed=0xD00B).urls(300)  # spans 5 slices
+    expected = [scalar.add(item) for item in stream]
+    assert batch.add_batch(stream) == expected
+    assert batch.slice_count == scalar.slice_count == 5
+    for i in range(batch.slice_count):
+        assert batch.slice_fill(i) == scalar.slice_fill(i)
+        assert (
+            batch.slices[i].counters.values() == scalar.slices[i].counters.values()
+        )
+    assert batch.compound_fpp() == scalar.compound_fpp()
+    # Per-slice grouped contains_batch consults every slice.
+    probes = stream[:50] + UrlFactory(seed=0x0DD).urls(100)
+    assert batch.contains_batch(probes) == [item in scalar for item in probes]
+
+
 def test_bloom_batch_accepts_bytes_and_str():
     target = BloomFilter(1024, 3)
     target.add_batch(["http://a.example", b"http://b.example"])

@@ -141,3 +141,77 @@ def test_empty_report_properties():
     assert report.honest_fp_rate == 0.0
     assert report.ghost_hit_rate == 0.0
     assert report.amplification == 0.0
+    assert report.latency_mean_probes == 0.0
+
+
+def test_latency_workload_crafts_worst_case_negatives():
+    gateway = make_gateway(guard=None)
+    driver = AdversarialTrafficDriver(gateway, seed=31, max_trials=100_000)
+    # Pre-fill the target shard so latency forging is affordable.
+    report = TrafficReport()
+    for item in driver.craft_pollution(0, 40, report):
+        gateway.filters[0].add(item)
+    items = driver.craft_latency_queries(0, 10, report)
+    assert len(items) == 10
+    assert report.latency_crafted == 10
+    shard0 = gateway.filters[0]
+    for item in items:
+        # Routed at the target shard, k-1 set bits then one unset: a
+        # negative that walks the whole short-circuit loop.
+        assert gateway.shard_of(item) == 0
+        indexes = shard0.indexes(item)
+        assert all(shard0.bits.get(i) for i in indexes[:-1])
+        assert not shard0.bits.get(indexes[-1])
+        assert item not in shard0
+    # Every crafted item forces all k probes.
+    assert report.latency_mean_probes == 4.0
+
+
+def test_replay_with_latency_stream_reports_counters():
+    gateway = make_gateway(guard=None)
+    driver = AdversarialTrafficDriver(gateway, seed=13, max_trials=100_000)
+    report = asyncio.run(
+        driver.run(
+            **small_workload(
+                ghost_queries=0, latency_queries=12, latency_min_fill=0.05
+            )
+        )
+    )
+    assert report.latency_queries == 12
+    assert report.latency_crafted >= 12
+    assert report.latency_mean_probes == 4.0
+    # Latency queries are negatives: they never raise the positive count
+    # beyond what honest traffic and FPs produce, but they do run through
+    # the telemetry (shard 0 saw them).
+    assert report.snapshots[0].queries >= 12
+    assert "latency queries: 12" in report.render()
+    with pytest.raises(ParameterError):
+        asyncio.run(driver.run(latency_queries=-1))
+
+
+def test_replay_over_tcp_transport_matches_inproc_counts():
+    """The transport knob: identical seeded workload, same counts."""
+    from repro.service.client import MembershipClient
+    from repro.service.server import MembershipServer
+
+    workload = small_workload(pollution_inserts=0, ghost_queries=0)
+
+    async def over_tcp():
+        gateway = make_gateway()
+        async with MembershipServer(gateway) as server:
+            client = MembershipClient(*server.address)
+            driver = AdversarialTrafficDriver(gateway, seed=11, transport=client)
+            report = await driver.run(**workload)
+            await client.aclose()
+            return report
+
+    tcp_report = asyncio.run(over_tcp())
+    inproc_driver = AdversarialTrafficDriver(make_gateway(), seed=11)
+    inproc_report = asyncio.run(inproc_driver.run(**workload))
+
+    for field in ("honest_inserts", "honest_queries", "operations",
+                  "probe_queries", "probe_false_positives"):
+        assert getattr(tcp_report, field) == getattr(inproc_report, field)
+    assert [s.inserts for s in tcp_report.snapshots] == [
+        s.inserts for s in inproc_report.snapshots
+    ]

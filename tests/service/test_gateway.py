@@ -190,6 +190,37 @@ def test_from_config_pinned_keys_rebuild_identically():
         ServiceConfig(routing_key=b"short")
 
 
+def test_from_config_process_backend():
+    from repro.service.backends import ProcessPoolBackend
+
+    config = ServiceConfig(shards=2, shard_m=512, backend="process")
+    with MembershipGateway.from_config(config) as gateway:
+        assert isinstance(gateway.backend, ProcessPoolBackend)
+        assert gateway.shards == 2
+
+        async def scenario():
+            await gateway.insert_batch(URLS[:40])
+            return await gateway.query_batch(URLS[:60])
+
+        answers = asyncio.run(scenario())
+        assert answers[:40] == [True] * 40
+
+
+def test_from_config_process_backend_keyed_filters_are_deterministic():
+    # An unpinned filter key is resolved once at build time for process
+    # backends, so the parent's white-box views agree with the workers.
+    from repro.service.backends import ProcessPoolBackend
+
+    config = ServiceConfig(
+        shards=2, shard_m=512, keyed_filters=True, backend="process"
+    )
+    with MembershipGateway.from_config(config) as gateway:
+        assert isinstance(gateway.backend, ProcessPoolBackend)
+        asyncio.run(gateway.insert_batch(URLS[:30]))
+        for url in URLS[:30]:
+            assert url in gateway.shard_view(gateway.shard_of(url))
+
+
 def test_config_validation():
     for bad in (
         dict(shards=0),
@@ -198,6 +229,7 @@ def test_config_validation():
         dict(rotation_threshold=1.5),
         dict(rate_limit=-3.0),
         dict(burst=0),
+        dict(backend="grpc"),
     ):
         with pytest.raises(ParameterError):
             ServiceConfig(**bad)
