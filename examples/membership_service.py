@@ -14,7 +14,11 @@ traffic driver, and prints the per-shard stats.  Four acts:
   4. the full serving stack -- the same attack over TCP against a
      process-pool backend (one worker per shard), then a snapshot,
      a simulated restart, and proof the warm gateway answers
-     identically.
+     identically;
+  5. the lifecycle layer -- the same attack under an *adaptive* rotation
+     policy (rotate on the ghost storm's positive-rate spike), then a
+     warm restart under rotate-on-restore, which expires the restored
+     shards on their post-restore op budget.
 
 Run: ``python examples/membership_service.py``
 """
@@ -35,6 +39,7 @@ from repro.service import (
     MembershipServer,
     ProcessPoolBackend,
     SaturationGuard,
+    parse_policy,
     restore_gateway,
     snapshot_gateway,
 )
@@ -133,6 +138,44 @@ async def run_act_networked() -> None:
     print()
 
 
+def run_act_lifecycle() -> None:
+    """Act 5: pluggable rotation policies + snapshot-aware recycling."""
+    print("=== act 5: lifecycle policies (adaptive spike, rotate-on-restore) ===")
+    # The adaptive policy ignores fill entirely: it watches the positive
+    # rate, which the ghost storm pushes far above the honest mix.
+    gateway = MembershipGateway(
+        lambda: BloomFilter(SHARD_M, SHARD_K),
+        shards=SHARDS,
+        picker=HashShardPicker(),
+        policy=parse_policy("adaptive:0.6:32"),
+    )
+    driver = AdversarialTrafficDriver(gateway, seed=7, attacker_router=HashShardPicker())
+    report = asyncio.run(driver.run(**WORKLOAD))
+    print(f"adaptive policy: {report.rotations} rotation(s) "
+          f"{report.rotation_reasons or ''} -- each one invalidates every "
+          f"ghost forged against the retired bits")
+
+    # Warm restart under rotate-on-restore: the restored shards' bits
+    # were observable while the service was down, so they expire after a
+    # short post-restore budget (the snapshot carries the policy state).
+    spec = "restore:150+fill:0.4"
+    restarted = MembershipGateway(
+        lambda: BloomFilter(SHARD_M, SHARD_K),
+        shards=SHARDS,
+        picker=HashShardPicker(),
+        policy=parse_policy(spec),
+    )
+    restore_gateway(restarted, snapshot_gateway(gateway))
+    print(f"restored under '{spec}': shards flagged restored = "
+          f"{[life.restored for life in restarted.lifecycle]}")
+    report = asyncio.run(
+        AdversarialTrafficDriver(restarted, seed=8).run(**WORKLOAD)
+    )
+    print(f"post-restore replay: {report.rotations} rotation(s) "
+          f"{report.rotation_reasons}")
+    print()
+
+
 if __name__ == "__main__":
     run_act("act 1: aimed pollution against public routing", build_gateway())
     run_act(
@@ -141,3 +184,4 @@ if __name__ == "__main__":
     )
     run_act("act 3: same attack, keyed (secret) routing", build_gateway(keyed_routing=True))
     asyncio.run(run_act_networked())
+    run_act_lifecycle()

@@ -17,8 +17,8 @@ This package implements, from scratch and in pure Python:
   :mod:`repro.countermeasures`;
 * the serving layer the attacks are aimed at in deployment: a sharded
   asyncio membership gateway with batched APIs, keyed routing, rate
-  limiting, saturation-guard rotation and an adversarial traffic
-  driver -- :mod:`repro.service`;
+  limiting, pluggable shard-rotation policies and an adversarial
+  traffic driver -- :mod:`repro.service`;
 * one experiment per paper table/figure -- :mod:`repro.experiments`
   (run them with ``python -m repro.experiments``).
 """

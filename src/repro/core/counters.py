@@ -186,6 +186,29 @@ class CounterArray:
         """Snapshot of all counter values."""
         return list(self._values)
 
+    def to_bytes(self) -> bytes:
+        """Serialise the counter values (one byte per counter, the
+        in-memory layout; logical width stays ``counter_bits``)."""
+        return bytes(self._values)
+
+    def load_bytes(self, raw: bytes) -> None:
+        """Overwrite every counter from :meth:`to_bytes` output.
+
+        Length and per-counter range are validated before anything is
+        touched, so a corrupt payload leaves the array intact.  Event
+        tallies are not part of the value state and are unaffected.
+        """
+        if len(raw) != self._size:
+            raise ValueError(
+                f"counter payload is {len(raw)} bytes, array holds {self._size}"
+            )
+        if any(value > self._max for value in raw):
+            raise ValueError(
+                f"counter payload holds values above the {self._bits}-bit "
+                f"maximum {self._max}"
+            )
+        self._values[:] = raw
+
     def clear(self) -> None:
         """Reset every counter to zero (does not reset event tallies)."""
         self._values[:] = bytes(self._size)

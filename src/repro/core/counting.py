@@ -8,13 +8,54 @@ victim's indexes and delete them) and the counter-overflow attack
 
 from __future__ import annotations
 
+import struct
+
 from repro.core.counters import CounterArray, OverflowPolicy
 from repro.core.interfaces import DeletableFilter
 from repro.core.params import BloomParameters, false_positive_probability
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SnapshotError
 from repro.hashing.base import IndexStrategy
 
-__all__ = ["CountingBloomFilter"]
+__all__ = [
+    "CountingBloomFilter",
+    "COUNTING_SNAPSHOT_MAGIC",
+    "COUNTING_SNAPSHOT_VERSION",
+    "parse_counting_snapshot",
+]
+
+#: Magic bytes opening every serialised counting-filter snapshot.
+COUNTING_SNAPSHOT_MAGIC = b"RCBS"
+#: Version written into new snapshots; bump on any layout change.
+COUNTING_SNAPSHOT_VERSION = 1
+
+#: Header layout: magic, version, m, k, counter_bits, insertions,
+#: deletions, payload length.  Mirrors the BloomFilter header discipline
+#: (fixed-width big-endian, geometry before payload) so the gateway
+#: snapshot path treats both families uniformly.
+_COUNTING_HEADER = struct.Struct(">4sHQIBQQI")
+
+
+def parse_counting_snapshot(raw: bytes) -> tuple[int, int, int, int, int, bytes]:
+    """Validate a counting snapshot; return
+    ``(m, k, counter_bits, insertions, deletions, payload)``."""
+    if len(raw) < _COUNTING_HEADER.size:
+        raise SnapshotError(
+            f"counting snapshot truncated: {len(raw)} bytes, "
+            f"need at least {_COUNTING_HEADER.size}"
+        )
+    magic, version, m, k, bits, insertions, deletions, length = (
+        _COUNTING_HEADER.unpack_from(raw)
+    )
+    if magic != COUNTING_SNAPSHOT_MAGIC:
+        raise SnapshotError(f"bad counting snapshot magic {magic!r}")
+    if version != COUNTING_SNAPSHOT_VERSION:
+        raise SnapshotError(f"unsupported counting snapshot version {version}")
+    payload = raw[_COUNTING_HEADER.size :]
+    if len(payload) != length:
+        raise SnapshotError(
+            f"counting snapshot payload is {len(payload)} bytes, header says {length}"
+        )
+    return m, k, bits, insertions, deletions, payload
 
 
 class CountingBloomFilter(DeletableFilter):
@@ -185,6 +226,64 @@ class CountingBloomFilter(DeletableFilter):
     def overflow_events(self) -> int:
         """Number of increments applied to an already-maxed counter."""
         return self.counters.overflow_events
+
+    # ------------------------------------------------------------------
+    # Serialisation (the warm-restart path for deletable services)
+    # ------------------------------------------------------------------
+
+    def snapshot_bytes(self) -> bytes:
+        """Serialise the full filter state under a stable header.
+
+        Same contract as :meth:`repro.core.bloom.BloomFilter.
+        snapshot_bytes`: magic, version, geometry (including the counter
+        width) and the insert/delete counts, so a deletable service can
+        persist a shard and restart warm.  The index strategy and the
+        overflow policy are configuration, supplied again at restore.
+        """
+        payload = self.counters.to_bytes()
+        header = _COUNTING_HEADER.pack(
+            COUNTING_SNAPSHOT_MAGIC,
+            COUNTING_SNAPSHOT_VERSION,
+            self.m,
+            self.k,
+            self.counters.counter_bits,
+            self._insertions,
+            self._deletions,
+            len(payload),
+        )
+        return header + payload
+
+    def restore_snapshot(self, raw: bytes) -> None:
+        """Load a :meth:`snapshot_bytes` payload into this filter in
+        place (keeping strategy and overflow policy); geometry must
+        match, and any mismatch or corruption leaves it untouched."""
+        m, k, bits, insertions, deletions, payload = parse_counting_snapshot(raw)
+        if (m, k, bits) != (self.m, self.k, self.counters.counter_bits):
+            raise SnapshotError(
+                f"snapshot geometry (m={m}, k={k}, counter_bits={bits}) does "
+                f"not match filter (m={self.m}, k={self.k}, "
+                f"counter_bits={self.counters.counter_bits})"
+            )
+        try:
+            self.counters.load_bytes(payload)
+        except ValueError as exc:
+            raise SnapshotError(f"corrupt counting snapshot payload: {exc}") from exc
+        self._insertions = insertions
+        self._deletions = deletions
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        raw: bytes,
+        strategy: IndexStrategy | None = None,
+        overflow: OverflowPolicy = OverflowPolicy.SATURATE,
+    ) -> "CountingBloomFilter":
+        """Rebuild a counting filter from a :meth:`snapshot_bytes`
+        payload (strategy/overflow are configuration, as at restore)."""
+        m, k, bits, _, _, _ = parse_counting_snapshot(raw)
+        filt = cls(m, k, strategy, counter_bits=bits, overflow=overflow)
+        filt.restore_snapshot(raw)
+        return filt
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -11,6 +11,7 @@ from repro.experiments import (
     fig6_ghost_cost,
     fig8_dablooms,
     fig9_hash_domain,
+    rotation_policy_study,
     service_throughput,
     squid_hits,
     table1_probabilities,
@@ -34,6 +35,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "analytics": analytics_checks.run,
     "worstcase": worst_case_params.run,
     "service": service_throughput.run,
+    "rotation_policy_study": rotation_policy_study.run,
 }
 
 

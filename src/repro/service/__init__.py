@@ -13,7 +13,11 @@ restartable:
 * :mod:`repro.service.sharding` -- pluggable shard routers (public hash
   vs the keyed countermeasure applied to routing);
 * :mod:`repro.service.admission` -- per-client rate limiting and the
-  saturation guard that operationalizes filter rotation;
+  legacy saturation guard;
+* :mod:`repro.service.lifecycle` -- shard lifecycle management: pluggable
+  rotation policies (fill threshold, op-age recycling, adaptive
+  positive-rate, rotate-on-restore) over per-shard observations, with
+  snapshot-persistent policy state;
 * :mod:`repro.service.telemetry` -- per-shard counters and latency
   histograms;
 * :mod:`repro.service.codec` / :mod:`repro.service.server` /
@@ -48,6 +52,19 @@ from repro.service.driver import (
     replay,
 )
 from repro.service.gateway import MembershipGateway, RotationEvent
+from repro.service.lifecycle import (
+    AdaptivePositiveRatePolicy,
+    FillThresholdPolicy,
+    NeverRotatePolicy,
+    RotateOnRestorePolicy,
+    RotationDecision,
+    RotationPolicy,
+    ShardLifecycleState,
+    ShardObservation,
+    TimeBasedRecyclingPolicy,
+    parse_policy,
+    policy_from_guard,
+)
 from repro.service.server import MembershipServer
 from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
 from repro.service.snapshots import (
@@ -65,9 +82,11 @@ from repro.service.telemetry import (
 )
 
 __all__ = [
+    "AdaptivePositiveRatePolicy",
     "AdversarialTrafficDriver",
     "BatchReply",
     "ClientRateLimiter",
+    "FillThresholdPolicy",
     "GatewaySnapshot",
     "HashShardPicker",
     "KeyedShardPicker",
@@ -76,20 +95,29 @@ __all__ = [
     "MembershipClient",
     "MembershipGateway",
     "MembershipServer",
+    "NeverRotatePolicy",
     "ProcessPoolBackend",
     "RateLimited",
+    "RotateOnRestorePolicy",
+    "RotationDecision",
     "RotationEvent",
+    "RotationPolicy",
     "SaturationGuard",
     "ServiceConfig",
     "ServiceTransport",
     "ShardBackend",
+    "ShardLifecycleState",
+    "ShardObservation",
     "ShardPicker",
     "ShardSnapshot",
     "ShardState",
     "ShardTelemetry",
+    "TimeBasedRecyclingPolicy",
     "TokenBucket",
     "TrafficReport",
     "load_snapshot",
+    "parse_policy",
+    "policy_from_guard",
     "render_snapshots",
     "replay",
     "restore_gateway",

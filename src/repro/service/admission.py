@@ -137,6 +137,13 @@ class ClientRateLimiter:
 class SaturationGuard:
     """Rotate a shard once its fill ratio crosses ``threshold``.
 
+    Legacy interface: the gateway now delegates rotation to the
+    :mod:`repro.service.lifecycle` policy layer, and a guard handed to
+    it is mapped onto an equivalent :class:`~repro.service.lifecycle.
+    FillThresholdPolicy` (via :func:`~repro.service.lifecycle.
+    policy_from_guard`).  The class stays because the threshold rule is
+    the sensible default and plenty of callers build one directly.
+
     The guard is deliberately dumb -- it looks at one number the filter
     already maintains -- because that is what makes it deployable: no
     attack detection, no per-client attribution, just a bound on how

@@ -47,13 +47,19 @@ class ShardState:
 
     Field names deliberately mirror :class:`~repro.core.bloom.
     BloomFilter` properties so :func:`~repro.service.admission.
-    filter_state` (and hence the saturation guard) reads a state the
-    same way it reads a live filter.
+    filter_state` (and hence a fill-threshold rotation policy) reads a
+    state the same way it reads a live filter.  ``age_ops`` is the
+    backend-side operation count (inserts + queries) applied to the
+    shard's *current* filter instance -- it travels back with every
+    batch so lifecycle policies get their age observation in the same
+    single hop as the answers, and it restarts at zero whenever the
+    instance is rebuilt (rotation) or overwritten (snapshot restore).
     """
 
     hamming_weight: int
     fill_ratio: float
     insertions: int
+    age_ops: int = 0
 
 
 @dataclass(frozen=True)
@@ -64,9 +70,14 @@ class BatchReply:
     state: ShardState
 
 
-def _state_of(filt: MembershipFilter) -> ShardState:
+def _state_of(filt: MembershipFilter, age_ops: int = 0) -> ShardState:
     weight, fill = filter_state(filt)
-    return ShardState(hamming_weight=weight, fill_ratio=fill, insertions=len(filt))
+    return ShardState(
+        hamming_weight=weight,
+        fill_ratio=fill,
+        insertions=len(filt),
+        age_ops=age_ops,
+    )
 
 
 class ShardBackend(ABC):
@@ -135,13 +146,27 @@ class ShardBackend(ABC):
         return f"<{type(self).__name__} shards={self.shards}>"
 
 
-def _snapshot_capable(filt: MembershipFilter) -> BloomFilter:
-    if not isinstance(filt, BloomFilter):
+def _snapshot_capable(filt: MembershipFilter):
+    """Any shard filter carrying the stable snapshot header protocol
+    (``BloomFilter`` and ``CountingBloomFilter`` families both do)."""
+    if not (hasattr(filt, "snapshot_bytes") and hasattr(filt, "restore_snapshot")):
         raise BackendError(
-            f"shard snapshots need a BloomFilter-family shard, "
-            f"got {type(filt).__name__}"
+            f"shard snapshots need a filter with snapshot_bytes/"
+            f"restore_snapshot, got {type(filt).__name__}"
         )
     return filt
+
+
+def _rebuild_view(template: MembershipFilter, raw: bytes) -> MembershipFilter:
+    """Reconstruct a white-box filter view from an exported snapshot,
+    matching the template's family and (stateless) strategy."""
+    from repro.core.counting import CountingBloomFilter
+
+    if isinstance(template, CountingBloomFilter):
+        return CountingBloomFilter.from_snapshot(
+            raw, strategy=template.strategy, overflow=template.overflow
+        )
+    return BloomFilter.from_snapshot(raw, strategy=_snapshot_capable(template).strategy)
 
 
 class LocalBackend(ShardBackend):
@@ -161,26 +186,30 @@ class LocalBackend(ShardBackend):
         self.shards = shards
         self._factory = filter_factory
         self._filters = [filter_factory() for _ in range(shards)]
+        self._ops = [0] * shards
 
     async def insert_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
         self._check_shard(shard_id)
         filt = self._filters[shard_id]
         answers = filt.add_batch(items)
-        return BatchReply(answers=answers, state=_state_of(filt))
+        self._ops[shard_id] += len(answers)
+        return BatchReply(answers=answers, state=_state_of(filt, self._ops[shard_id]))
 
     async def query_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
         self._check_shard(shard_id)
         filt = self._filters[shard_id]
         answers = filt.contains_batch(items)
-        return BatchReply(answers=answers, state=_state_of(filt))
+        self._ops[shard_id] += len(answers)
+        return BatchReply(answers=answers, state=_state_of(filt, self._ops[shard_id]))
 
     async def rotate(self, shard_id: int) -> None:
         self._check_shard(shard_id)
         self._filters[shard_id] = self._factory()
+        self._ops[shard_id] = 0
 
     def state(self, shard_id: int) -> ShardState:
         self._check_shard(shard_id)
-        return _state_of(self._filters[shard_id])
+        return _state_of(self._filters[shard_id], self._ops[shard_id])
 
     def export_shard(self, shard_id: int) -> bytes:
         self._check_shard(shard_id)
@@ -189,6 +218,9 @@ class LocalBackend(ShardBackend):
     def restore_shard(self, shard_id: int, raw: bytes) -> None:
         self._check_shard(shard_id)
         _snapshot_capable(self._filters[shard_id]).restore_snapshot(raw)
+        # The instance's op clock restarts: post-restore age is measured
+        # from here, any inherited age lives in the gateway's lifecycle.
+        self._ops[shard_id] = 0
 
     def shard_view(self, shard_id: int) -> MembershipFilter:
         self._check_shard(shard_id)
@@ -207,6 +239,7 @@ def _shard_worker_main(conn, filter_factory: Callable[[], MembershipFilter]) -> 
     so one bad batch cannot take a shard down.
     """
     filt = filter_factory()
+    ops = 0
     while True:
         try:
             op, payload = conn.recv()
@@ -214,18 +247,24 @@ def _shard_worker_main(conn, filter_factory: Callable[[], MembershipFilter]) -> 
             break
         try:
             if op == "insert":
-                reply = BatchReply(filt.add_batch(payload), _state_of(filt))
+                answers = filt.add_batch(payload)
+                ops += len(answers)
+                reply = BatchReply(answers, _state_of(filt, ops))
             elif op == "query":
-                reply = BatchReply(filt.contains_batch(payload), _state_of(filt))
+                answers = filt.contains_batch(payload)
+                ops += len(answers)
+                reply = BatchReply(answers, _state_of(filt, ops))
             elif op == "state":
-                reply = _state_of(filt)
+                reply = _state_of(filt, ops)
             elif op == "rotate":
                 filt = filter_factory()
+                ops = 0
                 reply = None
             elif op == "export":
                 reply = _snapshot_capable(filt).snapshot_bytes()
             elif op == "restore":
                 _snapshot_capable(filt).restore_snapshot(payload)
+                ops = 0
                 reply = None
             elif op == "close":
                 conn.send(("ok", None))
@@ -369,8 +408,7 @@ class ProcessPoolBackend(ShardBackend):
         provided the factory is deterministic (see class docstring).
         """
         raw = self.export_shard(shard_id)
-        template = _snapshot_capable(self._template)
-        return BloomFilter.from_snapshot(raw, strategy=template.strategy)
+        return _rebuild_view(self._template, raw)
 
     def close(self) -> None:
         """Shut every worker down (graceful close, then terminate)."""

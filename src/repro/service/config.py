@@ -27,9 +27,17 @@ class ServiceConfig:
     shard_m, shard_k:
         Geometry of each shard's Bloom filter.
     rotation_threshold:
-        Fill ratio at which the saturation guard retires a shard and
-        swaps in a fresh filter (the paper's recycled-filter
-        countermeasure); ``None`` disables rotation.
+        Legacy knob: fill ratio at which a shard is retired and a fresh
+        filter swapped in (the paper's recycled-filter countermeasure).
+        Maps to :class:`~repro.service.lifecycle.FillThresholdPolicy`
+        unchanged; ``None`` disables rotation (unless
+        ``rotation_policy`` is set).
+    rotation_policy:
+        Shard lifecycle policy spec (see :func:`~repro.service.
+        lifecycle.parse_policy`): ``"fill:0.5"``, ``"age:4000"``,
+        ``"adaptive:0.8:32"``, ``"restore:2000+fill:0.5"`` or
+        ``"never"``.  Wins over ``rotation_threshold`` when both are
+        set; ``None`` falls back to the legacy knob.
     rate_limit:
         Per-client admitted operations per second; ``None`` means
         unlimited.
@@ -60,6 +68,7 @@ class ServiceConfig:
     shard_m: int = 4096
     shard_k: int = 4
     rotation_threshold: float | None = 0.5
+    rotation_policy: str | None = None
     rate_limit: float | None = None
     burst: int = 64
     keyed_routing: bool = False
@@ -83,6 +92,13 @@ class ServiceConfig:
             raise ParameterError("shard_m and shard_k must be positive")
         if self.rotation_threshold is not None and not 0 < self.rotation_threshold <= 1:
             raise ParameterError("rotation_threshold must be in (0, 1]")
+        if self.rotation_policy is not None:
+            # Parse for validation only; the gateway parses again at
+            # build time (policies are cheap, the config stays frozen
+            # and hashable with plain-string fields).
+            from repro.service.lifecycle import parse_policy
+
+            parse_policy(self.rotation_policy)
         if self.rate_limit is not None and self.rate_limit <= 0:
             raise ParameterError("rate_limit must be positive (or None)")
         if self.burst <= 0:

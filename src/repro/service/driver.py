@@ -83,6 +83,9 @@ class TrafficReport:
     probe_queries: int = 0
     probe_false_positives: int = 0
     rotations: int = 0
+    #: Machine-readable rotation reasons -> count (from the lifecycle
+    #: policy's decisions during this replay).
+    rotation_reasons: dict[str, int] = field(default_factory=dict)
     snapshots: list[ShardSnapshot] = field(default_factory=list)
 
     @property
@@ -138,7 +141,14 @@ class TrafficReport:
             f"amplification x{self.amplification:,.0f})",
             f"latency queries: {self.latency_queries} sent "
             f"({self.latency_mean_probes:.1f} probes walked/crafted item)",
-            f"rotations: {self.rotations}",
+            f"rotations: {self.rotations}"
+            + (
+                "  ("
+                + ", ".join(f"{reason}: {n}" for reason, n in self.rotation_reasons.items())
+                + ")"
+                if self.rotation_reasons
+                else ""
+            ),
             "",
             render_snapshots(self.snapshots),
         ]
@@ -530,6 +540,9 @@ class AdversarialTrafficDriver:
                 report.probe_false_positives += sum(answers)
                 break
         report.rotations = self.gateway.rotations - rotations_before
+        for event in self.gateway.rotation_log[rotations_before:]:
+            key = event.reason or event.policy or "unknown"
+            report.rotation_reasons[key] = report.rotation_reasons.get(key, 0) + 1
         report.snapshots = self.gateway.snapshot()
         return report
 

@@ -6,8 +6,8 @@ endpoint) fronting Bloom filters and fed by untrusted clients.  The
 gateway hash-partitions the key space across shards, serialises access
 per shard with an ``asyncio.Lock`` (so concurrent batches interleave
 across shards but never corrupt one), records per-shard telemetry, and
-runs admission control -- rate limiting on the way in, saturation-guard
-rotation on the way out.
+runs admission control -- rate limiting on the way in, policy-driven
+shard rotation (see :mod:`repro.service.lifecycle`) on the way out.
 
 Since the layered refactor the gateway no longer owns its filters: a
 :class:`~repro.service.backends.ShardBackend` does.  The default
@@ -43,6 +43,13 @@ from repro.service.admission import (
 )
 from repro.service.backends import LocalBackend, ProcessPoolBackend, ShardBackend, ShardState
 from repro.service.config import ServiceConfig
+from repro.service.lifecycle import (
+    FillThresholdPolicy,
+    RotationPolicy,
+    ShardLifecycleState,
+    parse_policy,
+    policy_from_guard,
+)
 from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
 from repro.service.telemetry import ShardSnapshot, ShardTelemetry, render_snapshots
 
@@ -51,12 +58,21 @@ __all__ = ["RotationEvent", "MembershipGateway"]
 
 @dataclass(frozen=True)
 class RotationEvent:
-    """One saturation-guard rotation: which shard retired what."""
+    """One lifecycle rotation: which shard retired what, when, and why.
+
+    ``op_epoch`` is the gateway-wide monotonic operation count at the
+    moment of rotation (a logical clock that survives snapshots, unlike
+    wall time); ``policy``/``reason`` name the triggering policy and its
+    machine-readable rule so rotation histories can be grouped.
+    """
 
     shard_id: int
     retired_weight: int
     retired_fill: float
     retired_insertions: int
+    op_epoch: int = 0
+    policy: str = ""
+    reason: str = ""
 
 
 def _config_filter(m: int, k: int, keyed: bool, key: bytes | None) -> MembershipFilter:
@@ -83,7 +99,13 @@ class MembershipGateway:
         Shard router; defaults to the (attackable) public
         :class:`~repro.service.sharding.HashShardPicker`.
     guard:
-        Saturation guard; ``None`` disables rotation.
+        Legacy saturation guard; mapped onto the policy layer via
+        :func:`~repro.service.lifecycle.policy_from_guard` when no
+        explicit ``policy`` is given.
+    policy:
+        Shard rotation policy (see :mod:`repro.service.lifecycle`);
+        wins over ``guard``.  ``None`` (with no guard) disables
+        rotation.
     limiter:
         Per-client admission; defaults to unlimited.
     clock:
@@ -102,6 +124,7 @@ class MembershipGateway:
         limiter: ClientRateLimiter | None = None,
         clock: Callable[[], float] = time.perf_counter,
         backend: ShardBackend | None = None,
+        policy: RotationPolicy | None = None,
     ) -> None:
         if backend is None:
             if filter_factory is None:
@@ -114,10 +137,15 @@ class MembershipGateway:
         self.shards = backend.shards
         self.picker = picker or HashShardPicker()
         self.guard = guard
+        if policy is None and guard is not None:
+            policy = policy_from_guard(guard)
+        self.policy = policy
         self.limiter = limiter or ClientRateLimiter(None)
         self._clock = clock
         self._locks = [asyncio.Lock() for _ in range(self.shards)]
         self._telemetry = [ShardTelemetry(i) for i in range(self.shards)]
+        self.lifecycle = [ShardLifecycleState(i) for i in range(self.shards)]
+        self.op_epoch = 0
         self.rotation_log: list[RotationEvent] = []
 
     @classmethod
@@ -153,11 +181,15 @@ class MembershipGateway:
             if config.keyed_routing
             else HashShardPicker()
         )
-        guard = (
-            SaturationGuard(config.rotation_threshold)
-            if config.rotation_threshold is not None
-            else None
-        )
+        # The lifecycle knob wins; the legacy rotation_threshold still
+        # maps to the saturation-guard behaviour (FillThresholdPolicy).
+        policy: RotationPolicy | None = None
+        guard = None
+        if config.rotation_policy is not None:
+            policy = parse_policy(config.rotation_policy)
+        elif config.rotation_threshold is not None:
+            guard = SaturationGuard(config.rotation_threshold)
+            policy = FillThresholdPolicy(config.rotation_threshold)
         limiter = ClientRateLimiter(config.rate_limit, config.burst)
         return cls(
             factory,
@@ -166,6 +198,7 @@ class MembershipGateway:
             guard=guard,
             limiter=limiter,
             backend=backend,
+            policy=policy,
         )
 
     # ------------------------------------------------------------------
@@ -192,7 +225,7 @@ class MembershipGateway:
 
     @property
     def rotations(self) -> int:
-        """Total saturation-guard rotations across all shards."""
+        """Total lifecycle rotations across all shards."""
         return len(self.rotation_log)
 
     @property
@@ -209,8 +242,19 @@ class MembershipGateway:
         return out
 
     def render_stats(self) -> str:
-        """Human-readable per-shard stats table."""
-        return render_snapshots(self.snapshot())
+        """Human-readable per-shard stats table plus the rotation log."""
+        table = render_snapshots(self.snapshot())
+        if not self.rotation_log:
+            return table
+        lines = [table, "", f"rotation log ({len(self.rotation_log)} events, last 8):"]
+        for event in self.rotation_log[-8:]:
+            lines.append(
+                f"  epoch {event.op_epoch}: shard {event.shard_id} retired "
+                f"weight={event.retired_weight} fill={event.retired_fill:.3f} "
+                f"n={event.retired_insertions}"
+                + (f" [{event.policy}: {event.reason}]" if event.policy else "")
+            )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -269,12 +313,17 @@ class MembershipGateway:
         return groups
 
     async def _maybe_rotate(self, shard_id: int, state: ShardState) -> bool:
-        """Swap in a fresh filter when the guard fires (lock must be held).
+        """Swap in a fresh filter when the policy says so (lock held).
 
         ``state`` is the post-operation shard state the backend returned
-        with the batch, so the guard decision costs no extra hop.
+        with the batch (including the shard's instance age), so the
+        policy decision costs no extra hop.
         """
-        if self.guard is None or not self.guard.should_rotate(state):
+        if self.policy is None:
+            return False
+        life = self.lifecycle[shard_id]
+        decision = self.policy.evaluate(life.observe(state, self.op_epoch))
+        if not decision.rotate:
             return False
         self.rotation_log.append(
             RotationEvent(
@@ -282,9 +331,13 @@ class MembershipGateway:
                 retired_weight=state.hamming_weight,
                 retired_fill=state.fill_ratio,
                 retired_insertions=state.insertions,
+                op_epoch=self.op_epoch,
+                policy=self.policy.name,
+                reason=decision.reason,
             )
         )
         await self.backend.rotate(shard_id)
+        life.reset()
         self._telemetry[shard_id].rotations += 1
         return True
 
@@ -322,6 +375,8 @@ class MembershipGateway:
                 telemetry = self._telemetry[shard_id]
                 telemetry.inserts += len(positions)
                 telemetry.insert_latency.record(elapsed)
+                self.op_epoch += len(positions)
+                self.lifecycle[shard_id].note_inserts(len(positions))
                 await self._maybe_rotate(shard_id, reply.state)
             for position, answer in zip(positions, reply.answers):
                 results[position] = answer
@@ -344,9 +399,17 @@ class MembershipGateway:
                 )
                 elapsed = clock() - start
                 telemetry = self._telemetry[shard_id]
+                positives = sum(reply.answers)
                 telemetry.queries += len(positions)
-                telemetry.positives += sum(reply.answers)
+                telemetry.positives += positives
                 telemetry.query_latency.record(elapsed)
+                self.op_epoch += len(positions)
+                self.lifecycle[shard_id].note_queries(len(positions), positives)
+                # Unlike the fill-only guard, lifecycle policies react to
+                # the query stream too (positive-rate spikes, op age), so
+                # the decision runs on both paths.  Answers were computed
+                # before any swap, so this batch's reply is unaffected.
+                await self._maybe_rotate(shard_id, reply.state)
             for position, answer in zip(positions, reply.answers):
                 results[position] = answer
         return results
@@ -362,7 +425,8 @@ class MembershipGateway:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        policy = self.policy.spec if self.policy is not None else "none"
         return (
             f"<MembershipGateway shards={self.shards} picker={self.picker.name} "
-            f"backend={self.backend.name} rotations={self.rotations}>"
+            f"backend={self.backend.name} policy={policy} rotations={self.rotations}>"
         )

@@ -1,0 +1,513 @@
+"""Shard lifecycle management: rotation policies as first-class objects.
+
+The paper's strongest deployable countermeasure is filter recycling
+(Section 8, Table 2): retire a shard's filter before an adversary can
+finish measuring it.  *When* to retire is a policy question, and the
+literature answers it several ways -- fill thresholds (the saturation
+guard), dablooms-style age/op-count recycling, and adaptive reactions to
+the query stream itself (Naor-Yogev's adversarial model is exactly an
+attacker probing a filter over time).  This module makes that axis
+pluggable: a :class:`RotationPolicy` consumes one per-shard
+:class:`ShardObservation` and emits a :class:`RotationDecision` with a
+machine-readable reason, and the gateway delegates every rotate/keep
+choice to it.
+
+Policies are deliberately *stateless*: everything they need is in the
+observation, and the mutable per-shard history behind it lives in one
+:class:`ShardLifecycleState` owned by the gateway.  That split is what
+makes decisions survive warm restarts -- the gateway snapshot persists
+the lifecycle state (age, op counts, restore epoch), not policy
+internals, so a restored gateway can even be handed a *different*
+policy and keep deciding sensibly.
+
+Shipped policies:
+
+* :class:`FillThresholdPolicy` -- today's saturation-guard behaviour
+  (the default; ``ServiceConfig.rotation_threshold`` maps to it);
+* :class:`TimeBasedRecyclingPolicy` -- retire after a fixed operation
+  budget, whatever the fill (dablooms-style recycling);
+* :class:`AdaptivePositiveRatePolicy` -- retire on a positive-rate
+  spike, the anti-adaptive-adversary defence (a ghost-query storm
+  answers positive far above the honest mix);
+* :class:`RotateOnRestorePolicy` -- a wrapper expiring shards that were
+  restored mid-life from a snapshot (their bits have been observable
+  longer than their in-process age suggests), delegating to an inner
+  policy otherwise;
+* :class:`NeverRotatePolicy` -- explicit no-rotation baseline.
+
+``parse_policy`` turns the ``ServiceConfig.rotation_policy`` string
+(``"fill:0.5"``, ``"age:4000"``, ``"adaptive:0.8:32"``,
+``"restore:2000+fill:0.5"``, ``"never"``) into a policy object, and
+every policy renders back via ``.spec``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "ShardObservation",
+    "RotationDecision",
+    "ShardLifecycleState",
+    "RotationPolicy",
+    "NeverRotatePolicy",
+    "FillThresholdPolicy",
+    "TimeBasedRecyclingPolicy",
+    "AdaptivePositiveRatePolicy",
+    "RotateOnRestorePolicy",
+    "parse_policy",
+    "policy_from_guard",
+]
+
+
+@dataclass(frozen=True)
+class ShardObservation:
+    """Everything a rotation policy may look at for one shard.
+
+    Combines the filter state the backend returned with the batch (no
+    extra hop), the gateway's per-shard lifecycle history, and the
+    gateway-wide operation epoch.
+    """
+
+    shard_id: int
+    #: Filter state (from the backend's :class:`~repro.service.backends.
+    #: ShardState`, returned with every batch).
+    hamming_weight: int
+    fill_ratio: float
+    insertions: int
+    #: Operations (inserts + queries) served by this shard's current
+    #: filter since it was built, rotated, or restored -- including any
+    #: age inherited from a snapshot.
+    age_ops: int
+    #: Gateway-side history since the shard's last rotation.
+    inserts: int
+    queries: int
+    positives: int
+    #: True when the shard's bits were loaded mid-life from a snapshot.
+    restored: bool
+    #: Operations served since the latest restore (equals ``age_ops``
+    #: for never-restored shards).
+    ops_since_restore: int
+    #: Gateway-wide monotonic operation counter at observation time.
+    op_epoch: int
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of queries answered positive since the last rotation."""
+        return self.positives / self.queries if self.queries else 0.0
+
+
+@dataclass(frozen=True)
+class RotationDecision:
+    """A policy's verdict for one shard: rotate or keep, and why.
+
+    ``reason`` is a stable, machine-readable slug (it names the rule and
+    its configured bound, never live values), so rotation events can be
+    grouped and counted across a run.
+    """
+
+    rotate: bool
+    reason: str = ""
+
+
+#: The shared "nothing to do" decision.
+KEEP = RotationDecision(rotate=False, reason="keep")
+
+
+class ShardLifecycleState:
+    """Mutable per-shard history the gateway feeds into observations.
+
+    One instance per shard, owned by the gateway, updated under the
+    shard's lock.  ``age_base`` carries the operation age inherited from
+    a snapshot (the backend's own counter restarts at zero whenever the
+    filter instance is rebuilt or restored); the insert/query/positive
+    counters run since the shard's last rotation.  All of it is
+    persisted in the gateway snapshot's lifecycle section.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "age_base",
+        "inserts",
+        "queries",
+        "positives",
+        "restored",
+        "restore_epoch",
+    )
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.age_base = 0
+        self.inserts = 0
+        self.queries = 0
+        self.positives = 0
+        self.restored = False
+        self.restore_epoch = 0
+
+    def note_inserts(self, count: int) -> None:
+        """Account one insert group dispatched to this shard."""
+        self.inserts += count
+
+    def note_queries(self, count: int, positives: int) -> None:
+        """Account one query group (and its positive answers)."""
+        self.queries += count
+        self.positives += positives
+
+    def reset(self) -> None:
+        """Forget everything: the shard just rotated to a fresh filter."""
+        self.age_base = 0
+        self.inserts = 0
+        self.queries = 0
+        self.positives = 0
+        self.restored = False
+        self.restore_epoch = 0
+
+    def observe(self, state, op_epoch: int) -> ShardObservation:
+        """Build the policy-facing observation from backend ``state``
+        (any object with ``hamming_weight``/``fill_ratio``/
+        ``insertions``/``age_ops`` attributes) plus this history."""
+        instance_ops = getattr(state, "age_ops", 0)
+        age_ops = self.age_base + instance_ops
+        return ShardObservation(
+            shard_id=self.shard_id,
+            hamming_weight=state.hamming_weight,
+            fill_ratio=state.fill_ratio,
+            insertions=state.insertions,
+            age_ops=age_ops,
+            inserts=self.inserts,
+            queries=self.queries,
+            positives=self.positives,
+            restored=self.restored,
+            ops_since_restore=instance_ops if self.restored else age_ops,
+            op_epoch=op_epoch,
+        )
+
+    # -- snapshot round trip -------------------------------------------
+
+    def to_state(self, instance_ops: int) -> dict:
+        """Durable form for the gateway snapshot's lifecycle section.
+
+        ``instance_ops`` is the backend's current per-instance operation
+        count; the persisted age is the shard's *total* age so a restore
+        can rebuild it without the original backend counter.
+        """
+        return {
+            "age_ops": self.age_base + instance_ops,
+            "inserts": self.inserts,
+            "queries": self.queries,
+            "positives": self.positives,
+            "restored": self.restored,
+            "restore_epoch": self.restore_epoch,
+        }
+
+    @classmethod
+    def from_state(
+        cls, shard_id: int, state: dict, restore_epoch: int
+    ) -> "ShardLifecycleState":
+        """Rebuild a shard's history from a snapshot, marking it restored.
+
+        A shard whose persisted age is non-zero (or that was already
+        flagged) comes back *restored*: its bits were observable before
+        this process existed, which is exactly what
+        :class:`RotateOnRestorePolicy` expires.  Fresh-and-empty shards
+        stay unflagged.  A shard restored for the first time stamps
+        ``restore_epoch`` (the gateway op-epoch at restore time, i.e.
+        the snapshot's own epoch); an already-flagged shard keeps its
+        persisted first-restore epoch, so the field is stable across
+        repeated snapshot/restore cycles.
+        """
+        life = cls(shard_id)
+        life.age_base = state["age_ops"]
+        life.inserts = state["inserts"]
+        life.queries = state["queries"]
+        life.positives = state["positives"]
+        life.restored = bool(state["restored"]) or state["age_ops"] > 0
+        if life.restored:
+            life.restore_epoch = (
+                state["restore_epoch"] if state["restored"] else restore_epoch
+            )
+        return life
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+
+
+class RotationPolicy(ABC):
+    """The rotate/keep rule a gateway consults after every batch.
+
+    Implementations must be stateless across calls (all inputs arrive in
+    the observation): that is what keeps decisions reproducible and
+    snapshot-restartable.
+    """
+
+    #: Stable identifier recorded in rotation events and reports.
+    name: str = "policy"
+
+    @abstractmethod
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        """Decide for one shard; must not mutate anything."""
+
+    @property
+    def spec(self) -> str:
+        """Canonical config string; ``parse_policy(p.spec)`` rebuilds an
+        equivalent policy for every shipped policy.  (Adapters wrapping
+        arbitrary guard objects are the one exception -- an opaque
+        ``should_rotate`` callable has no spec grammar.)"""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.spec!r}>"
+
+
+class NeverRotatePolicy(RotationPolicy):
+    """Explicit no-rotation baseline (distinct from having no policy
+    only in that it shows up, named, in reports)."""
+
+    name = "never"
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        return KEEP
+
+
+class FillThresholdPolicy(RotationPolicy):
+    """Rotate once the shard's fill ratio reaches ``threshold``.
+
+    Byte-for-byte today's saturation-guard behaviour, now expressed as a
+    policy; the legacy ``ServiceConfig.rotation_threshold`` knob maps
+    here unchanged.
+    """
+
+    name = "fill"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0 < threshold <= 1:
+            raise ParameterError("threshold must be in (0, 1]")
+        self.threshold = threshold
+        self._reason = f"fill_ratio>={threshold:g}"
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        if observation.fill_ratio >= self.threshold:
+            return RotationDecision(rotate=True, reason=self._reason)
+        return KEEP
+
+    @property
+    def spec(self) -> str:
+        return f"fill:{self.threshold:g}"
+
+
+class TimeBasedRecyclingPolicy(RotationPolicy):
+    """Rotate after ``max_age_ops`` operations, whatever the fill.
+
+    Dablooms-style recycling measured in served operations rather than
+    wall clock (deterministic under replay): the filter is retired on a
+    fixed budget, so an adversary's accumulated knowledge of its bits
+    expires on a schedule the adversary cannot influence.
+    """
+
+    name = "age"
+
+    def __init__(self, max_age_ops: int = 10_000) -> None:
+        if max_age_ops <= 0:
+            raise ParameterError("max_age_ops must be positive")
+        self.max_age_ops = max_age_ops
+        self._reason = f"age_ops>={max_age_ops}"
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        if observation.age_ops >= self.max_age_ops:
+            return RotationDecision(rotate=True, reason=self._reason)
+        return KEEP
+
+    @property
+    def spec(self) -> str:
+        return f"age:{self.max_age_ops}"
+
+
+class AdaptivePositiveRatePolicy(RotationPolicy):
+    """Rotate on a positive-rate spike: the FP-blowup tripwire.
+
+    A ghost-forgery stream answers positive on essentially every crafted
+    query, pushing a shard's positive rate far above any honest mix of
+    known items and fresh probes.  Once at least ``min_queries`` have
+    been served since the last rotation and the positive rate reaches
+    ``max_positive_rate``, the shard rotates -- which invalidates every
+    crafted ghost at once (they were forged against the retired bits).
+
+    The rate is measured since the shard's last rotation, so each
+    rotation restarts the window; ``min_queries`` keeps a couple of
+    early lucky positives from triggering a spurious rotation.  Note the
+    threshold must sit above the deployment's honest positive rate
+    (e.g. ``0.8`` when honest traffic re-queries half its own inserts),
+    or the policy will rotate on legitimate traffic.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self, max_positive_rate: float = 0.8, min_queries: int = 64
+    ) -> None:
+        if not 0 < max_positive_rate <= 1:
+            raise ParameterError("max_positive_rate must be in (0, 1]")
+        if min_queries <= 0:
+            raise ParameterError("min_queries must be positive")
+        self.max_positive_rate = max_positive_rate
+        self.min_queries = min_queries
+        self._reason = f"positive_rate>={max_positive_rate:g}"
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        if (
+            observation.queries >= self.min_queries
+            and observation.positive_rate >= self.max_positive_rate
+        ):
+            return RotationDecision(rotate=True, reason=self._reason)
+        return KEEP
+
+    @property
+    def spec(self) -> str:
+        return f"adaptive:{self.max_positive_rate:g}:{self.min_queries}"
+
+
+class RotateOnRestorePolicy(RotationPolicy):
+    """Expire shards restored mid-life from a snapshot; wrap any inner.
+
+    A restored shard's bits were sitting on disk (and serving, before
+    the restart) for longer than its in-process age shows -- the
+    adversary may have finished measuring it while the service was down.
+    This wrapper retires any restored shard after ``max_restored_age``
+    post-restore operations (``0`` means: on its first post-restore
+    decision), and otherwise delegates to ``inner`` (keep, when no inner
+    is given).
+    """
+
+    name = "restore"
+
+    def __init__(
+        self, max_restored_age: int = 0, inner: RotationPolicy | None = None
+    ) -> None:
+        if max_restored_age < 0:
+            raise ParameterError("max_restored_age must be non-negative")
+        self.max_restored_age = max_restored_age
+        self.inner = inner
+        self._reason = f"restored_age>={max_restored_age}"
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        if (
+            observation.restored
+            and observation.ops_since_restore >= self.max_restored_age
+        ):
+            return RotationDecision(rotate=True, reason=self._reason)
+        if self.inner is not None:
+            return self.inner.evaluate(observation)
+        return KEEP
+
+    @property
+    def spec(self) -> str:
+        own = f"restore:{self.max_restored_age}"
+        return f"{own}+{self.inner.spec}" if self.inner is not None else own
+
+
+# ----------------------------------------------------------------------
+# Config-string parsing and legacy-guard mapping
+# ----------------------------------------------------------------------
+
+
+def _parse_number(text: str, what: str, integer: bool) -> float:
+    try:
+        return int(text) if integer else float(text)
+    except ValueError:
+        raise ParameterError(f"rotation policy {what} must be a number, got {text!r}")
+
+
+def parse_policy(spec: str) -> RotationPolicy:
+    """Build a policy from its config string.
+
+    Grammar (all numbers validated by the policy constructors)::
+
+        never
+        fill:<threshold>                  e.g. fill:0.5
+        age:<max_age_ops>                 e.g. age:4000
+        adaptive:<rate>[:<min_queries>]   e.g. adaptive:0.8:32
+        restore:<max_restored_age>        e.g. restore:2000
+        restore:<age>+<inner-spec>        e.g. restore:2000+fill:0.5
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ParameterError(f"rotation policy spec must be a non-empty string, got {spec!r}")
+    spec = spec.strip()
+    head, _, tail = spec.partition("+")
+    if tail:
+        outer = parse_policy(head)
+        if not isinstance(outer, RotateOnRestorePolicy) or outer.inner is not None:
+            raise ParameterError(
+                f"only 'restore:<age>' can wrap another policy, got {head!r}"
+            )
+        return RotateOnRestorePolicy(outer.max_restored_age, inner=parse_policy(tail))
+    kind, _, args = head.partition(":")
+    parts = args.split(":") if args else []
+    if kind == "never":
+        if parts:
+            raise ParameterError("'never' takes no arguments")
+        return NeverRotatePolicy()
+    if kind == "fill":
+        if len(parts) != 1:
+            raise ParameterError(f"'fill' needs exactly one threshold, got {head!r}")
+        return FillThresholdPolicy(_parse_number(parts[0], "threshold", integer=False))
+    if kind == "age":
+        if len(parts) != 1:
+            raise ParameterError(f"'age' needs exactly one op budget, got {head!r}")
+        return TimeBasedRecyclingPolicy(int(_parse_number(parts[0], "age", integer=True)))
+    if kind == "adaptive":
+        if len(parts) not in (1, 2):
+            raise ParameterError(f"'adaptive' takes <rate>[:<min_queries>], got {head!r}")
+        rate = _parse_number(parts[0], "rate", integer=False)
+        if len(parts) == 2:
+            return AdaptivePositiveRatePolicy(
+                rate, int(_parse_number(parts[1], "min_queries", integer=True))
+            )
+        return AdaptivePositiveRatePolicy(rate)
+    if kind == "restore":
+        if len(parts) != 1:
+            raise ParameterError(f"'restore' needs exactly one age, got {head!r}")
+        return RotateOnRestorePolicy(int(_parse_number(parts[0], "age", integer=True)))
+    raise ParameterError(
+        f"unknown rotation policy kind {kind!r}; "
+        "known: never, fill, age, adaptive, restore"
+    )
+
+
+class _GuardPolicy(RotationPolicy):
+    """Adapter wrapping a legacy guard object (anything with
+    ``should_rotate``) so pre-policy callers keep working.
+
+    Its ``spec`` is just the name ``"guard"`` and does *not* parse back
+    -- an opaque callable cannot round-trip through the config grammar.
+    """
+
+    name = "guard"
+
+    def __init__(self, guard) -> None:
+        self.guard = guard
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        # The observation exposes hamming_weight/fill_ratio attributes,
+        # which is all filter_state-style guards read.
+        if self.guard.should_rotate(observation):
+            return RotationDecision(rotate=True, reason="guard")
+        return KEEP
+
+
+def policy_from_guard(guard) -> RotationPolicy:
+    """Map a legacy saturation guard onto the policy layer.
+
+    A plain :class:`~repro.service.admission.SaturationGuard` becomes an
+    exact :class:`FillThresholdPolicy`; anything else with a
+    ``should_rotate`` is wrapped as-is.
+    """
+    from repro.service.admission import SaturationGuard
+
+    if isinstance(guard, SaturationGuard):
+        return FillThresholdPolicy(guard.threshold)
+    return _GuardPolicy(guard)

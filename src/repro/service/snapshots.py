@@ -6,9 +6,17 @@ its shard bits) on every deploy hands the adversary a fresh, empty
 filter to measure against.  This module serialises everything a gateway
 accumulates at serving time:
 
-* every shard's filter, via the stable per-filter header of
-  :meth:`repro.core.bloom.BloomFilter.snapshot_bytes`;
-* the rotation log (which shard retired what, at which fill);
+* every shard's filter, via the stable per-filter snapshot header
+  (:meth:`repro.core.bloom.BloomFilter.snapshot_bytes` for bit shards,
+  :meth:`repro.core.counting.CountingBloomFilter.snapshot_bytes` for
+  counting shards -- the payload carries its own magic, so one gateway
+  snapshot mixes families freely);
+* the rotation log (which shard retired what, at which fill, at which
+  operation epoch, under which policy and reason);
+* per-shard lifecycle state (operation age, insert/query/positive
+  counts, restored flag and restore epoch -- the version-2 section that
+  lets :mod:`repro.service.lifecycle` policies keep deciding correctly
+  across a warm restart) plus the gateway-wide operation epoch;
 * per-shard telemetry (counters and both latency histograms).
 
 What is *not* serialised is configuration: shard geometry, routing and
@@ -49,10 +57,15 @@ __all__ = [
 #: Magic bytes opening every gateway snapshot file.
 GATEWAY_MAGIC = b"RGSN"
 #: Version written into new snapshots; bump on any layout change.
-GATEWAY_VERSION = 1
+#: Version 2 added the gateway op-epoch, the per-shard lifecycle section
+#: and the policy/reason fields on rotation events.
+GATEWAY_VERSION = 2
 
-_HEADER = struct.Struct(">4sHII")          # magic, version, shards, rotations
-_ROTATION = struct.Struct(">IQQd")         # shard_id, weight, insertions, fill
+_HEADER = struct.Struct(">4sHIIQ")         # magic, version, shards, rotations, op_epoch
+_ROTATION = struct.Struct(">IQQdQ")        # shard_id, weight, insertions, fill, op_epoch
+_STR_LEN = struct.Struct(">H")             # length prefix of policy/reason strings
+# age_ops, inserts, queries, positives, restored, restore_epoch
+_LIFECYCLE = struct.Struct(">QQQQBQ")
 _COUNTERS = struct.Struct(">QQQQ")         # inserts, queries, positives, rotations
 # count, sum_seconds, one u64 per latency bucket (width shared with
 # telemetry so the formats cannot drift apart).
@@ -65,7 +78,9 @@ class GatewaySnapshot:
     """Parsed form of one gateway snapshot."""
 
     shards: int
+    op_epoch: int
     rotation_log: list["RotationEvent"]
+    lifecycle: list[dict]
     telemetry: list[ShardTelemetry]
     filter_blocks: list[bytes]
 
@@ -75,11 +90,35 @@ def _histogram_state(packed: tuple) -> tuple[int, float, tuple[int, ...]]:
     return count, total, tuple(buckets)
 
 
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise SnapshotError(f"string field of {len(raw)} bytes exceeds the u16 prefix")
+    return _STR_LEN.pack(len(raw)) + raw
+
+
+def _block_geometry(raw: bytes) -> tuple:
+    """(family, geometry...) of one per-shard filter block, dispatched on
+    the block's own magic so bit and counting shards coexist."""
+    from repro.core.bloom import parse_snapshot
+    from repro.core.counting import COUNTING_SNAPSHOT_MAGIC, parse_counting_snapshot
+
+    if raw[:4] == COUNTING_SNAPSHOT_MAGIC:
+        m, k, bits, _, _, _ = parse_counting_snapshot(raw)
+        return ("counting", f"m={m}", f"k={k}", f"counter_bits={bits}")
+    m, k, _, _ = parse_snapshot(raw)
+    return ("bloom", f"m={m}", f"k={k}")
+
+
 def snapshot_gateway(gateway: "MembershipGateway") -> bytes:
     """Serialise ``gateway`` into one warm-restart payload."""
     parts = [
         _HEADER.pack(
-            GATEWAY_MAGIC, GATEWAY_VERSION, gateway.shards, len(gateway.rotation_log)
+            GATEWAY_MAGIC,
+            GATEWAY_VERSION,
+            gateway.shards,
+            len(gateway.rotation_log),
+            gateway.op_epoch,
         )
     ]
     for event in gateway.rotation_log:
@@ -89,9 +128,28 @@ def snapshot_gateway(gateway: "MembershipGateway") -> bytes:
                 event.retired_weight,
                 event.retired_insertions,
                 event.retired_fill,
+                event.op_epoch,
             )
         )
+        parts.append(_pack_str(event.policy))
+        parts.append(_pack_str(event.reason))
     for shard_id, telemetry in enumerate(gateway.telemetry):
+        # The lifecycle section persists the shard's *total* operation
+        # age (gateway base + the backend instance's counter), read in
+        # the same sync probe the stats table uses.
+        life = gateway.lifecycle[shard_id].to_state(
+            gateway.backend.state(shard_id).age_ops
+        )
+        parts.append(
+            _LIFECYCLE.pack(
+                life["age_ops"],
+                life["inserts"],
+                life["queries"],
+                life["positives"],
+                int(life["restored"]),
+                life["restore_epoch"],
+            )
+        )
         state = telemetry.to_state()
         parts.append(
             _COUNTERS.pack(
@@ -123,8 +181,15 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
         pos = end
         return chunk
 
+    def take_str(what: str) -> str:
+        (length,) = _STR_LEN.unpack(take(_STR_LEN.size, f"{what} length"))
+        try:
+            return take(length, what).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SnapshotError(f"{what} is not valid UTF-8") from exc
+
     pos = 0
-    magic, version, shards, rotation_count = _HEADER.unpack(
+    magic, version, shards, rotation_count, op_epoch = _HEADER.unpack(
         take(_HEADER.size, "header")
     )
     if magic != GATEWAY_MAGIC:
@@ -133,20 +198,39 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
         raise SnapshotError(f"unsupported gateway snapshot version {version}")
     rotation_log = []
     for _ in range(rotation_count):
-        shard_id, weight, insertions, fill = _ROTATION.unpack(
+        shard_id, weight, insertions, fill, event_epoch = _ROTATION.unpack(
             take(_ROTATION.size, "rotation event")
         )
+        policy = take_str("rotation policy name")
+        reason = take_str("rotation reason")
         rotation_log.append(
             RotationEvent(
                 shard_id=shard_id,
                 retired_weight=weight,
                 retired_fill=fill,
                 retired_insertions=insertions,
+                op_epoch=event_epoch,
+                policy=policy,
+                reason=reason,
             )
         )
+    lifecycle: list[dict] = []
     telemetry: list[ShardTelemetry] = []
     filter_blocks: list[bytes] = []
     for shard_id in range(shards):
+        age_ops, life_inserts, life_queries, life_positives, restored, restore_epoch = (
+            _LIFECYCLE.unpack(take(_LIFECYCLE.size, f"shard {shard_id} lifecycle"))
+        )
+        lifecycle.append(
+            {
+                "age_ops": age_ops,
+                "inserts": life_inserts,
+                "queries": life_queries,
+                "positives": life_positives,
+                "restored": bool(restored),
+                "restore_epoch": restore_epoch,
+            }
+        )
         inserts, queries, positives, rotations = _COUNTERS.unpack(
             take(_COUNTERS.size, f"shard {shard_id} counters")
         )
@@ -175,7 +259,9 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
         raise SnapshotError(f"{len(raw) - pos} trailing bytes after gateway snapshot")
     return GatewaySnapshot(
         shards=shards,
+        op_epoch=op_epoch,
         rotation_log=rotation_log,
+        lifecycle=lifecycle,
         telemetry=telemetry,
         filter_blocks=filter_blocks,
     )
@@ -185,10 +271,17 @@ def restore_gateway(gateway: "MembershipGateway", raw: bytes) -> None:
     """Load a snapshot into a gateway built from the same config.
 
     Shard filters are restored through the backend (so this works for
-    local and process-pool deployments alike), then the rotation log and
-    telemetry are replaced.  Geometry mismatches abort before the first
-    shard is touched.
+    local and process-pool deployments alike), then the rotation log,
+    lifecycle state and telemetry are replaced.  Geometry mismatches
+    abort before the first shard is touched.
+
+    Shards whose persisted state shows a lived life (non-zero operation
+    age) come back flagged *restored* -- the observation
+    :class:`~repro.service.lifecycle.RotateOnRestorePolicy` expires --
+    with the snapshot's own op-epoch as their restore epoch.
     """
+    from repro.service.lifecycle import ShardLifecycleState
+
     snapshot = parse_gateway_snapshot(raw)
     if snapshot.shards != gateway.shards:
         raise SnapshotError(
@@ -196,24 +289,24 @@ def restore_gateway(gateway: "MembershipGateway", raw: bytes) -> None:
         )
     # Dry-run the geometry check across every block first: restore must
     # be all-or-nothing, and backends validate only at apply time.
-    from repro.core.bloom import parse_snapshot
-
     for shard_id, block in enumerate(snapshot.filter_blocks):
-        m, k, _, _ = parse_snapshot(block)
         # Header-only comparison: export_shard ships the current bits,
-        # but parse_snapshot reads geometry without rebuilding a filter.
-        current_m, current_k, _, _ = parse_snapshot(
-            gateway.backend.export_shard(shard_id)
-        )
-        if (m, k) != (current_m, current_k):
+        # but the geometry probe reads headers without rebuilding.
+        wanted = _block_geometry(block)
+        current = _block_geometry(gateway.backend.export_shard(shard_id))
+        if wanted != current:
             raise SnapshotError(
-                f"shard {shard_id} snapshot is (m={m}, k={k}), "
-                f"gateway shard is (m={current_m}, k={current_k})"
+                f"shard {shard_id} snapshot is {wanted}, gateway shard is {current}"
             )
     for shard_id, block in enumerate(snapshot.filter_blocks):
         gateway.backend.restore_shard(shard_id, block)
     gateway.rotation_log[:] = snapshot.rotation_log
     gateway._telemetry[:] = snapshot.telemetry
+    gateway.op_epoch = snapshot.op_epoch
+    gateway.lifecycle[:] = [
+        ShardLifecycleState.from_state(shard_id, state, restore_epoch=snapshot.op_epoch)
+        for shard_id, state in enumerate(snapshot.lifecycle)
+    ]
 
 
 def save_snapshot(gateway: "MembershipGateway", path: str | Path) -> Path:

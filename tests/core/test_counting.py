@@ -117,3 +117,76 @@ def test_property_deleting_one_item_keeps_others(items):
     removed = items[0]
     cbf.remove(removed)
     assert all(item in cbf for item in items[1:])
+
+
+# ----------------------------------------------------------------------
+# Versioned snapshot header (the deletable-service warm-restart path)
+# ----------------------------------------------------------------------
+
+
+def test_snapshot_round_trip_preserves_counters_and_counts():
+    cbf = CountingBloomFilter(777, 3)
+    for item in ("a", "b", "c", "dup", "dup"):
+        cbf.add(item)
+    cbf.remove("a")
+    raw = cbf.snapshot_bytes()
+
+    rebuilt = CountingBloomFilter.from_snapshot(raw, strategy=cbf.strategy)
+    assert rebuilt.m == 777 and rebuilt.k == 3
+    assert len(rebuilt) == 5 and rebuilt.deletions == 1
+    assert rebuilt.counters.values() == cbf.counters.values()
+    assert "dup" in rebuilt and "a" not in rebuilt
+    # The counter values survive, so a later deletion still works.
+    assert rebuilt.remove("dup") is True
+    assert "dup" in rebuilt  # counted twice, removed once
+
+    in_place = CountingBloomFilter(777, 3, strategy=cbf.strategy)
+    in_place.restore_snapshot(raw)
+    assert in_place.counters.values() == cbf.counters.values()
+
+
+def test_snapshot_preserves_wide_counters():
+    cbf = CountingBloomFilter(64, 2, counter_bits=8)
+    for _ in range(200):
+        cbf.add("hot")
+    raw = cbf.snapshot_bytes()
+    rebuilt = CountingBloomFilter.from_snapshot(raw, strategy=cbf.strategy)
+    assert rebuilt.counters.counter_bits == 8
+    assert rebuilt.counters.values() == cbf.counters.values()
+
+
+def test_snapshot_rejects_corruption_and_mismatch():
+    from repro.exceptions import SnapshotError
+
+    cbf = CountingBloomFilter(128, 3)
+    cbf.add("x")
+    raw = cbf.snapshot_bytes()
+
+    with pytest.raises(SnapshotError, match="magic"):
+        CountingBloomFilter.from_snapshot(b"nope" + raw[4:])
+    with pytest.raises(SnapshotError, match="truncated"):
+        CountingBloomFilter.from_snapshot(raw[:8])
+    with pytest.raises(SnapshotError, match="payload"):
+        CountingBloomFilter.from_snapshot(raw[:-1])
+    with pytest.raises(SnapshotError, match="geometry"):
+        CountingBloomFilter(129, 3).restore_snapshot(raw)
+    with pytest.raises(SnapshotError, match="geometry"):
+        CountingBloomFilter(128, 3, counter_bits=5).restore_snapshot(raw)
+    # A payload with out-of-range counter values is refused cleanly.
+    narrow = CountingBloomFilter(128, 3, counter_bits=2)
+    wide = CountingBloomFilter(128, 3, counter_bits=2)
+    body = bytearray(wide.snapshot_bytes())
+    body[-1] = 9  # above the 2-bit maximum
+    with pytest.raises(SnapshotError, match="corrupt"):
+        narrow.restore_snapshot(bytes(body))
+    # Failed restores leave the filter untouched.
+    assert narrow.counters.values() == [0] * 128
+
+
+def test_restore_keeps_strategy_and_overflow_policy():
+    cbf = CountingBloomFilter(256, 4, overflow=OverflowPolicy.WRAP)
+    cbf.add("item")
+    restored = CountingBloomFilter(256, 4, strategy=cbf.strategy, overflow=OverflowPolicy.WRAP)
+    restored.restore_snapshot(cbf.snapshot_bytes())
+    assert restored.overflow is OverflowPolicy.WRAP
+    assert restored.indexes("item") == cbf.indexes("item")

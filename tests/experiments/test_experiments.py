@@ -21,6 +21,7 @@ def test_registry_covers_every_paper_artifact():
         "analytics",
         "worstcase",
         "service",
+        "rotation_policy_study",
     }
 
 

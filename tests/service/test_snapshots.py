@@ -125,7 +125,23 @@ def test_round_trip_through_process_backend():
         assert asyncio.run(pool.query_batch(URLS[:100])) == asyncio.run(
             local.query_batch(URLS[:100])
         )
-    assert round_tripped == raw
+    before, after = parse_gateway_snapshot(raw), parse_gateway_snapshot(round_tripped)
+    # Bits, telemetry, log and epoch round-trip exactly ...
+    assert after.filter_blocks == before.filter_blocks
+    assert after.rotation_log == before.rotation_log
+    assert after.op_epoch == before.op_epoch
+    assert [t.to_state() for t in after.telemetry] == [
+        t.to_state() for t in before.telemetry
+    ]
+    # ... and the one deliberate difference is lifecycle: shards that
+    # lived through the restore are now flagged restored (mid-life).
+    for was, now in zip(before.lifecycle, after.lifecycle):
+        assert now == {**was, "restored": True, "restore_epoch": before.op_epoch}
+    # A restored gateway's snapshot is a fixed point: restoring *it*
+    # reproduces itself byte for byte.
+    again = MembershipGateway(factory, shards=2, picker=HashShardPicker())
+    restore_gateway(again, round_tripped)
+    assert snapshot_gateway(again) == round_tripped
 
 
 def test_parse_rejects_corruption():
