@@ -2,6 +2,10 @@
 
 * :mod:`~repro.adversary.models` -- the three capability profiles;
 * :mod:`~repro.adversary.crafting` -- the brute-force item forge;
+* :mod:`~repro.adversary.budget` -- the end-to-end resource model: a
+  shared :class:`AttackBudget` (total trials, request rate, deadline)
+  plus the Naor-Yogev-style :class:`AdaptiveQueryStrategy` feeding
+  query answers back into crafting;
 * :mod:`~repro.adversary.pollution` / :mod:`~repro.adversary.saturation`
   -- chosen-insertion attacks (Section 4.1);
 * :mod:`~repro.adversary.query` -- false-positive ghosts and worst-case
@@ -15,6 +19,7 @@
   streams for the experiments.
 """
 
+from repro.adversary.budget import AdaptiveQueryStrategy, AttackBudget, BudgetSpend
 from repro.adversary.crafting import CraftingEngine, CraftResult, expected_trials
 from repro.adversary.deletion import DeletionAttack, DeletionReport
 from repro.adversary.models import (
@@ -70,8 +75,11 @@ from repro.adversary.workload import (
 
 __all__ = [
     "ALL_MODELS",
+    "AdaptiveQueryStrategy",
     "AdversaryGoal",
     "AdversaryModel",
+    "AttackBudget",
+    "BudgetSpend",
     "CHOSEN_INSERTION",
     "CounterOverflowAttack",
     "CraftingEngine",

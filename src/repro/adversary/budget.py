@@ -1,0 +1,385 @@
+"""Budget-modeled adaptive adversary: end-to-end attack resources.
+
+The crafting engines cap the brute-force search *per item*; nothing so
+far models the attacker's campaign as a whole.  That is the gap between
+this repo and the resource-bounded adaptive-adversary game of
+*Bloom Filters in Adversarial Environments* (Naor-Yogev): a real
+attacker pays for every hash trial out of one purse, is throttled on
+how fast it can talk to the service, and has a deadline before the
+defender rotates or the engagement window closes.
+
+This module supplies both halves of that game:
+
+* :class:`AttackBudget` -- one shared resource meter (total hash
+  trials, request-rate ceiling, wall-clock deadline) charged by the
+  crafting layer (:mod:`repro.adversary.crafting` reports every trial
+  against it) and by the traffic driver's transport send path.  Spend is
+  tracked per label, so a replay can state exactly which attack client
+  burned what.
+* :class:`AdaptiveQueryStrategy` -- the feedback loop that makes the
+  adversary *adaptive*: answers from ``query_batch`` flow back into
+  crafting.  A positive answer confirms a ghost (it joins a replay pool
+  that can be re-queried for zero further trials) and promotes its URL
+  prefix (fresh crafting concentrates its candidate stream where the
+  filter has already leaked state).  A pooled ghost answering negative
+  reveals a rotation -- every item in the pool was forged against the
+  retired bits, so the whole pool and its promotions are flushed.
+
+Budgets are deliberately *passive* about requests-vs-trials: running out
+of trials stops crafting but not re-sending already-crafted items (the
+adaptive attacker's whole point), while the deadline and the rate
+ceiling bound the campaign however the spend is split.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Iterator
+
+from repro.exceptions import AttackBudgetExhausted, ParameterError
+from repro.urlgen.faker import UrlFactory
+
+__all__ = ["BudgetSpend", "AttackBudget", "AdaptiveQueryStrategy"]
+
+
+@dataclass(frozen=True)
+class BudgetSpend:
+    """What one labelled client charged against a shared budget."""
+
+    label: str
+    trials: int = 0
+    requests: int = 0
+
+
+class AttackBudget:
+    """Shared resource meter of one attack campaign.
+
+    Parameters
+    ----------
+    max_trials:
+        Total brute-force hash trials across *all* clients and crafting
+        engines sharing this budget; ``None`` means unmetered.
+    requests_per_s:
+        Ceiling on transport operations per second (items, matching the
+        service's own token-bucket accounting); the send path paces
+        itself under it via :meth:`pace`.  ``None`` means unpaced.
+    deadline_s:
+        Wall-clock seconds the campaign may run, measured from the first
+        charge.  Once passed, every *allowance* (:meth:`clamp_trials`)
+        and every :meth:`pace` call raises
+        :class:`~repro.exceptions.AttackBudgetExhausted`; a search
+        already in flight completes and its spend is still recorded --
+        the campaign can overshoot the deadline by at most one clamped
+        search, never start new work past it.
+    clock, sleep:
+        Injectable monotonic clock and async sleep (tests pin both).
+
+    The trial meter is enforced *before* work happens: crafting engines
+    ask :meth:`clamp_trials` for an allowance and can therefore never
+    overspend, and a drained purse raises rather than silently returning
+    zero.
+    """
+
+    def __init__(
+        self,
+        max_trials: int | None = None,
+        requests_per_s: float | None = None,
+        deadline_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ) -> None:
+        if max_trials is not None and max_trials <= 0:
+            raise ParameterError("max_trials must be positive (or None)")
+        if requests_per_s is not None and requests_per_s <= 0:
+            raise ParameterError("requests_per_s must be positive (or None)")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ParameterError("deadline_s must be positive (or None)")
+        self.max_trials = max_trials
+        self.requests_per_s = requests_per_s
+        self.deadline_s = deadline_s
+        self._clock = clock
+        self._sleep = sleep
+        self._started: float | None = None
+        self.trials_spent = 0
+        self.requests_sent = 0
+        self._by_label: dict[str, list[int]] = {}  # label -> [trials, requests]
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _ensure_started(self, now: float) -> float:
+        if self._started is None:
+            self._started = now
+        return self._started
+
+    def _check_deadline(self, now: float) -> None:
+        if self.deadline_s is None or self._started is None:
+            return
+        if now - self._started >= self.deadline_s:
+            raise AttackBudgetExhausted(
+                f"attack deadline of {self.deadline_s:g}s passed"
+            )
+
+    @property
+    def expired(self) -> bool:
+        """True once the wall-clock deadline has passed (never, before
+        the first charge starts the clock)."""
+        if self.deadline_s is None or self._started is None:
+            return False
+        return self._clock() - self._started >= self.deadline_s
+
+    @property
+    def trials_remaining(self) -> int | None:
+        """Trials still in the purse (``None`` when unmetered)."""
+        if self.max_trials is None:
+            return None
+        return max(0, self.max_trials - self.trials_spent)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the trial purse is empty or the deadline passed."""
+        return self.trials_remaining == 0 or self.expired
+
+    def time_remaining(self) -> float | None:
+        """Seconds left before the deadline (``None`` without one)."""
+        if self.deadline_s is None:
+            return None
+        if self._started is None:
+            return self.deadline_s
+        return max(0.0, self.deadline_s - (self._clock() - self._started))
+
+    # -- trial metering (crafting layer) --------------------------------
+
+    def clamp_trials(self, cap: int, label: str = "craft") -> int:
+        """Allowance for one brute-force search: ``cap`` clamped to the
+        trials left in the purse.
+
+        Raises :class:`~repro.exceptions.AttackBudgetExhausted` when the
+        purse is empty or the deadline has passed -- the search must not
+        start at all.  Starts the campaign clock (crafting is the
+        attack's first work).
+        """
+        if cap <= 0:
+            raise ParameterError("cap must be positive")
+        now = self._clock()
+        self._ensure_started(now)
+        self._check_deadline(now)
+        remaining = self.trials_remaining
+        if remaining is None:
+            return cap
+        if remaining == 0:
+            raise AttackBudgetExhausted(
+                f"trial budget of {self.max_trials} exhausted ({label!r})"
+            )
+        return min(cap, remaining)
+
+    def charge_trials(self, trials: int, label: str = "craft") -> None:
+        """Record ``trials`` brute-force candidates spent by ``label``."""
+        if trials < 0:
+            raise ParameterError("trials must be non-negative")
+        self._ensure_started(self._clock())
+        self.trials_spent += trials
+        self._by_label.setdefault(label, [0, 0])[0] += trials
+
+    # -- request pacing (transport send path) ---------------------------
+
+    async def pace(self, requests: int, label: str = "attack") -> None:
+        """Wait until ``requests`` more operations fit under the rate
+        ceiling, then record them against ``label``.
+
+        Raises :class:`~repro.exceptions.AttackBudgetExhausted` once the
+        deadline passes (before or during the wait).  Re-sending
+        already-crafted items goes through here too: trials and requests
+        are separate meters by design.
+        """
+        if requests <= 0:
+            raise ParameterError("requests must be positive")
+        while True:
+            now = self._clock()
+            self._ensure_started(now)
+            self._check_deadline(now)
+            if self.requests_per_s is None:
+                break
+            earliest = self._started + self.requests_sent / self.requests_per_s
+            if now >= earliest:
+                break
+            await self._sleep(earliest - now)
+        self.requests_sent += requests
+        self._by_label.setdefault(label, [0, 0])[1] += requests
+
+    # -- reporting ------------------------------------------------------
+
+    def spend_by_label(self) -> dict[str, BudgetSpend]:
+        """Per-label spend, for the replay report."""
+        return {
+            label: BudgetSpend(label=label, trials=t, requests=r)
+            for label, (t, r) in sorted(self._by_label.items())
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable budget state."""
+        parts = []
+        if self.max_trials is not None:
+            parts.append(f"trials {self.trials_spent}/{self.max_trials}")
+        else:
+            parts.append(f"trials {self.trials_spent}")
+        if self.requests_per_s is not None:
+            parts.append(
+                f"requests {self.requests_sent} @<={self.requests_per_s:g}/s"
+            )
+        else:
+            parts.append(f"requests {self.requests_sent}")
+        if self.deadline_s is not None:
+            left = self.time_remaining()
+            parts.append(f"deadline {self.deadline_s:g}s ({left:.2f}s left)")
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AttackBudget {self.describe()}>"
+
+
+class AdaptiveQueryStrategy:
+    """Feed ``query_batch`` answers back into crafting (Naor-Yogev).
+
+    The strategy owns everything the adaptive attacker has *learned*
+    from the service's answers:
+
+    * ``pool`` -- confirmed ghosts (crafted items the service answered
+      positive).  Re-querying them costs requests but zero trials, so a
+      trial-bounded attacker concentrates its purse on discovery and
+      milks each discovery many times.
+    * promoted prefixes -- each confirmed ghost promotes its URL prefix;
+      :meth:`candidates` biases fresh crafting streams toward promoted
+      prefixes, concentrating the brute-force search where the filter
+      has already leaked state.
+    * rotation detection -- a pooled ghost answering *negative* proves
+      the target's bits changed under the attacker (a rotation); every
+      pooled item and promotion was learned against the retired filter,
+      so :meth:`observe` flushes them all and the campaign restarts its
+      discovery phase.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the internal PRNG that interleaves promoted-prefix and
+        base candidate streams (deterministic campaigns).
+    max_pool, max_prefixes:
+        Memory bounds on confirmed ghosts and promoted prefixes.
+    promoted_share:
+        Fraction of fresh candidates drawn from promoted prefixes once
+        any exist.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_pool: int = 64,
+        max_prefixes: int = 8,
+        promoted_share: float = 0.5,
+    ) -> None:
+        if max_pool <= 0 or max_prefixes <= 0:
+            raise ParameterError("max_pool and max_prefixes must be positive")
+        if not 0 <= promoted_share <= 1:
+            raise ParameterError("promoted_share must be in [0, 1]")
+        self.max_pool = max_pool
+        self.max_prefixes = max_prefixes
+        self.promoted_share = promoted_share
+        self._rng = random.Random(seed)
+        self._pool: list[str] = []
+        self._pooled: set[str] = set()
+        self._prefixes: dict[str, int] = {}  # prefix -> promotion count
+        self._cursor = 0
+        #: Ghosts confirmed positive over the campaign (monotonic).
+        self.confirmed = 0
+        #: Pool flushes = rotations the answers revealed.
+        self.flushes = 0
+
+    @property
+    def pool_size(self) -> int:
+        """Confirmed ghosts currently replayable."""
+        return len(self._pool)
+
+    @property
+    def promoted_prefixes(self) -> tuple[str, ...]:
+        """Currently promoted URL prefixes (discovery-order)."""
+        return tuple(self._prefixes)
+
+    @staticmethod
+    def _prefix_of(item: str) -> str:
+        """A crafted URL's promotable prefix (path minus the uniqueness
+        token the factory appends)."""
+        return item.rsplit("/", 1)[0]
+
+    def observe(self, items: list[str], answers: list[bool]) -> bool:
+        """Digest one sent chunk's answers; True when a rotation was
+        detected (and the learned state flushed)."""
+        flush = False
+        for item, positive in zip(items, answers):
+            if positive:
+                if item not in self._pooled and len(self._pool) < self.max_pool:
+                    self._pool.append(item)
+                    self._pooled.add(item)
+                    self.confirmed += 1
+                    prefix = self._prefix_of(item)
+                    if (
+                        prefix in self._prefixes
+                        or len(self._prefixes) < self.max_prefixes
+                    ):
+                        self._prefixes[prefix] = self._prefixes.get(prefix, 0) + 1
+            elif item in self._pooled:
+                # A confirmed ghost went negative: the bits it was forged
+                # against are gone.  Everything learned is stale.
+                flush = True
+        if flush:
+            self._pool.clear()
+            self._pooled.clear()
+            self._prefixes.clear()
+            self._cursor = 0
+            self.flushes += 1
+        return flush
+
+    def replay_items(self, count: int) -> list[str]:
+        """Up to ``count`` confirmed ghosts to re-send (round-robin over
+        the pool; zero trials per hit)."""
+        if count <= 0 or not self._pool:
+            return []
+        take = min(count, len(self._pool))
+        size = len(self._pool)
+        items = [self._pool[(self._cursor + i) % size] for i in range(take)]
+        self._cursor = (self._cursor + take) % size
+        return items
+
+    def candidates(self, factory: UrlFactory) -> Iterator[str]:
+        """Infinite candidate stream for fresh crafting, concentrated on
+        promoted prefixes.
+
+        With no promotions yet (or after a flush) this is the factory's
+        plain stream; once positives have promoted prefixes, roughly
+        ``promoted_share`` of candidates extend them.  The stream reads
+        the live promotion table every item, so a mid-campaign flush
+        immediately de-concentrates it.
+        """
+        base = factory.candidate_stream()
+        streams: dict[str, Iterator[str]] = {}
+        while True:
+            prefixes = list(self._prefixes)
+            if prefixes and self._rng.random() < self.promoted_share:
+                weights = [self._prefixes[p] for p in prefixes]
+                prefix = self._rng.choices(prefixes, weights=weights, k=1)[0]
+                stream = streams.get(prefix)
+                if stream is None:
+                    stream = streams[prefix] = factory.candidate_stream(
+                        prefix=prefix
+                    )
+                yield next(stream)
+            else:
+                yield next(base)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AdaptiveQueryStrategy pool={self.pool_size} "
+            f"prefixes={len(self._prefixes)} confirmed={self.confirmed} "
+            f"flushes={self.flushes}>"
+        )

@@ -15,10 +15,13 @@ are recorded so the cost figures (paper Figs. 5 and 6) can be rebuilt.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.exceptions import CraftingBudgetExceeded, ParameterError
 from repro.hashing.base import IndexStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adversary.budget import AttackBudget
 
 __all__ = ["CraftResult", "CraftingEngine", "expected_trials"]
 
@@ -68,6 +71,13 @@ class CraftingEngine:
         Hard budget per crafted item; exceeding it raises
         :class:`~repro.exceptions.CraftingBudgetExceeded` rather than
         looping forever.
+    budget:
+        Optional campaign-wide :class:`~repro.adversary.budget.
+        AttackBudget`: every search asks it for an allowance first (so
+        the engine can never overspend the shared purse) and reports the
+        trials actually examined, under ``label``.  A drained purse
+        raises :class:`~repro.exceptions.AttackBudgetExhausted` before
+        the search starts.
     """
 
     def __init__(
@@ -77,6 +87,8 @@ class CraftingEngine:
         m: int,
         candidates: Iterable[str],
         max_trials: int = 5_000_000,
+        budget: "AttackBudget | None" = None,
+        label: str = "craft",
     ) -> None:
         if k <= 0 or m <= 0:
             raise ParameterError("k and m must be positive")
@@ -86,26 +98,48 @@ class CraftingEngine:
         self.k = k
         self.m = m
         self.max_trials = max_trials
+        self.budget = budget
+        self.label = label
         self._candidates: Iterator[str] = iter(candidates)
         #: Total candidates examined over the engine's lifetime.
         self.total_trials = 0
 
+    def _spend(self, trials: int) -> None:
+        self.total_trials += trials
+        if self.budget is not None:
+            self.budget.charge_trials(trials, self.label)
+
     def craft(self, predicate: Callable[[tuple[int, ...]], bool]) -> CraftResult:
         """Return the first candidate whose indexes satisfy ``predicate``."""
-        for trial in range(1, self.max_trials + 1):
+        cap = self.max_trials
+        if self.budget is not None:
+            cap = self.budget.clamp_trials(cap, self.label)
+        for trial in range(1, cap + 1):
             try:
                 item = next(self._candidates)
             except StopIteration as exc:  # pragma: no cover - defensive
+                self._spend(trial - 1)
                 raise CraftingBudgetExceeded(
                     "candidate stream exhausted", trials=trial - 1
                 ) from exc
             indexes = self.strategy.indexes(item, self.k, self.m)
             if predicate(indexes):
-                self.total_trials += trial
+                self._spend(trial)
                 return CraftResult(item=item, indexes=indexes, trials=trial)
-        self.total_trials += self.max_trials
+        self._spend(cap)
+        if cap < self.max_trials and self.budget is not None:
+            # The search was cut short by the shared purse, and the purse
+            # is now empty: this is campaign exhaustion, not a per-item
+            # failure the caller should shrug off and retry.
+            from repro.exceptions import AttackBudgetExhausted
+
+            raise AttackBudgetExhausted(
+                f"trial budget drained mid-search ({self.label!r}, "
+                f"last {cap} trials spent without success)",
+                trials=cap,
+            )
         raise CraftingBudgetExceeded(
-            f"no satisfying item within {self.max_trials} trials", trials=self.max_trials
+            f"no satisfying item within {cap} trials", trials=cap
         )
 
     def craft_many(

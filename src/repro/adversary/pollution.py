@@ -95,6 +95,9 @@ class PollutionAttack:
         Candidate item stream; defaults to seeded fake URLs.
     max_trials:
         Per-item brute-force budget.
+    budget:
+        Optional campaign-wide :class:`~repro.adversary.budget.
+        AttackBudget` every trial is charged against (under ``label``).
     """
 
     def __init__(
@@ -103,13 +106,21 @@ class PollutionAttack:
         candidates: Iterable[str] | None = None,
         max_trials: int = 5_000_000,
         seed: int = 0x5EED,
+        budget=None,
+        label: str = "pollution",
     ) -> None:
         self.target = target
         self._is_set = bit_oracle(target)
         if candidates is None:
             candidates = UrlFactory(seed=seed).candidate_stream()
         self.engine = CraftingEngine(
-            target.strategy, target.k, target.m, candidates, max_trials
+            target.strategy,
+            target.k,
+            target.m,
+            candidates,
+            max_trials,
+            budget=budget,
+            label=label,
         )
 
     def _predicate(self, indexes: tuple[int, ...]) -> bool:

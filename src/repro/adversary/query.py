@@ -46,7 +46,11 @@ def false_positive_success_probability(m: int, weight: int, k: int) -> float:
 
 
 class GhostForgery:
-    """Craft items the filter wrongly believes present (eq. 8)."""
+    """Craft items the filter wrongly believes present (eq. 8).
+
+    ``budget``/``label`` optionally charge every brute-force trial
+    against a campaign-wide :class:`~repro.adversary.budget.AttackBudget`.
+    """
 
     def __init__(
         self,
@@ -54,13 +58,21 @@ class GhostForgery:
         candidates: Iterable[str] | None = None,
         max_trials: int = 5_000_000,
         seed: int = 0x6057,
+        budget=None,
+        label: str = "ghost",
     ) -> None:
         self.target = target
         self._is_set = bit_oracle(target)
         if candidates is None:
             candidates = UrlFactory(seed=seed).candidate_stream()
         self.engine = CraftingEngine(
-            target.strategy, target.k, target.m, candidates, max_trials
+            target.strategy,
+            target.k,
+            target.m,
+            candidates,
+            max_trials,
+            budget=budget,
+            label=label,
         )
 
     def _predicate(self, indexes: tuple[int, ...]) -> bool:
@@ -96,13 +108,21 @@ class LatencyQueryForgery:
         candidates: Iterable[str] | None = None,
         max_trials: int = 5_000_000,
         seed: int = 0x7A7E,
+        budget=None,
+        label: str = "latency",
     ) -> None:
         self.target = target
         self._is_set = bit_oracle(target)
         if candidates is None:
             candidates = UrlFactory(seed=seed).candidate_stream()
         self.engine = CraftingEngine(
-            target.strategy, target.k, target.m, candidates, max_trials
+            target.strategy,
+            target.k,
+            target.m,
+            candidates,
+            max_trials,
+            budget=budget,
+            label=label,
         )
 
     def _predicate(self, indexes: tuple[int, ...]) -> bool:

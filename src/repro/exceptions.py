@@ -32,6 +32,26 @@ class CraftingBudgetExceeded(ReproError):
         self.trials = trials
 
 
+class AttackBudgetExhausted(ReproError):
+    """The adversary's end-to-end :class:`~repro.adversary.budget.
+    AttackBudget` ran dry (total trials spent or deadline passed).
+
+    Distinct from :class:`CraftingBudgetExceeded`, which is the *per-item*
+    search cap: that one means "this item was too expensive", this one
+    means "the campaign is over".
+
+    Attributes
+    ----------
+    trials:
+        Trials spent by the search that hit the wall (0 when the purse
+        was already empty before any work started).
+    """
+
+    def __init__(self, message: str, trials: int = 0):
+        super().__init__(message)
+        self.trials = trials
+
+
 class CounterOverflowError(ReproError):
     """A counting-filter counter overflowed under the ``RAISE`` policy."""
 

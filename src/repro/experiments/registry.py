@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.experiments import (
+    adaptive_budget_study,
     analytics_checks,
     fig3_false_positive,
     fig5_pollution_cost,
@@ -36,6 +37,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "worstcase": worst_case_params.run,
     "service": service_throughput.run,
     "rotation_policy_study": rotation_policy_study.run,
+    "adaptive_budget_study": adaptive_budget_study.run,
 }
 
 

@@ -27,7 +27,10 @@ restartable:
   bits, the rotation log and telemetry;
 * :mod:`repro.service.driver` -- a concurrent traffic driver replaying
   honest + adversarial workloads over any transport and reporting
-  attack amplification.
+  attack amplification; its four attack clients can share one
+  :class:`~repro.adversary.budget.AttackBudget` (total trials, request
+  rate, deadline -- the :class:`AttackBudgetConfig` literal), with the
+  adaptive-ghost client feeding answers back into crafting.
 """
 
 from repro.service.admission import (
@@ -44,7 +47,7 @@ from repro.service.backends import (
     ShardState,
 )
 from repro.service.client import MembershipClient
-from repro.service.config import ServiceConfig
+from repro.service.config import AttackBudgetConfig, ServiceConfig
 from repro.service.driver import (
     AdversarialTrafficDriver,
     ServiceTransport,
@@ -84,6 +87,7 @@ from repro.service.telemetry import (
 __all__ = [
     "AdaptivePositiveRatePolicy",
     "AdversarialTrafficDriver",
+    "AttackBudgetConfig",
     "BatchReply",
     "ClientRateLimiter",
     "FillThresholdPolicy",

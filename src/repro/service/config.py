@@ -1,10 +1,16 @@
-"""Configuration bundle for the membership gateway.
+"""Configuration bundles for the membership gateway and its adversary.
 
 One frozen dataclass holds every deployment knob -- shard geometry,
 routing mode, admission limits, the saturation threshold -- so an
 experiment or demo can describe a whole service in one literal and
 rebuild it with ``MembershipGateway.from_config`` (identically, provided
 any keyed modes pin their keys; unpinned keys are drawn fresh per build).
+
+:class:`AttackBudgetConfig` is the adversary-side counterpart: the
+resource bounds of one attack campaign (total trials, request rate,
+deadline, query strategy) as a validated literal, so an experiment can
+sweep budgets the same way it sweeps service configs and ``build()``
+fresh :class:`~repro.adversary.budget.AttackBudget` meters per run.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.exceptions import ParameterError
 
-__all__ = ["ServiceConfig"]
+__all__ = ["ServiceConfig", "AttackBudgetConfig"]
 
 
 @dataclass(frozen=True)
@@ -35,9 +41,10 @@ class ServiceConfig:
     rotation_policy:
         Shard lifecycle policy spec (see :func:`~repro.service.
         lifecycle.parse_policy`): ``"fill:0.5"``, ``"age:4000"``,
-        ``"adaptive:0.8:32"``, ``"restore:2000+fill:0.5"`` or
-        ``"never"``.  Wins over ``rotation_threshold`` when both are
-        set; ``None`` falls back to the legacy knob.
+        ``"adaptive:0.8:32"`` (or windowed ``"adaptive:0.8:32:128"``),
+        ``"restore:2000+fill:0.5"`` or ``"never"``.  Wins over
+        ``rotation_threshold`` when both are set; ``None`` falls back to
+        the legacy knob.
     rate_limit:
         Per-client admitted operations per second; ``None`` means
         unlimited.
@@ -108,3 +115,75 @@ class ServiceConfig:
     def total_bits(self) -> int:
         """Bits held across all shards."""
         return self.shards * self.shard_m
+
+
+@dataclass(frozen=True)
+class AttackBudgetConfig:
+    """Resource bounds of one attack campaign, as a frozen literal.
+
+    Parameters
+    ----------
+    max_trials:
+        Total brute-force hash trials across all attack clients sharing
+        the campaign (``None`` = unmetered).
+    requests_per_s:
+        Transport request-rate ceiling the attacker self-paces under
+        (``None`` = unpaced).
+    deadline_s:
+        Wall-clock seconds from the first charge before every budget
+        operation raises (``None`` = open-ended).
+    strategy:
+        ``"static"`` (craft every query fresh) or ``"adaptive"`` (feed
+        answers back: replay confirmed ghosts, promote their prefixes).
+        The driver maps it onto the ``ghost_queries`` vs
+        ``adaptive_ghost_queries`` workload knobs.
+
+    The config is hashable and comparable (sweep axes in experiments);
+    :meth:`build` mints a fresh, independently-metered
+    :class:`~repro.adversary.budget.AttackBudget` per call.
+    """
+
+    max_trials: int | None = None
+    requests_per_s: float | None = None
+    deadline_s: float | None = None
+    strategy: str = "static"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("static", "adaptive"):
+            raise ParameterError(
+                f"strategy must be 'static' or 'adaptive', got {self.strategy!r}"
+            )
+        if self.max_trials is not None and self.max_trials <= 0:
+            raise ParameterError("max_trials must be positive (or None)")
+        if self.requests_per_s is not None and self.requests_per_s <= 0:
+            raise ParameterError("requests_per_s must be positive (or None)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ParameterError("deadline_s must be positive (or None)")
+
+    @property
+    def adaptive(self) -> bool:
+        """True for the answer-feedback strategy."""
+        return self.strategy == "adaptive"
+
+    def build(self, **overrides):
+        """A fresh :class:`~repro.adversary.budget.AttackBudget` with
+        these bounds (``overrides`` reach the constructor, e.g. a pinned
+        test clock)."""
+        from repro.adversary.budget import AttackBudget
+
+        return AttackBudget(
+            max_trials=self.max_trials,
+            requests_per_s=self.requests_per_s,
+            deadline_s=self.deadline_s,
+            **overrides,
+        )
+
+    def describe(self) -> str:
+        """Short label for experiment tables (e.g. ``"3000t@2000/s"``)."""
+        trials = f"{self.max_trials}t" if self.max_trials is not None else "inf"
+        parts = [trials]
+        if self.requests_per_s is not None:
+            parts.append(f"@{self.requests_per_s:g}/s")
+        if self.deadline_s is not None:
+            parts.append(f"<{self.deadline_s:g}s")
+        return "".join(parts)

@@ -29,6 +29,22 @@ so the identical seeded workload replays over TCP against a local or
 process-pool backend and the serving overhead becomes measurable.  The
 white-box crafting state is always read from the gateway itself: the
 paper's adversary knows the filter, however the traffic travels.
+
+The adversary is resource-bounded end to end: hand the driver an
+:class:`~repro.adversary.budget.AttackBudget` and all four attack
+clients (pollution, ghost, latency, adaptive-ghost) draw from the one
+purse -- every brute-force trial is charged by the crafting layer,
+every sent item is paced under the request-rate ceiling, and the
+wall-clock deadline ends the campaign.  The adaptive-ghost client plays
+the Naor-Yogev game: answers from ``query_batch`` feed an
+:class:`~repro.adversary.budget.AdaptiveQueryStrategy` whose confirmed
+ghosts are re-sent for zero further trials and whose promoted prefixes
+concentrate fresh crafting, until a negative answer on a confirmed
+ghost betrays a rotation and flushes everything learned.
+
+Rate-limited chunks are *retried* (bounded), never silently skipped:
+delivered work, throttled attempts and retry-cap drops are all
+accounted separately, so budget arithmetic stays honest.
 """
 
 from __future__ import annotations
@@ -38,9 +54,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro.adversary.budget import AdaptiveQueryStrategy, AttackBudget
 from repro.adversary.pollution import PollutionAttack
 from repro.adversary.query import GhostForgery, LatencyQueryForgery
-from repro.exceptions import CraftingBudgetExceeded, ParameterError
+from repro.exceptions import (
+    AttackBudgetExhausted,
+    CraftingBudgetExceeded,
+    ParameterError,
+)
 from repro.service.admission import RateLimited
 from repro.service.gateway import MembershipGateway
 from repro.service.sharding import ShardPicker
@@ -71,18 +92,35 @@ class TrafficReport:
     honest_inserts: int = 0
     honest_queries: int = 0
     rate_limited: int = 0
+    #: Items abandoned after the bounded retry cap ran out (explicit
+    #: drops -- never silently folded into delivered counts).
+    send_dropped: int = 0
     pollution_crafted: int = 0
     pollution_trials: int = 0
     crafting_exhausted: int = 0
+    #: Attack clients whose campaign hit the shared AttackBudget's wall
+    #: (trials drained or deadline passed), at most once per client --
+    #: an adaptive client that loses crafting but keeps replaying its
+    #: confirmed pool still counts.
+    budget_exhausted: int = 0
     ghost_crafted: int = 0
     ghost_queries: int = 0
     ghost_hits: int = 0
+    #: The adaptive-ghost client's campaign (the Naor-Yogev player).
+    adaptive_crafted: int = 0
+    adaptive_queries: int = 0
+    adaptive_hits: int = 0
+    adaptive_resends: int = 0
+    adaptive_flushes: int = 0
     latency_crafted: int = 0
     latency_queries: int = 0
     latency_probes_touched: int = 0
     probe_queries: int = 0
     probe_false_positives: int = 0
     rotations: int = 0
+    #: Per-attack-client spend against the shared budget:
+    #: label -> {"trials": n, "requests": r}.  Empty without a budget.
+    budget_spend: dict[str, dict[str, int]] = field(default_factory=dict)
     #: Machine-readable rotation reasons -> count (from the lifecycle
     #: policy's decisions during this replay).
     rotation_reasons: dict[str, int] = field(default_factory=dict)
@@ -111,6 +149,22 @@ class TrafficReport:
         return self.ghost_hits / self.ghost_queries if self.ghost_queries else 0.0
 
     @property
+    def adaptive_hit_rate(self) -> float:
+        """Fraction of adaptive-ghost queries answered present."""
+        if not self.adaptive_queries:
+            return 0.0
+        return self.adaptive_hits / self.adaptive_queries
+
+    def hits_per_kilotrial(self, label: str) -> float:
+        """Ghost hits per 1000 budgeted trials for one attack client --
+        the study's efficiency figure (0.0 without budget accounting)."""
+        spend = self.budget_spend.get(label)
+        if not spend or not spend.get("trials"):
+            return 0.0
+        hits = self.adaptive_hits if label == "adaptive" else self.ghost_hits
+        return 1000.0 * hits / spend["trials"]
+
+    @property
     def latency_mean_probes(self) -> float:
         """Mean bit positions a short-circuit query walks per crafted
         worst-case-latency item (k for a k-index filter, by design)."""
@@ -121,24 +175,34 @@ class TrafficReport:
     @property
     def amplification(self) -> float:
         """Ghost hit rate over the honest FP base rate (floored at one
-        probe's resolution so an all-negative probe set stays finite)."""
-        if not self.ghost_queries:
+        probe's resolution so an all-negative probe set stays finite).
+
+        With zero probe queries there is no honest baseline at all, so
+        the ratio is undefined; 0.0 is returned (and :meth:`render` says
+        so) rather than passing the raw hit rate off as "amplification
+        x1-denominated"."""
+        if not self.ghost_queries or not self.probe_queries:
             return 0.0
-        floor = 1.0 / self.probe_queries if self.probe_queries else 1.0
+        floor = 1.0 / self.probe_queries
         return self.ghost_hit_rate / max(self.honest_fp_rate, floor)
 
     def render(self) -> str:
         """Human-readable replay summary plus the per-shard table."""
+        amplification = (
+            "no probe baseline (amplification undefined)"
+            if not self.probe_queries
+            else f"honest FP rate {self.honest_fp_rate:.4f}, "
+            f"amplification x{self.amplification:,.0f}"
+        )
         lines = [
             f"elapsed: {self.elapsed_s:.3f}s  "
             f"ops: {self.operations}  throughput: {self.throughput:,.0f} ops/s",
             f"honest: {self.honest_inserts} inserts, {self.honest_queries} queries"
-            f"  rate-limited: {self.rate_limited}",
+            f"  rate-limited: {self.rate_limited}"
+            f"  dropped after retries: {self.send_dropped}",
             f"pollution: {self.pollution_crafted} crafted "
             f"({self.pollution_trials} trials, {self.crafting_exhausted} exhausted)",
-            f"ghosts: {self.ghost_hits}/{self.ghost_queries} hit "
-            f"(honest FP rate {self.honest_fp_rate:.4f}, "
-            f"amplification x{self.amplification:,.0f})",
+            f"ghosts: {self.ghost_hits}/{self.ghost_queries} hit ({amplification})",
             f"latency queries: {self.latency_queries} sent "
             f"({self.latency_mean_probes:.1f} probes walked/crafted item)",
             f"rotations: {self.rotations}"
@@ -149,9 +213,28 @@ class TrafficReport:
                 if self.rotation_reasons
                 else ""
             ),
-            "",
-            render_snapshots(self.snapshots),
         ]
+        if self.adaptive_queries:
+            lines.insert(
+                5,
+                f"adaptive ghosts: {self.adaptive_hits}/{self.adaptive_queries} hit "
+                f"({self.adaptive_resends} re-sent from the confirmed pool, "
+                f"{self.adaptive_flushes} rotation flush(es))",
+            )
+        if self.budget_spend:
+            spend = ", ".join(
+                f"{label}: {counts['trials']} trials / {counts['requests']} requests"
+                for label, counts in self.budget_spend.items()
+            )
+            lines.append(
+                f"attack budget spend: {spend}"
+                + (
+                    f"  (stopped {self.budget_exhausted} client(s))"
+                    if self.budget_exhausted
+                    else ""
+                )
+            )
+        lines += ["", render_snapshots(self.snapshots)]
         return "\n".join(lines)
 
 
@@ -181,6 +264,16 @@ class AdversarialTrafficDriver:
         Carrier of the actual traffic; defaults to the gateway itself
         (in-process).  Pass a :class:`~repro.service.client.
         MembershipClient` to replay the same workload over TCP.
+    budget:
+        Optional shared :class:`~repro.adversary.budget.AttackBudget`
+        all attack clients draw from: crafting charges trials, the send
+        path paces and counts requests, the deadline ends the campaign.
+        Honest clients and the measurement probe are never charged.
+    send_retries:
+        Bounded retry cap after :class:`RateLimited` rejections; past
+        it a chunk is dropped and counted in ``send_dropped`` (so a
+        saturated limiter can never hang the replay, and nothing is
+        dropped silently).
     """
 
     def __init__(
@@ -192,9 +285,13 @@ class AdversarialTrafficDriver:
         craft_chunk: int = 8,
         backoff: float = 0.01,
         transport: ServiceTransport | None = None,
+        budget: AttackBudget | None = None,
+        send_retries: int = 25,
     ) -> None:
         if craft_chunk <= 0:
             raise ParameterError("craft_chunk must be positive")
+        if send_retries < 0:
+            raise ParameterError("send_retries must be non-negative")
         self.gateway = gateway
         self.transport: ServiceTransport = transport if transport is not None else gateway
         self.seed = seed
@@ -202,18 +299,23 @@ class AdversarialTrafficDriver:
         self.max_trials = max_trials
         self.craft_chunk = craft_chunk
         self.backoff = backoff
+        self.budget = budget
+        self.send_retries = send_retries
 
     # ------------------------------------------------------------------
     # Adversarial crafting
     # ------------------------------------------------------------------
 
-    def _routed_candidates(self, factory: UrlFactory, shard_id: int):
-        """Candidate URLs the *attacker's* router maps to ``shard_id``."""
+    def _routed(self, candidates, shard_id: int):
+        """Filter any candidate stream down to URLs the *attacker's*
+        router maps to ``shard_id``."""
         pick = self.attacker_router.pick
         shards = self.gateway.shards
-        return (
-            url for url in factory.candidate_stream() if pick(url, shards) == shard_id
-        )
+        return (url for url in candidates if pick(url, shards) == shard_id)
+
+    def _routed_candidates(self, factory: UrlFactory, shard_id: int):
+        """Candidate URLs the *attacker's* router maps to ``shard_id``."""
+        return self._routed(factory.candidate_stream(), shard_id)
 
     def craft_pollution(
         self, shard_id: int, count: int, report: TrafficReport, seed_offset: int = 0
@@ -225,6 +327,7 @@ class AdversarialTrafficDriver:
             self.gateway.shard_view(shard_id),
             candidates=self._routed_candidates(factory, shard_id),
             max_trials=self.max_trials,
+            budget=self.budget,
         )
         items: list[str] = []
         for _ in range(count):
@@ -233,6 +336,17 @@ class AdversarialTrafficDriver:
             except CraftingBudgetExceeded as exc:
                 report.crafting_exhausted += 1
                 report.pollution_trials += exc.trials
+                break
+            except AttackBudgetExhausted as exc:
+                # Trials spent by the aborted search were charged to the
+                # budget, so the report must see them too -- the two
+                # ledgers stay reconcilable.
+                report.pollution_trials += exc.trials
+                # Items crafted before the purse ran dry are paid for;
+                # return them for sending.  An empty batch propagates so
+                # the attack loop can record the stop.
+                if not items:
+                    raise
                 break
             items.append(result.item)
             report.pollution_trials += result.trials
@@ -249,6 +363,7 @@ class AdversarialTrafficDriver:
             self.gateway.shard_view(shard_id),
             candidates=self._routed_candidates(factory, shard_id),
             max_trials=self.max_trials,
+            budget=self.budget,
         )
         items: list[str] = []
         for _ in range(count):
@@ -257,7 +372,43 @@ class AdversarialTrafficDriver:
             except CraftingBudgetExceeded:
                 report.crafting_exhausted += 1
                 break
+            except AttackBudgetExhausted:
+                if not items:
+                    raise
+                break
         report.ghost_crafted += len(items)
+        return items
+
+    def craft_adaptive_ghosts(
+        self,
+        shard_id: int,
+        count: int,
+        strategy: AdaptiveQueryStrategy,
+        report: TrafficReport,
+        seed_offset: int = 0,
+    ) -> list[str]:
+        """Craft up to ``count`` fresh ghosts with the adaptive
+        strategy's candidate stream (concentrated on promoted prefixes)."""
+        factory = UrlFactory(seed=self.seed ^ 0xADA9 ^ seed_offset)
+        forgery = GhostForgery(
+            self.gateway.shard_view(shard_id),
+            candidates=self._routed(strategy.candidates(factory), shard_id),
+            max_trials=self.max_trials,
+            budget=self.budget,
+            label="adaptive",
+        )
+        items: list[str] = []
+        for _ in range(count):
+            try:
+                items.append(forgery.craft_one().item)
+            except CraftingBudgetExceeded:
+                report.crafting_exhausted += 1
+                break
+            except AttackBudgetExhausted:
+                if not items:
+                    raise
+                break
+        report.adaptive_crafted += len(items)
         return items
 
     def craft_latency_queries(
@@ -271,6 +422,7 @@ class AdversarialTrafficDriver:
             view,
             candidates=self._routed_candidates(factory, shard_id),
             max_trials=self.max_trials,
+            budget=self.budget,
         )
         items: list[str] = []
         for _ in range(count):
@@ -278,6 +430,10 @@ class AdversarialTrafficDriver:
                 item = forgery.craft_one().item
             except CraftingBudgetExceeded:
                 report.crafting_exhausted += 1
+                break
+            except AttackBudgetExhausted:
+                if not items:
+                    raise
                 break
             items.append(item)
             report.latency_probes_touched += forgery.probes_touched(view.indexes(item))
@@ -287,6 +443,36 @@ class AdversarialTrafficDriver:
     # ------------------------------------------------------------------
     # Client coroutines
     # ------------------------------------------------------------------
+
+    async def _deliver(
+        self,
+        send,
+        items: list[str],
+        report: TrafficReport,
+        label: str | None = None,
+    ) -> list[bool] | None:
+        """Carry one chunk over the transport, retrying on admission.
+
+        A :class:`RateLimited` rejection backs off and *retries the same
+        chunk* -- rate-limited traffic used to be silently dropped while
+        still counted as delivered, which made any budget arithmetic
+        wrong.  The retry cap (``send_retries``) bounds the loop so a
+        saturated limiter cannot hang the replay; past it the chunk is
+        dropped explicitly into ``report.send_dropped`` and ``None`` is
+        returned.  Attack chunks (``label`` set) are paced and counted
+        against the shared budget per attempt -- a rejected request was
+        still sent.
+        """
+        for _ in range(self.send_retries + 1):
+            if label is not None and self.budget is not None:
+                await self.budget.pace(len(items), label)
+            try:
+                return await send(items)
+            except RateLimited:
+                report.rate_limited += len(items)
+                await asyncio.sleep(self.backoff)
+        report.send_dropped += len(items)
+        return None
 
     async def _honest_client(
         self,
@@ -305,17 +491,15 @@ class AdversarialTrafficDriver:
         while attempted < inserts:
             size = min(batch, inserts - attempted)
             chunk = factory.urls(size)
-            try:
-                await transport.insert_batch(chunk, client=client)
+            answers = await self._deliver(
+                lambda items: transport.insert_batch(items, client=client),
+                chunk,
+                report,
+            )
+            if answers is not None:
                 inserted.extend(chunk)
                 report.honest_inserts += size
                 report.operations += size
-            except RateLimited:
-                # Dropped, not retried: progress must not depend on
-                # admission, so a throttled client sheds load instead
-                # of queueing it.
-                report.rate_limited += size
-                await asyncio.sleep(self.backoff)
             attempted += size
             await asyncio.sleep(0)
         sent = 0
@@ -325,13 +509,14 @@ class AdversarialTrafficDriver:
             known = inserted[sent % max(len(inserted), 1) :][:half] if inserted else []
             fresh = factory.urls(size - len(known))
             chunk = known + fresh
-            try:
-                await transport.query_batch(chunk, client=client)
+            answers = await self._deliver(
+                lambda items: transport.query_batch(items, client=client),
+                chunk,
+                report,
+            )
+            if answers is not None:
                 report.honest_queries += len(chunk)
                 report.operations += len(chunk)
-            except RateLimited:
-                report.rate_limited += len(chunk)
-                await asyncio.sleep(self.backoff)
             sent += size
             await asyncio.sleep(0)
 
@@ -342,15 +527,22 @@ class AdversarialTrafficDriver:
         craft,
         send,
         on_sent=None,
+        label: str = "attack",
     ) -> None:
         """Shared craft/send/backoff chunk loop of every attack client.
 
         ``craft(size, chunk_index)`` re-binds to the live shard filter
         each chunk (so rotations reset the adversary's knowledge),
-        ``send(items)`` carries one crafted chunk over the transport, and
-        ``on_sent(items, answers)`` does the per-attack accounting; the
-        admitted-operation and rate-limited bookkeeping is identical for
-        all of them and lives here once.
+        ``send(items)`` carries one crafted chunk over the transport
+        (retried on admission, paced under the budget's rate ceiling),
+        and ``on_sent(items, answers)`` does the per-attack accounting;
+        the admitted-operation / rate-limited / budget bookkeeping is
+        identical for all of them and lives here once.  A drained
+        :class:`~repro.adversary.budget.AttackBudget` (trials or
+        deadline) ends the client, is counted once in
+        ``report.budget_exhausted``, and is reported back (``True``) so
+        a caller that already absorbed an earlier budget wall can avoid
+        counting the same client twice.
         """
         chunk = self.craft_chunk
         if self.gateway.max_batch is not None:
@@ -359,20 +551,26 @@ class AdversarialTrafficDriver:
         chunk_index = 0
         while sent < count:
             size = min(chunk, count - sent)
-            items = craft(size, chunk_index)
+            try:
+                items = craft(size, chunk_index)
+            except AttackBudgetExhausted:
+                report.budget_exhausted += 1
+                return True
             chunk_index += 1
             if not items:
                 break
             try:
-                answers = await send(items)
+                answers = await self._deliver(send, items, report, label=label)
+            except AttackBudgetExhausted:
+                report.budget_exhausted += 1
+                return True
+            if answers is not None:
                 if on_sent is not None:
                     on_sent(items, answers)
                 report.operations += len(items)
-            except RateLimited:
-                report.rate_limited += len(items)
-                await asyncio.sleep(self.backoff)
             sent += len(items)
             await asyncio.sleep(0)
+        return False
 
     async def _pollution_client(
         self, target_shard: int, count: int, report: TrafficReport
@@ -385,6 +583,7 @@ class AdversarialTrafficDriver:
                 target_shard, size, report, seed_offset=index
             ),
             send=lambda items: self.transport.insert_batch(items, client="attacker"),
+            label="pollution",
         )
 
     async def _wait_for_fill(self, shard_id: int, min_fill: float) -> None:
@@ -392,10 +591,15 @@ class AdversarialTrafficDriver:
 
         Forging cost per item is ~``fill^-k`` trials, so crafting against
         a near-empty shard would burn the whole trial budget; honest and
-        pollution traffic raise the fill first.
+        pollution traffic raise the fill first.  The 5 s bound is real
+        wall clock (``time.monotonic``): each iteration's off-thread
+        state probe can take arbitrarily long on a busy process backend,
+        so counting iterations would stretch the bound unboundedly.
         """
-        waited = 0.0
-        while waited < 5.0:
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if self.budget is not None and self.budget.expired:
+                break  # campaign over: nothing left to wait for
             # Off-thread: a process backend answers over a pipe that may
             # be busy with an in-flight batch, and this poll must not
             # stall the event loop (and with it, that very batch).
@@ -403,7 +607,6 @@ class AdversarialTrafficDriver:
             if state.fill_ratio >= min_fill:
                 break
             await asyncio.sleep(0.005)
-            waited += 0.005
 
     async def _ghost_client(
         self,
@@ -427,7 +630,73 @@ class AdversarialTrafficDriver:
             ),
             send=lambda items: self.transport.query_batch(items, client="ghost"),
             on_sent=on_sent,
+            label="ghost",
         )
+
+    async def _adaptive_ghost_client(
+        self,
+        target_shard: int,
+        count: int,
+        min_fill: float,
+        report: TrafficReport,
+    ) -> None:
+        """The Naor-Yogev player: ghost queries with answer feedback.
+
+        Every answer flows into an :class:`~repro.adversary.budget.
+        AdaptiveQueryStrategy`: confirmed ghosts are re-sent (zero
+        further trials per hit), their prefixes concentrate fresh
+        crafting, and a negative answer on a confirmed ghost (a
+        rotation's fingerprint) flushes the learned state.  Under a
+        trial-bounded budget this client keeps milking its confirmed
+        pool after crafting becomes unaffordable -- exactly the
+        adaptive advantage the static ghost client lacks.
+        """
+        await self._wait_for_fill(target_shard, min_fill)
+        strategy = AdaptiveQueryStrategy(seed=self.seed ^ 0xADA7)
+        trials_gone = False
+
+        def craft(size: int, index: int) -> list[str]:
+            nonlocal trials_gone
+            # Keep discovering while trials last (at least a quarter of
+            # each chunk fresh), otherwise replay the confirmed pool.
+            fresh_want = 0 if trials_gone else max(1, size // 4)
+            resend = strategy.replay_items(size - fresh_want)
+            fresh: list[str] = []
+            want = size - len(resend)
+            if want and not trials_gone:
+                try:
+                    fresh = self.craft_adaptive_ghosts(
+                        target_shard, want, strategy, report, seed_offset=index
+                    )
+                except AttackBudgetExhausted:
+                    # Latch and keep replaying; the client is counted as
+                    # budget-hit once, after the loop (never double-
+                    # counted if the deadline later ends the loop too).
+                    trials_gone = True
+                if len(fresh) < want:
+                    # Crafting came up short: top the chunk up from the
+                    # pool rather than shrinking the request stream.
+                    resend += strategy.replay_items(want - len(fresh))
+            report.adaptive_resends += len(resend)
+            return resend + fresh
+
+        def on_sent(items: list[str], answers: list[bool]) -> None:
+            report.adaptive_queries += len(items)
+            report.adaptive_hits += sum(answers)
+            strategy.observe(items, answers)
+
+        stopped = await self._attack_loop(
+            count,
+            report,
+            craft=craft,
+            send=lambda items: self.transport.query_batch(items, client="adaptive"),
+            on_sent=on_sent,
+            label="adaptive",
+        )
+        if trials_gone and not stopped:
+            # Crafting hit the wall even though pool replay carried on.
+            report.budget_exhausted += 1
+        report.adaptive_flushes += strategy.flushes
 
     async def _latency_client(
         self,
@@ -456,6 +725,7 @@ class AdversarialTrafficDriver:
             ),
             send=lambda items: self.transport.query_batch(items, client="latency"),
             on_sent=on_sent,
+            label="latency",
         )
 
     # ------------------------------------------------------------------
@@ -471,6 +741,8 @@ class AdversarialTrafficDriver:
         pollution_inserts: int = 120,
         ghost_queries: int = 32,
         ghost_min_fill: float = 0.3,
+        adaptive_ghost_queries: int = 0,
+        adaptive_min_fill: float = 0.3,
         latency_queries: int = 0,
         latency_min_fill: float = 0.3,
         target_shard: int = 0,
@@ -478,16 +750,19 @@ class AdversarialTrafficDriver:
     ) -> TrafficReport:
         """Replay the full mixed workload concurrently and report.
 
-        Honest clients, the pollution attacker, the ghost forger and the
-        worst-case-latency forger all run as parallel tasks; afterwards a
-        quiet probe of fresh URLs measures the service-wide honest
-        false-positive rate so the report can state the attack
-        amplification.
+        Honest clients and the four attack clients -- the pollution
+        attacker, the (static) ghost forger, the worst-case-latency
+        forger and the adaptive ghost campaign -- all run as parallel
+        tasks, sharing one :class:`~repro.adversary.budget.AttackBudget`
+        when the driver holds one; afterwards a quiet probe of fresh
+        URLs measures the service-wide honest false-positive rate so the
+        report can state the attack amplification.
         """
         if (
             honest_clients < 0
             or pollution_inserts < 0
             or ghost_queries < 0
+            or adaptive_ghost_queries < 0
             or latency_queries < 0
         ):
             raise ParameterError("workload sizes must be non-negative")
@@ -512,6 +787,12 @@ class AdversarialTrafficDriver:
         if ghost_queries:
             tasks.append(
                 self._ghost_client(target_shard, ghost_queries, ghost_min_fill, report)
+            )
+        if adaptive_ghost_queries:
+            tasks.append(
+                self._adaptive_ghost_client(
+                    target_shard, adaptive_ghost_queries, adaptive_min_fill, report
+                )
             )
         if latency_queries:
             tasks.append(
@@ -544,6 +825,11 @@ class AdversarialTrafficDriver:
             key = event.reason or event.policy or "unknown"
             report.rotation_reasons[key] = report.rotation_reasons.get(key, 0) + 1
         report.snapshots = self.gateway.snapshot()
+        if self.budget is not None:
+            report.budget_spend = {
+                label: {"trials": spend.trials, "requests": spend.requests}
+                for label, spend in self.budget.spend_by_label().items()
+            }
         return report
 
 

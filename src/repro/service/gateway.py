@@ -238,7 +238,13 @@ class MembershipGateway:
         out = []
         for shard_id, telemetry in enumerate(self._telemetry):
             state = self.backend.state(shard_id)
-            out.append(telemetry.snapshot(state.hamming_weight, state.fill_ratio))
+            out.append(
+                telemetry.snapshot(
+                    state.hamming_weight,
+                    state.fill_ratio,
+                    recent_positive_rate=self.lifecycle[shard_id].window_rate(),
+                )
+            )
         return out
 
     def render_stats(self) -> str:
@@ -322,7 +328,13 @@ class MembershipGateway:
         if self.policy is None:
             return False
         life = self.lifecycle[shard_id]
-        decision = self.policy.evaluate(life.observe(state, self.op_epoch))
+        decision = self.policy.evaluate(
+            life.observe(
+                state,
+                self.op_epoch,
+                include_recent=getattr(self.policy, "needs_recent", True),
+            )
+        )
         if not decision.rotate:
             return False
         self.rotation_log.append(

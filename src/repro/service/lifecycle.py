@@ -28,7 +28,10 @@ Shipped policies:
   budget, whatever the fill (dablooms-style recycling);
 * :class:`AdaptivePositiveRatePolicy` -- retire on a positive-rate
   spike, the anti-adaptive-adversary defence (a ghost-query storm
-  answers positive far above the honest mix);
+  answers positive far above the honest mix); measured since the last
+  rotation by default, or over a sliding window of recent queries so a
+  late-life spike on a long-lived shard is not diluted by its honest
+  history;
 * :class:`RotateOnRestorePolicy` -- a wrapper expiring shards that were
   restored mid-life from a snapshot (their bits have been observable
   longer than their in-process age suggests), delegating to an inner
@@ -44,6 +47,7 @@ every policy renders back via ``.spec``.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass
 
 from repro.exceptions import ParameterError
@@ -93,11 +97,36 @@ class ShardObservation:
     ops_since_restore: int
     #: Gateway-wide monotonic operation counter at observation time.
     op_epoch: int
+    #: Recent query batches ``(queries, positives)``, oldest first, as
+    #: retained by the lifecycle state's sliding window (covers at least
+    #: :attr:`ShardLifecycleState.WINDOW_CAP` queries once enough have
+    #: been served).  This is what lets a windowed policy see a
+    #: late-life spike that the since-rotation totals have diluted.
+    recent: tuple[tuple[int, int], ...] = ()
 
     @property
     def positive_rate(self) -> float:
         """Fraction of queries answered positive since the last rotation."""
         return self.positives / self.queries if self.queries else 0.0
+
+    def windowed_positive_rate(self, window: int) -> tuple[int, int]:
+        """``(queries, positives)`` over the most recent batches covering
+        at least ``window`` queries.
+
+        Whole batches are counted (never split), so the coverage may
+        overshoot ``window`` by up to one batch; fewer than ``window``
+        queries served simply yields what there is.  Callers decide what
+        rate and minimum coverage to require.
+        """
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        covered = positives = 0
+        for queries, batch_positives in reversed(self.recent):
+            if covered >= window:
+                break
+            covered += queries
+            positives += batch_positives
+        return covered, positives
 
 
 @dataclass(frozen=True)
@@ -126,7 +155,22 @@ class ShardLifecycleState:
     filter instance is rebuilt or restored); the insert/query/positive
     counters run since the shard's last rotation.  All of it is
     persisted in the gateway snapshot's lifecycle section.
+
+    On top of the since-rotation totals, a sliding window of recent
+    query batches (``(queries, positives)`` pairs, capped to cover
+    :attr:`WINDOW_CAP` queries) feeds
+    :meth:`ShardObservation.windowed_positive_rate` -- the signal that
+    catches an adaptive attacker who strikes late in a long-lived
+    shard's life, after honest history has diluted the since-rotation
+    rate.  The window is persisted with the rest of the lifecycle state
+    (gateway snapshot version 3), so a windowed policy resumes deciding
+    on the same recent history after a warm restart.
     """
+
+    #: Queries the sliding window retains (at least; whole batches are
+    #: kept, so retention can overshoot by one batch).  Windowed
+    #: policies must use a window no larger than this.
+    WINDOW_CAP = 1024
 
     __slots__ = (
         "shard_id",
@@ -136,6 +180,9 @@ class ShardLifecycleState:
         "positives",
         "restored",
         "restore_epoch",
+        "_window",
+        "_window_queries",
+        "_window_positives",
     )
 
     def __init__(self, shard_id: int) -> None:
@@ -146,6 +193,9 @@ class ShardLifecycleState:
         self.positives = 0
         self.restored = False
         self.restore_epoch = 0
+        self._window: deque[tuple[int, int]] = deque()
+        self._window_queries = 0
+        self._window_positives = 0
 
     def note_inserts(self, count: int) -> None:
         """Account one insert group dispatched to this shard."""
@@ -155,6 +205,25 @@ class ShardLifecycleState:
         """Account one query group (and its positive answers)."""
         self.queries += count
         self.positives += positives
+        self._window.append((count, positives))
+        self._window_queries += count
+        self._window_positives += positives
+        # Evict whole old batches while the remainder still covers the
+        # cap -- retention stays in [cap, cap + one batch).
+        while (
+            len(self._window) > 1
+            and self._window_queries - self._window[0][0] >= self.WINDOW_CAP
+        ):
+            old_queries, old_positives = self._window.popleft()
+            self._window_queries -= old_queries
+            self._window_positives -= old_positives
+
+    def window_rate(self) -> float:
+        """Positive rate over everything the window retains (telemetry's
+        ``recent_pos`` column; 0.0 before any queries)."""
+        if not self._window_queries:
+            return 0.0
+        return self._window_positives / self._window_queries
 
     def reset(self) -> None:
         """Forget everything: the shard just rotated to a fresh filter."""
@@ -164,11 +233,22 @@ class ShardLifecycleState:
         self.positives = 0
         self.restored = False
         self.restore_epoch = 0
+        self._window.clear()
+        self._window_queries = 0
+        self._window_positives = 0
 
-    def observe(self, state, op_epoch: int) -> ShardObservation:
+    def observe(
+        self, state, op_epoch: int, include_recent: bool = True
+    ) -> ShardObservation:
         """Build the policy-facing observation from backend ``state``
         (any object with ``hamming_weight``/``fill_ratio``/
-        ``insertions``/``age_ops`` attributes) plus this history."""
+        ``insertions``/``age_ops`` attributes) plus this history.
+
+        ``include_recent=False`` skips materialising the sliding window
+        into the observation (an O(window) copy) -- the gateway passes
+        the policy's :attr:`RotationPolicy.needs_recent` here so
+        non-windowed policies never pay for it on the hot path.
+        """
         instance_ops = getattr(state, "age_ops", 0)
         age_ops = self.age_base + instance_ops
         return ShardObservation(
@@ -183,6 +263,7 @@ class ShardLifecycleState:
             restored=self.restored,
             ops_since_restore=instance_ops if self.restored else age_ops,
             op_epoch=op_epoch,
+            recent=tuple(self._window) if include_recent else (),
         )
 
     # -- snapshot round trip -------------------------------------------
@@ -192,7 +273,10 @@ class ShardLifecycleState:
 
         ``instance_ops`` is the backend's current per-instance operation
         count; the persisted age is the shard's *total* age so a restore
-        can rebuild it without the original backend counter.
+        can rebuild it without the original backend counter.  The
+        sliding window rides along (as ``(queries, positives)`` pairs)
+        so a windowed policy keeps deciding correctly across a warm
+        restart instead of going blind until fresh traffic refills it.
         """
         return {
             "age_ops": self.age_base + instance_ops,
@@ -201,6 +285,7 @@ class ShardLifecycleState:
             "positives": self.positives,
             "restored": self.restored,
             "restore_epoch": self.restore_epoch,
+            "window": tuple(self._window),
         }
 
     @classmethod
@@ -229,6 +314,10 @@ class ShardLifecycleState:
             life.restore_epoch = (
                 state["restore_epoch"] if state["restored"] else restore_epoch
             )
+        for queries, positives in state.get("window", ()):
+            life._window.append((queries, positives))
+            life._window_queries += queries
+            life._window_positives += positives
         return life
 
 
@@ -247,6 +336,13 @@ class RotationPolicy(ABC):
 
     #: Stable identifier recorded in rotation events and reports.
     name: str = "policy"
+
+    #: Whether :meth:`evaluate` reads ``observation.recent``.  The
+    #: gateway skips materialising the sliding window for policies that
+    #: don't (an O(window) copy per batch on the hot path).  Defaults to
+    #: True so custom policies are correct out of the box; the shipped
+    #: non-windowed policies opt out.
+    needs_recent: bool = True
 
     @abstractmethod
     def evaluate(self, observation: ShardObservation) -> RotationDecision:
@@ -269,6 +365,7 @@ class NeverRotatePolicy(RotationPolicy):
     only in that it shows up, named, in reports)."""
 
     name = "never"
+    needs_recent = False
 
     def evaluate(self, observation: ShardObservation) -> RotationDecision:
         return KEEP
@@ -283,6 +380,7 @@ class FillThresholdPolicy(RotationPolicy):
     """
 
     name = "fill"
+    needs_recent = False
 
     def __init__(self, threshold: float = 0.5) -> None:
         if not 0 < threshold <= 1:
@@ -310,6 +408,7 @@ class TimeBasedRecyclingPolicy(RotationPolicy):
     """
 
     name = "age"
+    needs_recent = False
 
     def __init__(self, max_age_ops: int = 10_000) -> None:
         if max_age_ops <= 0:
@@ -333,32 +432,71 @@ class AdaptivePositiveRatePolicy(RotationPolicy):
     A ghost-forgery stream answers positive on essentially every crafted
     query, pushing a shard's positive rate far above any honest mix of
     known items and fresh probes.  Once at least ``min_queries`` have
-    been served since the last rotation and the positive rate reaches
-    ``max_positive_rate``, the shard rotates -- which invalidates every
-    crafted ghost at once (they were forged against the retired bits).
+    been served and the positive rate reaches ``max_positive_rate``, the
+    shard rotates -- which invalidates every crafted ghost at once (they
+    were forged against the retired bits).
 
-    The rate is measured since the shard's last rotation, so each
-    rotation restarts the window; ``min_queries`` keeps a couple of
-    early lucky positives from triggering a spurious rotation.  Note the
-    threshold must sit above the deployment's honest positive rate
-    (e.g. ``0.8`` when honest traffic re-queries half its own inserts),
-    or the policy will rotate on legitimate traffic.
+    Without ``window`` the rate is measured since the shard's last
+    rotation.  That leaves a blind spot: on a long-lived shard the
+    honest history dilutes a late ghost storm (50 ghosts after 500
+    honest queries barely move the lifetime average), which is exactly
+    when a budgeted adaptive attacker strikes -- after the shard filled
+    and crafting got cheap.  Pass ``window`` to measure the rate over
+    the most recent ``window`` queries instead (served by the lifecycle
+    state's sliding window, so ``window`` must not exceed
+    :attr:`ShardLifecycleState.WINDOW_CAP`); the spike then stands out
+    whatever came before it.
+
+    ``min_queries`` keeps a couple of early lucky positives from
+    triggering a spurious rotation (for windowed policies it is the
+    minimum coverage the window must have accumulated, and must fit
+    inside the window).  Note the threshold must sit above the
+    deployment's honest positive rate (e.g. ``0.8`` when honest traffic
+    re-queries half its own inserts), or the policy will rotate on
+    legitimate traffic.
     """
 
     name = "adaptive"
 
     def __init__(
-        self, max_positive_rate: float = 0.8, min_queries: int = 64
+        self,
+        max_positive_rate: float = 0.8,
+        min_queries: int = 64,
+        window: int | None = None,
     ) -> None:
         if not 0 < max_positive_rate <= 1:
             raise ParameterError("max_positive_rate must be in (0, 1]")
         if min_queries <= 0:
             raise ParameterError("min_queries must be positive")
+        if window is not None:
+            if window <= 0:
+                raise ParameterError("window must be positive")
+            if window > ShardLifecycleState.WINDOW_CAP:
+                raise ParameterError(
+                    f"window must not exceed the lifecycle retention cap "
+                    f"({ShardLifecycleState.WINDOW_CAP})"
+                )
+            if min_queries > window:
+                raise ParameterError("min_queries must fit inside the window")
         self.max_positive_rate = max_positive_rate
         self.min_queries = min_queries
-        self._reason = f"positive_rate>={max_positive_rate:g}"
+        self.window = window
+        self.needs_recent = window is not None
+        self._reason = (
+            f"window_positive_rate>={max_positive_rate:g}"
+            if window is not None
+            else f"positive_rate>={max_positive_rate:g}"
+        )
 
     def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        if self.window is not None:
+            covered, positives = observation.windowed_positive_rate(self.window)
+            if (
+                covered >= self.min_queries
+                and positives / covered >= self.max_positive_rate
+            ):
+                return RotationDecision(rotate=True, reason=self._reason)
+            return KEEP
         if (
             observation.queries >= self.min_queries
             and observation.positive_rate >= self.max_positive_rate
@@ -368,7 +506,8 @@ class AdaptivePositiveRatePolicy(RotationPolicy):
 
     @property
     def spec(self) -> str:
-        return f"adaptive:{self.max_positive_rate:g}:{self.min_queries}"
+        base = f"adaptive:{self.max_positive_rate:g}:{self.min_queries}"
+        return f"{base}:{self.window}" if self.window is not None else base
 
 
 class RotateOnRestorePolicy(RotationPolicy):
@@ -392,6 +531,7 @@ class RotateOnRestorePolicy(RotationPolicy):
             raise ParameterError("max_restored_age must be non-negative")
         self.max_restored_age = max_restored_age
         self.inner = inner
+        self.needs_recent = inner.needs_recent if inner is not None else False
         self._reason = f"restored_age>={max_restored_age}"
 
     def evaluate(self, observation: ShardObservation) -> RotationDecision:
@@ -430,7 +570,10 @@ def parse_policy(spec: str) -> RotationPolicy:
         never
         fill:<threshold>                  e.g. fill:0.5
         age:<max_age_ops>                 e.g. age:4000
-        adaptive:<rate>[:<min_queries>]   e.g. adaptive:0.8:32
+        adaptive:<rate>[:<min_queries>[:<window>]]
+                                          e.g. adaptive:0.8:32 (since
+                                          rotation) or adaptive:0.8:32:128
+                                          (over the last 128 queries)
         restore:<max_restored_age>        e.g. restore:2000
         restore:<age>+<inner-spec>        e.g. restore:2000+fill:0.5
     """
@@ -460,9 +603,17 @@ def parse_policy(spec: str) -> RotationPolicy:
             raise ParameterError(f"'age' needs exactly one op budget, got {head!r}")
         return TimeBasedRecyclingPolicy(int(_parse_number(parts[0], "age", integer=True)))
     if kind == "adaptive":
-        if len(parts) not in (1, 2):
-            raise ParameterError(f"'adaptive' takes <rate>[:<min_queries>], got {head!r}")
+        if len(parts) not in (1, 2, 3):
+            raise ParameterError(
+                f"'adaptive' takes <rate>[:<min_queries>[:<window>]], got {head!r}"
+            )
         rate = _parse_number(parts[0], "rate", integer=False)
+        if len(parts) == 3:
+            return AdaptivePositiveRatePolicy(
+                rate,
+                int(_parse_number(parts[1], "min_queries", integer=True)),
+                window=int(_parse_number(parts[2], "window", integer=True)),
+            )
         if len(parts) == 2:
             return AdaptivePositiveRatePolicy(
                 rate, int(_parse_number(parts[1], "min_queries", integer=True))
@@ -487,6 +638,7 @@ class _GuardPolicy(RotationPolicy):
     """
 
     name = "guard"
+    needs_recent = False
 
     def __init__(self, guard) -> None:
         self.guard = guard

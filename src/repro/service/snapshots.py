@@ -14,9 +14,10 @@ accumulates at serving time:
 * the rotation log (which shard retired what, at which fill, at which
   operation epoch, under which policy and reason);
 * per-shard lifecycle state (operation age, insert/query/positive
-  counts, restored flag and restore epoch -- the version-2 section that
-  lets :mod:`repro.service.lifecycle` policies keep deciding correctly
-  across a warm restart) plus the gateway-wide operation epoch;
+  counts, restored flag, restore epoch, and -- since version 3 -- the
+  recent-query sliding window, so :mod:`repro.service.lifecycle`
+  policies, windowed ones included, keep deciding correctly across a
+  warm restart) plus the gateway-wide operation epoch;
 * per-shard telemetry (counters and both latency histograms).
 
 What is *not* serialised is configuration: shard geometry, routing and
@@ -58,14 +59,19 @@ __all__ = [
 GATEWAY_MAGIC = b"RGSN"
 #: Version written into new snapshots; bump on any layout change.
 #: Version 2 added the gateway op-epoch, the per-shard lifecycle section
-#: and the policy/reason fields on rotation events.
-GATEWAY_VERSION = 2
+#: and the policy/reason fields on rotation events.  Version 3 appends
+#: each shard's recent-query sliding window to the lifecycle section, so
+#: windowed positive-rate policies keep deciding correctly across a warm
+#: restart.
+GATEWAY_VERSION = 3
 
 _HEADER = struct.Struct(">4sHIIQ")         # magic, version, shards, rotations, op_epoch
 _ROTATION = struct.Struct(">IQQdQ")        # shard_id, weight, insertions, fill, op_epoch
 _STR_LEN = struct.Struct(">H")             # length prefix of policy/reason strings
 # age_ops, inserts, queries, positives, restored, restore_epoch
 _LIFECYCLE = struct.Struct(">QQQQBQ")
+_WINDOW_LEN = struct.Struct(">H")          # retained window batches per shard
+_WINDOW_ENTRY = struct.Struct(">II")       # one window batch: queries, positives
 _COUNTERS = struct.Struct(">QQQQ")         # inserts, queries, positives, rotations
 # count, sum_seconds, one u64 per latency bucket (width shared with
 # telemetry so the formats cannot drift apart).
@@ -150,6 +156,14 @@ def snapshot_gateway(gateway: "MembershipGateway") -> bytes:
                 life["restore_epoch"],
             )
         )
+        window = life["window"]
+        if len(window) > 0xFFFF:  # pragma: no cover - cap is far below u16
+            raise SnapshotError(
+                f"shard window of {len(window)} batches exceeds the u16 prefix"
+            )
+        parts.append(_WINDOW_LEN.pack(len(window)))
+        for queries, positives in window:
+            parts.append(_WINDOW_ENTRY.pack(queries, positives))
         state = telemetry.to_state()
         parts.append(
             _COUNTERS.pack(
@@ -221,6 +235,15 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
         age_ops, life_inserts, life_queries, life_positives, restored, restore_epoch = (
             _LIFECYCLE.unpack(take(_LIFECYCLE.size, f"shard {shard_id} lifecycle"))
         )
+        (window_len,) = _WINDOW_LEN.unpack(
+            take(_WINDOW_LEN.size, f"shard {shard_id} window length")
+        )
+        window = tuple(
+            _WINDOW_ENTRY.unpack(
+                take(_WINDOW_ENTRY.size, f"shard {shard_id} window entry")
+            )
+            for _ in range(window_len)
+        )
         lifecycle.append(
             {
                 "age_ops": age_ops,
@@ -229,6 +252,7 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
                 "positives": life_positives,
                 "restored": bool(restored),
                 "restore_epoch": restore_epoch,
+                "window": window,
             }
         )
         inserts, queries, positives, rotations = _COUNTERS.unpack(

@@ -148,8 +148,15 @@ class ShardTelemetry:
         telemetry.query_latency = LatencyHistogram.from_state(*state["query_latency"])
         return telemetry
 
-    def snapshot(self, weight: int, fill_ratio: float) -> "ShardSnapshot":
-        """Freeze the counters together with the filter state."""
+    def snapshot(
+        self, weight: int, fill_ratio: float, recent_positive_rate: float = 0.0
+    ) -> "ShardSnapshot":
+        """Freeze the counters together with the filter state.
+
+        ``recent_positive_rate`` is the lifecycle window's positive rate
+        (the gateway passes it in); it is what an operator watches for a
+        late-life ghost storm that the lifetime counters have diluted.
+        """
         return ShardSnapshot(
             shard_id=self.shard_id,
             inserts=self.inserts,
@@ -160,6 +167,7 @@ class ShardTelemetry:
             fill_ratio=fill_ratio,
             query_p50_us=self.query_latency.quantile(0.5) * 1e6,
             query_p99_us=self.query_latency.quantile(0.99) * 1e6,
+            recent_positive_rate=recent_positive_rate,
         )
 
 
@@ -176,6 +184,9 @@ class ShardSnapshot:
     fill_ratio: float
     query_p50_us: float
     query_p99_us: float
+    #: Positive rate over the shard's recent-query window (0.0 when the
+    #: source has no window, e.g. snapshots built outside a gateway).
+    recent_positive_rate: float = 0.0
 
 
 def render_snapshots(snapshots: list[ShardSnapshot]) -> str:
@@ -185,6 +196,7 @@ def render_snapshots(snapshots: list[ShardSnapshot]) -> str:
         "inserts",
         "queries",
         "positives",
+        "recent_pos",
         "rotations",
         "weight",
         "fill",
@@ -197,6 +209,7 @@ def render_snapshots(snapshots: list[ShardSnapshot]) -> str:
             s.inserts,
             s.queries,
             s.positives,
+            round(s.recent_positive_rate, 3),
             s.rotations,
             s.weight,
             round(s.fill_ratio, 3),

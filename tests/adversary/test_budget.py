@@ -1,0 +1,302 @@
+"""The attack-budget subsystem: the shared resource meter, crafting
+charging, request pacing, deadlines, and the adaptive query strategy."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.adversary.budget import AdaptiveQueryStrategy, AttackBudget, BudgetSpend
+from repro.adversary.pollution import PollutionAttack
+from repro.adversary.query import GhostForgery, LatencyQueryForgery
+from repro.core.bloom import BloomFilter
+from repro.exceptions import AttackBudgetExhausted, ParameterError
+from repro.urlgen.faker import UrlFactory
+
+
+class FakeClock:
+    """Settable monotonic clock for deterministic deadline tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_target(m: int = 512, k: int = 4, fill_items: int = 40) -> BloomFilter:
+    filt = BloomFilter(m, k)
+    for url in UrlFactory(seed=0xF11).urls(fill_items):
+        filt.add(url)
+    return filt
+
+
+# ----------------------------------------------------------------------
+# AttackBudget: validation, trial metering, deadline
+# ----------------------------------------------------------------------
+
+
+def test_budget_validation():
+    for bad in (
+        lambda: AttackBudget(max_trials=0),
+        lambda: AttackBudget(max_trials=-5),
+        lambda: AttackBudget(requests_per_s=0),
+        lambda: AttackBudget(deadline_s=-1),
+    ):
+        with pytest.raises(ParameterError):
+            bad()
+    budget = AttackBudget(max_trials=10)
+    with pytest.raises(ParameterError):
+        budget.clamp_trials(0)
+    with pytest.raises(ParameterError):
+        budget.charge_trials(-1)
+    with pytest.raises(ParameterError):
+        asyncio.run(budget.pace(0))
+
+
+def test_trial_clamp_charge_and_exhaustion():
+    budget = AttackBudget(max_trials=100)
+    assert budget.clamp_trials(250) == 100  # purse smaller than the cap
+    assert budget.clamp_trials(30) == 30  # cap smaller than the purse
+    budget.charge_trials(70, "ghost")
+    assert budget.trials_remaining == 30
+    assert budget.clamp_trials(250, "ghost") == 30
+    budget.charge_trials(30, "ghost")
+    assert budget.trials_remaining == 0
+    assert budget.exhausted
+    with pytest.raises(AttackBudgetExhausted):
+        budget.clamp_trials(1, "ghost")
+    # The spend stayed labelled.
+    assert budget.spend_by_label() == {
+        "ghost": BudgetSpend(label="ghost", trials=100, requests=0)
+    }
+
+
+def test_unmetered_budget_never_exhausts_trials():
+    budget = AttackBudget()
+    assert budget.trials_remaining is None
+    assert budget.clamp_trials(12345) == 12345
+    budget.charge_trials(1_000_000)
+    assert not budget.exhausted
+
+
+def test_deadline_expires_via_injected_clock():
+    clock = FakeClock()
+    budget = AttackBudget(deadline_s=10.0, clock=clock)
+    assert not budget.expired  # clock not started yet
+    assert budget.time_remaining() == 10.0
+    budget.charge_trials(1)  # first charge starts the campaign clock
+    clock.now = 9.9
+    assert not budget.expired
+    assert budget.clamp_trials(5) == 5
+    clock.now = 10.0
+    assert budget.expired and budget.exhausted
+    with pytest.raises(AttackBudgetExhausted):
+        budget.clamp_trials(5)
+    with pytest.raises(AttackBudgetExhausted):
+        asyncio.run(budget.pace(1))
+    assert budget.time_remaining() == 0.0
+
+
+def test_pace_schedules_requests_under_the_rate_ceiling():
+    clock = FakeClock()
+    slept: list[float] = []
+
+    async def fake_sleep(delay: float) -> None:
+        slept.append(delay)
+        clock.now += delay
+
+    budget = AttackBudget(requests_per_s=10.0, clock=clock, sleep=fake_sleep)
+
+    async def scenario() -> None:
+        await budget.pace(5, "ghost")  # first batch: nothing sent yet
+        assert slept == []
+        # 5 already sent -> next admission time is 0.5s into the campaign.
+        await budget.pace(5, "ghost")
+        assert slept == [pytest.approx(0.5)]
+        # 10 sent -> earliest is t=1.0; clock already advanced to 0.5.
+        await budget.pace(1, "latency")
+        assert slept[-1] == pytest.approx(0.5)
+
+    asyncio.run(scenario())
+    assert budget.requests_sent == 11
+    spend = budget.spend_by_label()
+    assert spend["ghost"].requests == 10
+    assert spend["latency"].requests == 1
+
+
+def test_pace_without_ceiling_only_counts():
+    budget = AttackBudget()
+    asyncio.run(budget.pace(7, "pollution"))
+    assert budget.requests_sent == 7
+    assert budget.spend_by_label()["pollution"].requests == 7
+
+
+def test_describe_mentions_every_axis():
+    clock = FakeClock()
+    budget = AttackBudget(
+        max_trials=100, requests_per_s=50.0, deadline_s=9.0, clock=clock
+    )
+    budget.charge_trials(40)
+    text = budget.describe()
+    assert "40/100" in text
+    assert "50/s" in text
+    assert "9s" in text
+
+
+# ----------------------------------------------------------------------
+# Crafting-layer charging (engine + all three attacks)
+# ----------------------------------------------------------------------
+
+
+def test_ghost_forgery_charges_shared_budget_until_exhaustion():
+    target = make_target()
+    budget = AttackBudget(max_trials=300)
+    forgery = GhostForgery(target, max_trials=50_000, budget=budget)
+    crafted = 0
+    with pytest.raises(AttackBudgetExhausted):
+        while True:
+            forgery.craft_one()
+            crafted += 1
+    assert crafted >= 1
+    # Never overspends: the last search was clamped to the remainder.
+    assert budget.trials_spent == 300
+    assert budget.spend_by_label()["ghost"].trials == 300
+
+
+def test_budget_is_shared_across_attacks_and_labels():
+    target = make_target()
+    budget = AttackBudget(max_trials=100_000)
+    GhostForgery(target, budget=budget).craft_one()
+    PollutionAttack(target, budget=budget).craft_one()
+    LatencyQueryForgery(target, budget=budget).craft_one()
+    spend = budget.spend_by_label()
+    assert set(spend) == {"ghost", "pollution", "latency"}
+    assert budget.trials_spent == sum(s.trials for s in spend.values())
+    assert budget.trials_spent >= 3  # at least one trial per crafted item
+
+
+def test_engine_without_budget_behaves_as_before():
+    target = make_target()
+    forgery = GhostForgery(target, max_trials=50_000)
+    result = forgery.craft_one()
+    assert result.trials >= 1
+    assert forgery.engine.budget is None
+
+
+def test_drained_purse_mid_search_raises_campaign_exhaustion():
+    # An impossible predicate against a tiny remaining purse must raise
+    # AttackBudgetExhausted (campaign over), not CraftingBudgetExceeded
+    # (per-item failure a caller would shrug off and retry).
+    target = BloomFilter(512, 4)  # empty: ghost crafting cannot succeed
+    budget = AttackBudget(max_trials=25)
+    forgery = GhostForgery(target, max_trials=50_000, budget=budget)
+    with pytest.raises(AttackBudgetExhausted):
+        forgery.craft_one()
+    assert budget.trials_spent == 25
+
+
+# ----------------------------------------------------------------------
+# AdaptiveQueryStrategy
+# ----------------------------------------------------------------------
+
+
+def test_strategy_pools_positives_and_promotes_prefixes():
+    strategy = AdaptiveQueryStrategy(seed=1)
+    strategy.observe(
+        ["http://a.com/x/p1", "http://a.com/x/p2", "http://b.net/y/p3"],
+        [True, False, True],
+    )
+    assert strategy.pool_size == 2
+    assert strategy.confirmed == 2
+    assert set(strategy.promoted_prefixes) == {"http://a.com/x", "http://b.net/y"}
+    # Replay walks the pool round-robin and wraps.
+    first = strategy.replay_items(1)
+    second = strategy.replay_items(2)
+    assert first == ["http://a.com/x/p1"]
+    assert second == ["http://b.net/y/p3", "http://a.com/x/p1"]
+
+
+def test_strategy_flushes_on_rotation_fingerprint():
+    strategy = AdaptiveQueryStrategy(seed=1)
+    strategy.observe(["http://a.com/x/p1"], [True])
+    assert strategy.pool_size == 1
+    # A *non-pooled* negative is routine (fresh craft raced a change).
+    assert not strategy.observe(["http://c.org/z/p9"], [False])
+    assert strategy.pool_size == 1
+    # A pooled ghost answering negative is a rotation: flush everything.
+    assert strategy.observe(["http://a.com/x/p1"], [False])
+    assert strategy.pool_size == 0
+    assert strategy.promoted_prefixes == ()
+    assert strategy.flushes == 1
+    assert strategy.replay_items(4) == []
+    # Confirmed count is the campaign total, not the live pool.
+    assert strategy.confirmed == 1
+
+
+def test_strategy_candidates_concentrate_on_promoted_prefixes():
+    strategy = AdaptiveQueryStrategy(seed=7, promoted_share=1.0)
+    factory = UrlFactory(seed=3)
+    plain = next(strategy.candidates(factory))  # no promotions yet: base stream
+    assert plain.startswith(("http://", "https://"))
+    strategy.observe(["http://leak.example/hot/p1"], [True])
+    stream = strategy.candidates(UrlFactory(seed=4))
+    drawn = [next(stream) for _ in range(8)]
+    assert all(url.startswith("http://leak.example/hot/") for url in drawn)
+    assert len(set(drawn)) == 8  # still collision-free candidates
+
+
+def test_strategy_bounds_and_validation():
+    with pytest.raises(ParameterError):
+        AdaptiveQueryStrategy(max_pool=0)
+    with pytest.raises(ParameterError):
+        AdaptiveQueryStrategy(promoted_share=1.5)
+    strategy = AdaptiveQueryStrategy(seed=2, max_pool=2, max_prefixes=1)
+    strategy.observe(
+        [f"http://h{i}.com/a/p{i}" for i in range(4)], [True] * 4
+    )
+    assert strategy.pool_size == 2  # pool capped
+    assert len(strategy.promoted_prefixes) == 1  # prefixes capped
+    # Duplicate positives do not double-pool.
+    strategy.observe(["http://h0.com/a/p0"], [True])
+    assert strategy.pool_size == 2
+
+
+# ----------------------------------------------------------------------
+# AttackBudgetConfig (the sweepable literal)
+# ----------------------------------------------------------------------
+
+
+def test_attack_budget_config_builds_fresh_meters():
+    from repro.service.config import AttackBudgetConfig
+
+    config = AttackBudgetConfig(
+        max_trials=500, requests_per_s=100.0, deadline_s=4.0, strategy="adaptive"
+    )
+    assert config.adaptive
+    assert config.describe() == "500t@100/s<4s"
+    first, second = config.build(), config.build()
+    assert first is not second  # independently metered per run
+    first.charge_trials(500)
+    assert first.exhausted and not second.exhausted
+    assert second.max_trials == 500
+    clock = FakeClock()
+    pinned = config.build(clock=clock)
+    pinned.charge_trials(1)
+    clock.now = 5.0
+    assert pinned.expired
+    assert AttackBudgetConfig().describe() == "inf"
+
+
+def test_attack_budget_config_validation():
+    from repro.service.config import AttackBudgetConfig
+
+    for bad in (
+        lambda: AttackBudgetConfig(max_trials=0),
+        lambda: AttackBudgetConfig(requests_per_s=-1.0),
+        lambda: AttackBudgetConfig(deadline_s=0),
+        lambda: AttackBudgetConfig(strategy="clever"),
+    ):
+        with pytest.raises(ParameterError):
+            bad()

@@ -22,6 +22,7 @@ def test_registry_covers_every_paper_artifact():
         "worstcase",
         "service",
         "rotation_policy_study",
+        "adaptive_budget_study",
     }
 
 

@@ -121,6 +121,7 @@ def test_stats_round_trip():
             "fill_ratio": 0.25,
             "query_p50_us": snapshot.query_p50_us,
             "query_p99_us": snapshot.query_p99_us,
+            "recent_positive_rate": 0.0,
         }
     ]
 

@@ -1,14 +1,19 @@
-"""The adversarial traffic driver: crafting, concurrency, reporting."""
+"""The adversarial traffic driver: crafting, concurrency, reporting,
+rate-limit-accurate retries, and the shared attack budget."""
 
 from __future__ import annotations
 
 import asyncio
+import time
+from types import SimpleNamespace
 
 import pytest
 
+from repro.adversary.budget import AttackBudget
 from repro.core.bloom import BloomFilter
 from repro.exceptions import ParameterError
-from repro.service.admission import SaturationGuard
+from repro.service.admission import ClientRateLimiter, SaturationGuard
+from repro.service.backends import LocalBackend, ProcessPoolBackend
 from repro.service.driver import AdversarialTrafficDriver, TrafficReport, replay
 from repro.service.gateway import MembershipGateway
 from repro.service.sharding import HashShardPicker, KeyedShardPicker
@@ -215,3 +220,307 @@ def test_replay_over_tcp_transport_matches_inproc_counts():
     assert [s.inserts for s in tcp_report.snapshots] == [
         s.inserts for s in inproc_report.snapshots
     ]
+
+
+# ----------------------------------------------------------------------
+# Rate-limit-accurate accounting (the retry-not-skip fix)
+# ----------------------------------------------------------------------
+
+
+def frozen_limiter(burst: int = 8) -> ClientRateLimiter:
+    """A limiter whose clock never advances: each client gets exactly one
+    ``burst`` of admissions, ever -- fully deterministic rejections."""
+    return ClientRateLimiter(rate=1.0, burst=burst, clock=lambda: 0.0)
+
+
+def test_honest_rate_limited_chunks_are_retried_then_dropped_explicitly():
+    # Frozen bucket: the first 8-item chunk is admitted, everything after
+    # is rejected on every attempt.  The old code silently skipped the
+    # rejected chunks while advancing the workload cursor; now they are
+    # retried (visible in rate_limited) and, past the bounded cap,
+    # dropped *explicitly* into send_dropped.
+    gateway = make_gateway(limiter=frozen_limiter(burst=8))
+    driver = AdversarialTrafficDriver(
+        gateway, seed=3, backoff=0.001, send_retries=3
+    )
+    report = asyncio.run(
+        driver.run(
+            honest_clients=1,
+            honest_inserts=24,
+            honest_queries=0,
+            batch=8,
+            pollution_inserts=0,
+            ghost_queries=0,
+            probe_queries=0,
+        )
+    )
+    assert report.honest_inserts == 8  # only the admitted chunk delivered
+    assert report.send_dropped == 16  # the other two chunks, explicitly
+    assert report.honest_inserts + report.send_dropped == 24  # nothing silent
+    # Each dropped chunk was attempted 1 + send_retries times.
+    assert report.rate_limited == 2 * (1 + 3) * 8
+    assert report.operations == 8
+
+
+def test_honest_rate_limited_chunks_eventually_deliver_with_refill():
+    # A live (refilling) limiter: retries must deliver the whole
+    # workload -- the pre-fix behaviour lost these chunks entirely.
+    gateway = make_gateway(
+        limiter=ClientRateLimiter(rate=2000.0, burst=8)
+    )
+    driver = AdversarialTrafficDriver(
+        gateway, seed=5, backoff=0.005, send_retries=50
+    )
+    report = asyncio.run(
+        driver.run(
+            honest_clients=1,
+            honest_inserts=40,
+            honest_queries=16,
+            batch=8,
+            pollution_inserts=0,
+            ghost_queries=0,
+            probe_queries=0,
+        )
+    )
+    assert report.honest_inserts == 40
+    assert report.honest_queries == 16
+    assert report.send_dropped == 0
+    assert report.rate_limited > 0  # the bucket did push back along the way
+
+
+def test_attack_loop_retries_rate_limited_chunks():
+    # Same frozen-bucket determinism for the attack path: crafted chunks
+    # past the burst are retried then dropped -- never counted as sent.
+    gateway = make_gateway(limiter=frozen_limiter(burst=8))
+    driver = AdversarialTrafficDriver(
+        gateway, seed=2, max_trials=100_000, backoff=0.001, send_retries=2
+    )
+    report = asyncio.run(
+        driver.run(
+            honest_clients=0,
+            honest_inserts=0,
+            honest_queries=0,
+            batch=8,
+            pollution_inserts=24,
+            ghost_queries=0,
+            probe_queries=0,
+        )
+    )
+    assert report.pollution_crafted == 24
+    # Only the admitted chunk reached the target shard.
+    assert report.snapshots[0].inserts == 8
+    assert report.operations == 8
+    assert report.send_dropped == 16
+    assert report.rate_limited == 2 * (1 + 2) * 8
+
+
+# ----------------------------------------------------------------------
+# The monotonic fill-wait bound
+# ----------------------------------------------------------------------
+
+
+def test_wait_for_fill_bound_is_wall_clock_not_iterations(monkeypatch):
+    # A never-filling shard with slow state probes: the 5 s bound must be
+    # measured with time.monotonic, not by counting 5 ms per iteration
+    # (the old accounting stretched the bound by however long each
+    # off-thread probe took).
+    import repro.service.driver as driver_module
+
+    gateway = make_gateway()
+    driver = AdversarialTrafficDriver(gateway)
+    fake_now = {"t": 100.0}
+
+    def fake_monotonic() -> float:
+        # Each call advances the clock by 2.6 "seconds" -- as if every
+        # probe round-trip were that slow on a busy process backend.
+        fake_now["t"] += 2.6
+        return fake_now["t"]
+
+    monkeypatch.setattr(
+        driver_module,
+        "time",
+        SimpleNamespace(monotonic=fake_monotonic, perf_counter=time.perf_counter),
+    )
+    polls = {"n": 0}
+    real_state = gateway.shard_state
+
+    def counting_state(shard_id):
+        polls["n"] += 1
+        return real_state(shard_id)
+
+    monkeypatch.setattr(gateway, "shard_state", counting_state)
+    start = time.perf_counter()
+    asyncio.run(driver._wait_for_fill(0, min_fill=0.99))
+    assert time.perf_counter() - start < 2.0  # bound held in real time
+    # deadline = t+5; with 2.6s per clock read only one poll fits.
+    assert polls["n"] == 1
+
+
+def test_wait_for_fill_returns_once_filled():
+    gateway = make_gateway(m=256)
+    driver = AdversarialTrafficDriver(gateway, seed=1, max_trials=100_000)
+    report = TrafficReport()
+    for item in driver.craft_pollution(0, 20, report):
+        gateway.filters[0].add(item)
+    start = time.perf_counter()
+    asyncio.run(driver._wait_for_fill(0, min_fill=0.1))
+    assert time.perf_counter() - start < 1.0
+
+
+# ----------------------------------------------------------------------
+# Amplification without a probe baseline
+# ----------------------------------------------------------------------
+
+
+def test_zero_probe_amplification_is_undefined_not_x1():
+    gateway = make_gateway(guard=None)
+    driver = AdversarialTrafficDriver(gateway, seed=23, max_trials=100_000)
+    report = asyncio.run(
+        driver.run(**small_workload(ghost_queries=12, probe_queries=0))
+    )
+    assert report.ghost_queries > 0 and report.ghost_hits > 0
+    # No baseline -> undefined -> 0.0, never hit_rate/1.0 passed off as x1.
+    assert report.probe_queries == 0
+    assert report.amplification == 0.0
+    assert "no probe baseline" in report.render()
+
+
+# ----------------------------------------------------------------------
+# The shared attack budget over both backends
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(params=["local", "process"])
+def driver_backend(request):
+    return request.param
+
+
+def build_backend_gateway(kind: str, m: int = 512, shards: int = 4) -> MembershipGateway:
+    def factory() -> BloomFilter:
+        return BloomFilter(m, 4)
+
+    backend = (
+        ProcessPoolBackend(factory, shards)
+        if kind == "process"
+        else LocalBackend(factory, shards)
+    )
+    return MembershipGateway(factory, backend=backend, picker=HashShardPicker())
+
+
+def test_budget_exhaustion_stops_the_static_ghost_client(driver_backend):
+    with build_backend_gateway(driver_backend) as gateway:
+        budget = AttackBudget(max_trials=400)
+        driver = AdversarialTrafficDriver(
+            gateway, seed=7, max_trials=50_000, budget=budget
+        )
+        report = asyncio.run(
+            driver.run(
+                honest_clients=2,
+                honest_inserts=120,
+                honest_queries=40,
+                batch=16,
+                pollution_inserts=0,
+                ghost_queries=40,
+                ghost_min_fill=0.08,
+                probe_queries=40,
+            )
+        )
+    assert report.budget_exhausted >= 1  # the campaign hit the wall
+    assert report.ghost_queries < 40  # and could not finish the workload
+    assert budget.trials_spent <= 400  # the clamp never overspends
+    assert report.budget_spend["ghost"]["trials"] == budget.trials_spent
+    assert "attack budget spend" in report.render()
+
+
+def test_adaptive_strategy_outearns_static_per_trial(driver_backend):
+    def replay_strategy(strategy: str) -> TrafficReport:
+        with build_backend_gateway(driver_backend) as gateway:
+            driver = AdversarialTrafficDriver(
+                gateway,
+                seed=11,
+                max_trials=20_000,
+                budget=AttackBudget(max_trials=4000),
+            )
+            workload = dict(
+                honest_clients=2,
+                honest_inserts=160,
+                honest_queries=60,
+                batch=16,
+                pollution_inserts=0,
+                ghost_queries=32 if strategy == "static" else 0,
+                adaptive_ghost_queries=32 if strategy == "adaptive" else 0,
+                ghost_min_fill=0.15,
+                adaptive_min_fill=0.15,
+                probe_queries=0,
+            )
+            return asyncio.run(driver.run(**workload))
+
+    static = replay_strategy("static")
+    adaptive = replay_strategy("adaptive")
+    assert adaptive.adaptive_queries > 0
+    assert adaptive.adaptive_resends > 0  # confirmed ghosts were replayed
+    assert adaptive.adaptive_hits >= adaptive.adaptive_resends
+    # The Naor-Yogev advantage: same purse, more hits per charged trial.
+    assert adaptive.hits_per_kilotrial("adaptive") > static.hits_per_kilotrial(
+        "ghost"
+    )
+    # Spend is labelled per client, and trials go only to the one that ran.
+    assert "adaptive" in adaptive.budget_spend
+    assert "ghost" not in adaptive.budget_spend
+
+
+def test_budget_deadline_ends_the_campaign():
+    gateway = make_gateway()
+    clock = {"t": 0.0}
+
+    def fake_clock() -> float:
+        clock["t"] += 0.5  # every budget touch burns half a "second"
+        return clock["t"]
+
+    budget = AttackBudget(deadline_s=3.0, clock=fake_clock)
+    driver = AdversarialTrafficDriver(
+        gateway, seed=9, max_trials=100_000, budget=budget
+    )
+    report = asyncio.run(
+        driver.run(
+            honest_clients=1,
+            honest_inserts=60,
+            honest_queries=0,
+            batch=8,
+            pollution_inserts=40,
+            ghost_queries=0,
+            probe_queries=0,
+        )
+    )
+    assert report.budget_exhausted >= 1
+    assert report.pollution_crafted < 40
+    # Honest traffic is never charged, so it finished untouched.
+    assert report.honest_inserts == 60
+
+
+def test_adaptive_pool_flushes_when_rotation_invalidates_ghosts():
+    from repro.service.lifecycle import AdaptivePositiveRatePolicy
+
+    gateway = make_gateway(
+        m=512, policy=AdaptivePositiveRatePolicy(0.9, min_queries=8, window=16)
+    )
+    driver = AdversarialTrafficDriver(gateway, seed=13, max_trials=100_000)
+    report = asyncio.run(
+        driver.run(
+            honest_clients=2,
+            honest_inserts=120,
+            honest_queries=0,
+            batch=16,
+            pollution_inserts=0,
+            ghost_queries=0,
+            adaptive_ghost_queries=48,
+            adaptive_min_fill=0.1,
+            probe_queries=0,
+        )
+    )
+    # The windowed tripwire rotates on the all-positive adaptive storm,
+    # and the strategy notices: a pooled ghost answered negative.
+    assert report.rotations >= 1
+    assert report.adaptive_flushes >= 1
+    assert report.adaptive_queries > 0
+    assert report.adaptive_hits < report.adaptive_queries  # post-flush misses

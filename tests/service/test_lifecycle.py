@@ -19,6 +19,8 @@ from repro.service.lifecycle import (
     FillThresholdPolicy,
     NeverRotatePolicy,
     RotateOnRestorePolicy,
+    RotationDecision,
+    RotationPolicy,
     ShardLifecycleState,
     ShardObservation,
     TimeBasedRecyclingPolicy,
@@ -83,6 +85,104 @@ def test_adaptive_policy_needs_volume_and_rate():
     # The ghost-storm signature: rotate.
     decision = policy.evaluate(observation(queries=100, positives=85))
     assert decision.rotate and decision.reason == "positive_rate>=0.8"
+
+
+def test_windowed_observation_math():
+    obs = observation(recent=((16, 2), (16, 4), (16, 16)))
+    # Newest batch only.
+    assert obs.windowed_positive_rate(16) == (16, 16)
+    # Two newest batches.
+    assert obs.windowed_positive_rate(32) == (32, 20)
+    # More than retained: everything there is.
+    assert obs.windowed_positive_rate(100) == (48, 22)
+    # Whole batches are never split (coverage may overshoot).
+    assert obs.windowed_positive_rate(20) == (32, 20)
+    assert observation().windowed_positive_rate(8) == (0, 0)
+    with pytest.raises(ParameterError):
+        obs.windowed_positive_rate(0)
+
+
+def test_windowed_adaptive_policy_sees_the_spike_dilution_hides():
+    # 500 queries since rotation at an honest 30% positive rate, then a
+    # late ghost storm: the lifetime rate barely moves, the window sees
+    # a wall of positives.
+    spike = observation(
+        queries=500,
+        positives=150 + 32,
+        recent=((16, 5), (16, 16), (16, 16)),
+    )
+    unwindowed = AdaptivePositiveRatePolicy(0.8, min_queries=24)
+    assert not unwindowed.evaluate(spike).rotate  # diluted: 182/500 = 0.36
+    windowed = AdaptivePositiveRatePolicy(0.8, min_queries=24, window=32)
+    decision = windowed.evaluate(spike)
+    assert decision.rotate
+    assert decision.reason == "window_positive_rate>=0.8"
+    # Too little window coverage yet: hold, whatever the rate.
+    young = observation(queries=8, positives=8, recent=((8, 8),))
+    assert not windowed.evaluate(young).rotate
+
+
+def test_windowed_policy_validation_and_spec():
+    policy = AdaptivePositiveRatePolicy(0.8, min_queries=24, window=64)
+    assert policy.spec == "adaptive:0.8:24:64"
+    rebuilt = parse_policy(policy.spec)
+    assert rebuilt.spec == policy.spec
+    assert rebuilt.window == 64
+    for bad in (
+        lambda: AdaptivePositiveRatePolicy(0.8, window=0),
+        lambda: AdaptivePositiveRatePolicy(0.8, min_queries=65, window=64),
+        lambda: AdaptivePositiveRatePolicy(
+            0.8, window=ShardLifecycleState.WINDOW_CAP + 1
+        ),
+    ):
+        with pytest.raises(ParameterError):
+            bad()
+
+
+def test_needs_recent_flags_skip_the_window_copy():
+    # Shipped non-windowed policies never pay the O(window) copy; the
+    # windowed adaptive (and any wrapper delegating to it) opts in, and
+    # custom policies default to the safe True.
+    assert not FillThresholdPolicy(0.5).needs_recent
+    assert not TimeBasedRecyclingPolicy(10).needs_recent
+    assert not NeverRotatePolicy().needs_recent
+    assert not AdaptivePositiveRatePolicy(0.8).needs_recent
+    assert AdaptivePositiveRatePolicy(0.8, 16, window=32).needs_recent
+    assert not RotateOnRestorePolicy(5, inner=FillThresholdPolicy(0.5)).needs_recent
+    assert RotateOnRestorePolicy(
+        5, inner=AdaptivePositiveRatePolicy(0.8, 16, window=32)
+    ).needs_recent
+
+    class CustomPolicy(RotationPolicy):
+        def evaluate(self, observation):
+            return RotationDecision(rotate=False, reason="keep")
+
+    assert CustomPolicy().needs_recent
+    # observe() honours the flag: no window materialisation when False.
+    life = ShardLifecycleState(0)
+    life.note_queries(10, 5)
+    assert life.observe(ShardState(0, 0.0, 0), 0, include_recent=False).recent == ()
+    assert life.observe(ShardState(0, 0.0, 0), 0).recent == ((10, 5),)
+
+
+def test_lifecycle_window_tracks_evicts_and_resets():
+    life = ShardLifecycleState(0)
+    assert life.window_rate() == 0.0
+    life.note_queries(10, 5)
+    life.note_queries(10, 10)
+    assert life.window_rate() == 15 / 20
+    obs = life.observe(ShardState(0, 0.0, 0), op_epoch=20)
+    assert obs.recent == ((10, 5), (10, 10))
+    # Eviction: old batches fall off once the cap stays covered.
+    cap = ShardLifecycleState.WINDOW_CAP
+    for _ in range(cap // 10 + 5):
+        life.note_queries(10, 0)
+    retained = life.observe(ShardState(0, 0.0, 0), op_epoch=0).recent
+    assert (10, 5) not in retained  # the oldest batches were evicted
+    assert cap <= sum(q for q, _ in retained) < cap + 10
+    life.reset()
+    assert life.window_rate() == 0.0
+    assert life.observe(ShardState(0, 0.0, 0), op_epoch=0).recent == ()
 
 
 def test_rotate_on_restore_policy_wraps_an_inner():
@@ -153,7 +253,10 @@ def test_parse_policy_rejects_garbage():
         "age:2.5e",
         "never:1",
         "adaptive",
-        "adaptive:0.5:2:2",
+        "adaptive:0.5:2:2:2",
+        "adaptive:0.5:2:nope",
+        "adaptive:0.8:64:32",  # min_queries must fit inside the window
+        "adaptive:0.8:32:999999",  # window beyond the retention cap
         "fill:0.5+age:100",  # only restore may wrap
         "restore:10+lru:3",
     ):
@@ -265,6 +368,48 @@ def test_adaptive_policy_rotates_on_positive_spike(backend_kind):
         assert gateway.rotation_log[0].reason == "positive_rate>=0.9"
         # The rotation reset the lifecycle window.
         assert gateway.lifecycle[0].queries == 0
+
+
+def test_windowed_adaptive_policy_rotates_late_over_backends(backend_kind):
+    # A long honest life dilutes the since-rotation rate; only the
+    # windowed policy catches the late all-positive storm.
+    policy = AdaptivePositiveRatePolicy(0.9, min_queries=16, window=32)
+    with build_gateway(backend_kind, policy, m=4096) as gateway:
+        targeted = shard0_heavy_urls(gateway, 200)
+        asyncio.run(gateway.insert_batch(targeted[:100]))
+        # Honest-ish phase: mostly-negative queries pile up history.
+        asyncio.run(gateway.query_batch(targeted[100:200]))
+        assert gateway.rotations == 0
+        diluted = gateway.lifecycle[0].observe(
+            gateway.backend.state(0), gateway.op_epoch
+        )
+        assert diluted.positive_rate < 0.9  # the unwindowed rule never fires
+        # Late storm: re-query known items in small batches -> window spikes.
+        for start in range(0, 48, 8):
+            asyncio.run(gateway.query_batch(targeted[start : start + 8]))
+            if gateway.rotations:
+                break
+        assert gateway.rotations >= 1
+        assert gateway.rotation_log[0].reason == "window_positive_rate>=0.9"
+        # Rotation cleared the window with the rest of the history.
+        assert gateway.lifecycle[0].window_rate() == 0.0
+
+
+def test_window_survives_snapshot_round_trip(backend_kind):
+    policy = AdaptivePositiveRatePolicy(0.9, min_queries=16, window=32)
+    with build_gateway(backend_kind, policy) as gateway:
+        asyncio.run(gateway.insert_batch(URLS[:60]))
+        asyncio.run(gateway.query_batch(URLS[:40]))
+        raw = snapshot_gateway(gateway)
+        with build_gateway(backend_kind, policy) as restored:
+            restore_gateway(restored, raw)
+            for a, b in zip(gateway.lifecycle, restored.lifecycle):
+                obs_a = a.observe(gateway.backend.state(a.shard_id), 0)
+                obs_b = b.observe(restored.backend.state(b.shard_id), 0)
+                assert obs_a.recent == obs_b.recent
+                assert a.window_rate() == b.window_rate()
+            # The stats table (recent_pos column included) survives too.
+            assert restored.render_stats() == gateway.render_stats()
 
 
 def test_rotate_on_restore_expires_restored_shards(backend_kind):
@@ -396,10 +541,13 @@ def test_lifecycle_state_round_trip_marks_mid_life_restores():
         "positives": 5,
         "restored": False,
         "restore_epoch": 0,
+        "window": ((20, 5),),
     }
     back = ShardLifecycleState.from_state(1, state, restore_epoch=77)
     assert back.restored and back.restore_epoch == 77
     assert back.age_base == 50
+    # The sliding window crossed the snapshot too.
+    assert back.window_rate() == 5 / 20
     # A fresh, never-worked shard does not come back flagged.
     empty = ShardLifecycleState.from_state(
         0, ShardLifecycleState(0).to_state(0), restore_epoch=77

@@ -91,3 +91,14 @@ def test_render_snapshots_table():
     lines = table.splitlines()
     assert "shard" in lines[0] and "rotations" in lines[0]
     assert len(lines) == 2 + 3  # header, rule, one row per shard
+
+
+def test_snapshot_carries_recent_positive_rate():
+    telemetry = ShardTelemetry(1)
+    snap = telemetry.snapshot(weight=10, fill_ratio=0.1, recent_positive_rate=0.625)
+    assert snap.recent_positive_rate == 0.625
+    # Omitted (non-gateway callers): defaults to no recent signal.
+    assert telemetry.snapshot(weight=10, fill_ratio=0.1).recent_positive_rate == 0.0
+    table = render_snapshots([snap])
+    assert "recent_pos" in table
+    assert "0.625" in table
