@@ -18,7 +18,12 @@ traffic driver, and prints the per-shard stats.  Four acts:
   5. the lifecycle layer -- the same attack under an *adaptive* rotation
      policy (rotate on the ghost storm's positive-rate spike), then a
      warm restart under rotate-on-restore, which expires the restored
-     shards on their post-restore op budget.
+     shards on their post-restore op budget;
+  6. the defence algebra -- a composed policy,
+     ``cooldown:150(adaptive:0.6:32)&fill:0.2``, live: rotate on the
+     ghost storm's signature only once the filter holds enough state to
+     be worth invalidating, and never twice within 150 operations (the
+     refused rotations land in the ``suppressed`` telemetry column).
 
 Run: ``python examples/membership_service.py``
 """
@@ -38,7 +43,6 @@ from repro.service import (
     MembershipGateway,
     MembershipServer,
     ProcessPoolBackend,
-    SaturationGuard,
     parse_policy,
     restore_gateway,
     snapshot_gateway,
@@ -68,7 +72,7 @@ def build_gateway(keyed_routing: bool = False, rate_limit: float | None = None) 
         lambda: BloomFilter(SHARD_M, SHARD_K),
         shards=SHARDS,
         picker=KeyedShardPicker() if keyed_routing else HashShardPicker(),
-        guard=SaturationGuard(THRESHOLD),
+        policy=parse_policy(f"fill:{THRESHOLD}"),
         limiter=ClientRateLimiter(rate_limit, burst=32) if rate_limit else None,
     )
 
@@ -99,7 +103,7 @@ async def run_act_networked() -> None:
         factory,
         backend=ProcessPoolBackend(factory, SHARDS),
         picker=HashShardPicker(),
-        guard=SaturationGuard(THRESHOLD),
+        policy=parse_policy(f"fill:{THRESHOLD}"),
     )
     try:
         async with MembershipServer(gateway) as server:
@@ -119,7 +123,7 @@ async def run_act_networked() -> None:
             factory,
             backend=ProcessPoolBackend(factory, SHARDS),
             picker=HashShardPicker(),
-            guard=SaturationGuard(THRESHOLD),
+            policy=parse_policy(f"fill:{THRESHOLD}"),
         )
         try:
             restore_gateway(restarted, raw)
@@ -176,6 +180,32 @@ def run_act_lifecycle() -> None:
     print()
 
 
+def run_act_defense_algebra() -> None:
+    """Act 6: a composed defence live -- cooldown(adaptive) & fill."""
+    print("=== act 6: defence algebra (cooldown(adaptive:spike) & fill guard) ===")
+    # Conjunction: the ghost-storm tripwire fires only once the filter
+    # holds enough state to be worth invalidating (fill >= 0.2), and the
+    # cool-down wrapper guarantees a 150-op minimum filter lifetime --
+    # a sustained storm cannot thrash the shard into permanent
+    # emptiness; every refused rotation is tallied.
+    spec = "cooldown:150(adaptive:0.6:32)&fill:0.2"
+    gateway = MembershipGateway(
+        lambda: BloomFilter(SHARD_M, SHARD_K),
+        shards=SHARDS,
+        picker=HashShardPicker(),
+        policy=parse_policy(spec),
+    )
+    print(f"policy: {gateway.policy.spec()}")
+    driver = AdversarialTrafficDriver(gateway, seed=7, attacker_router=HashShardPicker())
+    report = asyncio.run(driver.run(**WORKLOAD))
+    suppressed = sum(life.suppressed for life in gateway.lifecycle)
+    print(f"composed policy: {report.rotations} rotation(s) "
+          f"{report.rotation_reasons or ''}, {suppressed} refused by the "
+          f"cool-down (the 'suppressed' column below)")
+    print(gateway.render_stats())
+    print()
+
+
 if __name__ == "__main__":
     run_act("act 1: aimed pollution against public routing", build_gateway())
     run_act(
@@ -185,3 +215,4 @@ if __name__ == "__main__":
     run_act("act 3: same attack, keyed (secret) routing", build_gateway(keyed_routing=True))
     asyncio.run(run_act_networked())
     run_act_lifecycle()
+    run_act_defense_algebra()

@@ -1,0 +1,34 @@
+"""Defence-side calibration tools.
+
+Everything under :mod:`repro.adversary` prices the game from the
+attacker's chair; this package sits in the defender's.  Its first
+instrument is the budget frontier (:mod:`repro.defense.frontier`): for a
+given :class:`~repro.service.config.ServiceConfig` -- rotation policy,
+geometry, admission -- and a target ghost volume, find the cheapest
+:class:`~repro.service.config.AttackBudgetConfig` that still achieves
+it, by binary-searching seeded replays of the adversarial traffic
+driver.  The frontier price is the number a defender compares policies
+by: composed, hysteresis-wrapped tripwires should push it up without
+thrashing the shards (the ``defense_frontier`` experiment asserts
+exactly that).
+"""
+
+from repro.defense.frontier import (
+    FrontierProbe,
+    FrontierResult,
+    FrontierWorkload,
+    cheapest_winning_budget,
+    minimise_winning_trials,
+    replay_probe,
+    thrash_events,
+)
+
+__all__ = [
+    "FrontierProbe",
+    "FrontierResult",
+    "FrontierWorkload",
+    "cheapest_winning_budget",
+    "minimise_winning_trials",
+    "replay_probe",
+    "thrash_events",
+]

@@ -14,6 +14,15 @@ class ParameterError(ReproError, ValueError):
     """A Bloom filter or attack parameter is out of its valid domain."""
 
 
+class ConfigError(ParameterError):
+    """A configuration string failed to parse.
+
+    Raised by the rotation-policy spec grammar for unknown kinds, wrong
+    arity, non-numeric arguments, unbalanced parentheses and trailing
+    garbage after a valid spec.  Subclasses :class:`ParameterError` so
+    pre-grammar callers that caught the broader class keep working."""
+
+
 class CapacityError(ReproError):
     """A bounded structure was asked to hold more than it was sized for."""
 

@@ -7,6 +7,7 @@ from typing import Callable
 from repro.experiments import (
     adaptive_budget_study,
     analytics_checks,
+    defense_frontier,
     fig3_false_positive,
     fig5_pollution_cost,
     fig6_ghost_cost,
@@ -38,6 +39,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "service": service_throughput.run,
     "rotation_policy_study": rotation_policy_study.run,
     "adaptive_budget_study": adaptive_budget_study.run,
+    "defense_frontier": defense_frontier.run,
 }
 
 

@@ -16,7 +16,9 @@ restartable:
   legacy saturation guard;
 * :mod:`repro.service.lifecycle` -- shard lifecycle management: pluggable
   rotation policies (fill threshold, op-age recycling, adaptive
-  positive-rate, rotate-on-restore) over per-shard observations, with
+  positive-rate, rotate-on-restore) over per-shard observations,
+  composable through a defence algebra (``&``/``|``/``!`` plus the
+  stateful ``cooldown:N(...)``/``hysteresis:N(...)`` wrappers), with
   snapshot-persistent policy state;
 * :mod:`repro.service.telemetry` -- per-shard counters and latency
   histograms;
@@ -57,8 +59,13 @@ from repro.service.driver import (
 from repro.service.gateway import MembershipGateway, RotationEvent
 from repro.service.lifecycle import (
     AdaptivePositiveRatePolicy,
+    AllOf,
+    AnyOf,
+    Cooldown,
     FillThresholdPolicy,
+    Hysteresis,
     NeverRotatePolicy,
+    Not,
     RotateOnRestorePolicy,
     RotationDecision,
     RotationPolicy,
@@ -87,10 +94,14 @@ from repro.service.telemetry import (
 __all__ = [
     "AdaptivePositiveRatePolicy",
     "AdversarialTrafficDriver",
+    "AllOf",
+    "AnyOf",
     "AttackBudgetConfig",
     "BatchReply",
     "ClientRateLimiter",
+    "Cooldown",
     "FillThresholdPolicy",
+    "Hysteresis",
     "GatewaySnapshot",
     "HashShardPicker",
     "KeyedShardPicker",
@@ -100,6 +111,7 @@ __all__ = [
     "MembershipGateway",
     "MembershipServer",
     "NeverRotatePolicy",
+    "Not",
     "ProcessPoolBackend",
     "RateLimited",
     "RotateOnRestorePolicy",

@@ -40,11 +40,16 @@ class ServiceConfig:
         ``rotation_policy`` is set).
     rotation_policy:
         Shard lifecycle policy spec (see :func:`~repro.service.
-        lifecycle.parse_policy`): ``"fill:0.5"``, ``"age:4000"``,
-        ``"adaptive:0.8:32"`` (or windowed ``"adaptive:0.8:32:128"``),
-        ``"restore:2000+fill:0.5"`` or ``"never"``.  Wins over
-        ``rotation_threshold`` when both are set; ``None`` falls back to
-        the legacy knob.
+        lifecycle.parse_policy`): leaf rules (``"fill:0.5"``,
+        ``"age:4000"``, ``"adaptive:0.8:32"`` or windowed
+        ``"adaptive:0.8:32:128"``, ``"restore:2000+fill:0.5"``,
+        ``"never"``) or any composition of them --
+        ``"(adaptive:0.8:24:32&fill:0.5)|age:4000"``,
+        ``"cooldown:200(hysteresis:2(adaptive:0.85:24:32))"``, ``"!"``
+        negation.  Malformed specs raise
+        :class:`~repro.exceptions.ConfigError` at config build time.
+        Wins over ``rotation_threshold`` when both are set; ``None``
+        falls back to the legacy knob.
     rate_limit:
         Per-client admitted operations per second; ``None`` means
         unlimited.

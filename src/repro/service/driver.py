@@ -118,6 +118,9 @@ class TrafficReport:
     probe_queries: int = 0
     probe_false_positives: int = 0
     rotations: int = 0
+    #: Rotations a composed policy's cool-down wrapper refused during
+    #: this replay (summed across shards; 0 without such a policy).
+    rotations_suppressed: int = 0
     #: Per-attack-client spend against the shared budget:
     #: label -> {"trials": n, "requests": r}.  Empty without a budget.
     budget_spend: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -212,6 +215,11 @@ class TrafficReport:
                 + ")"
                 if self.rotation_reasons
                 else ""
+            )
+            + (
+                f"  suppressed by cooldown: {self.rotations_suppressed}"
+                if self.rotations_suppressed
+                else ""
             ),
         ]
         if self.adaptive_queries:
@@ -274,6 +282,16 @@ class AdversarialTrafficDriver:
         it a chunk is dropped and counted in ``send_dropped`` (so a
         saturated limiter can never hang the replay, and nothing is
         dropped silently).
+    craft_patience:
+        How many consecutive *empty* craft chunks an attack client
+        tolerates (sleeping ``backoff`` between attempts) before giving
+        up on its campaign.  The default ``0`` keeps the historical
+        behaviour -- one dry chunk ends the client.  A patient attacker
+        (the defence-frontier search models one) sets this positive so
+        a rotation-emptied shard does not end the campaign outright:
+        crafting resumes once concurrent honest traffic refills the
+        bits.  Budget exhaustion is unaffected -- a drained purse ends
+        the client whatever the patience.
     """
 
     def __init__(
@@ -287,11 +305,14 @@ class AdversarialTrafficDriver:
         transport: ServiceTransport | None = None,
         budget: AttackBudget | None = None,
         send_retries: int = 25,
+        craft_patience: int = 0,
     ) -> None:
         if craft_chunk <= 0:
             raise ParameterError("craft_chunk must be positive")
         if send_retries < 0:
             raise ParameterError("send_retries must be non-negative")
+        if craft_patience < 0:
+            raise ParameterError("craft_patience must be non-negative")
         self.gateway = gateway
         self.transport: ServiceTransport = transport if transport is not None else gateway
         self.seed = seed
@@ -301,6 +322,7 @@ class AdversarialTrafficDriver:
         self.backoff = backoff
         self.budget = budget
         self.send_retries = send_retries
+        self.craft_patience = craft_patience
 
     # ------------------------------------------------------------------
     # Adversarial crafting
@@ -549,6 +571,7 @@ class AdversarialTrafficDriver:
             chunk = min(chunk, self.gateway.max_batch)
         sent = 0
         chunk_index = 0
+        dry_chunks = 0
         while sent < count:
             size = min(chunk, count - sent)
             try:
@@ -558,7 +581,17 @@ class AdversarialTrafficDriver:
                 return True
             chunk_index += 1
             if not items:
-                break
+                # A dry chunk usually means the shard just rotated out
+                # from under the client (nothing to forge against, pool
+                # flushed).  A patient attacker waits for the concurrent
+                # traffic to refill the bits and tries again, up to
+                # ``craft_patience`` consecutive dry chunks.
+                dry_chunks += 1
+                if dry_chunks > self.craft_patience:
+                    break
+                await asyncio.sleep(self.backoff)
+                continue
+            dry_chunks = 0
             try:
                 answers = await self._deliver(send, items, report, label=label)
             except AttackBudgetExhausted:
@@ -772,6 +805,7 @@ class AdversarialTrafficDriver:
             batch = min(batch, self.gateway.max_batch)
         report = TrafficReport()
         rotations_before = self.gateway.rotations
+        suppressed_before = sum(life.suppressed for life in self.gateway.lifecycle)
         per_client_inserts = honest_inserts // max(honest_clients, 1)
         per_client_queries = honest_queries // max(honest_clients, 1)
         tasks = [
@@ -821,6 +855,10 @@ class AdversarialTrafficDriver:
                 report.probe_false_positives += sum(answers)
                 break
         report.rotations = self.gateway.rotations - rotations_before
+        report.rotations_suppressed = (
+            sum(life.suppressed for life in self.gateway.lifecycle)
+            - suppressed_before
+        )
         for event in self.gateway.rotation_log[rotations_before:]:
             key = event.reason or event.policy or "unknown"
             report.rotation_reasons[key] = report.rotation_reasons.get(key, 0) + 1

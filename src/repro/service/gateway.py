@@ -243,6 +243,7 @@ class MembershipGateway:
                     state.hamming_weight,
                     state.fill_ratio,
                     recent_positive_rate=self.lifecycle[shard_id].window_rate(),
+                    rotations_suppressed=self.lifecycle[shard_id].suppressed,
                 )
             )
         return out
@@ -328,12 +329,13 @@ class MembershipGateway:
         if self.policy is None:
             return False
         life = self.lifecycle[shard_id]
-        decision = self.policy.evaluate(
+        decision = self.policy.decide(
             life.observe(
                 state,
                 self.op_epoch,
                 include_recent=getattr(self.policy, "needs_recent", True),
-            )
+            ),
+            life,
         )
         if not decision.rotate:
             return False
@@ -437,7 +439,7 @@ class MembershipGateway:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        policy = self.policy.spec if self.policy is not None else "none"
+        policy = self.policy.spec() if self.policy is not None else "none"
         return (
             f"<MembershipGateway shards={self.shards} picker={self.picker.name} "
             f"backend={self.backend.name} policy={policy} rotations={self.rotations}>"

@@ -1,0 +1,334 @@
+"""Composable defence-policy algebra: AND/OR/NOT plus stateful wrappers.
+
+Naor-Yogev's feedback-driven adversary defeats any single tripwire: a
+fill threshold never sees a ghost storm, a positive-rate tripwire can be
+thrashed into rotating the filter so often that honest capacity
+collapses.  Real deployments therefore *compose* defences -- "rotate on
+the ghost-storm signature, but only once the filter holds something
+worth protecting, and never twice within the same few hundred
+operations".  This module is that algebra:
+
+* :class:`AllOf` (``a&b``) -- rotate only when every child votes rotate;
+* :class:`AnyOf` (``a|b``) -- rotate when any child votes rotate;
+* :class:`Not` (``!a``) -- invert a child's vote (a guard, composed
+  under :class:`AllOf`);
+* :class:`Cooldown` (``cooldown:N(a)``) -- refuse the subtree's
+  rotations until the shard's current filter has served ``N``
+  operations, so a fresh filter is guaranteed a minimum lifetime and a
+  sustained attack cannot thrash the shard into permanent emptiness.
+  Refusals are tallied per shard (``ShardLifecycleState.suppressed``,
+  surfaced as the stats table's ``suppressed`` column and persisted in
+  gateway snapshots since version 4);
+* :class:`Hysteresis` (``hysteresis:N(a)``) -- require the subtree to
+  vote rotate on ``N`` *consecutive* decisions before the rotation
+  passes through, so a single transient spike (one unlucky batch) never
+  retires a healthy filter.  The per-shard streak lives in
+  ``ShardLifecycleState.streaks`` keyed by this wrapper's spec string,
+  rides gateway snapshots (version 4), and clears on rotation.
+
+Combinators evaluate *every* child on every decision -- no
+short-circuiting -- because stateful wrappers anywhere in the tree must
+see every observation to keep their streaks honest.  The tree is built
+from :func:`~repro.service.lifecycle.parser.parse_policy` specs like
+``(adaptive:0.8:24:32&fill:0.5)|age:4000`` or
+``cooldown:200(hysteresis:2(adaptive:0.85:24:32))`` and renders back via
+``spec()``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ParameterError
+from repro.service.lifecycle.policies import RotationPolicy
+from repro.service.lifecycle.state import (
+    KEEP,
+    RotationDecision,
+    ShardLifecycleState,
+    ShardObservation,
+)
+
+__all__ = ["AllOf", "AnyOf", "Not", "Cooldown", "Hysteresis"]
+
+
+def _walk(policy: RotationPolicy):
+    """Depth-first traversal of a policy tree (the wrapper/combinator
+    child attributes are the edges)."""
+    yield policy
+    for attribute in ("children", "inner", "child"):
+        below = getattr(policy, attribute, None)
+        if below is None:
+            continue
+        for node in below if isinstance(below, tuple) else (below,):
+            yield from _walk(node)
+
+
+def _assign_streak_keys(root: RotationPolicy) -> None:
+    """Give every :class:`Hysteresis` in ``root``'s tree a unique,
+    position-stable streak key.
+
+    Two *identical* wrappers in one tree must not share a streak entry:
+    within a single gateway decision both would read-modify the same
+    key, so a ``hold=2`` pair would fire on the very first rotate vote.
+    Keys are the wrapper's spec, disambiguated ``#2``, ``#3``, ... in
+    depth-first order -- re-parsing the same config string rebuilds the
+    same tree shape, so the keys (and with them the snapshotted
+    streaks) are stable across restarts.  Every combinator re-runs this
+    from its own root at construction time; the outermost build wins
+    and sees the whole tree.  (One Hysteresis *instance* aliased into
+    two branches keeps a single key: shared object, genuinely shared
+    streak.)
+    """
+    seen: dict[str, int] = {}
+    for node in _walk(root):
+        if isinstance(node, Hysteresis):
+            spec = node.spec()
+            count = seen.get(spec, 0) + 1
+            seen[spec] = count
+            node._streak_key = spec if count == 1 else f"{spec}#{count}"
+
+
+def _child_spec(child: RotationPolicy) -> str:
+    """A child's spec, parenthesised when its top-level operator binds
+    looser than the parent's context requires."""
+    spec = child.spec()
+    if isinstance(child, AnyOf):
+        return f"({spec})"
+    return spec
+
+
+class _Combinator(RotationPolicy):
+    """Shared n-ary plumbing: children, recent-window needs, threading."""
+
+    def __init__(self, children: Sequence[RotationPolicy]) -> None:
+        if len(children) < 2:
+            raise ParameterError(
+                f"'{self.name}' composition needs at least two policies"
+            )
+        self.children = tuple(children)
+        self.needs_recent = any(child.needs_recent for child in self.children)
+        _assign_streak_keys(self)
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        return self.decide(observation)
+
+    def _votes(
+        self,
+        observation: ShardObservation,
+        life: ShardLifecycleState | None,
+    ) -> list[RotationDecision]:
+        # Every child decides on every observation (no short-circuit):
+        # a hysteresis wrapper in any branch must see the full stream or
+        # its consecutive-vote streak would depend on sibling order.
+        return [child.decide(observation, life) for child in self.children]
+
+
+class AllOf(_Combinator):
+    """Rotate only when *every* child votes rotate (``a&b&c``).
+
+    The conjunction is how a tripwire gets a guard: e.g.
+    ``adaptive:0.8:24:32&fill:0.2`` rotates on the ghost-storm signature
+    only once the filter actually holds state worth invalidating.
+    """
+
+    name = "all"
+
+    def decide(
+        self,
+        observation: ShardObservation,
+        life: ShardLifecycleState | None = None,
+    ) -> RotationDecision:
+        votes = self._votes(observation, life)
+        if all(vote.rotate for vote in votes):
+            return RotationDecision(
+                rotate=True, reason=" & ".join(vote.reason for vote in votes)
+            )
+        return KEEP
+
+    def spec(self) -> str:
+        return "&".join(_child_spec(child) for child in self.children)
+
+
+class AnyOf(_Combinator):
+    """Rotate when *any* child votes rotate (``a|b``); first rotating
+    child's reason wins (children are still all evaluated)."""
+
+    name = "any"
+
+    def decide(
+        self,
+        observation: ShardObservation,
+        life: ShardLifecycleState | None = None,
+    ) -> RotationDecision:
+        votes = self._votes(observation, life)
+        for vote in votes:
+            if vote.rotate:
+                return vote
+        return KEEP
+
+    def spec(self) -> str:
+        # `|` is the loosest operator, so children never need parens
+        # for precedence -- but AnyOf children keep theirs for clarity
+        # of nested trees.
+        return "|".join(_child_spec(child) for child in self.children)
+
+
+class Not(RotationPolicy):
+    """Invert a child's vote (``!a``): rotate when the child keeps.
+
+    On its own this rotates nearly always -- its use is as a guard under
+    :class:`AllOf`, e.g. ``age:4000&!adaptive:0.9:16`` (recycle on age,
+    but never in the middle of an active probe storm the operator wants
+    to study).
+    """
+
+    name = "not"
+
+    def __init__(self, child: RotationPolicy) -> None:
+        self.child = child
+        self.needs_recent = child.needs_recent
+        self._reason = f"not({child.spec()})"
+        _assign_streak_keys(self)
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        return self.decide(observation)
+
+    def decide(
+        self,
+        observation: ShardObservation,
+        life: ShardLifecycleState | None = None,
+    ) -> RotationDecision:
+        vote = self.child.decide(observation, life)
+        if vote.rotate:
+            return KEEP
+        return RotationDecision(rotate=True, reason=self._reason)
+
+    def spec(self) -> str:
+        child = self.child.spec()
+        if isinstance(self.child, (AllOf, AnyOf)):
+            return f"!({child})"
+        return f"!{child}"
+
+
+class Cooldown(RotationPolicy):
+    """Refuse the subtree's rotations while the filter is younger than
+    ``ops`` operations (``cooldown:N(inner)``).
+
+    Because a rotation (whoever triggered it) swaps in a fresh filter
+    whose operation age restarts at zero, this is exactly a guaranteed
+    minimum lifetime: no two rotations of one shard can ever be fewer
+    than ``ops`` shard-operations apart, and a sustained ghost storm
+    cannot thrash the shard into serving from a permanently-empty
+    filter.  Each refusal bumps the shard's ``suppressed`` tally (when
+    the gateway threads its lifecycle state through), which lands in the
+    stats table and the gateway snapshot (version 4).
+
+    The inner subtree is still evaluated on every decision -- its own
+    stateful wrappers keep seeing the stream -- only its rotate verdict
+    is withheld.
+    """
+
+    name = "cooldown"
+
+    def __init__(self, ops: int, inner: RotationPolicy) -> None:
+        if ops <= 0:
+            raise ParameterError("cooldown ops must be positive")
+        self.ops = ops
+        self.inner = inner
+        self.needs_recent = inner.needs_recent
+        self._reason = f"cooldown<{ops}"
+        _assign_streak_keys(self)
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        return self.decide(observation)
+
+    def decide(
+        self,
+        observation: ShardObservation,
+        life: ShardLifecycleState | None = None,
+    ) -> RotationDecision:
+        vote = self.inner.decide(observation, life)
+        if vote.rotate and observation.age_ops < self.ops:
+            if life is not None:
+                life.suppressed += 1
+            return RotationDecision(rotate=False, reason=self._reason)
+        return vote
+
+    def spec(self) -> str:
+        return f"cooldown:{self.ops}({self.inner.spec()})"
+
+
+class Hysteresis(RotationPolicy):
+    """Pass a rotation through only after ``hold`` consecutive rotate
+    votes from the subtree (``hysteresis:N(inner)``).
+
+    One spiky batch -- a burst of lucky honest positives, a short probe
+    -- is not a campaign; requiring the condition to *persist* across
+    ``hold`` decisions keeps transients from retiring a healthy filter
+    while a genuine sustained ghost storm still trips it within a few
+    batches.  The per-shard streak lives in
+    ``ShardLifecycleState.streaks`` under this wrapper's spec string,
+    disambiguated ``#2``, ``#3``, ... when one tree contains identical
+    wrappers (two hold-2 twins sharing one entry would otherwise fire
+    on the first vote -- each would bump the same streak once per
+    decision).  The keys are assigned in depth-first order whenever a
+    combinator is built, so re-parsing the same config string rebuilds
+    the same keys and the streaks persist across warm restarts via
+    gateway snapshot version 4; they clear when the shard rotates.
+
+    Without a threaded lifecycle state (standalone evaluation, tests)
+    the streak falls back to a per-instance, per-shard scratch -- fine
+    for a single process, but only the gateway-threaded form survives
+    snapshots.
+    """
+
+    name = "hysteresis"
+
+    def __init__(self, hold: int, inner: RotationPolicy) -> None:
+        if hold <= 0:
+            raise ParameterError("hysteresis hold must be positive")
+        self.hold = hold
+        self.inner = inner
+        self.needs_recent = inner.needs_recent
+        self._transient: dict[int, int] = {}
+        self._streak_key = self.spec()
+        _assign_streak_keys(self)
+
+    @property
+    def streak_key(self) -> str:
+        """The ``ShardLifecycleState.streaks`` key this wrapper owns
+        (its spec, plus a ``#n`` suffix when a tree holds duplicates)."""
+        return self._streak_key
+
+    def evaluate(self, observation: ShardObservation) -> RotationDecision:
+        return self.decide(observation)
+
+    def decide(
+        self,
+        observation: ShardObservation,
+        life: ShardLifecycleState | None = None,
+    ) -> RotationDecision:
+        vote = self.inner.decide(observation, life)
+        key = self._streak_key
+        if life is not None:
+            streak = life.streaks.get(key, 0)
+        else:
+            streak = self._transient.get(observation.shard_id, 0)
+        streak = streak + 1 if vote.rotate else 0
+        fired = vote.rotate and streak >= self.hold
+        if fired:
+            streak = 0
+        if life is not None:
+            life.streaks[key] = streak
+        else:
+            self._transient[observation.shard_id] = streak
+        if fired:
+            return RotationDecision(
+                rotate=True, reason=f"hold{self.hold}:{vote.reason}"
+            )
+        return KEEP if not vote.rotate else RotationDecision(
+            rotate=False, reason=f"holding:{streak}/{self.hold}"
+        )
+
+    def spec(self) -> str:
+        return f"hysteresis:{self.hold}({self.inner.spec()})"

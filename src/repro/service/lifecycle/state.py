@@ -1,0 +1,322 @@
+"""Per-shard lifecycle state and the observations policies consume.
+
+Policies themselves are deliberately *stateless*: everything a decision
+needs arrives in one frozen :class:`ShardObservation`, and the mutable
+per-shard history behind it lives in one :class:`ShardLifecycleState`
+owned by the gateway.  That split is what makes decisions survive warm
+restarts -- the gateway snapshot persists the lifecycle state (age, op
+counts, restore epoch, the recent-query window), not policy internals,
+so a restored gateway can even be handed a *different* policy and keep
+deciding sensibly.
+
+The one carve-out is the *policy scratch*: stateful wrappers
+(:class:`~repro.service.lifecycle.combinators.Cooldown`,
+:class:`~repro.service.lifecycle.combinators.Hysteresis`) need a few
+integers of per-shard memory -- how many consecutive rotate votes a
+hysteresis streak has accumulated, how many rotations a cool-down has
+suppressed.  That memory also lives here (``streaks`` /``suppressed``),
+keyed by the wrapper's own spec string, and rides the gateway snapshot
+(version 4) so composed defences keep their place across a warm
+restart.  Streaks clear with the rest of the history on rotation (a
+fresh filter starts a fresh streak); the suppression counter is a
+cumulative operator-facing tally and survives rotations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "ShardObservation",
+    "RotationDecision",
+    "KEEP",
+    "ShardLifecycleState",
+]
+
+
+@dataclass(frozen=True)
+class ShardObservation:
+    """Everything a rotation policy may look at for one shard.
+
+    Combines the filter state the backend returned with the batch (no
+    extra hop), the gateway's per-shard lifecycle history, and the
+    gateway-wide operation epoch.
+    """
+
+    shard_id: int
+    #: Filter state (from the backend's :class:`~repro.service.backends.
+    #: ShardState`, returned with every batch).
+    hamming_weight: int
+    fill_ratio: float
+    insertions: int
+    #: Operations (inserts + queries) served by this shard's current
+    #: filter since it was built, rotated, or restored -- including any
+    #: age inherited from a snapshot.
+    age_ops: int
+    #: Gateway-side history since the shard's last rotation.
+    inserts: int
+    queries: int
+    positives: int
+    #: True when the shard's bits were loaded mid-life from a snapshot.
+    restored: bool
+    #: Operations served since the latest restore (equals ``age_ops``
+    #: for never-restored shards).
+    ops_since_restore: int
+    #: Gateway-wide monotonic operation counter at observation time.
+    op_epoch: int
+    #: Recent query batches ``(queries, positives)``, oldest first, as
+    #: retained by the lifecycle state's sliding window (covers at least
+    #: :attr:`ShardLifecycleState.WINDOW_CAP` queries once enough have
+    #: been served).  This is what lets a windowed policy see a
+    #: late-life spike that the since-rotation totals have diluted.
+    recent: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of queries answered positive since the last rotation."""
+        return self.positives / self.queries if self.queries else 0.0
+
+    def windowed_positive_rate(self, window: int) -> tuple[int, int]:
+        """``(queries, positives)`` over the most recent batches covering
+        at least ``window`` queries.
+
+        Whole batches are counted (never split), so the coverage may
+        overshoot ``window`` by up to one batch; fewer than ``window``
+        queries served simply yields what there is.  Callers decide what
+        rate and minimum coverage to require.
+        """
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        covered = positives = 0
+        for queries, batch_positives in reversed(self.recent):
+            if covered >= window:
+                break
+            covered += queries
+            positives += batch_positives
+        return covered, positives
+
+
+@dataclass(frozen=True)
+class RotationDecision:
+    """A policy's verdict for one shard: rotate or keep, and why.
+
+    ``reason`` is a stable, machine-readable slug (it names the rule and
+    its configured bound, never live values), so rotation events can be
+    grouped and counted across a run.
+    """
+
+    rotate: bool
+    reason: str = ""
+
+
+#: The shared "nothing to do" decision.
+KEEP = RotationDecision(rotate=False, reason="keep")
+
+
+class ShardLifecycleState:
+    """Mutable per-shard history the gateway feeds into observations.
+
+    One instance per shard, owned by the gateway, updated under the
+    shard's lock.  ``age_base`` carries the operation age inherited from
+    a snapshot (the backend's own counter restarts at zero whenever the
+    filter instance is rebuilt or restored); the insert/query/positive
+    counters run since the shard's last rotation.  All of it is
+    persisted in the gateway snapshot's lifecycle section.
+
+    On top of the since-rotation totals, a sliding window of recent
+    query batches (``(queries, positives)`` pairs, capped to cover
+    :attr:`WINDOW_CAP` queries) feeds
+    :meth:`ShardObservation.windowed_positive_rate` -- the signal that
+    catches an adaptive attacker who strikes late in a long-lived
+    shard's life, after honest history has diluted the since-rotation
+    rate.  The window is persisted with the rest of the lifecycle state
+    (gateway snapshot version 3), so a windowed policy resumes deciding
+    on the same recent history after a warm restart.
+
+    ``streaks`` and ``suppressed`` are the stateful policy wrappers'
+    per-shard scratch (gateway snapshot version 4): consecutive
+    rotate-vote counts keyed by a :class:`~repro.service.lifecycle.
+    combinators.Hysteresis` wrapper's spec string, and the cumulative
+    count of rotations a :class:`~repro.service.lifecycle.combinators.
+    Cooldown` wrapper refused.  A snapshot from before version 4 simply
+    restores both zero-initialised.
+    """
+
+    #: Queries the sliding window retains (at least; whole batches are
+    #: kept, so retention can overshoot by one batch).  Windowed
+    #: policies must use a window no larger than this.
+    WINDOW_CAP = 1024
+
+    __slots__ = (
+        "shard_id",
+        "age_base",
+        "inserts",
+        "queries",
+        "positives",
+        "restored",
+        "restore_epoch",
+        "streaks",
+        "suppressed",
+        "_window",
+        "_window_queries",
+        "_window_positives",
+    )
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.age_base = 0
+        self.inserts = 0
+        self.queries = 0
+        self.positives = 0
+        self.restored = False
+        self.restore_epoch = 0
+        #: Hysteresis streaks: wrapper spec -> consecutive rotate votes.
+        self.streaks: dict[str, int] = {}
+        #: Rotations refused by cool-down wrappers (cumulative tally).
+        self.suppressed = 0
+        self._window: deque[tuple[int, int]] = deque()
+        self._window_queries = 0
+        self._window_positives = 0
+
+    def note_inserts(self, count: int) -> None:
+        """Account one insert group dispatched to this shard."""
+        self.inserts += count
+
+    def note_queries(self, count: int, positives: int) -> None:
+        """Account one query group (and its positive answers)."""
+        self.queries += count
+        self.positives += positives
+        self._window.append((count, positives))
+        self._window_queries += count
+        self._window_positives += positives
+        # Evict whole old batches while the remainder still covers the
+        # cap -- retention stays in [cap, cap + one batch).
+        while (
+            len(self._window) > 1
+            and self._window_queries - self._window[0][0] >= self.WINDOW_CAP
+        ):
+            old_queries, old_positives = self._window.popleft()
+            self._window_queries -= old_queries
+            self._window_positives -= old_positives
+
+    def window_rate(self) -> float:
+        """Positive rate over everything the window retains (telemetry's
+        ``recent_pos`` column; 0.0 before any queries)."""
+        if not self._window_queries:
+            return 0.0
+        return self._window_positives / self._window_queries
+
+    def reset(self) -> None:
+        """Forget the filter's life: the shard just rotated to a fresh one.
+
+        Hysteresis streaks go with it (a fresh filter starts a fresh
+        streak); the cool-down suppression tally is a cumulative
+        operator counter and stays.
+        """
+        self.age_base = 0
+        self.inserts = 0
+        self.queries = 0
+        self.positives = 0
+        self.restored = False
+        self.restore_epoch = 0
+        self.streaks.clear()
+        self._window.clear()
+        self._window_queries = 0
+        self._window_positives = 0
+
+    def observe(
+        self, state, op_epoch: int, include_recent: bool = True
+    ) -> ShardObservation:
+        """Build the policy-facing observation from backend ``state``
+        (any object with ``hamming_weight``/``fill_ratio``/
+        ``insertions``/``age_ops`` attributes) plus this history.
+
+        ``include_recent=False`` skips materialising the sliding window
+        into the observation (an O(window) copy) -- the gateway passes
+        the policy's :attr:`RotationPolicy.needs_recent` here so
+        non-windowed policies never pay for it on the hot path.
+        """
+        instance_ops = getattr(state, "age_ops", 0)
+        age_ops = self.age_base + instance_ops
+        return ShardObservation(
+            shard_id=self.shard_id,
+            hamming_weight=state.hamming_weight,
+            fill_ratio=state.fill_ratio,
+            insertions=state.insertions,
+            age_ops=age_ops,
+            inserts=self.inserts,
+            queries=self.queries,
+            positives=self.positives,
+            restored=self.restored,
+            ops_since_restore=instance_ops if self.restored else age_ops,
+            op_epoch=op_epoch,
+            recent=tuple(self._window) if include_recent else (),
+        )
+
+    # -- snapshot round trip -------------------------------------------
+
+    def to_state(self, instance_ops: int) -> dict:
+        """Durable form for the gateway snapshot's lifecycle section.
+
+        ``instance_ops`` is the backend's current per-instance operation
+        count; the persisted age is the shard's *total* age so a restore
+        can rebuild it without the original backend counter.  The
+        sliding window rides along (as ``(queries, positives)`` pairs)
+        so a windowed policy keeps deciding correctly across a warm
+        restart instead of going blind until fresh traffic refills it,
+        and the policy scratch (hysteresis streaks, the cool-down
+        suppression tally) rides the same way so composed defences keep
+        their place.
+        """
+        return {
+            "age_ops": self.age_base + instance_ops,
+            "inserts": self.inserts,
+            "queries": self.queries,
+            "positives": self.positives,
+            "restored": self.restored,
+            "restore_epoch": self.restore_epoch,
+            "window": tuple(self._window),
+            "suppressed": self.suppressed,
+            "streaks": dict(self.streaks),
+        }
+
+    @classmethod
+    def from_state(
+        cls, shard_id: int, state: dict, restore_epoch: int
+    ) -> "ShardLifecycleState":
+        """Rebuild a shard's history from a snapshot, marking it restored.
+
+        A shard whose persisted age is non-zero (or that was already
+        flagged) comes back *restored*: its bits were observable before
+        this process existed, which is exactly what
+        :class:`RotateOnRestorePolicy` expires.  Fresh-and-empty shards
+        stay unflagged.  A shard restored for the first time stamps
+        ``restore_epoch`` (the gateway op-epoch at restore time, i.e.
+        the snapshot's own epoch); an already-flagged shard keeps its
+        persisted first-restore epoch, so the field is stable across
+        repeated snapshot/restore cycles.
+
+        ``suppressed`` and ``streaks`` default to zero-initialised when
+        absent -- that is exactly how a pre-version-4 snapshot restores
+        under a composed policy.
+        """
+        life = cls(shard_id)
+        life.age_base = state["age_ops"]
+        life.inserts = state["inserts"]
+        life.queries = state["queries"]
+        life.positives = state["positives"]
+        life.restored = bool(state["restored"]) or state["age_ops"] > 0
+        if life.restored:
+            life.restore_epoch = (
+                state["restore_epoch"] if state["restored"] else restore_epoch
+            )
+        for queries, positives in state.get("window", ()):
+            life._window.append((queries, positives))
+            life._window_queries += queries
+            life._window_positives += positives
+        life.suppressed = state.get("suppressed", 0)
+        life.streaks = dict(state.get("streaks", {}))
+        return life

@@ -17,7 +17,9 @@ accumulates at serving time:
   counts, restored flag, restore epoch, and -- since version 3 -- the
   recent-query sliding window, so :mod:`repro.service.lifecycle`
   policies, windowed ones included, keep deciding correctly across a
-  warm restart) plus the gateway-wide operation epoch;
+  warm restart; since version 4 also the composed-policy scratch: the
+  cool-down suppression tally and the hysteresis streaks, keyed by
+  wrapper spec) plus the gateway-wide operation epoch;
 * per-shard telemetry (counters and both latency histograms).
 
 What is *not* serialised is configuration: shard geometry, routing and
@@ -62,8 +64,13 @@ GATEWAY_MAGIC = b"RGSN"
 #: and the policy/reason fields on rotation events.  Version 3 appends
 #: each shard's recent-query sliding window to the lifecycle section, so
 #: windowed positive-rate policies keep deciding correctly across a warm
-#: restart.
-GATEWAY_VERSION = 3
+#: restart.  Version 4 appends the composed-policy scratch (the
+#: cool-down suppression tally and the hysteresis streaks) so stateful
+#: defence wrappers keep their place across a warm restart; version-3
+#: payloads still restore, with that scratch zero-initialised.
+GATEWAY_VERSION = 4
+#: Oldest version :func:`parse_gateway_snapshot` still accepts.
+GATEWAY_MIN_VERSION = 3
 
 _HEADER = struct.Struct(">4sHIIQ")         # magic, version, shards, rotations, op_epoch
 _ROTATION = struct.Struct(">IQQdQ")        # shard_id, weight, insertions, fill, op_epoch
@@ -72,6 +79,10 @@ _STR_LEN = struct.Struct(">H")             # length prefix of policy/reason stri
 _LIFECYCLE = struct.Struct(">QQQQBQ")
 _WINDOW_LEN = struct.Struct(">H")          # retained window batches per shard
 _WINDOW_ENTRY = struct.Struct(">II")       # one window batch: queries, positives
+# v4 policy scratch: cooldown-suppressed tally, hysteresis streak count;
+# each streak is a u16-prefixed wrapper-spec key plus a u64 streak value.
+_POLICY_STATE = struct.Struct(">QH")
+_STREAK_VALUE = struct.Struct(">Q")
 _COUNTERS = struct.Struct(">QQQQ")         # inserts, queries, positives, rotations
 # count, sum_seconds, one u64 per latency bucket (width shared with
 # telemetry so the formats cannot drift apart).
@@ -164,6 +175,15 @@ def snapshot_gateway(gateway: "MembershipGateway") -> bytes:
         parts.append(_WINDOW_LEN.pack(len(window)))
         for queries, positives in window:
             parts.append(_WINDOW_ENTRY.pack(queries, positives))
+        streaks = life["streaks"]
+        if len(streaks) > 0xFFFF:  # pragma: no cover - trees are tiny
+            raise SnapshotError(
+                f"shard policy scratch of {len(streaks)} streaks exceeds the u16 prefix"
+            )
+        parts.append(_POLICY_STATE.pack(life["suppressed"], len(streaks)))
+        for key in sorted(streaks):
+            parts.append(_pack_str(key))
+            parts.append(_STREAK_VALUE.pack(streaks[key]))
         state = telemetry.to_state()
         parts.append(
             _COUNTERS.pack(
@@ -208,7 +228,7 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
     )
     if magic != GATEWAY_MAGIC:
         raise SnapshotError(f"bad gateway snapshot magic {magic!r}")
-    if version != GATEWAY_VERSION:
+    if not GATEWAY_MIN_VERSION <= version <= GATEWAY_VERSION:
         raise SnapshotError(f"unsupported gateway snapshot version {version}")
     rotation_log = []
     for _ in range(rotation_count):
@@ -244,6 +264,20 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
             )
             for _ in range(window_len)
         )
+        # Version 3 predates the composed-policy scratch: restore it
+        # zero-initialised (cool-down history starts fresh).
+        suppressed = 0
+        streaks: dict[str, int] = {}
+        if version >= 4:
+            suppressed, streak_count = _POLICY_STATE.unpack(
+                take(_POLICY_STATE.size, f"shard {shard_id} policy scratch")
+            )
+            for _ in range(streak_count):
+                key = take_str(f"shard {shard_id} streak key")
+                (value,) = _STREAK_VALUE.unpack(
+                    take(_STREAK_VALUE.size, f"shard {shard_id} streak value")
+                )
+                streaks[key] = value
         lifecycle.append(
             {
                 "age_ops": age_ops,
@@ -253,6 +287,8 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
                 "restored": bool(restored),
                 "restore_epoch": restore_epoch,
                 "window": window,
+                "suppressed": suppressed,
+                "streaks": streaks,
             }
         )
         inserts, queries, positives, rotations = _COUNTERS.unpack(

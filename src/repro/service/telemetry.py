@@ -149,13 +149,21 @@ class ShardTelemetry:
         return telemetry
 
     def snapshot(
-        self, weight: int, fill_ratio: float, recent_positive_rate: float = 0.0
+        self,
+        weight: int,
+        fill_ratio: float,
+        recent_positive_rate: float = 0.0,
+        rotations_suppressed: int = 0,
     ) -> "ShardSnapshot":
         """Freeze the counters together with the filter state.
 
         ``recent_positive_rate`` is the lifecycle window's positive rate
         (the gateway passes it in); it is what an operator watches for a
         late-life ghost storm that the lifetime counters have diluted.
+        ``rotations_suppressed`` is the lifecycle state's tally of
+        rotations a :class:`~repro.service.lifecycle.Cooldown` wrapper
+        refused -- non-zero means the composed defence is actively
+        holding a thrash-inducing trigger at bay.
         """
         return ShardSnapshot(
             shard_id=self.shard_id,
@@ -168,6 +176,7 @@ class ShardTelemetry:
             query_p50_us=self.query_latency.quantile(0.5) * 1e6,
             query_p99_us=self.query_latency.quantile(0.99) * 1e6,
             recent_positive_rate=recent_positive_rate,
+            rotations_suppressed=rotations_suppressed,
         )
 
 
@@ -187,6 +196,9 @@ class ShardSnapshot:
     #: Positive rate over the shard's recent-query window (0.0 when the
     #: source has no window, e.g. snapshots built outside a gateway).
     recent_positive_rate: float = 0.0
+    #: Rotations refused by a cool-down wrapper on this shard (0 when no
+    #: composed policy with a cool-down is running).
+    rotations_suppressed: int = 0
 
 
 def render_snapshots(snapshots: list[ShardSnapshot]) -> str:
@@ -198,6 +210,7 @@ def render_snapshots(snapshots: list[ShardSnapshot]) -> str:
         "positives",
         "recent_pos",
         "rotations",
+        "suppressed",
         "weight",
         "fill",
         "q_p50_us",
@@ -211,6 +224,7 @@ def render_snapshots(snapshots: list[ShardSnapshot]) -> str:
             s.positives,
             round(s.recent_positive_rate, 3),
             s.rotations,
+            s.rotations_suppressed,
             s.weight,
             round(s.fill_ratio, 3),
             round(s.query_p50_us, 1),

@@ -23,7 +23,24 @@ def test_registry_covers_every_paper_artifact():
         "service",
         "rotation_policy_study",
         "adaptive_budget_study",
+        "defense_frontier",
     }
+
+
+def test_experiments_doc_table_covers_the_registry():
+    """EXPERIMENTS.md must document every registered experiment -- the
+    CI smoke matrix fails on the same check, so a new experiment cannot
+    ship undocumented."""
+    from pathlib import Path
+
+    doc = Path(__file__).resolve().parents[2] / "EXPERIMENTS.md"
+    text = doc.read_text(encoding="utf-8")
+    missing = [
+        experiment_id
+        for experiment_id in registry.REGISTRY
+        if f"`{experiment_id}`" not in text
+    ]
+    assert not missing, f"EXPERIMENTS.md is missing: {missing}"
 
 
 def test_run_one_unknown_id():

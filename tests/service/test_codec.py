@@ -122,6 +122,7 @@ def test_stats_round_trip():
             "query_p50_us": snapshot.query_p50_us,
             "query_p99_us": snapshot.query_p99_us,
             "recent_positive_rate": 0.0,
+            "rotations_suppressed": 0,
         }
     ]
 
