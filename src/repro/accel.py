@@ -1,0 +1,106 @@
+"""Acceleration-backend selection for the hot-path kernels.
+
+The batch hot path (``BitVector``/``CounterArray`` group operations,
+batched murmur hashing, codec bit packing) has two implementations: the
+original pure-Python loops and numpy kernels over uint64/uint8 lanes.
+Both produce bit-identical answers and serialisations -- the parity
+suite in ``tests/core/test_parity_backends.py`` enforces it -- so the
+choice is purely about speed.
+
+Selection rules, in priority order:
+
+* ``REPRO_PURE_PYTHON=1`` in the environment forces the pure loops
+  (this is how CI proves the fallback cannot rot);
+* :func:`set_mode` / :func:`use_mode` override at runtime (parity tests
+  and the bench harness flip backends without subprocesses);
+* the default ``auto`` mode uses numpy when it imports and the batch is
+  large enough to amortise array setup, else the loops.
+
+numpy is an ordinary project dependency, but every import stays lazy
+and failure-tolerant: a numpy-less interpreter degrades to the loops
+instead of breaking the package.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+__all__ = [
+    "ACCEL_MIN_BATCH",
+    "numpy_or_none",
+    "current_mode",
+    "set_mode",
+    "use_mode",
+    "accelerated",
+]
+
+#: In ``auto`` mode, batches smaller than this stay on the pure loops --
+#: below it, array construction costs more than the loop it replaces.
+ACCEL_MIN_BATCH = 64
+
+_MODES = ("auto", "numpy", "pure")
+
+_numpy = None
+_numpy_probed = False
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when it cannot be imported."""
+    global _numpy, _numpy_probed
+    if not _numpy_probed:
+        _numpy_probed = True
+        try:
+            import numpy  # noqa: PLC0415 - deliberate lazy import
+
+            _numpy = numpy
+        except ImportError:  # pragma: no cover - numpy is a dependency
+            _numpy = None
+    return _numpy
+
+
+def _env_mode() -> str:
+    return "pure" if os.environ.get("REPRO_PURE_PYTHON", "") not in ("", "0") else "auto"
+
+
+_mode = _env_mode()
+
+
+def current_mode() -> str:
+    """The active mode: ``auto``, ``numpy`` or ``pure``."""
+    return _mode
+
+
+def set_mode(mode: str) -> None:
+    """Select the backend mode globally.
+
+    ``numpy`` demands the numpy kernels (raises if numpy is missing);
+    ``pure`` forces the loops; ``auto`` restores the default heuristic.
+    """
+    global _mode
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    if mode == "numpy" and numpy_or_none() is None:
+        raise RuntimeError("numpy backend requested but numpy is not importable")
+    _mode = mode
+
+
+@contextlib.contextmanager
+def use_mode(mode: str) -> Iterator[None]:
+    """Temporarily select a backend mode (parity tests, bench harness)."""
+    previous = _mode
+    set_mode(mode)
+    try:
+        yield
+    finally:
+        set_mode(previous)
+
+
+def accelerated(batch_size: int = ACCEL_MIN_BATCH) -> bool:
+    """Should a batch of ``batch_size`` elements take the numpy kernels?"""
+    if _mode == "pure":
+        return False
+    if _mode == "numpy":
+        return True
+    return batch_size >= ACCEL_MIN_BATCH and numpy_or_none() is not None

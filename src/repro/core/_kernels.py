@@ -1,0 +1,349 @@
+"""numpy kernels behind the accelerated filter core.
+
+Every function here is the vector twin of a pure-Python loop in
+:mod:`repro.core.bitvector` / :mod:`repro.core.counters` and must be
+*bit-identical* to it: same answers, same serialised bytes, same
+overflow/underflow tallies, same exceptions on bad input.  The parity
+suite (``tests/core/test_parity_backends.py``) holds both sides to that.
+
+Storage stays a ``bytearray`` on the owning object; kernels wrap it in a
+zero-copy writable ``np.frombuffer`` view per call, so flipping the
+backend mid-life is always safe and ``to_bytes`` never changes shape.
+
+The interesting trick is :func:`prior_counts`, which makes *sequential*
+batch semantics vectorisable: item ``i`` of a batch must observe the
+writes of items ``j < i`` (the scalar loops get this for free).  For
+each (item, position) pair it counts how many strictly-earlier items in
+the batch touch the same position -- one stable argsort, no scatter into
+filter-sized scratch -- which is exactly the information needed to
+reconstruct what a sequential probe would have seen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_checked_indexes",
+    "prior_counts",
+    "bit_weight",
+    "bit_set_indexes",
+    "bit_set_groups",
+    "bit_test_groups",
+    "bit_union",
+    "counter_probe_increment_groups",
+    "counter_probe_decrement_groups",
+    "counter_test_groups",
+    "counter_nonzero",
+    "pack_bools",
+    "unpack_bools",
+    "recycling_indexes_flat",
+]
+
+
+def as_checked_indexes(indexes, size: int, what: str = "bit") -> np.ndarray:
+    """Convert to an index array, range-checked before any write.
+
+    Mirrors the scalar loops' contract: the first out-of-range value (in
+    input order) raises ``IndexError`` and the caller's buffer is left
+    untouched.
+    """
+    arr = np.asarray(indexes, dtype=np.int64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    bad = (arr < 0) | (arr >= size)
+    if bad.any():
+        index = int(arr[int(np.argmax(bad))])
+        raise IndexError(f"{what} index {index} out of range [0, {size})")
+    return arr
+
+
+def prior_counts(flat: np.ndarray, owner: np.ndarray) -> np.ndarray:
+    """For each pair, how many pairs of *strictly earlier* owners share
+    its position.
+
+    ``flat`` is the position of every (item, slot) pair in batch order,
+    ``owner`` the item number of each pair (non-decreasing).  A stable
+    sort by position keeps owners non-decreasing inside each position
+    group, so the count is just ``(first index of my owner-run in the
+    group) - (first index of the group)``.
+    """
+    total = len(flat)
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    sorted_owner = owner[order]
+    idx = np.arange(total, dtype=np.int64)
+    new_group = np.empty(total, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_flat[1:], sorted_flat[:-1], out=new_group[1:])
+    new_run = new_group.copy()
+    new_run[1:] |= sorted_owner[1:] != sorted_owner[:-1]
+    group_start = np.maximum.accumulate(np.where(new_group, idx, 0))
+    run_start = np.maximum.accumulate(np.where(new_run, idx, 0))
+    out = np.empty(total, dtype=np.int64)
+    out[order] = run_start - group_start
+    return out
+
+
+# ----------------------------------------------------------------------
+# Bit-vector kernels
+# ----------------------------------------------------------------------
+
+def _bit_view(buf: bytearray) -> np.ndarray:
+    return np.frombuffer(buf, dtype=np.uint8)
+
+
+def bit_weight(buf) -> int:
+    """Popcount of a byte buffer (uint8 lanes, no big-int round trip)."""
+    if len(buf) == 0:
+        return 0
+    return int(np.bitwise_count(np.frombuffer(buf, dtype=np.uint8)).sum())
+
+
+def _masks(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    return arr >> 3, (np.uint8(1) << (arr & 7).astype(np.uint8))
+
+
+def _scatter_or(view: np.ndarray, upos: np.ndarray) -> int:
+    """OR the bits at sorted-unique positions ``upos`` into ``view``;
+    returns how many were newly set.
+
+    Sorted-unique input means each byte's positions form one contiguous
+    run, so a single ``bitwise_or.reduceat`` builds the per-byte mask and
+    the write is a plain fancy-index assignment (every target byte
+    distinct) -- no slow ``ufunc.at`` scatter, and the newly-set count is
+    the popcount of the OR delta.
+    """
+    ubyte = upos >> 3
+    umask = np.uint8(1) << (upos & 7).astype(np.uint8)
+    bfirst = np.empty(len(upos), dtype=bool)
+    bfirst[0] = True
+    np.not_equal(ubyte[1:], ubyte[:-1], out=bfirst[1:])
+    starts = np.flatnonzero(bfirst)
+    combined = np.bitwise_or.reduceat(umask, starts)
+    target = ubyte[starts]
+    old = view[target]
+    new = old | combined
+    newly = int(np.bitwise_count(new & ~old).sum())
+    view[target] = new
+    return newly
+
+
+def bit_set_indexes(buf: bytearray, size: int, indexes) -> int:
+    """Vector twin of ``BitVector.set_indexes``; returns newly-set count."""
+    arr = as_checked_indexes(indexes, size)
+    if len(arr) == 0:
+        return 0
+    view = _bit_view(buf)
+    return _scatter_or(view, np.unique(arr))
+
+
+def bit_set_groups(
+    buf: bytearray, size: int, flat, group_size: int
+) -> tuple[list[bool], int]:
+    """Insert ``len(flat)/group_size`` items of ``group_size`` positions
+    each, sequentially-consistent: item ``i``'s already-present answer
+    accounts for bits set by items ``j < i`` of the same batch.
+
+    Returns ``(per-item already-present answers, newly-set bit count)``.
+
+    One stable sort serves both halves: a pair's bit reads as set iff it
+    was set before the batch (``pre``) or some earlier pair of the flat
+    buffer shares its position (``dup`` -- not the first occurrence in
+    the stable order), and the first occurrences *are* the sorted-unique
+    positions the deduplicated scatter needs.
+    """
+    arr = as_checked_indexes(flat, size)
+    count = len(arr) // group_size
+    if count == 0:
+        return [], 0
+    view = _bit_view(buf)
+    byte, mask = _masks(arr)
+    pre = (view[byte] & mask) != 0
+    order = np.argsort(arr, kind="stable")
+    sorted_pos = arr[order]
+    first = np.empty(len(arr), dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_pos[1:], sorted_pos[:-1], out=first[1:])
+    dup = np.empty(len(arr), dtype=bool)
+    dup[order] = ~first
+    seen = pre | dup
+    answers = seen.reshape(count, group_size).all(axis=1)
+    newly = _scatter_or(view, sorted_pos[first])
+    return answers.tolist(), newly
+
+
+def bit_test_groups(buf: bytearray, size: int, flat, group_size: int) -> list[bool]:
+    """Membership probe of ``group_size``-position groups (no mutation)."""
+    arr = as_checked_indexes(flat, size)
+    count = len(arr) // group_size
+    if count == 0:
+        return []
+    view = _bit_view(buf)
+    byte, mask = _masks(arr)
+    hit = (view[byte] & mask) != 0
+    return hit.reshape(count, group_size).all(axis=1).tolist()
+
+
+def bit_union(buf: bytearray, size: int, raw) -> int:
+    """Vector twin of ``BitVector.union_update``; returns newly-set count."""
+    view = _bit_view(buf)
+    incoming = np.frombuffer(bytes(raw), dtype=np.uint8).copy()
+    extra = 8 * len(buf) - size
+    if extra:
+        incoming[-1] &= 0xFF >> extra
+    merged = view | incoming
+    newly = int(np.bitwise_count(merged ^ view).sum())
+    view[:] = merged
+    return newly
+
+
+# ----------------------------------------------------------------------
+# Counter-array kernels
+# ----------------------------------------------------------------------
+
+def counter_probe_increment_groups(
+    values: bytearray, flat, group_size: int, maximum: int, wrap: bool
+) -> tuple[list[bool], int, int]:
+    """Per-group all-positive probe, then one increment per pair, with
+    scalar-loop parity: probes see strictly-earlier items' increments,
+    overflow events are tallied per increment at the maximum.
+
+    Under SATURATE the value a probe sees is ``min(v0 + prior, max)``;
+    under WRAP every increment is exactly ``+1 mod (max+1)``, so it is
+    ``(v0 + prior) mod (max+1)``.  RAISE is not handled here (its
+    mid-batch partial state is inherently sequential; callers keep the
+    pure loop for it).
+
+    Returns ``(answers, overflow_events, nonzero_count_delta)``.
+    """
+    size = len(values)
+    arr = as_checked_indexes(flat, size, what="counter")
+    count = len(arr) // group_size
+    if count == 0:
+        return [], 0, 0
+    view = np.frombuffer(values, dtype=np.uint8)
+    owner = np.repeat(np.arange(count, dtype=np.int64), group_size)
+    prior = prior_counts(arr, owner)
+    v0 = view[arr].astype(np.int64)
+    if wrap:
+        at_probe = (v0 + prior) % (maximum + 1)
+    else:
+        at_probe = np.minimum(v0 + prior, maximum)
+    answers = (at_probe > 0).reshape(count, group_size).all(axis=1)
+    uniq, totals = np.unique(arr, return_counts=True)
+    uv = view[uniq].astype(np.int64)
+    if wrap:
+        final = (uv + totals) % (maximum + 1)
+        events = (uv + totals) // (maximum + 1)
+    else:
+        final = np.minimum(uv + totals, maximum)
+        events = np.maximum(uv + totals - maximum, 0)
+    nonzero_delta = int((final > 0).sum()) - int((uv > 0).sum())
+    view[uniq] = final.astype(np.uint8)
+    return answers.tolist(), int(events.sum()), nonzero_delta
+
+
+def counter_probe_decrement_groups(
+    values: bytearray, flat, group_size: int
+) -> tuple[list[bool], int, int]:
+    """Per-group all-positive probe, then one floored decrement per pair
+    (scalar parity: probes see earlier items' decrements, each decrement
+    of an already-zero counter tallies one underflow event).
+
+    Returns ``(answers, underflow_events, nonzero_count_delta)``.
+    """
+    size = len(values)
+    arr = as_checked_indexes(flat, size, what="counter")
+    count = len(arr) // group_size
+    if count == 0:
+        return [], 0, 0
+    view = np.frombuffer(values, dtype=np.uint8)
+    owner = np.repeat(np.arange(count, dtype=np.int64), group_size)
+    prior = prior_counts(arr, owner)
+    v0 = view[arr].astype(np.int64)
+    answers = (v0 - prior > 0).reshape(count, group_size).all(axis=1)
+    uniq, totals = np.unique(arr, return_counts=True)
+    uv = view[uniq].astype(np.int64)
+    final = np.maximum(uv - totals, 0)
+    nonzero_delta = int((final > 0).sum()) - int((uv > 0).sum())
+    view[uniq] = final.astype(np.uint8)
+    events = int(np.maximum(totals - uv, 0).sum())
+    return answers.tolist(), events, nonzero_delta
+
+
+def counter_test_groups(values: bytearray, flat, group_size: int) -> list[bool]:
+    """Per-group all-positive probe (no mutation)."""
+    arr = as_checked_indexes(flat, len(values), what="counter")
+    count = len(arr) // group_size
+    if count == 0:
+        return []
+    view = np.frombuffer(values, dtype=np.uint8)
+    hit = view[arr] > 0
+    return hit.reshape(count, group_size).all(axis=1).tolist()
+
+
+def counter_nonzero(values: bytearray) -> int:
+    """Number of non-zero counters."""
+    if len(values) == 0:
+        return 0
+    return int(np.count_nonzero(np.frombuffer(values, dtype=np.uint8)))
+
+
+# ----------------------------------------------------------------------
+# Codec bit packing
+# ----------------------------------------------------------------------
+
+def pack_bools(answers) -> bytes:
+    """LSB-first bool packing (wire format of batch answers)."""
+    arr = np.asarray(answers, dtype=np.uint8)
+    return np.packbits(arr, bitorder="little").tobytes()
+
+
+def unpack_bools(raw, count: int) -> list[bool]:
+    """Inverse of :func:`pack_bools` for ``count`` answers."""
+    bits = np.unpackbits(
+        np.frombuffer(bytes(raw), dtype=np.uint8), count=count, bitorder="little"
+    )
+    return bits.astype(bool).tolist()
+
+
+# ----------------------------------------------------------------------
+# Digest-recycling window extraction
+# ----------------------------------------------------------------------
+
+def recycling_indexes_flat(
+    digests: bytes, count: int, digest_size: int, k: int, window: int, m: int
+) -> np.ndarray:
+    """Slice ``k`` top-down windows of ``window`` bits out of each of
+    ``count`` concatenated fixed-width digests, reduced modulo ``m``.
+
+    Bit-exact with ``RecyclingStrategy``'s big-int slicing: window ``j``
+    occupies bits ``[digest_bits - window*(j+1), digest_bits - window*j)``
+    counted from the least-significant end of the big-endian digest.
+    Requires ``digest_size`` to be a multiple of 8 (uint64 lanes) and
+    ``window * k <= digest_bits``.
+    """
+    words_per_digest = digest_size // 8
+    words = (
+        np.frombuffer(digests, dtype=">u8")
+        .reshape(count, words_per_digest)
+        .astype(np.uint64)
+    )
+    digest_bits = digest_size * 8
+    mask = np.uint64((1 << window) - 1)
+    out = np.empty((count, k), dtype=np.uint64)
+    for j in range(k):
+        shift = digest_bits - window * (j + 1)
+        word_index = words_per_digest - 1 - shift // 64
+        offset = shift % 64
+        value = words[:, word_index] >> np.uint64(offset)
+        if offset + window > 64:
+            value = value | (words[:, word_index - 1] << np.uint64(64 - offset))
+        value &= mask
+        if int(mask) != m - 1:
+            value %= np.uint64(m)
+        out[:, j] = value
+    return out.reshape(-1)

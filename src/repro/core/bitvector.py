@@ -2,18 +2,34 @@
 
 The paper reasons about a filter ``z`` through ``supp(z)`` (the set of
 1-positions) and ``wH(z)`` (its Hamming weight); both are first-class
-here.  Backed by a ``bytearray`` so a 3200-bit filter costs 400 bytes,
-with popcount via ``int.bit_count``.
+here.  Backed by a ``bytearray`` so a 3200-bit filter costs 400 bytes.
+
+Two execution backends share that storage byte-for-byte: the original
+pure-Python loops and numpy kernels (:mod:`repro.core._kernels`) over
+the same buffer, selected per call by :mod:`repro.accel`.  Serialisation
+(``to_bytes``) is therefore identical whichever backend ran.
+
+The Hamming weight is maintained *incrementally* by every mutator, so
+``hamming_weight``/``fill_ratio`` are O(1) -- the per-batch saturation
+check of the service hot path no longer pays an O(m) popcount.  Code
+that mutates the raw buffer behind the vector's back must call
+:meth:`recount`.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from repro import accel
+
 __all__ = ["BitVector", "popcount"]
 
 def popcount(data: bytes | bytearray) -> int:
     """Number of set bits in a byte string."""
+    if accel.accelerated(len(data)):
+        from repro.core import _kernels
+
+        return _kernels.bit_weight(data)
     return int.from_bytes(data, "little").bit_count()
 
 
@@ -26,13 +42,14 @@ class BitVector:
         Number of bits; immutable after construction.
     """
 
-    __slots__ = ("_size", "_bytes")
+    __slots__ = ("_size", "_bytes", "_weight")
 
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
         self._size = size
         self._bytes = bytearray((size + 7) // 8)
+        self._weight = 0
 
     @classmethod
     def from_indices(cls, size: int, indices: Iterable[int]) -> "BitVector":
@@ -49,6 +66,7 @@ class BitVector:
         if len(raw) != len(vec._bytes):
             raise ValueError(f"expected {len(vec._bytes)} bytes, got {len(raw)}")
         vec._bytes[:] = raw
+        vec.recount()
         return vec
 
     def _check(self, index: int) -> int:
@@ -71,7 +89,9 @@ class BitVector:
         self._check(index)
         byte, mask = index >> 3, 1 << (index & 7)
         was_unset = not self._bytes[byte] & mask
-        self._bytes[byte] |= mask
+        if was_unset:
+            self._bytes[byte] |= mask
+            self._weight += 1
         return was_unset
 
     def clear(self, index: int) -> bool:
@@ -79,7 +99,9 @@ class BitVector:
         self._check(index)
         byte, mask = index >> 3, 1 << (index & 7)
         was_set = bool(self._bytes[byte] & mask)
-        self._bytes[byte] &= ~mask & 0xFF
+        if was_set:
+            self._bytes[byte] &= ~mask & 0xFF
+            self._weight -= 1
         return was_set
 
     # ------------------------------------------------------------------
@@ -89,8 +111,10 @@ class BitVector:
     # These exist because per-bit ``get``/``set`` calls dominate the cost
     # of a Bloom filter operation in pure Python: each one pays a method
     # dispatch, an attribute load and a bounds check.  The batch forms
-    # hoist the locals once and validate up front, so the inner loops
-    # touch raw bytes only.
+    # hoist the locals once and validate the *whole* batch before any
+    # write (both backends, so a bad index always leaves the vector
+    # untouched), then touch raw bytes only -- or hand the entire batch
+    # to the numpy kernels when the accel mode says so.
 
     def set_indexes(self, indexes: Sequence[int]) -> int:
         """Set every bit in ``indexes`` in one pass; return how many were
@@ -100,6 +124,12 @@ class BitVector:
         the bit already set).  Validates every position *before* writing
         any bit, so an out-of-range index leaves the vector untouched.
         """
+        if accel.accelerated(len(indexes)):
+            from repro.core import _kernels
+
+            newly = _kernels.bit_set_indexes(self._bytes, self._size, indexes)
+            self._weight += newly
+            return newly
         size = self._size
         for index in indexes:
             if not 0 <= index < size:
@@ -113,7 +143,92 @@ class BitVector:
             if not old & mask:
                 buf[byte] = old | mask
                 newly += 1
+        self._weight += newly
         return newly
+
+    def set_groups(self, flat: Sequence[int], group_size: int) -> list[bool]:
+        """Insert ``len(flat) / group_size`` items of ``group_size``
+        positions each in one call; returns each item's already-present
+        answer (True iff all of its bits were set *before* that item,
+        counting earlier items of the same batch -- exact sequential
+        parity with per-item :meth:`set_indexes` calls).
+
+        This is the filter-core half of ``BloomFilter.add_batch``: one
+        flat index buffer in, packed answers out, no per-item Python
+        overhead on the accelerated backend.
+        """
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        if len(flat) % group_size:
+            raise ValueError(
+                f"flat batch of {len(flat)} indexes is not a multiple of "
+                f"group_size={group_size}"
+            )
+        if accel.accelerated(len(flat)):
+            from repro.core import _kernels
+
+            answers, newly = _kernels.bit_set_groups(
+                self._bytes, self._size, flat, group_size
+            )
+            self._weight += newly
+            return answers
+        size = self._size
+        for index in flat:
+            if not 0 <= index < size:
+                raise IndexError(f"bit index {index} out of range [0, {size})")
+        buf = self._bytes
+        answers: list[bool] = []
+        newly_total = 0
+        for start in range(0, len(flat), group_size):
+            newly = 0
+            for index in flat[start : start + group_size]:
+                byte = index >> 3
+                mask = 1 << (index & 7)
+                old = buf[byte]
+                if not old & mask:
+                    buf[byte] = old | mask
+                    newly += 1
+            newly_total += newly
+            answers.append(newly == 0)
+        self._weight += newly_total
+        return answers
+
+    def all_set_groups(self, flat: Sequence[int], group_size: int) -> list[bool]:
+        """Probe ``len(flat) / group_size`` items in one call; True per
+        item iff all of its ``group_size`` bits are set.  The filter-core
+        half of ``BloomFilter.contains_batch``."""
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        if len(flat) % group_size:
+            raise ValueError(
+                f"flat batch of {len(flat)} indexes is not a multiple of "
+                f"group_size={group_size}"
+            )
+        if accel.accelerated(len(flat)):
+            from repro.core import _kernels
+
+            return _kernels.bit_test_groups(self._bytes, self._size, flat, group_size)
+        size = self._size
+        buf = self._bytes
+        answers: list[bool] = []
+        for start in range(0, len(flat), group_size):
+            hit = True
+            for index in flat[start : start + group_size]:
+                if not 0 <= index < size:
+                    raise IndexError(f"bit index {index} out of range [0, {size})")
+                if not buf[index >> 3] & (1 << (index & 7)):
+                    hit = False
+                    break
+            else:
+                answers.append(hit)
+                continue
+            # Validate the rest of the group even after a miss, keeping
+            # the whole-batch validation contract.
+            for index in flat[start : start + group_size]:
+                if not 0 <= index < size:
+                    raise IndexError(f"bit index {index} out of range [0, {size})")
+            answers.append(False)
+        return answers
 
     def union_update(self, raw: bytes | bytearray) -> int:
         """OR a same-sized byte payload into this vector in one pass
@@ -127,6 +242,12 @@ class BitVector:
         buf = self._bytes
         if len(raw) != len(buf):
             raise ValueError(f"expected {len(buf)} bytes, got {len(raw)}")
+        if accel.accelerated(len(raw)):
+            from repro.core import _kernels
+
+            newly = _kernels.bit_union(buf, self._size, raw)
+            self._weight += newly
+            return newly
         extra = 8 * len(buf) - self._size
         newly = 0
         last = len(buf) - 1
@@ -138,6 +259,7 @@ class BitVector:
             if new != old:
                 buf[byte] = new
                 newly += (new ^ old).bit_count()
+        self._weight += newly
         return newly
 
     def all_set(self, indexes: Iterable[int]) -> bool:
@@ -170,14 +292,28 @@ class BitVector:
         extra = 8 * len(self._bytes) - self._size
         if extra:
             self._bytes[-1] &= 0xFF >> extra
+        self._weight = self._size
 
     def clear_all(self) -> None:
         """Reset every bit to 0."""
         self._bytes[:] = bytes(len(self._bytes))
+        self._weight = 0
+
+    def recount(self) -> int:
+        """Recompute the cached weight from the raw bytes.
+
+        The incremental counter covers every mutator on this class; this
+        is the fallback for code that rewrites the backing buffer
+        directly (snapshot restores, forged digests in the attack
+        simulators).  Returns the fresh weight.
+        """
+        self._weight = popcount(self._bytes)
+        return self._weight
 
     def hamming_weight(self) -> int:
-        """Number of set bits, ``wH(z)`` in the paper."""
-        return popcount(self._bytes)
+        """Number of set bits, ``wH(z)`` in the paper (O(1): maintained
+        incrementally by every mutator)."""
+        return self._weight
 
     def support(self) -> set[int]:
         """The set of 1-positions, ``supp(z)`` in the paper."""
@@ -199,7 +335,7 @@ class BitVector:
 
     def fill_ratio(self) -> float:
         """Fraction of bits set (occupancy)."""
-        return self.hamming_weight() / self._size
+        return self._weight / self._size
 
     def to_bytes(self) -> bytes:
         """Serialise (little-endian bit order within bytes)."""
@@ -207,13 +343,17 @@ class BitVector:
 
     def copy(self) -> "BitVector":
         """Deep copy."""
-        return BitVector.from_bytes(self._size, bytes(self._bytes))
+        out = BitVector(self._size)
+        out._bytes[:] = self._bytes
+        out._weight = self._weight
+        return out
 
     def __or__(self, other: "BitVector") -> "BitVector":
         if len(other) != self._size:
             raise ValueError("size mismatch")
         out = BitVector(self._size)
         out._bytes[:] = bytes(a | b for a, b in zip(self._bytes, other._bytes))
+        out.recount()
         return out
 
     def __and__(self, other: "BitVector") -> "BitVector":
@@ -221,6 +361,7 @@ class BitVector:
             raise ValueError("size mismatch")
         out = BitVector(self._size)
         out._bytes[:] = bytes(a & b for a, b in zip(self._bytes, other._bytes))
+        out.recount()
         return out
 
     def __eq__(self, other: object) -> bool:

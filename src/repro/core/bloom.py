@@ -106,7 +106,6 @@ class BloomFilter(MembershipFilter):
         self.strategy = strategy or default_strategy()
         self.bits = BitVector(m)
         self._insertions = 0
-        self._weight = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -149,7 +148,6 @@ class BloomFilter(MembershipFilter):
         for index in self.indexes(item):
             if self.bits.set(index):
                 already = False
-                self._weight += 1
         self._insertions += 1
         return already
 
@@ -157,23 +155,17 @@ class BloomFilter(MembershipFilter):
         """Set pre-computed positions (used by attack simulators that
         craft index sets directly)."""
         for index in indexes:
-            if self.bits.set(index):
-                self._weight += 1
+            self.bits.set(index)
         self._insertions += 1
 
     def add_batch(self, items: Iterable[str | bytes]) -> list[bool]:
-        """Vectorized :meth:`add`: one hashing pass over the whole batch,
-        then one byte-touching pass per item via
-        :meth:`~repro.core.bitvector.BitVector.set_indexes`."""
-        bits = self.bits
-        set_indexes = bits.set_indexes
-        results: list[bool] = []
-        weight = 0
-        for indexes in self.strategy.batch_indexes(items, self.k, self.m):
-            newly = set_indexes(indexes)
-            weight += newly
-            results.append(newly == 0)
-        self._weight += weight
+        """Vectorized :meth:`add`: one hashing pass over the whole batch
+        into a flat index buffer, then one grouped filter-core pass via
+        :meth:`~repro.core.bitvector.BitVector.set_groups` (numpy lanes
+        when the accel mode allows, the original loops otherwise)."""
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        flat = self.strategy.flat_batch_indexes(items, self.k, self.m)
+        results = self.bits.set_groups(flat, self.k)
         self._insertions += len(results)
         return results
 
@@ -181,13 +173,12 @@ class BloomFilter(MembershipFilter):
         return all(self.bits.get(i) for i in self.indexes(item))
 
     def contains_batch(self, items: Iterable[str | bytes]) -> list[bool]:
-        """Vectorized membership: batch hashing plus the short-circuiting
-        :meth:`~repro.core.bitvector.BitVector.all_set` probe."""
-        all_set = self.bits.all_set
-        return [
-            all_set(indexes)
-            for indexes in self.strategy.batch_indexes(items, self.k, self.m)
-        ]
+        """Vectorized membership: batch hashing into a flat index buffer
+        plus the grouped :meth:`~repro.core.bitvector.BitVector.
+        all_set_groups` probe."""
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        flat = self.strategy.flat_batch_indexes(items, self.k, self.m)
+        return self.bits.all_set_groups(flat, self.k)
 
     def contains_indexes(self, indexes: Iterable[int]) -> bool:
         """Membership test on pre-computed positions."""
@@ -202,13 +193,14 @@ class BloomFilter(MembershipFilter):
 
     @property
     def hamming_weight(self) -> int:
-        """``wH(z)``: number of set bits (maintained incrementally)."""
-        return self._weight
+        """``wH(z)``: number of set bits (O(1): the bit vector maintains
+        its weight incrementally through every mutator)."""
+        return self.bits.hamming_weight()
 
     @property
     def fill_ratio(self) -> float:
         """Fraction of bits set."""
-        return self._weight / self.m
+        return self.bits.hamming_weight() / self.m
 
     def support(self) -> set[int]:
         """``supp(z)``: the set of 1-positions."""
@@ -216,7 +208,7 @@ class BloomFilter(MembershipFilter):
 
     def current_fpp(self) -> float:
         """FP probability implied by the *current* weight: ``(W/m)^k``."""
-        return (self._weight / self.m) ** self.k
+        return (self.bits.hamming_weight() / self.m) ** self.k
 
     def expected_fpp(self, n: int | None = None) -> float:
         """Design-time FP estimate after ``n`` uniform insertions
@@ -231,7 +223,7 @@ class BloomFilter(MembershipFilter):
 
     def is_saturated(self) -> bool:
         """True once every bit is set (everything is a member)."""
-        return self._weight == self.m
+        return self.bits.hamming_weight() == self.m
 
     # ------------------------------------------------------------------
     # Serialisation / set algebra
@@ -248,7 +240,6 @@ class BloomFilter(MembershipFilter):
         """Rehydrate a filter received from a peer."""
         filt = cls(m, k, strategy)
         filt.bits = BitVector.from_bytes(m, raw)
-        filt._weight = filt.bits.hamming_weight()
         return filt
 
     def snapshot_bytes(self) -> bytes:
@@ -284,8 +275,9 @@ class BloomFilter(MembershipFilter):
                 f"snapshot geometry (m={m}, k={k}) does not match "
                 f"filter (m={self.m}, k={self.k})"
             )
+        # from_bytes recounts the weight from the payload -- the
+        # incremental counter's one recount fallback point.
         self.bits = BitVector.from_bytes(m, payload)
-        self._weight = self.bits.hamming_weight()
         self._insertions = insertions
 
     @classmethod
@@ -296,7 +288,6 @@ class BloomFilter(MembershipFilter):
         m, k, insertions, payload = parse_snapshot(raw)
         filt = cls(m, k, strategy)
         filt.bits = BitVector.from_bytes(m, payload)
-        filt._weight = filt.bits.hamming_weight()
         filt._insertions = insertions
         return filt
 
@@ -306,9 +297,6 @@ class BloomFilter(MembershipFilter):
         out = BloomFilter(self.m, self.k, self.strategy)
         out.bits = self.bits.copy()
         out.bits.union_update(other.bits.to_bytes())
-        # Recompute rather than trust the operands' counters: callers
-        # (e.g. the loaf forgery) mutate .bits directly.
-        out._weight = out.bits.hamming_weight()
         out._insertions = self._insertions + other._insertions
         return out
 
@@ -317,7 +305,6 @@ class BloomFilter(MembershipFilter):
         self._check_compatible(other)
         out = BloomFilter(self.m, self.k, self.strategy)
         out.bits = self.bits & other.bits
-        out._weight = out.bits.hamming_weight()
         out._insertions = min(self._insertions, other._insertions)
         return out
 
@@ -331,12 +318,11 @@ class BloomFilter(MembershipFilter):
         """Deep copy sharing the (stateless) strategy."""
         out = BloomFilter(self.m, self.k, self.strategy)
         out.bits = self.bits.copy()
-        out._weight = self._weight
         out._insertions = self._insertions
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<BloomFilter m={self.m} k={self.k} n={self._insertions} "
-            f"weight={self._weight} strategy={self.strategy.name}>"
+            f"weight={self.hamming_weight} strategy={self.strategy.name}>"
         )

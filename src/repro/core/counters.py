@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 
+from repro import accel
 from repro.exceptions import CounterOverflowError
 
 __all__ = ["OverflowPolicy", "CounterArray"]
@@ -37,7 +38,15 @@ class CounterArray:
     two counters share a byte, matching the Dablooms layout.
     """
 
-    __slots__ = ("_size", "_bits", "_max", "_values", "overflow_events", "underflow_events")
+    __slots__ = (
+        "_size",
+        "_bits",
+        "_max",
+        "_values",
+        "_nonzero",
+        "overflow_events",
+        "underflow_events",
+    )
 
     def __init__(self, size: int, bits: int = 4) -> None:
         if size <= 0:
@@ -50,6 +59,10 @@ class CounterArray:
         # One byte per counter keeps the code simple and fast in CPython;
         # logical width is still ``bits`` (values are reduced on update).
         self._values = bytearray(size)
+        # Non-zero-counter count, maintained incrementally by every
+        # mutator (the counting analogue of BitVector's weight counter)
+        # so per-batch fill checks are O(1); recounted on load_bytes.
+        self._nonzero = 0
         #: Number of increments that hit an already-maxed counter.
         self.overflow_events = 0
         #: Number of decrements that hit an already-zero counter.
@@ -89,9 +102,12 @@ class CounterArray:
                 raise CounterOverflowError(f"counter {index} overflowed past {self._max}")
             if policy is OverflowPolicy.SATURATE:
                 return value
-            value = 0  # WRAP
+            value = 0  # WRAP: a maxed (non-zero) counter goes to zero
+            self._nonzero -= 1
         else:
             value += 1
+            if value == 1:
+                self._nonzero += 1
         self._values[index] = value
         return value
 
@@ -107,6 +123,8 @@ class CounterArray:
             self.underflow_events += 1
             return 0
         value -= 1
+        if value == 0:
+            self._nonzero -= 1
         self._values[index] = value
         return value
 
@@ -116,7 +134,11 @@ class CounterArray:
     #
     # Mirrors of BitVector's batch forms: validate every position before
     # touching any counter, hoist the backing bytearray, and keep the
-    # event-tally semantics of the scalar increment/decrement.
+    # event-tally semantics of the scalar increment/decrement.  The
+    # grouped forms additionally dispatch to the numpy kernels
+    # (:mod:`repro.core._kernels`) when the accel mode allows -- except
+    # under ``RAISE``, whose mid-batch partial state is inherently
+    # sequential and stays on the loops.
 
     def all_positive(self, indexes) -> bool:
         """True iff every counter in ``indexes`` is non-zero (the
@@ -156,8 +178,11 @@ class CounterArray:
                 if policy is OverflowPolicy.SATURATE:
                     continue
                 values[index] = 0  # WRAP
+                self._nonzero -= 1
             else:
                 values[index] = value + 1
+                if value == 0:
+                    self._nonzero += 1
 
     def decrement_all(self, indexes) -> None:
         """Decrement every counter in ``indexes`` (floor at 0), tallying
@@ -173,10 +198,148 @@ class CounterArray:
                 self.underflow_events += 1
             else:
                 values[index] = value - 1
+                if value == 1:
+                    self._nonzero -= 1
+
+    # ------------------------------------------------------------------
+    # Grouped operations (whole batches of k-index items in one call)
+    # ------------------------------------------------------------------
+
+    def _check_group(self, flat, group_size: int) -> None:
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        if len(flat) % group_size:
+            raise ValueError(
+                f"flat batch of {len(flat)} indexes is not a multiple of "
+                f"group_size={group_size}"
+            )
+
+    def probe_increment_groups(
+        self, flat, group_size: int, policy: OverflowPolicy = OverflowPolicy.SATURATE
+    ) -> list[bool]:
+        """For each ``group_size``-index group: the all-positive probe
+        answer *before* that item's own increments (but after earlier
+        items' -- exact sequential parity with probe-then-increment
+        loops), then one increment per index under ``policy``.
+
+        This is the counter-core half of ``CountingBloomFilter.
+        add_batch``.  Event tallies match the scalar loop; the whole
+        flat batch is validated before any counter is touched.
+        """
+        self._check_group(flat, group_size)
+        if policy is not OverflowPolicy.RAISE and accel.accelerated(len(flat)):
+            from repro.core import _kernels
+
+            answers, overflows, nonzero_delta = (
+                _kernels.counter_probe_increment_groups(
+                    self._values,
+                    flat,
+                    group_size,
+                    self._max,
+                    policy is OverflowPolicy.WRAP,
+                )
+            )
+            self.overflow_events += overflows
+            self._nonzero += nonzero_delta
+            return answers
+        size = self._size
+        for index in flat:
+            if not 0 <= index < size:
+                raise IndexError(f"counter index {index} out of range [0, {size})")
+        values = self._values
+        maximum = self._max
+        answers: list[bool] = []
+        for start in range(0, len(flat), group_size):
+            group = flat[start : start + group_size]
+            answers.append(all(values[index] for index in group))
+            for index in group:
+                value = values[index]
+                if value >= maximum:
+                    self.overflow_events += 1
+                    if policy is OverflowPolicy.RAISE:
+                        raise CounterOverflowError(
+                            f"counter {index} overflowed past {maximum}"
+                        )
+                    if policy is OverflowPolicy.SATURATE:
+                        continue
+                    values[index] = 0  # WRAP
+                    self._nonzero -= 1
+                else:
+                    values[index] = value + 1
+                    if value == 0:
+                        self._nonzero += 1
+        return answers
+
+    def probe_decrement_groups(self, flat, group_size: int) -> list[bool]:
+        """For each group: the all-positive probe before that item's own
+        decrements (sequential parity as in :meth:`probe_increment_
+        groups`), then one floored decrement per index, tallying
+        underflows exactly like the scalar :meth:`decrement`.  The
+        counter-core half of ``CountingBloomFilter.remove_batch``."""
+        self._check_group(flat, group_size)
+        if accel.accelerated(len(flat)):
+            from repro.core import _kernels
+
+            answers, underflows, nonzero_delta = (
+                _kernels.counter_probe_decrement_groups(
+                    self._values, flat, group_size
+                )
+            )
+            self.underflow_events += underflows
+            self._nonzero += nonzero_delta
+            return answers
+        size = self._size
+        for index in flat:
+            if not 0 <= index < size:
+                raise IndexError(f"counter index {index} out of range [0, {size})")
+        values = self._values
+        answers: list[bool] = []
+        for start in range(0, len(flat), group_size):
+            group = flat[start : start + group_size]
+            answers.append(all(values[index] for index in group))
+            for index in group:
+                value = values[index]
+                if value == 0:
+                    self.underflow_events += 1
+                else:
+                    values[index] = value - 1
+                    if value == 1:
+                        self._nonzero -= 1
+        return answers
+
+    def all_positive_groups(self, flat, group_size: int) -> list[bool]:
+        """Pure probe form: one all-positive answer per group, nothing
+        mutated.  The counter-core half of ``contains_batch``."""
+        self._check_group(flat, group_size)
+        if accel.accelerated(len(flat)):
+            from repro.core import _kernels
+
+            return _kernels.counter_test_groups(self._values, flat, group_size)
+        size = self._size
+        for index in flat:
+            if not 0 <= index < size:
+                raise IndexError(f"counter index {index} out of range [0, {size})")
+        values = self._values
+        return [
+            all(values[index] for index in flat[start : start + group_size])
+            for start in range(0, len(flat), group_size)
+        ]
 
     def nonzero_count(self) -> int:
-        """Number of counters currently greater than zero."""
-        return sum(1 for v in self._values if v)
+        """Number of counters currently greater than zero (O(1):
+        maintained incrementally by every mutator)."""
+        return self._nonzero
+
+    def recount(self) -> int:
+        """Recompute the cached non-zero count from the raw values (the
+        fallback for direct buffer rewrites); returns the fresh count."""
+        if accel.accelerated(self._size):
+            from repro.core import _kernels
+
+            self._nonzero = _kernels.counter_nonzero(self._values)
+        else:
+            self._nonzero = sum(1 for v in self._values if v)
+        return self._nonzero
 
     def support(self) -> set[int]:
         """Indices of non-zero counters (the counting analogue of supp)."""
@@ -208,10 +371,12 @@ class CounterArray:
                 f"maximum {self._max}"
             )
         self._values[:] = raw
+        self.recount()
 
     def clear(self) -> None:
         """Reset every counter to zero (does not reset event tallies)."""
         self._values[:] = bytes(self._size)
+        self._nonzero = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

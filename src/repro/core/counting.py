@@ -155,40 +155,44 @@ class CountingBloomFilter(DeletableFilter):
     # ------------------------------------------------------------------
 
     def add_batch(self, items) -> list[bool]:
-        """Vectorized :meth:`add`: hash the whole batch in one strategy
-        pass, then apply counter increments item by item (the membership
-        probe for item ``i`` sees the increments of items ``< i``, so
-        results match the scalar loop exactly)."""
-        counters = self.counters
-        overflow = self.overflow
-        results: list[bool] = []
-        for indexes in self.strategy.batch_indexes(items, self.k, self.m):
-            results.append(counters.all_positive(indexes))
-            counters.increment_all(indexes, overflow)
-            # Counted per item so a RAISE-policy overflow mid-batch
-            # leaves len(self) exactly where the scalar loop would.
-            self._insertions += 1
+        """Vectorized :meth:`add`: one hashing pass into a flat index
+        buffer, then one grouped probe-and-increment pass through
+        :meth:`~repro.core.counters.CounterArray.probe_increment_groups`
+        (numpy kernels when the accel mode allows).  The membership probe
+        for item ``i`` sees the increments of items ``< i``, exactly as
+        the scalar loop would."""
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if self.overflow is OverflowPolicy.RAISE:
+            # Per-item loop so a RAISE-policy overflow mid-batch leaves
+            # len(self) exactly where the scalar loop would.
+            counters = self.counters
+            results: list[bool] = []
+            for indexes in self.strategy.batch_indexes(items, self.k, self.m):
+                results.append(counters.all_positive(indexes))
+                counters.increment_all(indexes, self.overflow)
+                self._insertions += 1
+            return results
+        flat = self.strategy.flat_batch_indexes(items, self.k, self.m)
+        results = self.counters.probe_increment_groups(flat, self.k, self.overflow)
+        self._insertions += len(results)
         return results
 
     def contains_batch(self, items) -> list[bool]:
-        """Vectorized membership: batch hashing plus the short-circuiting
-        :meth:`~repro.core.counters.CounterArray.all_positive` probe."""
-        all_positive = self.counters.all_positive
-        return [
-            all_positive(indexes)
-            for indexes in self.strategy.batch_indexes(items, self.k, self.m)
-        ]
+        """Vectorized membership: batch hashing into a flat index buffer
+        plus the grouped :meth:`~repro.core.counters.CounterArray.
+        all_positive_groups` probe."""
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        flat = self.strategy.flat_batch_indexes(items, self.k, self.m)
+        return self.counters.all_positive_groups(flat, self.k)
 
     def remove_batch(self, items) -> list[bool]:
         """Vectorized :meth:`remove`, same sequential-parity contract as
         :meth:`add_batch` (deleting item ``i`` affects item ``i+1``'s
         presence probe)."""
-        counters = self.counters
-        results: list[bool] = []
-        for indexes in self.strategy.batch_indexes(items, self.k, self.m):
-            results.append(counters.all_positive(indexes))
-            counters.decrement_all(indexes)
-            self._deletions += 1
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        flat = self.strategy.flat_batch_indexes(items, self.k, self.m)
+        results = self.counters.probe_decrement_groups(flat, self.k)
+        self._deletions += len(results)
         return results
 
     def __len__(self) -> int:

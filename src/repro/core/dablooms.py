@@ -160,9 +160,45 @@ class Dablooms(DeletableFilter):
 
     def add_batch(self, items) -> list[bool]:
         """Vectorized :meth:`add`: chunk the batch by the active slice's
-        remaining capacity, hash each chunk once per slice, then apply
-        per-item membership probes and increments in order."""
+        remaining capacity, hash each chunk once per slice into flat
+        index buffers, probe the frozen older slices read-only, and run
+        the active slice through one grouped probe-and-increment pass."""
         items = list(items)
+        if self.overflow is OverflowPolicy.RAISE:
+            return self._add_batch_sequential(items)
+        results: list[bool] = []
+        pos = 0
+        while pos < len(items):
+            if self._slice_fill[-1] >= self.slice_capacity:
+                self._grow()
+            room = self.slice_capacity - self._slice_fill[-1]
+            chunk = items[pos : pos + room]
+            # Older slices are never mutated by an insert chunk, so their
+            # probes are pure grouped reads.
+            present = [False] * len(chunk)
+            for s in self.slices[:-1]:
+                flat = s.strategy.flat_batch_indexes(chunk, s.k, s.m)
+                for j, hit in enumerate(s.counters.all_positive_groups(flat, s.k)):
+                    if hit:
+                        present[j] = True
+            # The active slice is where item i's probe must see items
+            # < i -- exactly the grouped op's sequential-parity contract.
+            active = self.slices[-1]
+            flat = active.strategy.flat_batch_indexes(chunk, active.k, active.m)
+            answers = active.counters.probe_increment_groups(
+                flat, active.k, self.overflow
+            )
+            results.extend(p or a for p, a in zip(present, answers))
+            active._insertions += len(chunk)
+            self._slice_fill[-1] += len(chunk)
+            self._insertions += len(chunk)
+            pos += len(chunk)
+        return results
+
+    def _add_batch_sequential(self, items: list) -> list[bool]:
+        """Per-item insertion loop, kept for the RAISE overflow policy:
+        a mid-chunk overflow must leave every count exactly where the
+        scalar loop would, which grouped passes cannot reconstruct."""
         results: list[bool] = []
         pos = 0
         while pos < len(items):
@@ -187,8 +223,6 @@ class Dablooms(DeletableFilter):
                     any(all_positive(indexes[j]) for all_positive, indexes in probes)
                 )
                 active_counters.increment_all(active_indexes[j], overflow)
-                # All bookkeeping per item, so a RAISE-policy overflow
-                # mid-chunk leaves counts exactly like the scalar loop.
                 active._insertions += 1
                 self._slice_fill[-1] += 1
                 self._insertions += 1
@@ -204,13 +238,13 @@ class Dablooms(DeletableFilter):
         for slice_filter in self.slices:
             if not pending:
                 break
-            indexes = slice_filter.strategy.batch_indexes(
+            flat = slice_filter.strategy.flat_batch_indexes(
                 [items[j] for j in pending], slice_filter.k, slice_filter.m
             )
-            all_positive = slice_filter.counters.all_positive
+            hits = slice_filter.counters.all_positive_groups(flat, slice_filter.k)
             still_pending: list[int] = []
-            for j, item_indexes in zip(pending, indexes):
-                if all_positive(item_indexes):
+            for j, hit in zip(pending, hits):
+                if hit:
                     answers[j] = True
                 else:
                     still_pending.append(j)

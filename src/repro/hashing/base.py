@@ -76,6 +76,16 @@ class HashFunction(ABC):
         """Digest ``item`` and return it as an unsigned integer."""
         return digest_to_int(self.digest(ensure_bytes(item)))
 
+    def digest_batch(self, datas: Iterable[bytes]) -> bytes:
+        """Concatenated digests of ``datas`` in order, as one contiguous
+        buffer (the shape the vectorised window-slicing kernels want).
+
+        The default is a single tight loop over :meth:`digest`;
+        sub-classes with a native batch form may override it.
+        """
+        digest = self.digest
+        return b"".join(digest(data) for data in datas)
+
     def index(self, item: str | bytes, m: int) -> int:
         """Digest ``item`` reduced modulo ``m`` (a single filter index)."""
         if m <= 0:
@@ -147,6 +157,21 @@ class IndexStrategy(ABC):
     ) -> list[tuple[int, ...]]:
         """Vector form of :meth:`indexes` (convenience for experiments)."""
         return [self.indexes(item, k, m) for item in items]
+
+    def flat_batch_indexes(self, items: Iterable[str | bytes], k: int, m: int):
+        """All indexes of a batch as one flat ``k``-per-item sequence.
+
+        This is the hot-path entry: the filters feed the returned buffer
+        straight into the grouped ``BitVector`` / ``CounterArray``
+        operations without re-materialising per-item tuples.  The base
+        implementation flattens :meth:`batch_indexes`; strategies with a
+        vectorised derivation (Kirsch-Mitzenmacher, digest recycling)
+        override it to return a numpy array built in a single pass.
+        """
+        flat: list[int] = []
+        for indexes in self.batch_indexes(items, k, m):
+            flat.extend(indexes)
+        return flat
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name}>"

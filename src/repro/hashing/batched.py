@@ -1,0 +1,151 @@
+"""Batched MurmurHash3 x64_128 over numpy uint64 lanes.
+
+The scalar :func:`repro.hashing.murmur.murmur3_x64_128` processes one key
+at a time in Python ints; this module runs a whole batch of keys through
+the same rounds at once, one numpy operation per mixing step.  Keys are
+packed into a single zero-padded ``(n, width)`` byte matrix (one slice
+copy per key) and every 16-byte block column is mixed for all keys
+simultaneously, with an activity mask keeping short keys' states frozen
+once their blocks run out.  Zero padding makes the tail assembly free:
+the little-endian read of the padded trailing block *is* the reference
+tail value, because the reference shifts in exactly the bytes below the
+tail length and zero-extends the rest.
+
+Results are bit-identical with the scalar function for every key length
+and seed -- ``tests/hashing/test_batched.py`` holds a hypothesis parity
+test over both.
+
+This module imports numpy unconditionally; callers gate on
+:func:`repro.accel.accelerated` / :func:`repro.accel.numpy_or_none`
+before importing it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["murmur3_x64_128_batch", "km_flat_indexes"]
+
+_C1 = np.uint64(0x87C37B91114253D5)
+_C2 = np.uint64(0x4CF5AD432745937F)
+
+_F1 = np.uint64(0xFF51AFD7ED558CCD)
+_F2 = np.uint64(0xC4CEB9FE1A85EC53)
+
+_FIVE = np.uint64(5)
+_N1 = np.uint64(0x52DCE729)
+_N2 = np.uint64(0x38495AB5)
+
+
+def _rotl64(x: np.ndarray, r: int) -> np.ndarray:
+    return (x << np.uint64(r)) | (x >> np.uint64(64 - r))
+
+
+def _fmix64(h: np.ndarray) -> np.ndarray:
+    h = h ^ (h >> np.uint64(33))
+    h = h * _F1
+    h = h ^ (h >> np.uint64(33))
+    h = h * _F2
+    return h ^ (h >> np.uint64(33))
+
+
+def murmur3_x64_128_batch(
+    datas: list[bytes], seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """MurmurHash3 x64_128 of every key in ``datas`` with ``seed``.
+
+    Returns the two 64-bit halves as uint64 arrays ``(h1, h2)`` of
+    length ``len(datas)``, bit-identical with the scalar function.
+    """
+    n = len(datas)
+    if n == 0:
+        empty = np.empty(0, dtype=np.uint64)
+        return empty, empty
+    lengths = np.fromiter((len(d) for d in datas), dtype=np.int64, count=n)
+    max_len = int(lengths.max())
+    # Always at least one zero block past the longest key, so the tail
+    # columns (2*nblocks, 2*nblocks+1) exist for every key.
+    width = (max_len // 16 + 1) * 16
+    mat = np.zeros(n * width, dtype=np.uint8)
+    joined = b"".join(datas)
+    if joined:
+        # Scatter the concatenated keys into the padded rows in one
+        # fancy-index write: byte p of the concatenation belongs to key
+        # i at row offset p - start_i, i.e. destination p + (i*width -
+        # start_i), with the per-key shift repeated over its length.
+        starts = np.cumsum(lengths) - lengths
+        shift = np.repeat(np.arange(n, dtype=np.int64) * width - starts, lengths)
+        mat[np.arange(len(joined), dtype=np.int64) + shift] = np.frombuffer(
+            joined, dtype=np.uint8
+        )
+    words = mat.view("<u8").reshape(n, width // 8)
+
+    nblocks = lengths // 16
+    h1 = np.full(n, seed & 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+    h2 = h1.copy()
+
+    with np.errstate(over="ignore"):
+        for block in range(int(nblocks.max())):
+            active = nblocks > block
+            k1 = words[:, 2 * block] * _C1
+            k1 = _rotl64(k1, 31) * _C2
+            nh1 = h1 ^ k1
+            nh1 = _rotl64(nh1, 27) + h2
+            nh1 = nh1 * _FIVE + _N1
+
+            k2 = words[:, 2 * block + 1] * _C2
+            k2 = _rotl64(k2, 33) * _C1
+            nh2 = h2 ^ k2
+            nh2 = _rotl64(nh2, 31) + nh1
+            nh2 = nh2 * _FIVE + _N2
+
+            h1 = np.where(active, nh1, h1)
+            h2 = np.where(active, nh2, h2)
+
+        rows = np.arange(n)
+        tail = lengths & 15
+        # Zero padding means the little-endian trailing words equal the
+        # reference's byte-by-byte tail assembly exactly.
+        tk1 = words[rows, 2 * nblocks]
+        tk2 = words[rows, 2 * nblocks + 1]
+
+        k2 = tk2 * _C2
+        k2 = _rotl64(k2, 33) * _C1
+        h2 = np.where(tail >= 9, h2 ^ k2, h2)
+
+        k1 = tk1 * _C1
+        k1 = _rotl64(k1, 31) * _C2
+        h1 = np.where(tail >= 1, h1 ^ k1, h1)
+
+        ulen = lengths.astype(np.uint64)
+        h1 = h1 ^ ulen
+        h2 = h2 ^ ulen
+        h1 = h1 + h2
+        h2 = h2 + h1
+        h1 = _fmix64(h1)
+        h2 = _fmix64(h2)
+        h1 = h1 + h2
+        h2 = h2 + h1
+    return h1, h2
+
+
+def km_flat_indexes(h1: np.ndarray, h2: np.ndarray, k: int, m: int) -> np.ndarray:
+    """Kirsch-Mitzenmacher expansion ``(h1 + i*h2) % m`` for all keys at
+    once, flat ``k``-per-key.
+
+    Works entirely in uint64 by reducing both halves modulo ``m`` first:
+    ``(h1%m + i*(h2%m)) % m`` equals the full-precision form, and the
+    intermediate is at most ``k*(m-1)``, so the caller must guarantee
+    ``k * (m - 1) < 2**64`` (checked here).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if m <= 0:
+        raise ValueError("m must be positive")
+    if k * (m - 1) >= 1 << 64:
+        raise ValueError(f"k*m too large for uint64 KM expansion (k={k}, m={m})")
+    um = np.uint64(m)
+    r1 = (h1 % um)[:, None]
+    r2 = (h2 % um)[:, None]
+    i = np.arange(k, dtype=np.uint64)[None, :]
+    return ((r1 + i * r2) % um).reshape(-1)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import accel
 from repro.hashing.base import HashFunction, IndexStrategy, ensure_bytes
 from repro.hashing.murmur import Murmur3_x64_128
 
@@ -69,6 +70,36 @@ class KirschMitzenmacherStrategy(IndexStrategy):
     def indexes(self, item: str | bytes, k: int, m: int) -> tuple[int, ...]:
         h1, h2 = self._pair_fn(ensure_bytes(item))
         return km_indexes(h1, h2, k, m)
+
+    def flat_batch_indexes(self, items, k: int, m: int):
+        """Whole-batch index derivation in one hashing pass.
+
+        With the default murmur128 pair function and an accel-eligible
+        batch, the keys go through the vectorised murmur lanes and the
+        KM expansion runs in uint64 (valid while ``k*(m-1) < 2**64``);
+        otherwise the scalar pair function is flattened directly.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if m <= 0:
+            raise ValueError("m must be positive")
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        datas = [ensure_bytes(item) for item in items]
+        if (
+            k * (m - 1) < 1 << 64
+            and accel.accelerated(len(datas) * k)
+            and accel.numpy_or_none() is not None
+            and getattr(self._pair_fn, "__func__", None) is Murmur3_x64_128.halves
+        ):
+            from repro.hashing.batched import km_flat_indexes, murmur3_x64_128_batch
+
+            h1, h2 = murmur3_x64_128_batch(datas, self._pair_fn.__self__.seed)
+            return km_flat_indexes(h1, h2, k, m)
+        pair_fn = self._pair_fn
+        flat: list[int] = []
+        for data in datas:
+            flat.extend(km_indexes(*pair_fn(data), k, m))
+        return flat
 
     def hash_calls(self, k: int, m: int) -> int:
         # One murmur128 call (or two plain calls) regardless of k.

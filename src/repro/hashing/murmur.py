@@ -194,3 +194,19 @@ class Murmur3_x64_128(CallableHash):
     def halves(self, data: bytes) -> tuple[int, int]:
         """Return the raw ``(h1, h2)`` pair (used by double hashing)."""
         return murmur3_x64_128(data, self.seed)
+
+    def halves_batch(self, datas: list[bytes]) -> list[tuple[int, int]]:
+        """The ``(h1, h2)`` pairs of a whole batch of keys.
+
+        Takes the vectorised uint64-lane implementation
+        (:mod:`repro.hashing.batched`) when the accel mode allows, the
+        scalar function otherwise; both are bit-identical.
+        """
+        from repro import accel
+
+        if accel.accelerated(len(datas)) and accel.numpy_or_none() is not None:
+            from repro.hashing.batched import murmur3_x64_128_batch
+
+            h1, h2 = murmur3_x64_128_batch(datas, self.seed)
+            return list(zip(h1.tolist(), h2.tolist()))
+        return [murmur3_x64_128(data, self.seed) for data in datas]

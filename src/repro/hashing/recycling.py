@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 
+from repro import accel
 from repro.hashing.base import HashFunction, IndexStrategy, digest_to_int, ensure_bytes
 
 __all__ = ["bits_required", "calls_required", "RecyclingStrategy"]
@@ -143,6 +144,46 @@ class RecyclingStrategy(IndexStrategy):
             tuple(((value >> shift) & mask) % m for shift in shifts)
             for value in values
         ]
+
+    def flat_batch_indexes(self, items, k: int, m: int):
+        """Whole-batch derivation: one contiguous digest buffer via
+        :meth:`~repro.hashing.base.HashFunction.digest_batch`, then all
+        windows of all items sliced in uint64 lanes at once
+        (:func:`repro.core._kernels.recycling_indexes_flat`).
+
+        Falls back to flattening :meth:`batch_indexes` whenever the
+        vector path cannot apply bit-identically: salted or multi-call
+        recycling, digests that are not whole uint64 words, or a batch
+        below the accel threshold.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if m <= 1:
+            raise ValueError("m must be at least 2")
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        window = math.ceil(math.log2(m))
+        digest_bits = self.hash_fn.digest_bits
+        digest_size = self.hash_fn.digest_size
+        per_call = digest_bits // window
+        if (
+            not self.salt
+            and per_call >= k > 0
+            and digest_bits == digest_size * 8
+            and digest_size % 8 == 0
+            and accel.accelerated(len(items) * k)
+            and accel.numpy_or_none() is not None
+        ):
+            from repro.core import _kernels
+
+            datas = [ensure_bytes(item) for item in items]
+            digests = self.hash_fn.digest_batch(datas)
+            return _kernels.recycling_indexes_flat(
+                digests, len(datas), digest_size, k, window, m
+            )
+        flat: list[int] = []
+        for indexes in self.batch_indexes(items, k, m):
+            flat.extend(indexes)
+        return flat
 
     def hash_calls(self, k: int, m: int) -> int:
         return calls_required(k, m, self.hash_fn.digest_bits)

@@ -1,0 +1,18 @@
+"""Hot-path performance harness.
+
+Measures the batch pipeline end to end -- batched hashing, grouped
+filter-core operations, wire-codec packing -- under both execution
+backends (pure-Python loops vs numpy kernels, see :mod:`repro.accel`),
+and records the trajectory in a committed ``BENCH_hotpath.json`` so a
+regression shows up as a diff, not a feeling.
+
+* :mod:`repro.perf.timers` -- :class:`StageTimer`, a nestable
+  wall-clock accumulator for attributing a run to pipeline stages;
+* :mod:`repro.perf.bench_hotpath` -- the benchmark runner and the
+  schema checker the CI gate uses (``python -m repro.perf``).
+"""
+
+from repro.perf.bench_hotpath import BENCH_SCHEMA, check_bench_file, run_bench
+from repro.perf.timers import StageTimer
+
+__all__ = ["BENCH_SCHEMA", "StageTimer", "check_bench_file", "run_bench"]

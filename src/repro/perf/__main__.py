@@ -1,0 +1,5 @@
+"""``python -m repro.perf`` runs the hot-path benchmark CLI."""
+
+from repro.perf.bench_hotpath import main
+
+raise SystemExit(main())

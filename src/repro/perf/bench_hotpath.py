@@ -1,0 +1,252 @@
+"""Hot-path benchmark: batch insert/query throughput, pure vs accelerated.
+
+One run covers the grid ``ops x modes x batch_sizes x shard_counts`` on
+Bloom shards using the Kirsch-Mitzenmacher/murmur128 strategy -- the
+configuration where the whole pipeline (batched hashing, grouped bit
+work) is vectorisable, and also exactly what Dablooms deploys.  Shards
+split each batch round-robin, so higher shard counts measure how
+per-shard batch fragmentation erodes vectorisation gains.
+
+The output file carries a schema tag (:data:`BENCH_SCHEMA`); CI runs a
+smoke pass and :func:`check_bench_file` against the committed
+``BENCH_hotpath.json`` so the file can neither go missing nor silently
+rot when the schema moves.
+
+Run with ``python -m repro.perf`` (or ``python -m repro.perf.bench_hotpath``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro import accel
+from repro.core.bloom import BloomFilter
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+from repro.perf.timers import StageTimer
+from repro.service.codec import pack_bools
+
+__all__ = ["BENCH_SCHEMA", "run_bench", "check_bench_file", "main"]
+
+#: Schema tag written into (and demanded of) every bench file.
+BENCH_SCHEMA = "repro.bench_hotpath/1"
+
+#: Filter geometry: large enough that the biggest benchmarked batch
+#: leaves the filter far from saturation.
+M_PER_SHARD = 1 << 20
+K = 4
+
+DEFAULT_BATCH_SIZES = (256, 4096, 32768)
+DEFAULT_SHARD_COUNTS = (1, 4)
+SMOKE_BATCH_SIZES = (256,)
+SMOKE_SHARD_COUNTS = (1,)
+
+_REQUIRED_RESULT_KEYS = frozenset(
+    {"op", "mode", "batch_size", "shards", "items_per_sec", "seconds"}
+)
+
+
+def _make_items(count: int) -> list[bytes]:
+    return [b"bench:key:%d" % i for i in range(count)]
+
+
+def _route(items: list[bytes], shards: int) -> list[list[bytes]]:
+    return [items[i::shards] for i in range(shards)]
+
+
+def _fresh_shards(shards: int, strategy) -> list[BloomFilter]:
+    return [BloomFilter(M_PER_SHARD, K, strategy) for _ in range(shards)]
+
+
+def _bench_case(
+    op: str, mode: str, batch_size: int, shards: int, repeats: int, strategy
+) -> dict:
+    """Best-of-``repeats`` throughput for one grid cell."""
+    items = _make_items(batch_size)
+    chunks = _route(items, shards)
+    best = float("inf")
+    with accel.use_mode(mode):
+        for _ in range(repeats):
+            filters = _fresh_shards(shards, strategy)
+            if op == "query":
+                # Query throughput over half-populated shards: answers
+                # mix hits and misses instead of being all-False.
+                for filt, chunk in zip(filters, chunks):
+                    filt.add_batch(chunk[: max(1, len(chunk) // 2)])
+            start = time.perf_counter()
+            if op == "insert":
+                for filt, chunk in zip(filters, chunks):
+                    filt.add_batch(chunk)
+            else:
+                for filt, chunk in zip(filters, chunks):
+                    filt.contains_batch(chunk)
+            best = min(best, time.perf_counter() - start)
+    return {
+        "op": op,
+        "mode": mode,
+        "batch_size": batch_size,
+        "shards": shards,
+        "seconds": round(best, 6),
+        "items_per_sec": round(batch_size / best, 1),
+    }
+
+
+def _stage_breakdown(batch_size: int, strategy) -> dict:
+    """Where an accelerated insert+query batch spends its time."""
+    timer = StageTimer()
+    items = _make_items(batch_size)
+    filt = BloomFilter(M_PER_SHARD, K, strategy)
+    with accel.use_mode("auto"):
+        with timer.stage("hashing.flat_batch_indexes"):
+            flat = strategy.flat_batch_indexes(items, filt.k, filt.m)
+        with timer.stage("core.set_groups"):
+            answers = filt.bits.set_groups(flat, filt.k)
+        with timer.stage("hashing.flat_batch_indexes"):
+            flat = strategy.flat_batch_indexes(items, filt.k, filt.m)
+        with timer.stage("core.all_set_groups"):
+            answers = filt.bits.all_set_groups(flat, filt.k)
+        with timer.stage("codec.pack_bools"):
+            pack_bools(answers)
+    return timer.report()
+
+
+def run_bench(
+    batch_sizes=DEFAULT_BATCH_SIZES,
+    shard_counts=DEFAULT_SHARD_COUNTS,
+    repeats: int = 3,
+) -> dict:
+    """Run the full grid and return the bench document (schema-tagged)."""
+    strategy = KirschMitzenmacherStrategy()
+    modes = ["pure"]
+    if accel.numpy_or_none() is not None:
+        modes.append("numpy")
+        # Warm-up outside any timed cell: the first accelerated batch
+        # pays the one-time kernel-module imports.
+        with accel.use_mode("numpy"):
+            warm = BloomFilter(M_PER_SHARD, K, strategy)
+            warm.add_batch(_make_items(64))
+            warm.contains_batch(_make_items(64))
+            pack_bools([True] * 64)
+    results = []
+    for op in ("insert", "query"):
+        for batch_size in batch_sizes:
+            for shards in shard_counts:
+                for mode in modes:
+                    results.append(
+                        _bench_case(op, mode, batch_size, shards, repeats, strategy)
+                    )
+    by_cell = {
+        (r["op"], r["mode"], r["batch_size"], r["shards"]): r["items_per_sec"]
+        for r in results
+    }
+    speedups = []
+    if "numpy" in modes:
+        for op in ("insert", "query"):
+            for batch_size in batch_sizes:
+                for shards in shard_counts:
+                    pure = by_cell[(op, "pure", batch_size, shards)]
+                    fast = by_cell[(op, "numpy", batch_size, shards)]
+                    speedups.append(
+                        {
+                            "op": op,
+                            "batch_size": batch_size,
+                            "shards": shards,
+                            "speedup": round(fast / pure, 2),
+                        }
+                    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_by": "python -m repro.perf",
+        "config": {
+            "m_per_shard": M_PER_SHARD,
+            "k": K,
+            "strategy": strategy.name,
+            "batch_sizes": list(batch_sizes),
+            "shard_counts": list(shard_counts),
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "numpy": getattr(accel.numpy_or_none(), "__version__", None),
+        },
+        "results": results,
+        "speedups": speedups,
+        "stage_breakdown": _stage_breakdown(max(batch_sizes), strategy),
+    }
+
+
+def check_bench_file(path: str) -> dict:
+    """Validate a committed bench file; raises ``ValueError`` if it is
+    missing, unparsable, schema-stale, or structurally empty."""
+    try:
+        with open(path, "rb") as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        raise ValueError(f"bench file {path} is missing") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bench file {path} is not valid JSON: {exc}") from exc
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench file {path} has schema {doc.get('schema')!r}, "
+            f"current is {BENCH_SCHEMA!r} -- regenerate with python -m repro.perf"
+        )
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError(f"bench file {path} carries no results")
+    for row in results:
+        missing = _REQUIRED_RESULT_KEYS - set(row)
+        if missing:
+            raise ValueError(
+                f"bench file {path} result row missing keys {sorted(missing)}"
+            )
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the bench document to this path"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid (CI: proves the harness runs, not the numbers)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="validate an existing bench file instead of running",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        doc = check_bench_file(args.check)
+        print(
+            f"{args.check}: schema {doc['schema']}, "
+            f"{len(doc['results'])} results, "
+            f"{len(doc.get('speedups', []))} speedup cells"
+        )
+        return 0
+    if args.smoke:
+        doc = run_bench(SMOKE_BATCH_SIZES, SMOKE_SHARD_COUNTS, repeats=1)
+    else:
+        doc = run_bench(repeats=args.repeats)
+    text = json.dumps(doc, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    for cell in doc["speedups"]:
+        print(
+            f"  {cell['op']:>6} batch={cell['batch_size']:>6} "
+            f"shards={cell['shards']} -> x{cell['speedup']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Wall-clock stage attribution for the hot-path benchmarks.
+
+A :class:`StageTimer` accumulates elapsed time per named stage so a
+benchmark can answer "where did the batch go" -- hashing vs filter core
+vs codec -- without a profiler in the loop.  Overhead is two
+``perf_counter`` calls per stage entry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulates wall time and entry counts per named stage."""
+
+    __slots__ = ("_totals", "_counts")
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextlib.contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one entry of ``name`` (re-entrant across distinct names)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Total accumulated wall time of one stage."""
+        return self._totals.get(name, 0.0)
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Per-stage totals with each stage's share of the summed time."""
+        grand = sum(self._totals.values()) or 1.0
+        return {
+            name: {
+                "seconds": round(self._totals[name], 6),
+                "calls": self._counts[name],
+                "share": round(self._totals[name] / grand, 4),
+            }
+            for name in sorted(self._totals, key=self._totals.get, reverse=True)
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated stages."""
+        self._totals.clear()
+        self._counts.clear()

@@ -20,7 +20,10 @@ adversary model and for tests.
 from __future__ import annotations
 
 import asyncio
+import mmap
 import multiprocessing
+import os
+import sys
 import threading
 import weakref
 from abc import ABC, abstractmethod
@@ -38,6 +41,7 @@ __all__ = [
     "ShardBackend",
     "LocalBackend",
     "ProcessPoolBackend",
+    "shared_memory_supported",
 ]
 
 
@@ -231,6 +235,48 @@ class LocalBackend(ShardBackend):
 # Process-pool backend
 # ----------------------------------------------------------------------
 
+#: Directory POSIX shared-memory segments surface under on Linux.
+_SHM_DIR = "/dev/shm"
+
+
+def shared_memory_supported() -> bool:
+    """Can snapshots ride per-shard shared-memory segments here?
+
+    The parent owns :class:`multiprocessing.shared_memory.SharedMemory`
+    segments; workers attach by mapping the segment's ``/dev/shm`` file
+    directly (plain ``mmap``, no resource-tracker involvement -- on
+    Python < 3.13 an attaching ``SharedMemory`` object re-registers the
+    segment and a ``spawn`` worker's tracker would unlink it from under
+    the parent).  That makes the fast path Linux-shaped; elsewhere the
+    pipe fallback carries snapshots, bit-identically.
+    """
+    return sys.platform.startswith("linux") and os.path.isdir(_SHM_DIR)
+
+
+class _WorkerShmMaps:
+    """Worker-side cache of shared-memory attachments, keyed by name."""
+
+    def __init__(self) -> None:
+        self._maps: dict[str, mmap.mmap] = {}
+
+    def get(self, name: str) -> mmap.mmap:
+        mapped = self._maps.get(name)
+        if mapped is None:
+            path = os.path.join(_SHM_DIR, name.lstrip("/"))
+            with open(path, "r+b") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0)
+            self._maps[name] = mapped
+        return mapped
+
+    def close(self) -> None:
+        for mapped in self._maps.values():
+            try:
+                mapped.close()
+            except (BufferError, ValueError):  # pragma: no cover - defensive
+                pass
+        self._maps.clear()
+
+
 def _shard_worker_main(conn, filter_factory: Callable[[], MembershipFilter]) -> None:
     """One shard's worker loop: recv an op, run it on the filter, reply.
 
@@ -240,6 +286,7 @@ def _shard_worker_main(conn, filter_factory: Callable[[], MembershipFilter]) -> 
     """
     filt = filter_factory()
     ops = 0
+    shm_maps = _WorkerShmMaps()
     while True:
         try:
             op, payload = conn.recv()
@@ -262,8 +309,26 @@ def _shard_worker_main(conn, filter_factory: Callable[[], MembershipFilter]) -> 
                 reply = None
             elif op == "export":
                 reply = _snapshot_capable(filt).snapshot_bytes()
+            elif op == "export_shm":
+                # Write the snapshot straight into the parent-owned
+                # segment; only its length crosses the pipe.  A snapshot
+                # the segment cannot hold degrades to the pipe reply.
+                name, capacity = payload
+                snapshot = _snapshot_capable(filt).snapshot_bytes()
+                if len(snapshot) <= capacity:
+                    mapped = shm_maps.get(name)
+                    mapped[: len(snapshot)] = snapshot
+                    reply = ("shm", len(snapshot))
+                else:
+                    reply = ("raw", snapshot)
             elif op == "restore":
                 _snapshot_capable(filt).restore_snapshot(payload)
+                ops = 0
+                reply = None
+            elif op == "restore_shm":
+                name, size = payload
+                mapped = shm_maps.get(name)
+                _snapshot_capable(filt).restore_snapshot(bytes(mapped[:size]))
                 ops = 0
                 reply = None
             elif op == "close":
@@ -277,6 +342,7 @@ def _shard_worker_main(conn, filter_factory: Callable[[], MembershipFilter]) -> 
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
             except (BrokenPipeError, OSError):
                 break
+    shm_maps.close()
     conn.close()
 
 
@@ -286,6 +352,25 @@ def _terminate_processes(processes) -> None:
             process.terminate()
     for process in processes:
         process.join(timeout=2.0)
+
+
+def _release_backend_resources(processes, segments) -> None:
+    """Terminate workers, then close and unlink the parent-owned
+    shared-memory segments (idempotent; used by close() and the GC
+    safety-net finalizer)."""
+    _terminate_processes(processes)
+    for i, segment in enumerate(segments):
+        if segment is None:
+            continue
+        segments[i] = None
+        try:
+            segment.close()
+        except (BufferError, OSError):  # pragma: no cover - defensive
+            pass
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - defensive
+            pass
 
 
 class _Worker:
@@ -325,6 +410,12 @@ class ProcessPoolBackend(ShardBackend):
     mp_context:
         Explicit multiprocessing context; defaults to ``fork`` where
         available (lets closures cross), else the platform default.
+    use_shared_memory:
+        Carry snapshot export/restore payloads through per-shard
+        shared-memory segments instead of pickling megabytes through
+        the pipe (only the segment name and byte count cross it).
+        Silently degrades to the pipe whenever shared memory is
+        unsupported or a segment cannot be created.
     """
 
     name = "process-pool"
@@ -334,6 +425,7 @@ class ProcessPoolBackend(ShardBackend):
         filter_factory: Callable[[], MembershipFilter],
         shards: int,
         mp_context=None,
+        use_shared_memory: bool = True,
     ) -> None:
         if shards <= 0:
             raise ParameterError(f"shards must be positive, got {shards}")
@@ -346,6 +438,9 @@ class ProcessPoolBackend(ShardBackend):
         self._template = filter_factory()
         self._workers: list[_Worker] = []
         self._closed = False
+        self._shm_enabled = use_shared_memory and shared_memory_supported()
+        self._segments: list = [None] * shards
+        self._snapshot_hint: int | None = -1  # -1 = not probed yet
         try:
             for _ in range(shards):
                 parent_conn, child_conn = mp_context.Pipe()
@@ -360,10 +455,69 @@ class ProcessPoolBackend(ShardBackend):
         except Exception:
             _terminate_processes([w.process for w in self._workers])
             raise
-        # Safety net: if close() is never called, terminate at GC/exit.
+        # Safety net: if close() is never called, clean up at GC/exit.
         self._finalizer = weakref.finalize(
-            self, _terminate_processes, [w.process for w in self._workers]
+            self,
+            _release_backend_resources,
+            [w.process for w in self._workers],
+            self._segments,
         )
+
+    # -- shared-memory segment management ------------------------------
+
+    def _snapshot_size_hint(self) -> int | None:
+        """Byte size of one shard snapshot (geometry-fixed, so probed
+        once on the template); ``None`` for non-snapshot filters."""
+        if self._snapshot_hint == -1:
+            try:
+                self._snapshot_hint = len(
+                    _snapshot_capable(self._template).snapshot_bytes()
+                )
+            except BackendError:
+                self._snapshot_hint = None
+        return self._snapshot_hint
+
+    def _segment_for(self, shard_id: int, min_size: int | None = None):
+        """The shard's shared segment, created or regrown to hold at
+        least ``min_size`` bytes; ``None`` when shm cannot be used."""
+        if min_size is None:
+            min_size = self._snapshot_size_hint()
+            if min_size is None:
+                return None
+        segment = self._segments[shard_id]
+        if segment is not None and segment.size >= min_size:
+            return segment
+        if segment is not None:
+            self._segments[shard_id] = None
+            segment.close()
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=max(min_size, 1))
+        except (OSError, ValueError):  # pragma: no cover - /dev/shm exhausted
+            self._shm_enabled = False
+            return None
+        self._segments[shard_id] = segment
+        return segment
+
+    # -- pipe protocol -------------------------------------------------
+
+    def _send_recv(self, shard_id: int, worker: _Worker, op: str, payload):
+        """One request/reply exchange; the caller holds ``worker.lock``."""
+        try:
+            worker.conn.send((op, payload))
+            status, reply = worker.conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise BackendError(
+                f"shard {shard_id} worker is gone ({exc!r})"
+            ) from exc
+        if status == "err":
+            raise BackendError(f"shard {shard_id} worker failed: {reply}")
+        return reply
 
     def _roundtrip(self, shard_id: int, op: str, payload=None):
         self._check_shard(shard_id)
@@ -371,16 +525,7 @@ class ProcessPoolBackend(ShardBackend):
             raise BackendError("backend is closed")
         worker = self._workers[shard_id]
         with worker.lock:
-            try:
-                worker.conn.send((op, payload))
-                status, reply = worker.conn.recv()
-            except (EOFError, OSError, BrokenPipeError) as exc:
-                raise BackendError(
-                    f"shard {shard_id} worker is gone ({exc!r})"
-                ) from exc
-        if status == "err":
-            raise BackendError(f"shard {shard_id} worker failed: {reply}")
-        return reply
+            return self._send_recv(shard_id, worker, op, payload)
 
     async def insert_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
         return await asyncio.to_thread(self._roundtrip, shard_id, "insert", list(items))
@@ -395,10 +540,44 @@ class ProcessPoolBackend(ShardBackend):
         return self._roundtrip(shard_id, "state")
 
     def export_shard(self, shard_id: int) -> bytes:
-        return self._roundtrip(shard_id, "export")
+        """Serialise one shard; the payload rides the shard's shared
+        segment when available, the pipe otherwise."""
+        self._check_shard(shard_id)
+        if self._closed:
+            raise BackendError("backend is closed")
+        segment = self._segment_for(shard_id) if self._shm_enabled else None
+        if segment is None:
+            return self._roundtrip(shard_id, "export")
+        worker = self._workers[shard_id]
+        # The segment read happens under the worker lock so a concurrent
+        # export/restore on the same shard cannot rewrite it mid-copy.
+        with worker.lock:
+            kind, value = self._send_recv(
+                shard_id, worker, "export_shm", (segment.name, segment.size)
+            )
+            if kind == "shm":
+                return bytes(segment.buf[:value])
+        return value  # "raw": the snapshot outgrew the segment
 
     def restore_shard(self, shard_id: int, raw: bytes) -> None:
-        self._roundtrip(shard_id, "restore", raw)
+        """Load a snapshot; payload transfer mirrors :meth:`export_shard`."""
+        self._check_shard(shard_id)
+        if self._closed:
+            raise BackendError("backend is closed")
+        segment = (
+            self._segment_for(shard_id, min_size=len(raw))
+            if self._shm_enabled and raw
+            else None
+        )
+        if segment is None:
+            self._roundtrip(shard_id, "restore", raw)
+            return
+        worker = self._workers[shard_id]
+        with worker.lock:
+            segment.buf[: len(raw)] = raw
+            self._send_recv(
+                shard_id, worker, "restore_shm", (segment.name, len(raw))
+            )
 
     def shard_view(self, shard_id: int) -> MembershipFilter:
         """Reconstruct the shard's filter from an exported snapshot.

@@ -32,8 +32,7 @@ from repro.service.codec import (
     ST_RATE_LIMITED,
     Response,
     decode_response,
-    encode_frame,
-    encode_request,
+    encode_request_frame,
     read_frame,
 )
 
@@ -105,10 +104,10 @@ class MembershipClient:
         await conn.close()
         self._slots.release()
 
-    async def _request(self, payload: bytes, client: str) -> Response:
+    async def _request(self, frame: bytes, client: str) -> Response:
         conn = await self._acquire()
         try:
-            conn.writer.write(encode_frame(payload))
+            conn.writer.write(frame)
             await conn.writer.drain()
             raw = await read_frame(conn.reader)
         except BaseException:
@@ -149,25 +148,26 @@ class MembershipClient:
     async def insert(self, item: str | bytes, client: str = "anon") -> bool:
         """Insert one item; returns the filter's ``add`` result."""
         response = await self._request(
-            encode_request(OP_INSERT, [item], client=client), client
+            encode_request_frame(OP_INSERT, [item], client=client), client
         )
         return self._answers(response, 1)[0]
 
     async def query(self, item: str | bytes, client: str = "anon") -> bool:
         """Membership query for one item."""
         response = await self._request(
-            encode_request(OP_QUERY, [item], client=client), client
+            encode_request_frame(OP_QUERY, [item], client=client), client
         )
         return self._answers(response, 1)[0]
 
     async def insert_batch(
         self, items: list[str | bytes], client: str = "anon"
     ) -> list[bool]:
-        """Insert a batch; one frame out, one packed-bit frame back."""
+        """Insert a batch; one preallocated frame out, one packed-bit
+        frame back."""
         if not items:
             return []
         response = await self._request(
-            encode_request(OP_INSERT_BATCH, list(items), client=client), client
+            encode_request_frame(OP_INSERT_BATCH, list(items), client=client), client
         )
         return self._answers(response, len(items))
 
@@ -178,7 +178,7 @@ class MembershipClient:
         if not items:
             return []
         response = await self._request(
-            encode_request(OP_QUERY_BATCH, list(items), client=client), client
+            encode_request_frame(OP_QUERY_BATCH, list(items), client=client), client
         )
         return self._answers(response, len(items))
 
@@ -186,7 +186,7 @@ class MembershipClient:
         """Per-shard stats snapshots (JSON dicts mirroring
         :class:`~repro.service.telemetry.ShardSnapshot`)."""
         response = await self._request(
-            encode_request(OP_STATS, client=client), client
+            encode_request_frame(OP_STATS, client=client), client
         )
         if response.stats is None:
             raise ProtocolError("stats response carried no stats")

@@ -18,6 +18,7 @@ import json
 import struct
 from dataclasses import asdict, dataclass
 
+from repro import accel
 from repro.exceptions import ProtocolError
 from repro.service.telemetry import ShardSnapshot
 
@@ -38,10 +39,14 @@ __all__ = [
     "encode_frame",
     "read_frame",
     "encode_request",
+    "encode_request_frame",
     "decode_request",
     "encode_answers",
+    "encode_answers_frame",
     "encode_error",
+    "encode_error_frame",
     "encode_stats",
+    "encode_stats_frame",
     "decode_response",
     "pack_bools",
     "unpack_bools",
@@ -98,7 +103,12 @@ class Response:
 # ----------------------------------------------------------------------
 
 def pack_bools(values: list[bool]) -> bytes:
-    """Pack booleans into bytes, LSB-first within each byte."""
+    """Pack booleans into bytes, LSB-first within each byte (numpy
+    ``packbits`` lanes when the accel mode allows)."""
+    if accel.accelerated(len(values)):
+        from repro.core import _kernels
+
+        return _kernels.pack_bools(values)
     out = bytearray((len(values) + 7) // 8)
     for i, value in enumerate(values):
         if value:
@@ -106,12 +116,17 @@ def pack_bools(values: list[bool]) -> bytes:
     return bytes(out)
 
 
-def unpack_bools(raw: bytes, count: int) -> list[bool]:
-    """Inverse of :func:`pack_bools` for ``count`` values."""
+def unpack_bools(raw, count: int) -> list[bool]:
+    """Inverse of :func:`pack_bools` for ``count`` values (accepts any
+    bytes-like, including a memoryview into the frame buffer)."""
     if len(raw) != (count + 7) // 8:
         raise ProtocolError(
             f"answer bitmap is {len(raw)} bytes for {count} answers"
         )
+    if accel.accelerated(count):
+        from repro.core import _kernels
+
+        return _kernels.unpack_bools(raw, count)
     return [bool(raw[i >> 3] & (1 << (i & 7))) for i in range(count)]
 
 
@@ -164,42 +179,65 @@ async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
 # ----------------------------------------------------------------------
 
 class _Cursor:
-    __slots__ = ("raw", "pos")
+    """Bounds-checked reader over a payload.
 
-    def __init__(self, raw: bytes) -> None:
-        self.raw = raw
+    The payload is wrapped in a :class:`memoryview` once; every
+    :meth:`take` returns a zero-copy slice of it and the fixed-width
+    readers unpack in place, so parsing a frame allocates nothing but
+    the values actually kept.  Callers that store item bytes beyond the
+    frame's lifetime copy them explicitly (``bytes(view)``).
+    """
+
+    __slots__ = ("raw", "size", "pos")
+
+    def __init__(self, raw) -> None:
+        self.raw = memoryview(raw)
+        self.size = len(self.raw)
         self.pos = 0
 
-    def take(self, count: int, what: str) -> bytes:
+    def take(self, count: int, what: str) -> memoryview:
         end = self.pos + count
-        if end > len(self.raw):
+        if end > self.size:
             raise ProtocolError(
                 f"payload ends inside {what} "
-                f"(need {count} bytes at offset {self.pos}, have {len(self.raw) - self.pos})"
+                f"(need {count} bytes at offset {self.pos}, have {self.size - self.pos})"
             )
         chunk = self.raw[self.pos : end]
         self.pos = end
         return chunk
 
     def u8(self, what: str) -> int:
-        return self.take(1, what)[0]
+        if self.pos >= self.size:
+            raise ProtocolError(
+                f"payload ends inside {what} "
+                f"(need 1 bytes at offset {self.pos}, have 0)"
+            )
+        value = self.raw[self.pos]
+        self.pos += 1
+        return value
 
     def u16(self, what: str) -> int:
-        return _U16.unpack(self.take(2, what))[0]
+        return _U16.unpack_from(self.take(2, what))[0]
 
     def u32(self, what: str) -> int:
-        return _U32.unpack(self.take(4, what))[0]
+        return _U32.unpack_from(self.take(4, what))[0]
+
+    def peek_u8(self) -> int | None:
+        """The next byte without consuming it; ``None`` at payload end."""
+        if self.pos >= self.size:
+            return None
+        return self.raw[self.pos]
 
     def done(self) -> None:
-        if self.pos != len(self.raw):
+        if self.pos != self.size:
             raise ProtocolError(
-                f"{len(self.raw) - self.pos} trailing bytes after payload"
+                f"{self.size - self.pos} trailing bytes after payload"
             )
 
 
-def _decode_text(raw: bytes, what: str) -> str:
+def _decode_text(raw, what: str) -> str:
     try:
-        return raw.decode("utf-8")
+        return str(raw, "utf-8")
     except UnicodeDecodeError as exc:
         raise ProtocolError(f"{what} is not valid UTF-8") from exc
 
@@ -234,8 +272,8 @@ def encode_request(
     return b"".join(parts)
 
 
-def decode_request(payload: bytes) -> Request:
-    """Decode and validate a request payload."""
+def decode_request(payload) -> Request:
+    """Decode and validate a request payload (any bytes-like)."""
     cursor = _Cursor(payload)
     op = cursor.u8("opcode")
     if op not in _OPS:
@@ -244,7 +282,7 @@ def decode_request(payload: bytes) -> Request:
     count = cursor.u32("item count")
     # Each item costs at least 5 bytes on the wire; a hostile count that
     # cannot fit in the remaining payload is rejected before allocation.
-    if count * 5 > len(payload) - cursor.pos:
+    if count * 5 > cursor.size - cursor.pos:
         raise ProtocolError(f"item count {count} exceeds payload size")
     items: list[str | bytes] = []
     for _ in range(count):
@@ -252,7 +290,9 @@ def decode_request(payload: bytes) -> Request:
         if is_text not in (0, 1):
             raise ProtocolError(f"bad item flag {is_text}")
         raw = cursor.take(cursor.u32("item length"), "item bytes")
-        items.append(_decode_text(raw, "text item") if is_text else raw)
+        # Items outlive the frame buffer, so binary ones are copied out
+        # of the view here -- the only per-item copy on the decode path.
+        items.append(_decode_text(raw, "text item") if is_text else bytes(raw))
     cursor.done()
     if op in (OP_INSERT, OP_QUERY) and len(items) != 1:
         raise ProtocolError("single-item ops carry exactly one item")
@@ -287,7 +327,108 @@ def encode_stats(snapshots: list[ShardSnapshot]) -> bytes:
     return bytes([ST_OK, 0xFF]) + _U32.pack(len(raw)) + raw
 
 
-def decode_response(payload: bytes) -> Response:
+# ----------------------------------------------------------------------
+# Whole-frame encoders (the zero-copy send path)
+# ----------------------------------------------------------------------
+#
+# The payload encoders above build a payload that the caller then frames
+# with :func:`encode_frame` -- two buffers and a concatenation per send.
+# The ``*_frame`` variants compute the exact frame size up front, allocate
+# one buffer, and pack header and payload straight into it; the server
+# and client send paths hand that single buffer to the transport.
+
+def _frame_buffer(payload_len: int) -> bytearray:
+    if payload_len == 0:
+        raise ProtocolError("refusing to encode an empty frame")
+    if payload_len > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {payload_len} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    out = bytearray(4 + payload_len)
+    _U32.pack_into(out, 0, payload_len)
+    return out
+
+
+def encode_request_frame(
+    op: int, items: list[str | bytes] | None = None, client: str = "anon"
+) -> bytes:
+    """One ready-to-send request frame, assembled in a single buffer."""
+    if op not in _OPS:
+        raise ProtocolError(f"unknown opcode {op}")
+    items = items or []
+    if op in (OP_INSERT, OP_QUERY) and len(items) != 1:
+        raise ProtocolError("single-item ops carry exactly one item")
+    client_raw = client.encode("utf-8")
+    if len(client_raw) > 0xFFFF:
+        raise ProtocolError("client id too long")
+    encoded: list[tuple[int, bytes]] = []
+    total = 1 + 2 + len(client_raw) + 4
+    for item in items:
+        if isinstance(item, str):
+            raw, is_text = item.encode("utf-8"), 1
+        elif isinstance(item, bytes):
+            raw, is_text = item, 0
+        else:
+            raise ProtocolError(f"items must be str or bytes, got {type(item).__name__}")
+        encoded.append((is_text, raw))
+        total += 5 + len(raw)
+    out = _frame_buffer(total)
+    pos = 4
+    out[pos] = op
+    pos += 1
+    _U16.pack_into(out, pos, len(client_raw))
+    pos += 2
+    out[pos : pos + len(client_raw)] = client_raw
+    pos += len(client_raw)
+    _U32.pack_into(out, pos, len(encoded))
+    pos += 4
+    for is_text, raw in encoded:
+        out[pos] = is_text
+        pos += 1
+        _U32.pack_into(out, pos, len(raw))
+        pos += 4
+        out[pos : pos + len(raw)] = raw
+        pos += len(raw)
+    return bytes(out)
+
+
+def encode_answers_frame(answers: list[bool]) -> bytes:
+    """One ready-to-send OK frame carrying packed membership answers."""
+    bitmap = pack_bools(answers)
+    out = _frame_buffer(5 + len(bitmap))
+    out[4] = ST_OK
+    _U32.pack_into(out, 5, len(answers))
+    out[9:] = bitmap
+    return bytes(out)
+
+
+def encode_error_frame(status: int, message: str) -> bytes:
+    """One ready-to-send non-OK frame carrying a diagnostic message."""
+    if status not in _STATUSES or status == ST_OK:
+        raise ProtocolError(f"bad error status {status}")
+    raw = message.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        # Truncate on a character boundary so the reply stays valid UTF-8.
+        raw = raw[:0xFFFF].decode("utf-8", "ignore").encode("utf-8")
+    out = _frame_buffer(3 + len(raw))
+    out[4] = status
+    _U16.pack_into(out, 5, len(raw))
+    out[7:] = raw
+    return bytes(out)
+
+
+def encode_stats_frame(snapshots: list[ShardSnapshot]) -> bytes:
+    """One ready-to-send OK frame carrying per-shard stats as JSON."""
+    raw = json.dumps([asdict(s) for s in snapshots]).encode("utf-8")
+    out = _frame_buffer(6 + len(raw))
+    out[4] = ST_OK
+    out[5] = 0xFF
+    _U32.pack_into(out, 6, len(raw))
+    out[10:] = raw
+    return bytes(out)
+
+
+def decode_response(payload) -> Response:
     """Decode a response payload (answers, stats, or an error)."""
     cursor = _Cursor(payload)
     status = cursor.u8("status")
@@ -302,14 +443,13 @@ def decode_response(payload: bytes) -> Response:
     # OK responses: answers (count + bitmap) or stats (0xFF marker + JSON).
     # Unambiguous: an answer count opening with 0xFF would mean >= 2^32-2^24
     # answers, far beyond what MAX_FRAME can carry.
-    marker = cursor.raw[cursor.pos : cursor.pos + 1]
-    if marker == b"\xff":
+    if cursor.peek_u8() == 0xFF:
         cursor.u8("stats marker")
         raw = cursor.take(cursor.u32("stats length"), "stats JSON")
         cursor.done()
         try:
-            stats = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            stats = json.loads(_decode_text(raw, "stats JSON"))
+        except json.JSONDecodeError as exc:
             raise ProtocolError("stats payload is not valid JSON") from exc
         if not isinstance(stats, list):
             raise ProtocolError("stats payload must be a JSON list")

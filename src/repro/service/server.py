@@ -31,10 +31,9 @@ from repro.service.codec import (
     ST_RATE_LIMITED,
     Request,
     decode_request,
-    encode_answers,
-    encode_error,
-    encode_frame,
-    encode_stats,
+    encode_answers_frame,
+    encode_error_frame,
+    encode_stats_frame,
     read_frame,
 )
 from repro.service.gateway import MembershipGateway
@@ -124,7 +123,7 @@ class MembershipServer:
                     payload = await read_frame(reader)
                 except ProtocolError as exc:
                     self.protocol_errors += 1
-                    await self._try_reply(writer, encode_error(ST_PROTOCOL, str(exc)))
+                    await self._try_reply(writer, encode_error_frame(ST_PROTOCOL, str(exc)))
                     break
                 if payload is None:
                     break
@@ -132,10 +131,11 @@ class MembershipServer:
                     request = decode_request(payload)
                 except ProtocolError as exc:
                     self.protocol_errors += 1
-                    await self._try_reply(writer, encode_error(ST_PROTOCOL, str(exc)))
+                    await self._try_reply(writer, encode_error_frame(ST_PROTOCOL, str(exc)))
                     break
-                response = await self._dispatch(request, default_client)
-                writer.write(encode_frame(response))
+                # _dispatch returns a complete frame assembled in one
+                # buffer; it goes to the transport without re-framing.
+                writer.write(await self._dispatch(request, default_client))
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # peer went away mid-stream; nothing to clean up
@@ -149,37 +149,37 @@ class MembershipServer:
                 pass  # a second cancel can land while the socket drains
 
     @staticmethod
-    async def _try_reply(writer: asyncio.StreamWriter, response: bytes) -> None:
+    async def _try_reply(writer: asyncio.StreamWriter, frame: bytes) -> None:
         """Best-effort error reply; the connection is dropped either way."""
         try:
-            writer.write(encode_frame(response))
+            writer.write(frame)
             await writer.drain()
         except (ConnectionError, OSError):
             pass
 
     async def _dispatch(self, request: Request, default_client: str) -> bytes:
-        """Run one decoded request against the gateway."""
+        """Run one decoded request against the gateway; returns a frame."""
         client = request.client or default_client
         try:
             if request.op in (OP_INSERT, OP_INSERT_BATCH):
                 answers = await self.gateway.insert_batch(request.items, client=client)
-                return encode_answers(answers)
+                return encode_answers_frame(answers)
             if request.op in (OP_QUERY, OP_QUERY_BATCH):
                 answers = await self.gateway.query_batch(request.items, client=client)
-                return encode_answers(answers)
+                return encode_answers_frame(answers)
             if request.op == OP_STATS:
                 # snapshot() probes every shard synchronously; for a
                 # process backend that is one pipe round trip per shard,
                 # so keep it off the event-loop thread.
                 snapshots = await asyncio.to_thread(self.gateway.snapshot)
-                return encode_stats(snapshots)
-            return encode_error(ST_PROTOCOL, f"unhandled opcode {request.op}")
+                return encode_stats_frame(snapshots)
+            return encode_error_frame(ST_PROTOCOL, f"unhandled opcode {request.op}")
         except RateLimited as exc:
-            return encode_error(ST_RATE_LIMITED, str(exc))
+            return encode_error_frame(ST_RATE_LIMITED, str(exc))
         except ParameterError as exc:
-            return encode_error(ST_INVALID, str(exc))
+            return encode_error_frame(ST_INVALID, str(exc))
         except Exception as exc:  # noqa: BLE001 - the server must not die
-            return encode_error(ST_ERROR, f"{type(exc).__name__}: {exc}")
+            return encode_error_frame(ST_ERROR, f"{type(exc).__name__}: {exc}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "listening" if self._server else "stopped"

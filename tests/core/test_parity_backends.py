@@ -1,0 +1,189 @@
+"""Accelerated-vs-pure backend parity.
+
+The numpy kernels (:mod:`repro.core._kernels`) must be *bit-identical*
+to the pure-Python loops: same batch answers, same serialised bytes,
+same overflow/underflow tallies, same exceptions.  Every scenario here
+runs once under ``pure`` and once under ``numpy`` and compares both the
+returned values and the full serialised state.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import accel
+from repro.core.bloom import BloomFilter
+from repro.core.counters import OverflowPolicy
+from repro.core.counting import CountingBloomFilter
+from repro.core.dablooms import Dablooms
+from repro.hashing.kirsch_mitzenmacher import KirschMitzenmacherStrategy
+
+pytestmark = pytest.mark.skipif(
+    accel.numpy_or_none() is None, reason="numpy backend unavailable"
+)
+
+# Batch sizes straddling ACCEL_MIN_BATCH, plus enough volume for heavy
+# position collisions on the small geometries below.
+BATCH_SIZES = (1, 63, 64, 500)
+
+
+def _items(count: int, seed: int, dup_every: int = 7) -> list[bytes]:
+    """Deterministic keys with deliberate duplicates (every ``dup_every``-th
+    key repeats an earlier one, including within one batch)."""
+    rng = random.Random(seed)
+    out: list[bytes] = []
+    for i in range(count):
+        if out and i % dup_every == 0:
+            out.append(out[rng.randrange(len(out))])
+        else:
+            out.append(b"key:%d:%d" % (seed, rng.randrange(10 * count + 1)))
+    return out
+
+
+def _run_bloom(mode: str, count: int) -> tuple:
+    with accel.use_mode(mode):
+        filt = BloomFilter(512, 4, KirschMitzenmacherStrategy())
+        first = filt.add_batch(_items(count, seed=1))
+        second = filt.add_batch(_items(count, seed=2))
+        probes = filt.contains_batch(_items(count, seed=3))
+        return (
+            first,
+            second,
+            probes,
+            filt.bits.hamming_weight(),
+            filt.to_bytes(),
+            filt.snapshot_bytes(),
+        )
+
+
+def _run_counting(mode: str, count: int, overflow: OverflowPolicy) -> tuple:
+    with accel.use_mode(mode):
+        filt = CountingBloomFilter(
+            400,
+            4,
+            KirschMitzenmacherStrategy(),
+            counter_bits=4,
+            overflow=overflow,
+        )
+        added = filt.add_batch(_items(count, seed=4))
+        probes = filt.contains_batch(_items(count, seed=5))
+        # Remove a mix of present and absent keys, with duplicates.
+        removed = filt.remove_batch(_items(count, seed=4)[: max(1, count // 2)] * 2)
+        return (
+            added,
+            probes,
+            removed,
+            filt.hamming_weight,
+            filt.counters.overflow_events,
+            filt.counters.underflow_events,
+            filt.counters.to_bytes(),
+            filt.snapshot_bytes(),
+        )
+
+
+def _run_dablooms(mode: str, count: int) -> tuple:
+    with accel.use_mode(mode):
+        filt = Dablooms(slice_capacity=max(8, count // 3), f0=0.02)
+        added = filt.add_batch(_items(count, seed=6))
+        probes = filt.contains_batch(_items(count, seed=7))
+        state = []
+        filt.for_each_slice(
+            lambda i, s: state.append((i, s.counters.to_bytes(), s.hamming_weight))
+        )
+        return added, probes, filt.slice_count, len(filt), state
+
+
+@pytest.mark.parametrize("count", BATCH_SIZES)
+def test_bloom_parity(count):
+    assert _run_bloom("pure", count) == _run_bloom("numpy", count)
+
+
+@pytest.mark.parametrize("count", BATCH_SIZES)
+@pytest.mark.parametrize(
+    "overflow", [OverflowPolicy.SATURATE, OverflowPolicy.WRAP, OverflowPolicy.RAISE]
+)
+def test_counting_parity(count, overflow):
+    assert _run_counting("pure", count, overflow) == _run_counting(
+        "numpy", count, overflow
+    )
+
+
+@pytest.mark.parametrize("count", BATCH_SIZES)
+def test_dablooms_parity(count):
+    assert _run_dablooms("pure", count) == _run_dablooms("numpy", count)
+
+
+def test_snapshot_restore_crosses_backends():
+    """A snapshot taken under one backend restores under the other with
+    byte-identical state -- the shared-memory transfer path relies on it."""
+    with accel.use_mode("numpy"):
+        src = BloomFilter(512, 4, KirschMitzenmacherStrategy())
+        src.add_batch(_items(300, seed=8))
+        snap = src.snapshot_bytes()
+    with accel.use_mode("pure"):
+        dst = BloomFilter(512, 4, KirschMitzenmacherStrategy())
+        dst.restore_snapshot(snap)
+        assert dst.to_bytes() == src.to_bytes()
+        assert dst.snapshot_bytes() == snap
+        # And mutations after the restore stay in lockstep.
+        extra = _items(100, seed=9)
+        pure_answers = dst.add_batch(extra)
+    with accel.use_mode("numpy"):
+        src2 = BloomFilter(512, 4, KirschMitzenmacherStrategy())
+        src2.restore_snapshot(snap)
+        assert src2.add_batch(extra) == pure_answers
+        assert src2.to_bytes() == dst.to_bytes()
+
+
+def test_mode_flip_mid_life_is_seamless():
+    """Alternating backends on one living filter never desynchronises
+    the incremental weight or the stored bytes."""
+    filt = BloomFilter(512, 4, KirschMitzenmacherStrategy())
+    reference = BloomFilter(512, 4, KirschMitzenmacherStrategy())
+    for round_no, mode in enumerate(["pure", "numpy", "pure", "numpy"]):
+        batch = _items(150, seed=10 + round_no)
+        with accel.use_mode(mode):
+            answers = filt.add_batch(batch)
+        with accel.use_mode("pure"):
+            assert reference.add_batch(batch) == answers
+        assert filt.to_bytes() == reference.to_bytes()
+        assert filt.bits.hamming_weight() == reference.bits.hamming_weight()
+
+
+def test_out_of_range_leaves_vector_untouched_both_backends():
+    """Whole-batch validation: a bad index raises before any write."""
+    from repro.core.bitvector import BitVector
+
+    for mode in ("pure", "numpy"):
+        with accel.use_mode(mode):
+            vec = BitVector(64)
+            flat = [1, 2, 3, 999] + [4] * 60
+            with pytest.raises(IndexError):
+                vec.set_groups(flat, 4)
+            assert vec.to_bytes() == bytes(8)
+            assert vec.hamming_weight() == 0
+
+
+def test_raise_policy_parity_on_overflow():
+    """RAISE keeps the sequential loop in both modes: same exception,
+    same partial state, same insertion count."""
+    results = []
+    for mode in ("pure", "numpy"):
+        with accel.use_mode(mode):
+            filt = CountingBloomFilter(
+                32,
+                4,
+                KirschMitzenmacherStrategy(),
+                counter_bits=2,
+                overflow=OverflowPolicy.RAISE,
+            )
+            batch = _items(90, seed=11, dup_every=2)
+            try:
+                filt.add_batch(batch)
+                outcome = ("ok", None)
+            except Exception as exc:  # CounterOverflowError, but parity matters
+                outcome = ("raised", type(exc).__name__)
+            results.append((outcome, len(filt), filt.counters.to_bytes()))
+    assert results[0] == results[1]

@@ -1,0 +1,115 @@
+"""The hot-path bench harness and its CI gates.
+
+A smoke run must produce a schema-tagged document whose cells are
+internally consistent, :func:`check_bench_file` must reject every way
+the committed file can rot, and the repository's ``BENCH_hotpath.json``
+itself must validate -- the same gate CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro import accel
+from repro.perf import BENCH_SCHEMA, StageTimer, check_bench_file, run_bench
+from repro.perf.bench_hotpath import SMOKE_BATCH_SIZES, SMOKE_SHARD_COUNTS, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_smoke_run_document_shape():
+    doc = run_bench(SMOKE_BATCH_SIZES, SMOKE_SHARD_COUNTS, repeats=1)
+    assert doc["schema"] == BENCH_SCHEMA
+    modes = {"pure", "numpy"} if accel.numpy_or_none() else {"pure"}
+    cells = {(r["op"], r["mode"], r["batch_size"], r["shards"]) for r in doc["results"]}
+    assert len(cells) == len(doc["results"]), "duplicate grid cells"
+    assert {c[1] for c in cells} == modes
+    for row in doc["results"]:
+        assert row["seconds"] > 0
+        assert row["items_per_sec"] == pytest.approx(
+            row["batch_size"] / row["seconds"], rel=0.01
+        )
+    if accel.numpy_or_none():
+        assert doc["speedups"], "numpy present but no speedup cells"
+        for cell in doc["speedups"]:
+            assert cell["speedup"] > 0
+    assert doc["stage_breakdown"], "stage breakdown missing"
+
+
+def test_check_accepts_fresh_document(tmp_path):
+    doc = run_bench(SMOKE_BATCH_SIZES, SMOKE_SHARD_COUNTS, repeats=1)
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(doc))
+    assert check_bench_file(str(path))["schema"] == BENCH_SCHEMA
+
+
+def test_check_rejects_missing_file(tmp_path):
+    with pytest.raises(ValueError, match="missing"):
+        check_bench_file(str(tmp_path / "nope.json"))
+
+
+def test_check_rejects_invalid_json(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        check_bench_file(str(path))
+
+
+def test_check_rejects_stale_schema(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"schema": "repro.bench_hotpath/0", "results": [{}]}))
+    with pytest.raises(ValueError, match="regenerate"):
+        check_bench_file(str(path))
+
+
+def test_check_rejects_empty_results(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"schema": BENCH_SCHEMA, "results": []}))
+    with pytest.raises(ValueError, match="no results"):
+        check_bench_file(str(path))
+
+
+def test_check_rejects_missing_row_keys(tmp_path):
+    path = tmp_path / "bench.json"
+    row = {"op": "insert", "mode": "pure"}  # missing the numeric fields
+    path.write_text(json.dumps({"schema": BENCH_SCHEMA, "results": [row]}))
+    with pytest.raises(ValueError, match="missing keys"):
+        check_bench_file(str(path))
+
+
+def test_committed_bench_file_validates():
+    """The gate CI runs: the committed trajectory must stay loadable."""
+    doc = check_bench_file(str(REPO_ROOT / "BENCH_hotpath.json"))
+    assert doc["config"]["m_per_shard"] > 0
+
+
+def test_cli_check_mode(capsys):
+    assert main(["--check", str(REPO_ROOT / "BENCH_hotpath.json")]) == 0
+    assert "schema repro.bench_hotpath/1" in capsys.readouterr().out
+
+
+def test_cli_smoke_writes_file(tmp_path):
+    out = tmp_path / "smoke.json"
+    assert main(["--smoke", "--out", str(out)]) == 0
+    assert check_bench_file(str(out))
+
+
+def test_stage_timer_accumulates_and_reports():
+    timer = StageTimer()
+    with timer.stage("a"):
+        time.sleep(0.01)
+    with timer.stage("a"):
+        pass
+    with timer.stage("b"):
+        pass
+    report = timer.report()
+    assert report["a"]["calls"] == 2
+    assert report["b"]["calls"] == 1
+    assert timer.seconds("a") >= 0.01
+    assert sum(stage["share"] for stage in report.values()) == pytest.approx(1.0, abs=0.01)
+    timer.reset()
+    assert timer.report() == {}

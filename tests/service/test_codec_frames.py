@@ -1,0 +1,246 @@
+"""Zero-copy codec path: frame-encoder parity and hostile payloads.
+
+The single-buffer ``*_frame`` encoders must emit byte-identical frames
+to ``encode_frame(encode_*(...))``, decoding must accept zero-copy
+memoryview input, and every malformed shape -- truncated length prefix,
+oversized declared lengths, mid-frame EOF, trailing garbage -- must be
+rejected with :class:`ProtocolError` before any allocation or partial
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.service.codec import (
+    MAX_FRAME,
+    OP_INSERT_BATCH,
+    OP_QUERY,
+    OP_STATS,
+    ST_ERROR,
+    ST_OK,
+    ST_RATE_LIMITED,
+    decode_request,
+    decode_response,
+    encode_answers,
+    encode_answers_frame,
+    encode_error,
+    encode_error_frame,
+    encode_frame,
+    encode_request,
+    encode_request_frame,
+    encode_stats,
+    encode_stats_frame,
+    read_frame,
+)
+from repro.service.telemetry import ShardSnapshot
+
+
+def _snapshots() -> list[ShardSnapshot]:
+    return [
+        ShardSnapshot(
+            shard_id=0,
+            inserts=900,
+            queries=40,
+            positives=5,
+            rotations=1,
+            weight=800,
+            fill_ratio=0.25,
+            query_p50_us=12.5,
+            query_p99_us=80.0,
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# Frame-encoder parity with the two-step encode path
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "items,client",
+    [
+        (["a", b"b", "ünicode", b"\x00\xff" * 10], "client-1"),
+        ([], "anon"),
+        ([b"x" * 1000], ""),
+    ],
+)
+def test_request_frame_parity(items, client):
+    assert encode_request_frame(OP_INSERT_BATCH, items, client) == encode_frame(
+        encode_request(OP_INSERT_BATCH, items, client)
+    )
+
+
+def test_single_op_frame_parity():
+    assert encode_request_frame(OP_QUERY, ["only"], "c") == encode_frame(
+        encode_request(OP_QUERY, ["only"], "c")
+    )
+
+
+@pytest.mark.parametrize("answers", [[True], [False] * 9, [True, False] * 50, []])
+def test_answers_frame_parity(answers):
+    # An empty answer list is a legal frame (count 0, no bitmap).
+    assert encode_answers_frame(answers) == encode_frame(encode_answers(answers))
+
+
+def test_error_frame_parity():
+    message = "rate limited — back off"
+    assert encode_error_frame(ST_RATE_LIMITED, message) == encode_frame(
+        encode_error(ST_RATE_LIMITED, message)
+    )
+
+
+def test_error_frame_truncates_long_messages_identically():
+    message = "é" * 40_000  # 2 bytes each, over the u16 cap
+    assert encode_error_frame(ST_ERROR, message) == encode_frame(
+        encode_error(ST_ERROR, message)
+    )
+
+
+def test_stats_frame_parity():
+    assert encode_stats_frame(_snapshots()) == encode_frame(encode_stats(_snapshots()))
+
+
+def test_frame_encoders_reject_bad_status_and_oversized():
+    with pytest.raises(ProtocolError):
+        encode_error_frame(ST_OK, "not an error status")
+    with pytest.raises(ProtocolError):
+        encode_request_frame(OP_INSERT_BATCH, [b"x" * (MAX_FRAME + 1)], "c")
+
+
+# ----------------------------------------------------------------------
+# Zero-copy decode: memoryview input end to end
+# ----------------------------------------------------------------------
+
+def test_decode_request_from_memoryview():
+    frame = encode_request_frame(OP_INSERT_BATCH, ["t", b"\x01\x02"], "mv-client")
+    request = decode_request(memoryview(frame)[4:])
+    assert request.client == "mv-client"
+    assert request.items == ["t", b"\x01\x02"]
+    # Binary items must be real bytes (copied out of the view), so they
+    # survive the frame buffer being released.
+    assert all(type(i) in (str, bytes) for i in request.items)
+
+
+def test_decode_response_from_memoryview():
+    frame = encode_answers_frame([True, False, True])
+    response = decode_response(memoryview(frame)[4:])
+    assert response.status == ST_OK
+    assert response.answers == [True, False, True]
+    stats_frame = encode_stats_frame(_snapshots())
+    response = decode_response(memoryview(stats_frame)[4:])
+    assert response.stats[0]["shard_id"] == 0
+
+
+# ----------------------------------------------------------------------
+# Hostile payloads
+# ----------------------------------------------------------------------
+
+def test_truncated_item_length_prefix_rejected():
+    """Payload ends inside an item's 4-byte length prefix."""
+    # A fat first item keeps the remaining payload large enough to pass
+    # the up-front item-count plausibility guard; the cut then lands
+    # inside the *second* item's length field.
+    payload = encode_request(OP_INSERT_BATCH, [b"a" * 64, b"abcd"], "c")
+    cut = payload[: -(4 + 2)]  # drop item bytes and half the u32 length
+    with pytest.raises(ProtocolError, match="ends inside item length"):
+        decode_request(cut)
+
+
+def test_oversized_declared_item_length_rejected():
+    """An item declaring more bytes than the payload holds."""
+    payload = bytearray(encode_request(OP_INSERT_BATCH, [b"abcd"], "c"))
+    payload[-8:-4] = (2**31).to_bytes(4, "big")  # item length field
+    with pytest.raises(ProtocolError, match="ends inside item bytes"):
+        decode_request(bytes(payload))
+
+
+def test_oversized_declared_item_count_rejected_before_allocation():
+    payload = bytearray(encode_request(OP_INSERT_BATCH, [b"abcd"], "c"))
+    offset = 1 + 2 + 1  # opcode + client len + client "c"
+    payload[offset : offset + 4] = (0xFFFFFFFF).to_bytes(4, "big")
+    with pytest.raises(ProtocolError, match="item count"):
+        decode_request(bytes(payload))
+
+
+def test_oversized_declared_client_length_rejected():
+    payload = bytearray(encode_request(OP_STATS, [], "c"))
+    payload[1:3] = (0xFFFF).to_bytes(2, "big")
+    with pytest.raises(ProtocolError, match="ends inside client id"):
+        decode_request(bytes(payload))
+
+
+def test_trailing_garbage_after_request_rejected():
+    payload = encode_request(OP_INSERT_BATCH, [b"abcd"], "c") + b"\x00"
+    with pytest.raises(ProtocolError, match="trailing"):
+        decode_request(payload)
+
+
+def test_trailing_garbage_after_response_rejected():
+    for payload in (
+        encode_answers([True, False]) + b"junk",
+        encode_error(ST_ERROR, "boom") + b"\x00",
+        encode_stats(_snapshots()) + b" ",
+    ):
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_response(payload)
+
+
+def test_answer_bitmap_short_read_rejected():
+    payload = encode_answers([True] * 16)[:-1]
+    with pytest.raises(ProtocolError, match="ends inside answer bitmap"):
+        decode_response(payload)
+
+
+def test_stats_declared_length_overrun_rejected():
+    payload = bytearray(encode_stats(_snapshots()))
+    payload[2:6] = (len(payload) * 2).to_bytes(4, "big")
+    with pytest.raises(ProtocolError, match="ends inside stats JSON"):
+        decode_response(bytes(payload))
+
+
+# ----------------------------------------------------------------------
+# Mid-frame EOF on the stream reader
+# ----------------------------------------------------------------------
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_eof_mid_length_prefix():
+    async def run():
+        with pytest.raises(ProtocolError, match="mid-header"):
+            await read_frame(_reader_with(b"\x00\x00"))
+
+    asyncio.run(run())
+
+
+def test_eof_mid_payload():
+    frame = encode_request_frame(OP_INSERT_BATCH, [b"abcdefgh"], "c")
+
+    async def run():
+        with pytest.raises(ProtocolError, match="truncated frame"):
+            await read_frame(_reader_with(frame[: len(frame) - 3]))
+
+    asyncio.run(run())
+
+
+def test_declared_length_beyond_max_frame_rejected_before_read():
+    async def run():
+        huge = (MAX_FRAME + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="exceeds MAX_FRAME"):
+            await read_frame(_reader_with(huge + b"x"))
+
+    asyncio.run(run())
+
+
+def test_clean_eof_between_frames_is_none():
+    async def run():
+        assert await read_frame(_reader_with(b"")) is None
+
+    asyncio.run(run())
