@@ -1,5 +1,18 @@
-"""``python -m repro.perf`` runs the hot-path benchmark CLI."""
+"""``python -m repro.perf`` runs the perf benchmark CLIs.
 
+Bare invocation (and the explicit ``hotpath`` subcommand) runs the
+filter-core benchmark; ``serving`` runs the end-to-end serving grid.
+"""
+
+import sys
+
+_args = sys.argv[1:]
+if _args and _args[0] == "serving":
+    from repro.perf.bench_serving import main
+
+    raise SystemExit(main(_args[1:]))
+if _args and _args[0] == "hotpath":
+    _args = _args[1:]
 from repro.perf.bench_hotpath import main
 
-raise SystemExit(main())
+raise SystemExit(main(_args))

@@ -20,11 +20,15 @@ restartable:
   composable through a defence algebra (``&``/``|``/``!`` plus the
   stateful ``cooldown:N(...)``/``hysteresis:N(...)`` wrappers), with
   snapshot-persistent policy state;
-* :mod:`repro.service.telemetry` -- per-shard counters and latency
-  histograms;
+* :mod:`repro.service.telemetry` -- per-shard counters, latency
+  histograms and the coalescer's merge/flush counters;
+* :mod:`repro.service.coalesce` -- cross-client micro-batch coalescing:
+  concurrent small batches merge into kernel-sized backend calls with
+  per-request answer slicing and exception isolation;
 * :mod:`repro.service.codec` / :mod:`repro.service.server` /
   :mod:`repro.service.client` -- a length-prefixed binary wire protocol
-  with an asyncio TCP server and pooled client;
+  (v2 frames carry correlation ids) with a pipelining asyncio TCP
+  server and a pooled-or-pipelined client;
 * :mod:`repro.service.snapshots` -- warm-restart persistence of shard
   bits, the rotation log and telemetry;
 * :mod:`repro.service.driver` -- a concurrent traffic driver replaying
@@ -49,6 +53,7 @@ from repro.service.backends import (
     ShardState,
 )
 from repro.service.client import MembershipClient
+from repro.service.coalesce import MicroBatchCoalescer
 from repro.service.config import AttackBudgetConfig, ServiceConfig
 from repro.service.driver import (
     AdversarialTrafficDriver,
@@ -85,6 +90,7 @@ from repro.service.snapshots import (
     snapshot_gateway,
 )
 from repro.service.telemetry import (
+    CoalesceTelemetry,
     LatencyHistogram,
     ShardSnapshot,
     ShardTelemetry,
@@ -99,6 +105,7 @@ __all__ = [
     "AttackBudgetConfig",
     "BatchReply",
     "ClientRateLimiter",
+    "CoalesceTelemetry",
     "Cooldown",
     "FillThresholdPolicy",
     "Hysteresis",
@@ -110,6 +117,7 @@ __all__ = [
     "MembershipClient",
     "MembershipGateway",
     "MembershipServer",
+    "MicroBatchCoalescer",
     "NeverRotatePolicy",
     "Not",
     "ProcessPoolBackend",

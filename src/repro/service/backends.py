@@ -15,6 +15,12 @@ answers *and* the shard's post-operation state in one hop (so the
 saturation guard never needs a second round trip), plus rotation,
 snapshot export/restore, and a white-box ``shard_view`` for the paper's
 adversary model and for tests.
+
+Process workers ship batch answers as a packed bitmap (the codec's
+``pack_bools``), not a pickled list of bools -- one byte per eight
+answers instead of a pickle opcode per answer, which matters once the
+gateway's coalescer starts merging many clients' items into one pipe
+hop.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.core.bloom import BloomFilter
 from repro.core.interfaces import MembershipFilter
 from repro.exceptions import BackendError, ParameterError
 from repro.service.admission import filter_state
+from repro.service.codec import pack_bools, unpack_bools
 
 __all__ = [
     "ShardState",
@@ -296,11 +303,11 @@ def _shard_worker_main(conn, filter_factory: Callable[[], MembershipFilter]) -> 
             if op == "insert":
                 answers = filt.add_batch(payload)
                 ops += len(answers)
-                reply = BatchReply(answers, _state_of(filt, ops))
+                reply = (pack_bools(answers), len(answers), _state_of(filt, ops))
             elif op == "query":
                 answers = filt.contains_batch(payload)
                 ops += len(answers)
-                reply = BatchReply(answers, _state_of(filt, ops))
+                reply = (pack_bools(answers), len(answers), _state_of(filt, ops))
             elif op == "state":
                 reply = _state_of(filt, ops)
             elif op == "rotate":
@@ -528,10 +535,16 @@ class ProcessPoolBackend(ShardBackend):
             return self._send_recv(shard_id, worker, op, payload)
 
     async def insert_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
-        return await asyncio.to_thread(self._roundtrip, shard_id, "insert", list(items))
+        packed, count, state = await asyncio.to_thread(
+            self._roundtrip, shard_id, "insert", list(items)
+        )
+        return BatchReply(unpack_bools(packed, count), state)
 
     async def query_batch(self, shard_id: int, items: Sequence[str | bytes]) -> BatchReply:
-        return await asyncio.to_thread(self._roundtrip, shard_id, "query", list(items))
+        packed, count, state = await asyncio.to_thread(
+            self._roundtrip, shard_id, "query", list(items)
+        )
+        return BatchReply(unpack_bools(packed, count), state)
 
     async def rotate(self, shard_id: int) -> None:
         await asyncio.to_thread(self._roundtrip, shard_id, "rotate")

@@ -6,11 +6,22 @@ same exceptions the in-process gateway raises -- so the adversarial
 traffic driver can treat a client and a gateway interchangeably (its
 ``transport`` knob).
 
-Connections are pooled: each in-flight request checks out one TCP
-connection (opening a new one up to ``max_connections``), so concurrent
-client coroutines keep multiple requests on the wire at once -- without
-that, a single serialized socket would idle every shard but one and
-hide the process-pool backend's parallelism entirely.
+Two wire disciplines, same API:
+
+* ``pipeline=0`` (default): pooled v1 connections.  Each in-flight
+  request checks out one TCP connection (opening a new one up to
+  ``max_connections``) and speaks strict request/reply on it -- the
+  original arrangement, byte-identical on the wire.
+* ``pipeline=N``: one multiplexed v2 connection.  Every request gets a
+  correlation id, rides a shared socket with up to ``N`` requests in
+  flight, and is matched to its (possibly out-of-order) reply by id.
+  Outgoing frames are write-coalesced -- concurrent callers' requests
+  leave in one syscall burst -- which is what lets the server's
+  micro-batch coalescer see them as one backend batch.
+
+A failed pipelined connection fails every in-flight request with
+:class:`ProtocolError` and is dropped; the next request transparently
+opens a fresh one.
 """
 
 from __future__ import annotations
@@ -30,8 +41,10 @@ from repro.service.codec import (
     ST_OK,
     ST_PROTOCOL,
     ST_RATE_LIMITED,
+    BufferedFrameWriter,
     Response,
     decode_response,
+    decode_response_envelope,
     encode_request_frame,
     read_frame,
 )
@@ -52,8 +65,96 @@ class _Connection:
             pass
 
 
+class _Channel:
+    """One multiplexed v2 connection: futures keyed by correlation id."""
+
+    __slots__ = (
+        "reader", "writer", "out", "futures", "next_id", "depth",
+        "dead", "closing", "reader_task",
+    )
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, depth: int
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.out = BufferedFrameWriter(writer)
+        self.futures: dict[int, asyncio.Future] = {}
+        self.next_id = 0
+        self.depth = asyncio.Semaphore(depth)
+        self.dead = False
+        self.closing = False
+        self.reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    def allocate_id(self) -> int:
+        """Next correlation id (u32 wraparound; collisions would need
+        2^32 requests in flight, depth caps them far earlier)."""
+        rid = self.next_id
+        self.next_id = (rid + 1) & 0xFFFFFFFF
+        return rid
+
+    async def _read_loop(self) -> None:
+        """Resolve replies to their futures until the stream ends.
+
+        Any irregularity -- v1 reply on a pipelined stream, unknown
+        correlation id, torn frame, EOF with requests in flight -- is a
+        protocol failure: everything pending fails and the channel dies.
+        The *pairing* is load-bearing here; a misattributed reply would
+        silently answer the wrong question.
+        """
+        try:
+            while True:
+                raw = await read_frame(self.reader)
+                if raw is None:
+                    if self.closing and not self.futures:
+                        return  # clean shutdown, nothing owed
+                    raise ProtocolError(
+                        "server closed a pipelined connection"
+                        + (" with requests in flight" if self.futures else "")
+                    )
+                rid, response = decode_response_envelope(raw)
+                if rid is None:
+                    raise ProtocolError("v1 reply on a pipelined connection")
+                future = self.futures.get(rid)
+                if future is None:
+                    raise ProtocolError(f"reply for unknown correlation id {rid}")
+                if not future.done():
+                    future.set_result(response)
+        except (Exception, asyncio.CancelledError) as exc:
+            failure = (
+                exc
+                if isinstance(exc, Exception)
+                else ProtocolError("pipelined connection closed")
+            )
+            self.fail(failure)
+            if not isinstance(exc, Exception):
+                raise
+
+    def fail(self, exc: Exception) -> None:
+        """Mark the channel dead and fail everything in flight."""
+        self.dead = True
+        for future in self.futures.values():
+            if not future.done():
+                future.set_exception(exc)
+        self.writer.close()
+
+    async def close(self) -> None:
+        self.closing = True
+        try:
+            await self.out.flush()
+        except (ConnectionError, OSError):  # pragma: no cover - racing peer
+            pass
+        self.reader_task.cancel()
+        await asyncio.gather(self.reader_task, return_exceptions=True)
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - platform noise
+            pass
+
+
 class MembershipClient:
-    """Membership-service client over one or more pooled TCP connections.
+    """Membership-service client over pooled or pipelined TCP.
 
     Parameters
     ----------
@@ -61,21 +162,36 @@ class MembershipClient:
         The server address (see :meth:`~repro.service.server.
         MembershipServer.start`).
     max_connections:
-        Ceiling on concurrently open connections; requests beyond it
-        wait for a free one.
+        Ceiling on concurrently open pooled (v1) connections; requests
+        beyond it wait for a free one.  Ignored in pipelined mode, which
+        multiplexes one connection.
+    pipeline:
+        Maximum requests in flight on the multiplexed v2 connection;
+        0 (default) keeps the pooled v1 discipline.
     """
 
-    def __init__(self, host: str, port: int, max_connections: int = 8) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_connections: int = 8,
+        pipeline: int = 0,
+    ) -> None:
         if max_connections <= 0:
             raise ParameterError("max_connections must be positive")
+        if pipeline < 0:
+            raise ParameterError("pipeline must be non-negative")
         self.host = host
         self.port = port
+        self.pipeline = pipeline
         self._free: list[_Connection] = []
         self._slots = asyncio.Semaphore(max_connections)
+        self._channel: _Channel | None = None
+        self._channel_opening: asyncio.Lock | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
-    # Connection pool
+    # Connection pool (v1 mode)
     # ------------------------------------------------------------------
 
     async def _acquire(self) -> _Connection:
@@ -104,7 +220,7 @@ class MembershipClient:
         await conn.close()
         self._slots.release()
 
-    async def _request(self, frame: bytes, client: str) -> Response:
+    async def _request_pooled(self, frame: bytes, client: str) -> Response:
         conn = await self._acquire()
         try:
             conn.writer.write(frame)
@@ -128,6 +244,52 @@ class MembershipClient:
             self._release(conn)
         return self._check(response, client)
 
+    # ------------------------------------------------------------------
+    # Multiplexed channel (pipelined mode)
+    # ------------------------------------------------------------------
+
+    async def _get_channel(self) -> _Channel:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        # Lazy lock: the client may be constructed outside a loop.
+        if self._channel_opening is None:
+            self._channel_opening = asyncio.Lock()
+        async with self._channel_opening:
+            if self._channel is None or self._channel.dead:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+                self._channel = _Channel(reader, writer, self.pipeline)
+            return self._channel
+
+    async def _request_pipelined(
+        self, op: int, items: list, client: str
+    ) -> Response:
+        while True:
+            channel = await self._get_channel()
+            await channel.depth.acquire()
+            if not channel.dead:
+                break
+            # Died while we waited for a slot; reopen and retry.
+            channel.depth.release()
+        rid = channel.allocate_id()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        channel.futures[rid] = future
+        try:
+            channel.out.send(
+                encode_request_frame(op, items, client=client, request_id=rid)
+            )
+            response = await future
+        finally:
+            channel.futures.pop(rid, None)
+            channel.depth.release()
+        return self._check(response, client)
+
+    async def _request(self, op: int, items: list, client: str) -> Response:
+        if self.pipeline > 0:
+            return await self._request_pipelined(op, items, client)
+        return await self._request_pooled(
+            encode_request_frame(op, items, client=client), client
+        )
+
     @staticmethod
     def _check(response: Response, client: str) -> Response:
         """Map non-OK statuses onto the gateway's exception types."""
@@ -147,16 +309,12 @@ class MembershipClient:
 
     async def insert(self, item: str | bytes, client: str = "anon") -> bool:
         """Insert one item; returns the filter's ``add`` result."""
-        response = await self._request(
-            encode_request_frame(OP_INSERT, [item], client=client), client
-        )
+        response = await self._request(OP_INSERT, [item], client)
         return self._answers(response, 1)[0]
 
     async def query(self, item: str | bytes, client: str = "anon") -> bool:
         """Membership query for one item."""
-        response = await self._request(
-            encode_request_frame(OP_QUERY, [item], client=client), client
-        )
+        response = await self._request(OP_QUERY, [item], client)
         return self._answers(response, 1)[0]
 
     async def insert_batch(
@@ -166,9 +324,7 @@ class MembershipClient:
         frame back."""
         if not items:
             return []
-        response = await self._request(
-            encode_request_frame(OP_INSERT_BATCH, list(items), client=client), client
-        )
+        response = await self._request(OP_INSERT_BATCH, list(items), client)
         return self._answers(response, len(items))
 
     async def query_batch(
@@ -177,20 +333,25 @@ class MembershipClient:
         """Query a batch; same framing as :meth:`insert_batch`."""
         if not items:
             return []
-        response = await self._request(
-            encode_request_frame(OP_QUERY_BATCH, list(items), client=client), client
-        )
+        response = await self._request(OP_QUERY_BATCH, list(items), client)
         return self._answers(response, len(items))
 
     async def stats(self, client: str = "anon") -> list[dict]:
         """Per-shard stats snapshots (JSON dicts mirroring
         :class:`~repro.service.telemetry.ShardSnapshot`)."""
-        response = await self._request(
-            encode_request_frame(OP_STATS, client=client), client
-        )
+        response = await self._request(OP_STATS, [], client)
         if response.stats is None:
             raise ProtocolError("stats response carried no stats")
-        return response.stats
+        return [entry for entry in response.stats if "shard_id" in entry]
+
+    async def server_stats(self, client: str = "anon") -> dict:
+        """Server-side counters (connections, protocol errors, pipeline
+        depth, coalescer state) from the stats frame's extra entry."""
+        response = await self._request(OP_STATS, [], client)
+        for entry in response.stats or []:
+            if "shard_id" not in entry:
+                return entry.get("server", entry)
+        return {}
 
     @staticmethod
     def _answers(response: Response, expected: int) -> list[bool]:
@@ -206,10 +367,13 @@ class MembershipClient:
     # ------------------------------------------------------------------
 
     async def aclose(self) -> None:
-        """Close every pooled connection."""
+        """Close every pooled connection and the pipelined channel."""
         self._closed = True
         while self._free:
             await self._free.pop().close()
+        channel, self._channel = self._channel, None
+        if channel is not None:
+            await channel.close()
 
     async def __aenter__(self) -> "MembershipClient":
         return self
@@ -218,4 +382,5 @@ class MembershipClient:
         await self.aclose()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<MembershipClient {self.host}:{self.port}>"
+        mode = f"pipeline={self.pipeline}" if self.pipeline else "pooled"
+        return f"<MembershipClient {self.host}:{self.port} {mode}>"

@@ -1,0 +1,226 @@
+"""Cross-client micro-batch coalescing for the membership gateway.
+
+The numpy hot path (PR 7) only pays off at batch sizes the kernels can
+vectorise, but realistic traffic is many clients sending *small*
+requests -- the paper's serving setting, where each adversary or honest
+client queries a handful of URLs at a time.  Routed naively, every such
+request costs one full gateway round (lock, backend call, telemetry,
+rotation decision) and, on a process backend, one pipe hop.
+
+The coalescer closes that gap: concurrent sub-batches aimed at the same
+``(shard, op)`` park in a submit queue and are merged into one backend
+call, flushed either when the queue reaches ``max_batch`` items (the
+batch shape the kernels want) or when the oldest entry has waited
+``window_us`` microseconds (bounded added latency).  Answers come back
+sliced per submission, so callers cannot tell they shared a ride --
+except that admission, rate limiting and per-request exception
+semantics are all preserved per *client* request:
+
+* admission runs before submission (the gateway admits, then submits);
+* answers are sliced by submission offset, order preserved;
+* a merged call that fails is re-run request-by-request, so one
+  client's poisoned item fails only that client's request (isolation).
+
+A ``window_us`` of 0 still coalesces: the flush is scheduled for the
+next event-loop turn, merging exactly the requests that were submitted
+concurrently in the current one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Sequence
+
+from repro.exceptions import ParameterError
+from repro.service.telemetry import CoalesceTelemetry
+
+__all__ = ["MicroBatchCoalescer"]
+
+#: ``runner(shard_id, op, items) -> answers``: the gateway's locked
+#: per-shard batch section (backend call + telemetry + rotation).
+BatchRunner = Callable[[int, str, list], Awaitable[list]]
+
+
+class _Pending:
+    """One submitted sub-batch waiting for its slice of a merged reply."""
+
+    __slots__ = ("items", "future")
+
+    def __init__(self, items: list, future: asyncio.Future) -> None:
+        self.items = items
+        self.future = future
+
+
+class _Queue:
+    """Per-``(shard, op)`` submit queue plus its deadline timer."""
+
+    __slots__ = ("pending", "items", "timer")
+
+    def __init__(self) -> None:
+        self.pending: list[_Pending] = []
+        self.items = 0
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatchCoalescer:
+    """Merge concurrent small batches into kernel-sized backend calls.
+
+    Parameters
+    ----------
+    runner:
+        The gateway's per-shard batch executor (runs under the shard
+        lock; the coalescer itself takes no locks).
+    window_us:
+        Microseconds a queued request may wait for co-riders before the
+        deadline flush; 0 flushes on the next event-loop turn.
+    max_batch:
+        Queued item count that triggers an immediate flush.  Must be
+        positive -- a zero ``max_batch`` means "coalescing off" and is
+        the caller's signal not to build a coalescer at all.
+    telemetry:
+        Counter sink; a fresh :class:`CoalesceTelemetry` by default.
+    """
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        window_us: int = 200,
+        max_batch: int = 64,
+        telemetry: CoalesceTelemetry | None = None,
+    ) -> None:
+        if max_batch <= 0:
+            raise ParameterError("coalesce max_batch must be positive")
+        if window_us < 0:
+            raise ParameterError("coalesce window_us must be non-negative")
+        self._runner = runner
+        self.window_us = window_us
+        self.max_batch = max_batch
+        self.telemetry = telemetry if telemetry is not None else CoalesceTelemetry()
+        self._queues: dict[tuple[int, str], _Queue] = {}
+        self._flushers: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, shard_id: int, op: str, items: Sequence
+    ) -> asyncio.Future:
+        """Queue one sub-batch; the future resolves to its answers.
+
+        Runs synchronously on the event loop (no awaits), so every
+        request submitted in one loop turn lands in the queue before any
+        flush for that turn runs -- that is what makes merging
+        deterministic for concurrently-submitted work.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        pending = _Pending(list(items), future)
+        key = (shard_id, op)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = _Queue()
+        queue.pending.append(pending)
+        queue.items += len(pending.items)
+        stats = self.telemetry
+        stats.requests += 1
+        stats.items += len(pending.items)
+        if len(queue.pending) > stats.max_queue_depth:
+            stats.max_queue_depth = len(queue.pending)
+        if queue.items >= self.max_batch:
+            self._launch_flush(key, "size")
+        elif queue.timer is None:
+            queue.timer = loop.call_later(
+                self.window_us / 1e6, self._launch_flush, key, "window"
+            )
+        return future
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    def _launch_flush(self, key: tuple[int, str], reason: str) -> None:
+        """Detach the queue and run its merged batch as a task."""
+        queue = self._queues.pop(key, None)
+        if queue is None or not queue.pending:
+            return  # a size flush beat this deadline to the queue
+        if queue.timer is not None:
+            queue.timer.cancel()
+        stats = self.telemetry
+        stats.flushes += 1
+        if reason == "size":
+            stats.flush_size += 1
+        else:
+            stats.flush_window += 1
+        task = asyncio.get_running_loop().create_task(
+            self._flush(key[0], key[1], queue.pending)
+        )
+        # Flush tasks are created in submission order and hit the shard
+        # lock as their first await, so merged batches stay FIFO per
+        # shard; the set only keeps them alive and drainable.
+        self._flushers.add(task)
+        task.add_done_callback(self._flushers.discard)
+
+    async def _flush(self, shard_id: int, op: str, batch: list[_Pending]) -> None:
+        merged: list = []
+        for pending in batch:
+            merged.extend(pending.items)
+        try:
+            answers = await self._runner(shard_id, op, merged)
+        except Exception as exc:  # noqa: BLE001 - isolated per request below
+            await self._isolate(shard_id, op, batch, exc)
+            return
+        offset = 0
+        for pending in batch:
+            end = offset + len(pending.items)
+            if not pending.future.done():
+                pending.future.set_result(answers[offset:end])
+            offset = end
+
+    async def _isolate(
+        self, shard_id: int, op: str, batch: list[_Pending], exc: Exception
+    ) -> None:
+        """Re-run a failed merge request-by-request.
+
+        A lone request keeps its exception as-is.  A genuinely merged
+        batch is replayed one submission at a time so the requests that
+        were fine still get answers and only the offender(s) fail --
+        the per-request error contract callers had before coalescing.
+        """
+        if len(batch) == 1:
+            if not batch[0].future.done():
+                batch[0].future.set_exception(exc)
+            return
+        self.telemetry.isolation_splits += 1
+        for pending in batch:
+            try:
+                answers = await self._runner(shard_id, op, pending.items)
+            except Exception as solo_exc:  # noqa: BLE001 - delivered per future
+                if not pending.future.done():
+                    pending.future.set_exception(solo_exc)
+            else:
+                if not pending.future.done():
+                    pending.future.set_result(answers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Sub-batches currently parked across all queues."""
+        return sum(len(q.pending) for q in self._queues.values())
+
+    def close(self) -> None:
+        """Cancel pending deadline timers (queues should be empty: every
+        submitter awaits its future, so live entries imply live callers)."""
+        for queue in self._queues.values():
+            if queue.timer is not None:
+                queue.timer.cancel()
+        self._queues.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MicroBatchCoalescer window_us={self.window_us} "
+            f"max_batch={self.max_batch} queued={self.queue_depth}>"
+        )

@@ -5,6 +5,16 @@ Requests open with an opcode byte, responses with a status byte; batch
 answers travel as packed bits (one byte per eight membership answers),
 so a 10k-item query batch replies in ~1.25 KiB.
 
+Two payload generations share the framing.  A *v1* payload starts
+directly with the opcode/status byte and implies serial
+request/reply alternation on the connection.  A *v2* payload opens with
+the :data:`FRAME_V2` marker byte followed by a u32 *correlation id*,
+then the unchanged v1 body -- the id lets one connection carry many
+requests in flight and replies return out of order, matched by id (the
+pipelined wire path).  The marker byte collides with no v1 opcode or
+status, so both generations interleave safely on one connection and a
+v1-only peer rejects v2 frames loudly instead of misparsing them.
+
 The codec is deliberately paranoid: every field read checks the
 remaining length, frame lengths are bounded, and any violation raises
 :class:`~repro.exceptions.ProtocolError` *before* partial state is acted
@@ -23,6 +33,7 @@ from repro.exceptions import ProtocolError
 from repro.service.telemetry import ShardSnapshot
 
 __all__ = [
+    "FRAME_V2",
     "MAX_FRAME",
     "OP_INSERT",
     "OP_QUERY",
@@ -38,9 +49,12 @@ __all__ = [
     "Response",
     "encode_frame",
     "read_frame",
+    "BufferedFrameWriter",
     "encode_request",
     "encode_request_frame",
     "decode_request",
+    "decode_request_envelope",
+    "decode_response_envelope",
     "encode_answers",
     "encode_answers_frame",
     "encode_error",
@@ -74,6 +88,11 @@ ST_ERROR = 3
 ST_PROTOCOL = 4
 
 _STATUSES = frozenset({ST_OK, ST_RATE_LIMITED, ST_INVALID, ST_ERROR, ST_PROTOCOL})
+
+#: First payload byte of a v2 (correlated) frame.  Deliberately outside
+#: both the opcode and the status ranges, so a v1 decoder rejects a v2
+#: frame as an unknown opcode/status instead of misreading it.
+FRAME_V2 = 0xC2
 
 _U32 = struct.Struct(">I")
 _U16 = struct.Struct(">H")
@@ -174,6 +193,65 @@ async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
         ) from exc
 
 
+class BufferedFrameWriter:
+    """Write-side counterpart of :func:`read_frame`: coalesce frames.
+
+    ``send`` appends a complete frame to a buffer and (if none is
+    running) starts one flusher task; everything that accumulates while
+    a ``drain()`` is in flight goes out in the *next* single write --
+    so a burst of N pipelined replies costs ~2 syscall rounds instead
+    of N write+drain pairs.  Frames are never split or reordered.
+
+    Transport failures are swallowed here (the buffer is dropped); the
+    owner notices the dead peer through its read side, which is where
+    connection teardown already lives.
+    """
+
+    __slots__ = ("_writer", "_buffer", "_flusher", "frames", "flushes")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._buffer: list[bytes] = []
+        self._flusher: asyncio.Task | None = None
+        #: Frames accepted / physical write+drain rounds issued.  Their
+        #: ratio is the wire-side coalescing factor.
+        self.frames = 0
+        self.flushes = 0
+
+    def send(self, frame: bytes) -> None:
+        """Queue one complete frame; returns immediately."""
+        self._buffer.append(frame)
+        self.frames += 1
+        if self._flusher is None:
+            self._flusher = asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        try:
+            while self._buffer:
+                chunk = (
+                    self._buffer[0]
+                    if len(self._buffer) == 1
+                    else b"".join(self._buffer)
+                )
+                self._buffer.clear()
+                self.flushes += 1
+                self._writer.write(chunk)
+                await self._writer.drain()
+        except (ConnectionError, OSError):
+            self._buffer.clear()
+        finally:
+            # No await points between the loop's empty-buffer check and
+            # here (single-threaded loop), so a concurrent send() either
+            # saw us running or starts a fresh flusher -- never neither.
+            self._flusher = None
+
+    async def flush(self) -> None:
+        """Wait until everything queued so far has hit the transport."""
+        task = self._flusher
+        if task is not None:
+            await asyncio.shield(task)
+
+
 # ----------------------------------------------------------------------
 # Cursor-based payload reads (every read is bounds-checked)
 # ----------------------------------------------------------------------
@@ -272,9 +350,32 @@ def encode_request(
     return b"".join(parts)
 
 
+def _take_envelope(cursor: _Cursor, what: str) -> int | None:
+    """Consume a v2 envelope if one opens the payload; the correlation
+    id, or ``None`` for a v1 payload (cursor untouched)."""
+    if cursor.peek_u8() != FRAME_V2:
+        return None
+    cursor.u8("envelope marker")
+    return cursor.u32(f"{what} correlation id")
+
+
 def decode_request(payload) -> Request:
-    """Decode and validate a request payload (any bytes-like)."""
+    """Decode and validate a v1 request payload (any bytes-like)."""
+    return _decode_request_body(_Cursor(payload))
+
+
+def decode_request_envelope(payload) -> tuple[int | None, Request]:
+    """Decode a request of either generation.
+
+    Returns ``(correlation_id, request)``; the id is ``None`` for a v1
+    payload (the caller owes a serial, id-less reply) and a u32 for a v2
+    payload (the reply must echo it, and may return out of order).
+    """
     cursor = _Cursor(payload)
+    return _take_envelope(cursor, "request"), _decode_request_body(cursor)
+
+
+def _decode_request_body(cursor: _Cursor) -> Request:
     op = cursor.u8("opcode")
     if op not in _OPS:
         raise ProtocolError(f"unknown opcode {op}")
@@ -336,6 +437,10 @@ def encode_stats(snapshots: list[ShardSnapshot]) -> bytes:
 # The ``*_frame`` variants compute the exact frame size up front, allocate
 # one buffer, and pack header and payload straight into it; the server
 # and client send paths hand that single buffer to the transport.
+#
+# Every ``*_frame`` encoder takes an optional ``request_id``: ``None``
+# emits the byte-identical v1 frame, a u32 prepends the five-byte v2
+# envelope (marker + correlation id) to the same body.
 
 def _frame_buffer(payload_len: int) -> bytearray:
     if payload_len == 0:
@@ -349,8 +454,26 @@ def _frame_buffer(payload_len: int) -> bytearray:
     return out
 
 
+def _enveloped_buffer(
+    payload_len: int, request_id: int | None
+) -> tuple[bytearray, int]:
+    """One frame buffer plus the body's start offset; a correlation id
+    grows the payload by the five-byte v2 envelope."""
+    if request_id is None:
+        return _frame_buffer(payload_len), 4
+    if not 0 <= request_id <= 0xFFFFFFFF:
+        raise ProtocolError(f"correlation id {request_id} outside the u32 range")
+    out = _frame_buffer(payload_len + 5)
+    out[4] = FRAME_V2
+    _U32.pack_into(out, 5, request_id)
+    return out, 9
+
+
 def encode_request_frame(
-    op: int, items: list[str | bytes] | None = None, client: str = "anon"
+    op: int,
+    items: list[str | bytes] | None = None,
+    client: str = "anon",
+    request_id: int | None = None,
 ) -> bytes:
     """One ready-to-send request frame, assembled in a single buffer."""
     if op not in _OPS:
@@ -372,8 +495,7 @@ def encode_request_frame(
             raise ProtocolError(f"items must be str or bytes, got {type(item).__name__}")
         encoded.append((is_text, raw))
         total += 5 + len(raw)
-    out = _frame_buffer(total)
-    pos = 4
+    out, pos = _enveloped_buffer(total, request_id)
     out[pos] = op
     pos += 1
     _U16.pack_into(out, pos, len(client_raw))
@@ -392,17 +514,21 @@ def encode_request_frame(
     return bytes(out)
 
 
-def encode_answers_frame(answers: list[bool]) -> bytes:
+def encode_answers_frame(
+    answers: list[bool], request_id: int | None = None
+) -> bytes:
     """One ready-to-send OK frame carrying packed membership answers."""
     bitmap = pack_bools(answers)
-    out = _frame_buffer(5 + len(bitmap))
-    out[4] = ST_OK
-    _U32.pack_into(out, 5, len(answers))
-    out[9:] = bitmap
+    out, pos = _enveloped_buffer(5 + len(bitmap), request_id)
+    out[pos] = ST_OK
+    _U32.pack_into(out, pos + 1, len(answers))
+    out[pos + 5 :] = bitmap
     return bytes(out)
 
 
-def encode_error_frame(status: int, message: str) -> bytes:
+def encode_error_frame(
+    status: int, message: str, request_id: int | None = None
+) -> bytes:
     """One ready-to-send non-OK frame carrying a diagnostic message."""
     if status not in _STATUSES or status == ST_OK:
         raise ProtocolError(f"bad error status {status}")
@@ -410,27 +536,49 @@ def encode_error_frame(status: int, message: str) -> bytes:
     if len(raw) > 0xFFFF:
         # Truncate on a character boundary so the reply stays valid UTF-8.
         raw = raw[:0xFFFF].decode("utf-8", "ignore").encode("utf-8")
-    out = _frame_buffer(3 + len(raw))
-    out[4] = status
-    _U16.pack_into(out, 5, len(raw))
-    out[7:] = raw
+    out, pos = _enveloped_buffer(3 + len(raw), request_id)
+    out[pos] = status
+    _U16.pack_into(out, pos + 1, len(raw))
+    out[pos + 3 :] = raw
     return bytes(out)
 
 
-def encode_stats_frame(snapshots: list[ShardSnapshot]) -> bytes:
-    """One ready-to-send OK frame carrying per-shard stats as JSON."""
-    raw = json.dumps([asdict(s) for s in snapshots]).encode("utf-8")
-    out = _frame_buffer(6 + len(raw))
-    out[4] = ST_OK
-    out[5] = 0xFF
-    _U32.pack_into(out, 6, len(raw))
-    out[10:] = raw
+def encode_stats_frame(
+    snapshots: list[ShardSnapshot],
+    extra: dict | None = None,
+    request_id: int | None = None,
+) -> bytes:
+    """One ready-to-send OK frame carrying per-shard stats as JSON.
+
+    ``extra`` (a JSON-serialisable dict, e.g. server-level counters) is
+    appended to the shard list as one more entry; consumers tell it
+    apart from shard rows by the absent ``shard_id`` key.
+    """
+    rows: list[dict] = [asdict(s) for s in snapshots]
+    if extra is not None:
+        rows.append(extra)
+    raw = json.dumps(rows).encode("utf-8")
+    out, pos = _enveloped_buffer(6 + len(raw), request_id)
+    out[pos] = ST_OK
+    out[pos + 1] = 0xFF
+    _U32.pack_into(out, pos + 2, len(raw))
+    out[pos + 6 :] = raw
     return bytes(out)
 
 
 def decode_response(payload) -> Response:
-    """Decode a response payload (answers, stats, or an error)."""
+    """Decode a v1 response payload (answers, stats, or an error)."""
+    return _decode_response_body(_Cursor(payload))
+
+
+def decode_response_envelope(payload) -> tuple[int | None, Response]:
+    """Decode a response of either generation; ``(correlation_id,
+    response)`` with a ``None`` id for v1 payloads."""
     cursor = _Cursor(payload)
+    return _take_envelope(cursor, "response"), _decode_response_body(cursor)
+
+
+def _decode_response_body(cursor: _Cursor) -> Response:
     status = cursor.u8("status")
     if status not in _STATUSES:
         raise ProtocolError(f"unknown status byte {status}")

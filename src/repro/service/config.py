@@ -74,6 +74,19 @@ class ServiceConfig:
         core per shard for the CPU-bound hashing).  Process backends
         resolve an unpinned ``filter_key`` once at build time so every
         worker, white-box view and snapshot restore agrees.
+    coalesce_window_us, coalesce_max_batch:
+        Cross-client micro-batch coalescing (see :mod:`repro.service.
+        coalesce`): concurrent small batches aimed at the same shard
+        merge into one backend call, flushed at ``coalesce_max_batch``
+        items or after ``coalesce_window_us`` microseconds.  A
+        ``coalesce_max_batch`` of 0 (default) disables coalescing and
+        keeps the serving path byte-identical to the legacy gateway;
+        a non-zero window requires a non-zero max batch.
+    pipeline_depth:
+        Requests a single server connection may have in flight at once
+        (codec v2 correlation-id pipelining).  0 (default) dispatches
+        serially, the legacy behaviour; v2 frames still get their ids
+        echoed back.
     """
 
     shards: int = 4
@@ -88,6 +101,9 @@ class ServiceConfig:
     routing_key: bytes | None = None
     filter_key: bytes | None = None
     backend: str = "local"
+    coalesce_window_us: int = 0
+    coalesce_max_batch: int = 0
+    pipeline_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in ("local", "process"):
@@ -115,6 +131,13 @@ class ServiceConfig:
             raise ParameterError("rate_limit must be positive (or None)")
         if self.burst <= 0:
             raise ParameterError("burst must be positive")
+        for name in ("coalesce_window_us", "coalesce_max_batch", "pipeline_depth"):
+            if getattr(self, name) < 0:
+                raise ParameterError(f"{name} must be non-negative")
+        if self.coalesce_window_us > 0 and self.coalesce_max_batch == 0:
+            raise ParameterError(
+                "coalesce_window_us needs coalesce_max_batch > 0"
+            )
 
     @property
     def total_bits(self) -> int:

@@ -127,6 +127,11 @@ class TrafficReport:
     #: Machine-readable rotation reasons -> count (from the lifecycle
     #: policy's decisions during this replay).
     rotation_reasons: dict[str, int] = field(default_factory=dict)
+    #: Micro-batch coalescing during the replay window (probe excluded):
+    #: client sub-batches submitted, merged backend calls issued.  Both
+    #: stay 0 when the gateway runs uncoalesced.
+    coalesce_requests: int = 0
+    coalesce_flushes: int = 0
     snapshots: list[ShardSnapshot] = field(default_factory=list)
 
     @property
@@ -166,6 +171,14 @@ class TrafficReport:
             return 0.0
         hits = self.adaptive_hits if label == "adaptive" else self.ghost_hits
         return 1000.0 * hits / spend["trials"]
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Client requests absorbed per merged backend call during the
+        replay (0.0 when coalescing was off or saw no traffic)."""
+        if not self.coalesce_flushes:
+            return 0.0
+        return self.coalesce_requests / self.coalesce_flushes
 
     @property
     def latency_mean_probes(self) -> float:
@@ -228,6 +241,12 @@ class TrafficReport:
                 f"adaptive ghosts: {self.adaptive_hits}/{self.adaptive_queries} hit "
                 f"({self.adaptive_resends} re-sent from the confirmed pool, "
                 f"{self.adaptive_flushes} rotation flush(es))",
+            )
+        if self.coalesce_flushes:
+            lines.append(
+                f"coalesced: {self.coalesce_requests} requests -> "
+                f"{self.coalesce_flushes} backend calls "
+                f"(x{self.coalesce_ratio:.1f} merge)"
             )
         if self.budget_spend:
             spend = ", ".join(
@@ -292,6 +311,13 @@ class AdversarialTrafficDriver:
         crafting resumes once concurrent honest traffic refills the
         bits.  Budget exhaustion is unaffected -- a drained purse ends
         the client whatever the patience.
+    coalesce:
+        Gateway coalescing override for this driver's replays: ``True``
+        enables micro-batch coalescing with driver defaults (200 µs
+        window, merge up to the admission burst or 32 items), ``False``
+        disables it, ``None`` (default) leaves the gateway exactly as it
+        was built.  Lets the ``service`` experiment replay the same
+        workload in both modes on one gateway config.
     """
 
     def __init__(
@@ -306,6 +332,7 @@ class AdversarialTrafficDriver:
         budget: AttackBudget | None = None,
         send_retries: int = 25,
         craft_patience: int = 0,
+        coalesce: bool | None = None,
     ) -> None:
         if craft_chunk <= 0:
             raise ParameterError("craft_chunk must be positive")
@@ -313,6 +340,14 @@ class AdversarialTrafficDriver:
             raise ParameterError("send_retries must be non-negative")
         if craft_patience < 0:
             raise ParameterError("craft_patience must be non-negative")
+        if coalesce is True:
+            burst = gateway.max_batch
+            gateway.configure_coalescing(
+                window_us=200,
+                max_batch=min(32, burst) if burst is not None else 32,
+            )
+        elif coalesce is False:
+            gateway.configure_coalescing(0, 0)
         self.gateway = gateway
         self.transport: ServiceTransport = transport if transport is not None else gateway
         self.seed = seed
@@ -806,6 +841,8 @@ class AdversarialTrafficDriver:
         report = TrafficReport()
         rotations_before = self.gateway.rotations
         suppressed_before = sum(life.suppressed for life in self.gateway.lifecycle)
+        coalesce_stats = self.gateway.coalesce_telemetry
+        coalesce_before = (coalesce_stats.requests, coalesce_stats.flushes)
         per_client_inserts = honest_inserts // max(honest_clients, 1)
         per_client_queries = honest_queries // max(honest_clients, 1)
         tasks = [
@@ -839,6 +876,10 @@ class AdversarialTrafficDriver:
         # Throughput covers the concurrent replay only; the probe below
         # is measurement, not load, so it stays outside the clock.
         report.elapsed_s = time.perf_counter() - start
+        # Coalescing deltas close with the clock, so the ratio describes
+        # the measured window, not the probe's uncontended tail.
+        report.coalesce_requests = coalesce_stats.requests - coalesce_before[0]
+        report.coalesce_flushes = coalesce_stats.flushes - coalesce_before[1]
         # Quiet probe: fresh, never-inserted URLs through the whole service.
         # The probe backs off politely when admission pushes back, so the
         # FP measurement completes even under a strict rate limit.

@@ -42,6 +42,7 @@ from repro.service.admission import (
     SaturationGuard,
 )
 from repro.service.backends import LocalBackend, ProcessPoolBackend, ShardBackend, ShardState
+from repro.service.coalesce import MicroBatchCoalescer
 from repro.service.config import ServiceConfig
 from repro.service.lifecycle import (
     FillThresholdPolicy,
@@ -51,7 +52,12 @@ from repro.service.lifecycle import (
     policy_from_guard,
 )
 from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
-from repro.service.telemetry import ShardSnapshot, ShardTelemetry, render_snapshots
+from repro.service.telemetry import (
+    CoalesceTelemetry,
+    ShardSnapshot,
+    ShardTelemetry,
+    render_snapshots,
+)
 
 __all__ = ["RotationEvent", "MembershipGateway"]
 
@@ -113,6 +119,13 @@ class MembershipGateway:
     backend:
         Explicit shard backend; ``None`` builds a ``LocalBackend`` from
         ``filter_factory``.
+    coalesce_window_us / coalesce_max_batch:
+        Micro-batch coalescing knobs (see :mod:`repro.service.coalesce`).
+        ``coalesce_max_batch`` of 0 (the default) disables coalescing --
+        the serving path is then byte-identical to the pre-coalescer
+        gateway.  When enabled, concurrent sub-batches aimed at the same
+        shard merge into one backend call, flushed at ``max_batch``
+        items or after ``window_us`` microseconds.
     """
 
     def __init__(
@@ -125,6 +138,8 @@ class MembershipGateway:
         clock: Callable[[], float] = time.perf_counter,
         backend: ShardBackend | None = None,
         policy: RotationPolicy | None = None,
+        coalesce_window_us: int = 0,
+        coalesce_max_batch: int = 0,
     ) -> None:
         if backend is None:
             if filter_factory is None:
@@ -147,6 +162,11 @@ class MembershipGateway:
         self.lifecycle = [ShardLifecycleState(i) for i in range(self.shards)]
         self.op_epoch = 0
         self.rotation_log: list[RotationEvent] = []
+        # One telemetry object outlives configure_coalescing() toggles so
+        # report deltas survive an on/off/on comparison run.
+        self.coalesce_telemetry = CoalesceTelemetry()
+        self._coalescer: MicroBatchCoalescer | None = None
+        self.configure_coalescing(coalesce_window_us, coalesce_max_batch)
 
     @classmethod
     def from_config(cls, config: ServiceConfig) -> "MembershipGateway":
@@ -199,6 +219,8 @@ class MembershipGateway:
             limiter=limiter,
             backend=backend,
             policy=policy,
+            coalesce_window_us=config.coalesce_window_us,
+            coalesce_max_batch=config.coalesce_max_batch,
         )
 
     # ------------------------------------------------------------------
@@ -234,7 +256,13 @@ class MembershipGateway:
         return tuple(self._telemetry)
 
     def snapshot(self) -> list[ShardSnapshot]:
-        """Frozen per-shard stats (counters + live filter state)."""
+        """Frozen per-shard stats (counters + live filter state).
+
+        Synchronous and lock-free: safe when nothing else is touching
+        the gateway (reports after a run, single-threaded scripts).  A
+        live server must use :meth:`snapshot_async` instead -- calling
+        this from a worker thread races the event loop's mutations.
+        """
         out = []
         for shard_id, telemetry in enumerate(self._telemetry):
             state = self.backend.state(shard_id)
@@ -246,6 +274,30 @@ class MembershipGateway:
                     rotations_suppressed=self.lifecycle[shard_id].suppressed,
                 )
             )
+        return out
+
+    async def snapshot_async(self) -> list[ShardSnapshot]:
+        """Race-free :meth:`snapshot` for use on the serving loop.
+
+        Each shard is read under its serving lock, so counters, lifecycle
+        window and filter state are mutually consistent -- no shard is
+        mid-batch (or mid-rotation) while we look at it.  Only the
+        potentially-blocking backend ``state`` probe (a pipe round trip
+        on a process backend) is pushed to a thread; the counter reads
+        happen on the loop, under the lock, where every writer lives.
+        """
+        out = []
+        for shard_id, telemetry in enumerate(self._telemetry):
+            async with self._locks[shard_id]:
+                state = await asyncio.to_thread(self.backend.state, shard_id)
+                out.append(
+                    telemetry.snapshot(
+                        state.hamming_weight,
+                        state.fill_ratio,
+                        recent_positive_rate=self.lifecycle[shard_id].window_rate(),
+                        rotations_suppressed=self.lifecycle[shard_id].suppressed,
+                    )
+                )
         return out
 
     def render_stats(self) -> str:
@@ -355,6 +407,83 @@ class MembershipGateway:
         self._telemetry[shard_id].rotations += 1
         return True
 
+    async def _run_shard_batch(
+        self, shard_id: int, op: str, items: list
+    ) -> list[bool]:
+        """Run one shard-bound batch under the shard's lock.
+
+        This is *the* serialised section of the serving path -- backend
+        call, telemetry, op-epoch advance, lifecycle accounting and the
+        rotation decision, in that order -- shared verbatim by the
+        direct (uncoalesced) path and the coalescer's merged flushes, so
+        merging cannot change what a batch observes or triggers.
+        """
+        clock = self._clock
+        async with self._locks[shard_id]:
+            start = clock()
+            if op == "insert":
+                reply = await self.backend.insert_batch(shard_id, items)
+            else:
+                reply = await self.backend.query_batch(shard_id, items)
+            elapsed = clock() - start
+            telemetry = self._telemetry[shard_id]
+            self.op_epoch += len(items)
+            if op == "insert":
+                telemetry.inserts += len(items)
+                telemetry.insert_latency.record(elapsed)
+                self.lifecycle[shard_id].note_inserts(len(items))
+            else:
+                positives = sum(reply.answers)
+                telemetry.queries += len(items)
+                telemetry.positives += positives
+                telemetry.query_latency.record(elapsed)
+                self.lifecycle[shard_id].note_queries(len(items), positives)
+            # Unlike the fill-only guard, lifecycle policies react to
+            # the query stream too (positive-rate spikes, op age), so
+            # the decision runs on both paths.  Answers were computed
+            # before any swap, so this batch's reply is unaffected.
+            await self._maybe_rotate(shard_id, reply.state)
+        return reply.answers
+
+    async def _fan_out(
+        self, op: str, items: Sequence[str | bytes]
+    ) -> list[bool]:
+        """Group ``items`` by shard, run every group, reassemble answers.
+
+        Uncoalesced, groups run sequentially under their shard locks --
+        the exact pre-coalescer behaviour.  Coalesced, all groups are
+        submitted before any is awaited, so one request's shard groups
+        can share merged batches with other requests concurrently.
+        """
+        results: list[bool] = [False] * len(items)
+        groups = self._group_by_shard(items)
+        if self._coalescer is None:
+            for shard_id, positions in groups.items():
+                answers = await self._run_shard_batch(
+                    shard_id, op, [items[p] for p in positions]
+                )
+                for position, answer in zip(positions, answers):
+                    results[position] = answer
+            return results
+        submitted = [
+            (positions, self._coalescer.submit(
+                shard_id, op, [items[p] for p in positions]
+            ))
+            for shard_id, positions in groups.items()
+        ]
+        # gather() retrieves every future even when one fails, so a
+        # multi-shard request that dies on one shard leaves no
+        # "exception was never retrieved" orphans behind.
+        outcomes = await asyncio.gather(
+            *(future for _, future in submitted), return_exceptions=True
+        )
+        for (positions, _), outcome in zip(submitted, outcomes):
+            if isinstance(outcome, BaseException):
+                raise outcome
+            for position, answer in zip(positions, outcome):
+                results[position] = answer
+        return results
+
     async def insert(self, item: str | bytes, client: str = "anon") -> bool:
         """Insert one item; returns the filter's ``add`` result."""
         results = await self.insert_batch([item], client=client)
@@ -377,24 +506,7 @@ class MembershipGateway:
         if not items:
             return []
         self._admit(client, len(items))
-        clock = self._clock
-        results: list[bool] = [False] * len(items)
-        for shard_id, positions in self._group_by_shard(items).items():
-            async with self._locks[shard_id]:
-                start = clock()
-                reply = await self.backend.insert_batch(
-                    shard_id, [items[p] for p in positions]
-                )
-                elapsed = clock() - start
-                telemetry = self._telemetry[shard_id]
-                telemetry.inserts += len(positions)
-                telemetry.insert_latency.record(elapsed)
-                self.op_epoch += len(positions)
-                self.lifecycle[shard_id].note_inserts(len(positions))
-                await self._maybe_rotate(shard_id, reply.state)
-            for position, answer in zip(positions, reply.answers):
-                results[position] = answer
-        return results
+        return await self._fan_out("insert", items)
 
     async def query_batch(
         self, items: Sequence[str | bytes], client: str = "anon"
@@ -403,33 +515,56 @@ class MembershipGateway:
         if not items:
             return []
         self._admit(client, len(items))
-        clock = self._clock
-        results: list[bool] = [False] * len(items)
-        for shard_id, positions in self._group_by_shard(items).items():
-            async with self._locks[shard_id]:
-                start = clock()
-                reply = await self.backend.query_batch(
-                    shard_id, [items[p] for p in positions]
+        return await self._fan_out("query", items)
+
+    # ------------------------------------------------------------------
+    # Coalescing
+    # ------------------------------------------------------------------
+
+    @property
+    def coalescing(self) -> bool:
+        """Whether cross-client micro-batch coalescing is active."""
+        return self._coalescer is not None
+
+    def configure_coalescing(self, window_us: int = 0, max_batch: int = 0) -> None:
+        """Install (``max_batch > 0``) or remove (``max_batch == 0``) the
+        micro-batch coalescer.
+
+        Safe to call between replays: the accumulated
+        :attr:`coalesce_telemetry` counters are kept, so before/after
+        deltas spanning a toggle stay meaningful.
+        """
+        if max_batch < 0 or window_us < 0:
+            raise ParameterError("coalesce knobs must be non-negative")
+        if max_batch == 0:
+            if window_us:
+                raise ParameterError(
+                    "coalesce_window_us needs coalesce_max_batch > 0"
                 )
-                elapsed = clock() - start
-                telemetry = self._telemetry[shard_id]
-                positives = sum(reply.answers)
-                telemetry.queries += len(positions)
-                telemetry.positives += positives
-                telemetry.query_latency.record(elapsed)
-                self.op_epoch += len(positions)
-                self.lifecycle[shard_id].note_queries(len(positions), positives)
-                # Unlike the fill-only guard, lifecycle policies react to
-                # the query stream too (positive-rate spikes, op age), so
-                # the decision runs on both paths.  Answers were computed
-                # before any swap, so this batch's reply is unaffected.
-                await self._maybe_rotate(shard_id, reply.state)
-            for position, answer in zip(positions, reply.answers):
-                results[position] = answer
-        return results
+            if self._coalescer is not None:
+                self._coalescer.close()
+            self._coalescer = None
+            return
+        self._coalescer = MicroBatchCoalescer(
+            self._run_shard_batch,
+            window_us=window_us,
+            max_batch=max_batch,
+            telemetry=self.coalesce_telemetry,
+        )
+
+    def coalesce_stats(self) -> dict:
+        """Coalescer counters plus current configuration, as one dict."""
+        stats = self.coalesce_telemetry.snapshot()
+        stats["enabled"] = self._coalescer is not None
+        stats["queue_depth"] = (
+            self._coalescer.queue_depth if self._coalescer is not None else 0
+        )
+        return stats
 
     def close(self) -> None:
         """Release the backend's resources (worker processes etc.)."""
+        if self._coalescer is not None:
+            self._coalescer.close()
         self.backend.close()
 
     def __enter__(self) -> "MembershipGateway":
@@ -440,7 +575,14 @@ class MembershipGateway:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         policy = self.policy.spec() if self.policy is not None else "none"
+        coalesce = (
+            f"window_us={self._coalescer.window_us},"
+            f"max_batch={self._coalescer.max_batch}"
+            if self._coalescer is not None
+            else "off"
+        )
         return (
             f"<MembershipGateway shards={self.shards} picker={self.picker.name} "
-            f"backend={self.backend.name} policy={policy} rotations={self.rotations}>"
+            f"backend={self.backend.name} policy={policy} coalesce={coalesce} "
+            f"rotations={self.rotations}>"
         )

@@ -6,11 +6,23 @@ and hit the same admission control, shard routing and telemetry as
 in-process callers -- which is exactly the setting the paper's
 adversaries assume (a query interface, not an object reference).
 
+Connections are *pipelined*: a v2 frame (codec envelope with a
+correlation id) is dispatched as its own task and the reply -- tagged
+with the same id -- goes out whenever it is ready, so one connection can
+keep up to ``pipeline_depth`` requests in flight and replies may arrive
+out of order.  Replies are write-coalesced (buffered, one ``drain()``
+per flush).  A v1 frame (no id) is served strictly serially, exactly
+the legacy read/dispatch/reply/drain loop, so old clients see
+byte-identical behaviour; the two generations may interleave freely on
+one connection.
+
 Error discipline mirrors the gateway's: retryable admission pushback
 becomes a ``ST_RATE_LIMITED`` response, permanent misuse (over-burst
 batches) becomes ``ST_INVALID``, and protocol violations get a
 best-effort ``ST_PROTOCOL`` reply before the connection is dropped --
-a client sending garbage forfeits the stream, not the server.
+a client sending garbage forfeits the stream, not the server.  Reusing
+a correlation id while it is still in flight is such a violation: the
+reply channel for that id is ambiguous, so the connection is forfeit.
 """
 
 from __future__ import annotations
@@ -29,8 +41,9 @@ from repro.service.codec import (
     ST_INVALID,
     ST_PROTOCOL,
     ST_RATE_LIMITED,
+    BufferedFrameWriter,
     Request,
-    decode_request,
+    decode_request_envelope,
     encode_answers_frame,
     encode_error_frame,
     encode_stats_frame,
@@ -51,12 +64,24 @@ class MembershipServer:
     host, port:
         Bind address; port 0 picks an ephemeral port (read it back from
         :attr:`address` after :meth:`start`).
+    pipeline_depth:
+        How many v2 (correlated) requests one connection may have in
+        flight concurrently.  0 dispatches everything serially -- v2
+        frames still get their ids echoed, but no overlap happens; v1
+        frames are always serial regardless.
     """
 
     def __init__(
-        self, gateway: MembershipGateway, host: str = "127.0.0.1", port: int = 0
+        self,
+        gateway: MembershipGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pipeline_depth: int = 32,
     ) -> None:
+        if pipeline_depth < 0:
+            raise ParameterError("pipeline_depth must be non-negative")
         self.gateway = gateway
+        self.pipeline_depth = pipeline_depth
         self._host = host
         self._port = port
         self._server: asyncio.AbstractServer | None = None
@@ -117,6 +142,14 @@ class MembershipServer:
             task.add_done_callback(self._handlers.discard)
         peer = writer.get_extra_info("peername")
         default_client = f"{peer[0]}:{peer[1]}" if peer else "tcp"
+        replies = BufferedFrameWriter(writer)
+        inflight: dict[int, asyncio.Task] = {}
+        depth = (
+            asyncio.Semaphore(self.pipeline_depth)
+            if self.pipeline_depth > 0
+            else None
+        )
+        graceful = False
         try:
             while True:
                 try:
@@ -126,27 +159,79 @@ class MembershipServer:
                     await self._try_reply(writer, encode_error_frame(ST_PROTOCOL, str(exc)))
                     break
                 if payload is None:
+                    graceful = True
                     break
                 try:
-                    request = decode_request(payload)
+                    request_id, request = decode_request_envelope(payload)
                 except ProtocolError as exc:
                     self.protocol_errors += 1
                     await self._try_reply(writer, encode_error_frame(ST_PROTOCOL, str(exc)))
                     break
-                # _dispatch returns a complete frame assembled in one
-                # buffer; it goes to the transport without re-framing.
-                writer.write(await self._dispatch(request, default_client))
-                await writer.drain()
+                if request_id is None:
+                    # v1: the legacy strictly-serial request/reply loop.
+                    # _dispatch returns a complete frame assembled in one
+                    # buffer; it goes to the transport without re-framing.
+                    writer.write(await self._dispatch(request, default_client, None))
+                    await writer.drain()
+                    continue
+                if request_id in inflight:
+                    self.protocol_errors += 1
+                    await self._try_reply(
+                        writer,
+                        encode_error_frame(
+                            ST_PROTOCOL,
+                            f"correlation id {request_id} is already in flight",
+                            request_id=request_id,
+                        ),
+                    )
+                    break
+                if depth is None:
+                    replies.send(await self._dispatch(request, default_client, request_id))
+                    continue
+                # Backpressure: the read loop stalls (and so, via TCP,
+                # does the sender) once pipeline_depth dispatches are in
+                # flight, instead of buffering unboundedly.
+                await depth.acquire()
+                inflight[request_id] = asyncio.get_running_loop().create_task(
+                    self._serve_pipelined(
+                        request, default_client, request_id, replies, inflight, depth
+                    )
+                )
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # peer went away mid-stream; nothing to clean up
         except asyncio.CancelledError:
             pass  # server shutdown drops open connections cleanly
         finally:
+            if inflight:
+                if not graceful:
+                    for job in tuple(inflight.values()):
+                        job.cancel()
+                await asyncio.gather(*inflight.values(), return_exceptions=True)
+            try:
+                await replies.flush()
+            except asyncio.CancelledError:
+                pass  # shutdown mid-flush: the socket is closing anyway
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass  # a second cancel can land while the socket drains
+
+    async def _serve_pipelined(
+        self,
+        request: Request,
+        default_client: str,
+        request_id: int,
+        replies: BufferedFrameWriter,
+        inflight: dict[int, asyncio.Task],
+        depth: asyncio.Semaphore,
+    ) -> None:
+        """One in-flight v2 request: dispatch, then queue the tagged reply."""
+        try:
+            replies.send(await self._dispatch(request, default_client, request_id))
+        finally:
+            inflight.pop(request_id, None)
+            depth.release()
 
     @staticmethod
     async def _try_reply(writer: asyncio.StreamWriter, frame: bytes) -> None:
@@ -157,30 +242,53 @@ class MembershipServer:
         except (ConnectionError, OSError):
             pass
 
-    async def _dispatch(self, request: Request, default_client: str) -> bytes:
-        """Run one decoded request against the gateway; returns a frame."""
+    async def _dispatch(
+        self, request: Request, default_client: str, request_id: int | None
+    ) -> bytes:
+        """Run one decoded request against the gateway; returns a frame
+        tagged with ``request_id`` (or a bare v1 frame when it is None)."""
         client = request.client or default_client
         try:
             if request.op in (OP_INSERT, OP_INSERT_BATCH):
                 answers = await self.gateway.insert_batch(request.items, client=client)
-                return encode_answers_frame(answers)
+                return encode_answers_frame(answers, request_id=request_id)
             if request.op in (OP_QUERY, OP_QUERY_BATCH):
                 answers = await self.gateway.query_batch(request.items, client=client)
-                return encode_answers_frame(answers)
+                return encode_answers_frame(answers, request_id=request_id)
             if request.op == OP_STATS:
-                # snapshot() probes every shard synchronously; for a
-                # process backend that is one pipe round trip per shard,
-                # so keep it off the event-loop thread.
-                snapshots = await asyncio.to_thread(self.gateway.snapshot)
-                return encode_stats_frame(snapshots)
-            return encode_error_frame(ST_PROTOCOL, f"unhandled opcode {request.op}")
+                # snapshot_async() reads each shard under its serving
+                # lock (no torn counters while batches are in flight) and
+                # pushes the blocking backend state probe to a thread.
+                snapshots = await self.gateway.snapshot_async()
+                return encode_stats_frame(
+                    snapshots, extra=self._server_stats(), request_id=request_id
+                )
+            return encode_error_frame(
+                ST_PROTOCOL, f"unhandled opcode {request.op}", request_id=request_id
+            )
         except RateLimited as exc:
-            return encode_error_frame(ST_RATE_LIMITED, str(exc))
+            return encode_error_frame(ST_RATE_LIMITED, str(exc), request_id=request_id)
         except ParameterError as exc:
-            return encode_error_frame(ST_INVALID, str(exc))
+            return encode_error_frame(ST_INVALID, str(exc), request_id=request_id)
         except Exception as exc:  # noqa: BLE001 - the server must not die
-            return encode_error_frame(ST_ERROR, f"{type(exc).__name__}: {exc}")
+            return encode_error_frame(
+                ST_ERROR, f"{type(exc).__name__}: {exc}", request_id=request_id
+            )
+
+    def _server_stats(self) -> dict:
+        """The stats frame's server-side extra entry (no ``shard_id``)."""
+        return {
+            "server": {
+                "connections": self.connections,
+                "protocol_errors": self.protocol_errors,
+                "pipeline_depth": self.pipeline_depth,
+                "coalesce": self.gateway.coalesce_stats(),
+            }
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "listening" if self._server else "stopped"
-        return f"<MembershipServer {state} gateway={self.gateway!r}>"
+        return (
+            f"<MembershipServer {state} pipeline_depth={self.pipeline_depth} "
+            f"gateway={self.gateway!r}>"
+        )

@@ -16,6 +16,7 @@ from repro.exceptions import ParameterError
 from repro.experiments.runner import render_table
 
 __all__ = [
+    "CoalesceTelemetry",
     "LatencyHistogram",
     "ShardTelemetry",
     "ShardSnapshot",
@@ -101,6 +102,63 @@ class LatencyHistogram:
         histogram._sum = total
         histogram._buckets = list(buckets)
         return histogram
+
+
+class CoalesceTelemetry:
+    """Counters for the gateway's micro-batch coalescer.
+
+    One instance covers the whole gateway (the coalescer merges across
+    clients, not across shards, so per-shard split would hide the thing
+    being measured: how many client requests each backend call absorbs).
+    All counters are monotonic; readers that want per-replay numbers
+    diff two :meth:`snapshot` calls.
+    """
+
+    __slots__ = (
+        "requests",
+        "items",
+        "flushes",
+        "flush_size",
+        "flush_window",
+        "isolation_splits",
+        "max_queue_depth",
+    )
+
+    def __init__(self) -> None:
+        #: Client sub-batches submitted to the coalescer.
+        self.requests = 0
+        #: Items carried by those sub-batches.
+        self.items = 0
+        #: Merged backend calls actually issued.
+        self.flushes = 0
+        #: Flushes triggered by the queue reaching ``coalesce_max_batch``.
+        self.flush_size = 0
+        #: Flushes triggered by the ``coalesce_window_us`` deadline.
+        self.flush_window = 0
+        #: Merged calls that failed and were re-run request-by-request so
+        #: one client's bad item fails only that client's request.
+        self.isolation_splits = 0
+        #: Deepest any (shard, op) queue got, in queued sub-batches.
+        self.max_queue_depth = 0
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Client requests per merged backend call (1.0 = no merging
+        happened, 0.0 = nothing coalesced yet)."""
+        return self.requests / self.flushes if self.flushes else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (stats frames, reports, bench output)."""
+        return {
+            "requests": self.requests,
+            "items": self.items,
+            "flushes": self.flushes,
+            "flush_size": self.flush_size,
+            "flush_window": self.flush_window,
+            "isolation_splits": self.isolation_splits,
+            "max_queue_depth": self.max_queue_depth,
+            "coalesce_ratio": round(self.coalesce_ratio, 3),
+        }
 
 
 class ShardTelemetry:

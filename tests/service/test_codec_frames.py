@@ -16,15 +16,19 @@ import pytest
 
 from repro.exceptions import ProtocolError
 from repro.service.codec import (
+    FRAME_V2,
     MAX_FRAME,
     OP_INSERT_BATCH,
     OP_QUERY,
+    OP_QUERY_BATCH,
     OP_STATS,
     ST_ERROR,
     ST_OK,
     ST_RATE_LIMITED,
     decode_request,
+    decode_request_envelope,
     decode_response,
+    decode_response_envelope,
     encode_answers,
     encode_answers_frame,
     encode_error,
@@ -244,3 +248,86 @@ def test_clean_eof_between_frames_is_none():
         assert await read_frame(_reader_with(b"")) is None
 
     asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# v2 envelopes: correlation ids on the wire
+# ----------------------------------------------------------------------
+
+def test_v2_request_round_trip_and_v1_parity():
+    v1 = encode_request_frame(OP_QUERY_BATCH, ["a", b"b"], "c")
+    v2 = encode_request_frame(OP_QUERY_BATCH, ["a", b"b"], "c", request_id=7)
+    # The v2 frame is the v1 frame plus a five-byte envelope: same body.
+    assert v2[9:] == v1[4:]
+    assert v2[4] == FRAME_V2
+    rid, request = decode_request_envelope(memoryview(v2)[4:])
+    assert rid == 7
+    assert request.items == ["a", b"b"]
+    # The envelope decoder passes v1 payloads through with a None id.
+    rid, request = decode_request_envelope(v1[4:])
+    assert rid is None and request.client == "c"
+
+
+def test_v2_response_round_trip_all_shapes():
+    for frame, check in [
+        (encode_answers_frame([True, False], request_id=0xFFFFFFFF),
+         lambda r: r.answers == [True, False]),
+        (encode_error_frame(ST_RATE_LIMITED, "slow down", request_id=3),
+         lambda r: r.message == "slow down"),
+        (encode_stats_frame(_snapshots(), request_id=9),
+         lambda r: r.stats[0]["shard_id"] == 0),
+    ]:
+        rid, response = decode_response_envelope(frame[4:])
+        assert rid is not None and check(response)
+    rid, response = decode_response_envelope(encode_answers_frame([True])[4:])
+    assert rid is None and response.answers == [True]
+
+
+def test_stats_frame_extra_entry_rides_without_shard_id():
+    frame = encode_stats_frame(
+        _snapshots(), extra={"server": {"connections": 2}}, request_id=1
+    )
+    _, response = decode_response_envelope(frame[4:])
+    assert response.stats[-1] == {"server": {"connections": 2}}
+    assert "shard_id" not in response.stats[-1]
+
+
+def test_correlation_id_outside_u32_rejected():
+    for bad in (-1, 1 << 32):
+        with pytest.raises(ProtocolError, match="u32 range"):
+            encode_request_frame(OP_QUERY, ["x"], "c", request_id=bad)
+
+
+def test_truncated_v2_headers_rejected():
+    full = encode_request_frame(OP_QUERY, ["x"], "c", request_id=42)[4:]
+    # Cut inside the correlation id (marker + 0..3 id bytes).
+    for keep in range(1, 5):
+        with pytest.raises(ProtocolError, match="correlation id"):
+            decode_request_envelope(full[:keep])
+    reply = encode_answers_frame([True], request_id=42)[4:]
+    for keep in range(1, 5):
+        with pytest.raises(ProtocolError, match="correlation id"):
+            decode_response_envelope(reply[:keep])
+
+
+def test_envelope_with_empty_body_rejected():
+    # A well-formed envelope whose body is missing entirely.
+    with pytest.raises(ProtocolError, match="opcode"):
+        decode_request_envelope(bytes([FRAME_V2]) + (5).to_bytes(4, "big"))
+    with pytest.raises(ProtocolError, match="status"):
+        decode_response_envelope(bytes([FRAME_V2]) + (5).to_bytes(4, "big"))
+
+
+def test_v1_decoders_reject_v2_frames_as_unknown():
+    v2_request = encode_request_frame(OP_QUERY, ["x"], "c", request_id=1)[4:]
+    with pytest.raises(ProtocolError, match="unknown opcode"):
+        decode_request(v2_request)
+    v2_reply = encode_answers_frame([True], request_id=1)[4:]
+    with pytest.raises(ProtocolError, match="unknown status"):
+        decode_response(v2_reply)
+
+
+def test_trailing_garbage_after_v2_payload_rejected():
+    frame = encode_request_frame(OP_QUERY, ["x"], "c", request_id=5)
+    with pytest.raises(ProtocolError, match="trailing"):
+        decode_request_envelope(frame[4:] + b"\x00")

@@ -524,3 +524,34 @@ def test_adaptive_pool_flushes_when_rotation_invalidates_ghosts():
     assert report.adaptive_flushes >= 1
     assert report.adaptive_queries > 0
     assert report.adaptive_hits < report.adaptive_queries  # post-flush misses
+
+
+def test_driver_coalesce_knob_and_report_columns():
+    gateway = make_gateway(m=2048)
+    driver = AdversarialTrafficDriver(
+        gateway, seed=31, max_trials=100_000, coalesce=True
+    )
+    assert gateway.coalescing
+    report = asyncio.run(driver.run(**small_workload()))
+    # The concurrent replay actually shared merged backend calls, and
+    # the report carries the delta for *this* replay only.
+    assert report.coalesce_requests > 0
+    assert report.coalesce_flushes > 0
+    assert report.coalesce_ratio >= 1.0
+    assert "coalesced:" in report.render()
+
+    off = AdversarialTrafficDriver(gateway, seed=31, coalesce=False)
+    assert not gateway.coalescing
+    report_off = asyncio.run(off.run(**small_workload()))
+    assert report_off.coalesce_requests == 0
+    assert report_off.coalesce_flushes == 0
+    assert "coalesced:" not in report_off.render()
+
+
+def test_driver_coalesce_none_leaves_gateway_untouched():
+    gateway = make_gateway()
+    gateway.configure_coalescing(window_us=100, max_batch=8)
+    AdversarialTrafficDriver(gateway, coalesce=None)
+    assert gateway.coalescing
+    AdversarialTrafficDriver(gateway, coalesce=False)
+    assert not gateway.coalescing
