@@ -23,7 +23,13 @@ traffic driver, and prints the per-shard stats.  Four acts:
      ``cooldown:150(adaptive:0.6:32)&fill:0.2``, live: rotate on the
      ghost storm's signature only once the filter holds enough state to
      be worth invalidating, and never twice within 150 operations (the
-     refused rotations land in the ``suppressed`` telemetry column).
+     refused rotations land in the ``suppressed`` telemetry column);
+  7. the cluster tier -- three gateways share an 8-shard space over a
+     consistent-hash ring with a *keyed* item router, the same aimed
+     attack sprays instead of concentrating, and a shard is rebalanced
+     to another node mid-attack by byte-exact snapshot handoff while a
+     stale client follows ``NOT_OWNER`` redirects without losing a
+     single insert.
 
 Run: ``python examples/membership_service.py``
 """
@@ -37,12 +43,14 @@ from repro.core import BloomFilter
 from repro.service import (
     AdversarialTrafficDriver,
     ClientRateLimiter,
+    ClusterHarness,
     HashShardPicker,
     KeyedShardPicker,
     MembershipClient,
     MembershipGateway,
     MembershipServer,
     ProcessPoolBackend,
+    ServiceConfig,
     parse_policy,
     restore_gateway,
     snapshot_gateway,
@@ -206,6 +214,75 @@ def run_act_defense_algebra() -> None:
     print()
 
 
+async def run_act_cluster() -> None:
+    """Act 7: three gateways, a keyed ring, a live mid-attack rebalance."""
+    print("=== act 7: cluster tier (3 gateways, keyed router, live rebalance) ===")
+    # The item router is a secret SipHash key, so the adversary's aim --
+    # computed against the public hash -- is wrong twice over: wrong
+    # shard, and (via the ring) often the wrong *gateway* entirely.
+    config = ServiceConfig(
+        shard_m=SHARD_M,
+        shard_k=SHARD_K,
+        rotation_threshold=None,
+        router="siphash:" + bytes(range(16)).hex(),
+    )
+    async with ClusterHarness(
+        ["alpha", "beta", "gamma"], total_shards=8, config=config
+    ) as cluster:
+        print(f"cluster: 8 global shards over {list(cluster.ring.nodes)}, "
+              f"item router {cluster.picker.name}, "
+              f"ownership epoch {cluster.ownership.epoch}")
+
+        # The attacker crafts items that the PUBLIC router would send to
+        # shard 0 -- the paper's chosen-insertion aim, rejection-sampled.
+        aim = HashShardPicker()
+        factory = UrlFactory(seed=0x7A)
+        honest = factory.urls(240)
+        crafted: list[str] = []
+        while len(crafted) < 160:
+            crafted.extend(
+                url for url in factory.urls(256) if aim.pick(url, 8) == 0
+            )
+        crafted = crafted[:160]
+
+        # A client minted BEFORE the rebalance: its ownership view will
+        # go stale the moment the shard moves.
+        stale = cluster.client()
+        await stale.insert_batch(honest, client="honest")
+        await stale.insert_batch(crafted[:80], client="attacker")
+
+        view = cluster.view
+        fills = [row.fill_ratio for row in view.snapshot()]
+        print(f"mid-attack: aimed shard 0 at fill {fills[0]:.2f}, "
+              f"cluster max/mean = {max(fills) / (sum(fills) / len(fills)):.2f} "
+              "(the keyed router sprayed the aim)")
+        print()
+        print("--- before rebalance ---")
+        print(view.render_stats())
+
+        # Rebalance shard 0 away from its owner, mid-attack: snapshot
+        # handoff under the serving lock, ownership epoch bumped last.
+        source = cluster.ownership.owner_of(0)
+        destination = next(n for n in cluster.ring.nodes if n != source)
+        epoch = await cluster.move_shard(0, destination)
+        print()
+        print(f"rebalance: shard 0 handed {source} -> {destination} "
+              f"(ownership epoch {epoch})")
+
+        # The stale client keeps attacking: its first batch touching
+        # shard 0 bounces off the old owner with NOT_OWNER, it learns
+        # the new placement, and retries -- nothing is lost.
+        await stale.insert_batch(crafted[80:], client="attacker")
+        answers = await stale.query_batch(honest + crafted, client="audit")
+        print(f"stale client: {stale.redirects_followed} redirect(s) "
+              f"followed, {sum(answers)}/{len(answers)} tracked inserts "
+              "still answer positive (zero lost)")
+        print()
+        print("--- after rebalance ---")
+        print(cluster.view.render_stats())
+    print()
+
+
 if __name__ == "__main__":
     run_act("act 1: aimed pollution against public routing", build_gateway())
     run_act(
@@ -216,3 +293,4 @@ if __name__ == "__main__":
     asyncio.run(run_act_networked())
     run_act_lifecycle()
     run_act_defense_algebra()
+    asyncio.run(run_act_cluster())

@@ -75,6 +75,40 @@ class ProtocolError(ReproError):
     """
 
 
+class NotOwner(ReproError):
+    """A request touched a shard this gateway does not own.
+
+    The cluster-tier redirect: raised by a
+    :class:`~repro.service.gateway.MembershipGateway` serving an owned
+    subset of the global shard space when a batch routes to a shard that
+    lives elsewhere, and by the TCP client when the server answers with
+    the ``ST_NOT_OWNER`` status.  Carries everything a routing client
+    needs to repair its view: the shard, the ownership epoch the serving
+    side knows, and (when the gateway shares an ownership map) the node
+    believed to own the shard now.  A zero epoch / empty owner means the
+    gateway had no ownership view to offer -- the caller must consult
+    its own map.
+
+    Attributes
+    ----------
+    shard_id:
+        The global shard id the request routed to.
+    epoch:
+        Ownership-map epoch behind the hint (0 = no view).
+    owner:
+        Node name believed to own the shard ("" = unknown).
+    """
+
+    def __init__(self, shard_id: int, epoch: int = 0, owner: str = ""):
+        hint = f", owned by {owner!r}" if owner else ""
+        super().__init__(
+            f"shard {shard_id} is not served here (ownership epoch {epoch}{hint})"
+        )
+        self.shard_id = shard_id
+        self.epoch = epoch
+        self.owner = owner
+
+
 class BackendError(ReproError):
     """A shard backend failed to execute an operation.
 

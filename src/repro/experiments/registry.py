@@ -7,6 +7,7 @@ from typing import Callable
 from repro.experiments import (
     adaptive_budget_study,
     analytics_checks,
+    cluster_study,
     defense_frontier,
     fig3_false_positive,
     fig5_pollution_cost,
@@ -40,6 +41,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "rotation_policy_study": rotation_policy_study.run,
     "adaptive_budget_study": adaptive_budget_study.run,
     "defense_frontier": defense_frontier.run,
+    "cluster_study": cluster_study.run,
 }
 
 

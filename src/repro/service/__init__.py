@@ -11,7 +11,16 @@ restartable:
 * :mod:`repro.service.gateway` -- the asyncio membership gateway
   fronting N shards with batched query/insert APIs over any backend;
 * :mod:`repro.service.sharding` -- pluggable shard routers (public hash
-  vs the keyed countermeasure applied to routing);
+  vs the keyed countermeasure applied to routing); the pickers now live
+  in :mod:`repro.service.cluster.ring` and re-export here;
+* :mod:`repro.service.cluster` -- the multi-gateway tier: a
+  consistent-hash ring with virtual nodes assigns global shard ids to
+  gateway nodes, an epoch-versioned :class:`OwnershipMap` makes moves
+  explicit, :class:`ClusterClient` routes batches and follows
+  ``ST_NOT_OWNER`` redirects, and :class:`ClusterHarness` runs N
+  gateways (in-process or tcp-local) behind a gateway-shaped
+  :class:`ClusterView` facade; ownership moves by byte-exact snapshot
+  handoff of one shard's filter bits + lifecycle + telemetry;
 * :mod:`repro.service.admission` -- per-client rate limiting and the
   legacy saturation guard;
 * :mod:`repro.service.lifecycle` -- shard lifecycle management: pluggable
@@ -53,6 +62,13 @@ from repro.service.backends import (
     ShardState,
 )
 from repro.service.client import MembershipClient
+from repro.service.cluster import (
+    ClusterClient,
+    ClusterHarness,
+    ClusterView,
+    HashRing,
+    OwnershipMap,
+)
 from repro.service.coalesce import MicroBatchCoalescer
 from repro.service.config import AttackBudgetConfig, ServiceConfig
 from repro.service.driver import (
@@ -81,13 +97,21 @@ from repro.service.lifecycle import (
     policy_from_guard,
 )
 from repro.service.server import MembershipServer
-from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
+from repro.service.sharding import (
+    HashShardPicker,
+    KeyedShardPicker,
+    ShardPicker,
+    parse_picker,
+)
 from repro.service.snapshots import (
     GatewaySnapshot,
+    ShardBlock,
     load_snapshot,
+    parse_shard_block,
     restore_gateway,
     save_snapshot,
     snapshot_gateway,
+    snapshot_shard,
 )
 from repro.service.telemetry import (
     CoalesceTelemetry,
@@ -105,11 +129,15 @@ __all__ = [
     "AttackBudgetConfig",
     "BatchReply",
     "ClientRateLimiter",
+    "ClusterClient",
+    "ClusterHarness",
+    "ClusterView",
     "CoalesceTelemetry",
     "Cooldown",
     "FillThresholdPolicy",
     "Hysteresis",
     "GatewaySnapshot",
+    "HashRing",
     "HashShardPicker",
     "KeyedShardPicker",
     "LatencyHistogram",
@@ -120,6 +148,7 @@ __all__ = [
     "MicroBatchCoalescer",
     "NeverRotatePolicy",
     "Not",
+    "OwnershipMap",
     "ProcessPoolBackend",
     "RateLimited",
     "RotateOnRestorePolicy",
@@ -130,6 +159,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceTransport",
     "ShardBackend",
+    "ShardBlock",
     "ShardLifecycleState",
     "ShardObservation",
     "ShardPicker",
@@ -140,11 +170,14 @@ __all__ = [
     "TokenBucket",
     "TrafficReport",
     "load_snapshot",
+    "parse_picker",
     "parse_policy",
+    "parse_shard_block",
     "policy_from_guard",
     "render_snapshots",
     "replay",
     "restore_gateway",
     "save_snapshot",
     "snapshot_gateway",
+    "snapshot_shard",
 ]

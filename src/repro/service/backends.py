@@ -138,6 +138,31 @@ class ShardBackend(ABC):
         adversary's view -- mutating it does not touch the shard).
         """
 
+    def attach_shard(self) -> int:
+        """Grow the backend by one fresh shard slot; returns its id.
+
+        The cluster tier's snapshot-handoff target: a gateway adopting a
+        shard attaches a slot, then restores the handed-off block into
+        it.  Backends without dynamic membership raise
+        :class:`~repro.exceptions.BackendError` (the process pool pins
+        one worker per slot at build time, so handoff is local-only for
+        now).
+        """
+        raise BackendError(
+            f"{self.name} backend does not support attaching shard slots"
+        )
+
+    def detach_shard(self, slot: int) -> None:
+        """Drop one shard slot; slots above it shift down by one.
+
+        Counterpart of :meth:`attach_shard` for the losing side of a
+        handoff.  The caller owns the slot-id translation (the gateway
+        re-derives its global-to-slot map after every detach).
+        """
+        raise BackendError(
+            f"{self.name} backend does not support detaching shard slots"
+        )
+
     def close(self) -> None:
         """Release backend resources (idempotent; no-op by default)."""
 
@@ -192,8 +217,11 @@ class LocalBackend(ShardBackend):
     def __init__(
         self, filter_factory: Callable[[], MembershipFilter], shards: int
     ) -> None:
-        if shards <= 0:
-            raise ParameterError(f"shards must be positive, got {shards}")
+        # Zero shards is legal here (a cluster gateway may own nothing
+        # until a handoff lands); the gateway's own constructor still
+        # rejects zero for the single-gateway arrangement.
+        if shards < 0:
+            raise ParameterError(f"shards must be non-negative, got {shards}")
         self.shards = shards
         self._factory = filter_factory
         self._filters = [filter_factory() for _ in range(shards)]
@@ -236,6 +264,18 @@ class LocalBackend(ShardBackend):
     def shard_view(self, shard_id: int) -> MembershipFilter:
         self._check_shard(shard_id)
         return self._filters[shard_id]
+
+    def attach_shard(self) -> int:
+        self._filters.append(self._factory())
+        self._ops.append(0)
+        self.shards += 1
+        return self.shards - 1
+
+    def detach_shard(self, slot: int) -> None:
+        self._check_shard(slot)
+        self._filters.pop(slot)
+        self._ops.pop(slot)
+        self.shards -= 1
 
 
 # ----------------------------------------------------------------------

@@ -29,7 +29,7 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
-from repro.exceptions import BackendError, ParameterError, ProtocolError
+from repro.exceptions import BackendError, NotOwner, ParameterError, ProtocolError
 from repro.service.admission import RateLimited
 from repro.service.codec import (
     OP_INSERT,
@@ -38,6 +38,7 @@ from repro.service.codec import (
     OP_QUERY_BATCH,
     OP_STATS,
     ST_INVALID,
+    ST_NOT_OWNER,
     ST_OK,
     ST_PROTOCOL,
     ST_RATE_LIMITED,
@@ -45,6 +46,7 @@ from repro.service.codec import (
     Response,
     decode_response,
     decode_response_envelope,
+    encode_handoff_frame,
     encode_request_frame,
     read_frame,
 )
@@ -260,9 +262,8 @@ class MembershipClient:
                 self._channel = _Channel(reader, writer, self.pipeline)
             return self._channel
 
-    async def _request_pipelined(
-        self, op: int, items: list, client: str
-    ) -> Response:
+    async def _send_pipelined(self, encode, client: str) -> Response:
+        """Send one frame built by ``encode(request_id)`` on the channel."""
         while True:
             channel = await self._get_channel()
             await channel.depth.acquire()
@@ -274,20 +275,29 @@ class MembershipClient:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         channel.futures[rid] = future
         try:
-            channel.out.send(
-                encode_request_frame(op, items, client=client, request_id=rid)
-            )
+            channel.out.send(encode(rid))
             response = await future
         finally:
             channel.futures.pop(rid, None)
             channel.depth.release()
         return self._check(response, client)
 
-    async def _request(self, op: int, items: list, client: str) -> Response:
+    async def _send(self, encode, client: str) -> Response:
+        """Route one request through the active wire discipline.
+
+        ``encode`` maps a correlation id (``None`` for v1) to a complete
+        frame -- the op-specific encoders plug in here.
+        """
         if self.pipeline > 0:
-            return await self._request_pipelined(op, items, client)
-        return await self._request_pooled(
-            encode_request_frame(op, items, client=client), client
+            return await self._send_pipelined(encode, client)
+        return await self._request_pooled(encode(None), client)
+
+    async def _request(self, op: int, items: list, client: str) -> Response:
+        return await self._send(
+            lambda rid: encode_request_frame(
+                op, items, client=client, request_id=rid
+            ),
+            client,
         )
 
     @staticmethod
@@ -301,6 +311,13 @@ class MembershipClient:
             raise ParameterError(response.message or "invalid request")
         if response.status == ST_PROTOCOL:
             raise ProtocolError(response.message or "protocol violation")
+        if response.status == ST_NOT_OWNER:
+            redirect = response.redirect
+            if redirect is None:  # pragma: no cover - decoder guarantees it
+                raise ProtocolError("not-owner response carried no redirect")
+            raise NotOwner(
+                redirect.shard_id, epoch=redirect.epoch, owner=redirect.owner
+            )
         raise BackendError(response.message or "server error")
 
     # ------------------------------------------------------------------
@@ -335,6 +352,25 @@ class MembershipClient:
             return []
         response = await self._request(OP_QUERY_BATCH, list(items), client)
         return self._answers(response, len(items))
+
+    async def handoff(
+        self, shard_id: int, epoch: int, block: bytes, client: str = "anon"
+    ) -> None:
+        """Deliver one shard's handoff block to this server's gateway.
+
+        ``block`` comes from the losing gateway's ``release_shard``;
+        ``epoch`` is the ownership epoch of the move.  A stale epoch or
+        a malformed block raises (:class:`ParameterError` /
+        :class:`BackendError`) without the gaining gateway adopting
+        anything.
+        """
+        response = await self._send(
+            lambda rid: encode_handoff_frame(
+                shard_id, epoch, block, client=client, request_id=rid
+            ),
+            client,
+        )
+        self._answers(response, 0)
 
     async def stats(self, client: str = "anon") -> list[dict]:
         """Per-shard stats snapshots (JSON dicts mirroring

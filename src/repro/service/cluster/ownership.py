@@ -1,0 +1,130 @@
+"""The epoch-versioned shard ownership map.
+
+One :class:`OwnershipMap` answers "which gateway serves shard S?" for
+the whole global shard space, and stamps every answer with an *epoch* --
+a monotonic version that bumps on every ownership move.  The epoch is
+the cluster's staleness defence on both sides of the wire:
+
+* a gateway adopting a shard rejects handoffs whose epoch is not newer
+  than the epoch at which it last released that shard (a replayed
+  handoff frame cannot resurrect a shard on its old owner);
+* a routing client updates its local copy only from redirects carrying
+  a *newer* epoch (a delayed or replayed ``ST_NOT_OWNER`` cannot roll
+  the client's view backwards).
+
+The authoritative map is shared by the gateways of one in-process
+cluster (the harness owns it); clients hold independent :meth:`copy`
+views that converge through redirects.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import ParameterError
+
+__all__ = ["OwnershipMap"]
+
+
+class OwnershipMap:
+    """Shard id -> owning node, versioned by a monotonic epoch.
+
+    Parameters
+    ----------
+    assignment:
+        Owner for every shard id in ``[0, total_shards)`` -- the map
+        covers the *whole* global space, always; partial maps are a
+        routing hole, not a configuration.
+    epoch:
+        Starting version (defaults to 1; 0 is reserved for "no view"
+        in redirects).
+    """
+
+    def __init__(self, assignment: Mapping[int, str], epoch: int = 1) -> None:
+        if not assignment:
+            raise ParameterError("ownership map cannot be empty")
+        total = len(assignment)
+        if sorted(assignment) != list(range(total)):
+            raise ParameterError(
+                "ownership map must cover contiguous shard ids "
+                f"0..{total - 1}, got {sorted(assignment)}"
+            )
+        if any(not isinstance(owner, str) or not owner for owner in assignment.values()):
+            raise ParameterError("shard owners must be non-empty node names")
+        if epoch <= 0:
+            raise ParameterError(f"epoch must be positive, got {epoch}")
+        self._owners = {shard: assignment[shard] for shard in range(total)}
+        self.epoch = epoch
+
+    @classmethod
+    def from_ring(cls, ring, total_shards: int, epoch: int = 1) -> "OwnershipMap":
+        """Seed a map from a :class:`~repro.service.cluster.ring.HashRing`."""
+        return cls(ring.assign(total_shards), epoch=epoch)
+
+    @property
+    def total_shards(self) -> int:
+        """Size of the global shard space this map covers."""
+        return len(self._owners)
+
+    def owner_of(self, shard_id: int) -> str:
+        """The node currently owning ``shard_id``."""
+        owner = self._owners.get(shard_id)
+        if owner is None:
+            raise ParameterError(
+                f"shard_id {shard_id} outside the map's space "
+                f"[0, {self.total_shards})"
+            )
+        return owner
+
+    def shards_of(self, node: str) -> tuple[int, ...]:
+        """Every shard id ``node`` owns, ascending (possibly empty)."""
+        return tuple(
+            shard for shard, owner in self._owners.items() if owner == node
+        )
+
+    def nodes(self) -> tuple[str, ...]:
+        """Distinct owner names, sorted."""
+        return tuple(sorted(set(self._owners.values())))
+
+    def move(self, shard_id: int, new_owner: str) -> int:
+        """Reassign one shard and bump the epoch; returns the new epoch.
+
+        This is the *authoritative* mutation (the harness calls it after
+        a successful handoff).  Moving a shard to its current owner is a
+        no-op that does not burn an epoch.
+        """
+        if not isinstance(new_owner, str) or not new_owner:
+            raise ParameterError("new_owner must be a non-empty node name")
+        current = self.owner_of(shard_id)
+        if current == new_owner:
+            return self.epoch
+        self._owners[shard_id] = new_owner
+        self.epoch += 1
+        return self.epoch
+
+    def note(self, shard_id: int, owner: str, epoch: int) -> bool:
+        """Apply a redirect's hint to this (client-side) view.
+
+        Only a strictly newer epoch is believed -- a stale or replayed
+        redirect is ignored.  Returns whether the view changed.
+        """
+        if epoch <= self.epoch or not owner:
+            return False
+        self.owner_of(shard_id)  # bounds check
+        self._owners[shard_id] = owner
+        self.epoch = epoch
+        return True
+
+    def copy(self) -> "OwnershipMap":
+        """An independent snapshot of this map (a client's starting view)."""
+        return OwnershipMap(dict(self._owners), epoch=self.epoch)
+
+    def assignment(self) -> dict[int, str]:
+        """Plain-dict view of the current shard -> owner table."""
+        return dict(self._owners)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<OwnershipMap epoch={self.epoch} shards={self.total_shards} "
+            f"nodes={list(self.nodes())}>"
+        )

@@ -40,11 +40,14 @@ __all__ = [
     "OP_INSERT_BATCH",
     "OP_QUERY_BATCH",
     "OP_STATS",
+    "OP_HANDOFF",
     "ST_OK",
     "ST_RATE_LIMITED",
     "ST_INVALID",
     "ST_ERROR",
     "ST_PROTOCOL",
+    "ST_NOT_OWNER",
+    "Redirect",
     "Request",
     "Response",
     "encode_frame",
@@ -59,6 +62,9 @@ __all__ = [
     "encode_answers_frame",
     "encode_error",
     "encode_error_frame",
+    "encode_handoff_frame",
+    "encode_not_owner",
+    "encode_not_owner_frame",
     "encode_stats",
     "encode_stats_frame",
     "decode_response",
@@ -77,8 +83,13 @@ OP_QUERY = 2
 OP_INSERT_BATCH = 3
 OP_QUERY_BATCH = 4
 OP_STATS = 5
+#: Cluster shard handoff: the gaining gateway receives one shard's
+#: versioned state block (see :mod:`repro.service.snapshots`).
+OP_HANDOFF = 6
 
-_OPS = frozenset({OP_INSERT, OP_QUERY, OP_INSERT_BATCH, OP_QUERY_BATCH, OP_STATS})
+_OPS = frozenset(
+    {OP_INSERT, OP_QUERY, OP_INSERT_BATCH, OP_QUERY_BATCH, OP_STATS, OP_HANDOFF}
+)
 
 # Response status bytes.
 ST_OK = 0
@@ -86,8 +97,14 @@ ST_RATE_LIMITED = 1
 ST_INVALID = 2
 ST_ERROR = 3
 ST_PROTOCOL = 4
+#: Cluster redirect: the addressed gateway does not own the shard; the
+#: body carries the shard id, the ownership epoch and the current owner
+#: (not a diagnostic message like the other non-OK statuses).
+ST_NOT_OWNER = 5
 
-_STATUSES = frozenset({ST_OK, ST_RATE_LIMITED, ST_INVALID, ST_ERROR, ST_PROTOCOL})
+_STATUSES = frozenset(
+    {ST_OK, ST_RATE_LIMITED, ST_INVALID, ST_ERROR, ST_PROTOCOL, ST_NOT_OWNER}
+)
 
 #: First payload byte of a v2 (correlated) frame.  Deliberately outside
 #: both the opcode and the status ranges, so a v1 decoder rejects a v2
@@ -96,15 +113,32 @@ FRAME_V2 = 0xC2
 
 _U32 = struct.Struct(">I")
 _U16 = struct.Struct(">H")
+_U64 = struct.Struct(">Q")
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """Routing hint carried by an ``ST_NOT_OWNER`` response."""
+
+    shard_id: int
+    epoch: int
+    owner: str
 
 
 @dataclass(frozen=True)
 class Request:
-    """A decoded client request."""
+    """A decoded client request.
+
+    ``shard_id``/``epoch``/``block`` are set only for ``OP_HANDOFF``
+    requests (which carry no items); every other op leaves them ``None``.
+    """
 
     op: int
     client: str
     items: list[str | bytes]
+    shard_id: int | None = None
+    epoch: int | None = None
+    block: bytes | None = None
 
 
 @dataclass(frozen=True)
@@ -115,6 +149,7 @@ class Response:
     answers: list[bool] | None = None
     message: str | None = None
     stats: list[dict] | None = None
+    redirect: Redirect | None = None
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +335,9 @@ class _Cursor:
     def u32(self, what: str) -> int:
         return _U32.unpack_from(self.take(4, what))[0]
 
+    def u64(self, what: str) -> int:
+        return _U64.unpack_from(self.take(8, what))[0]
+
     def peek_u8(self) -> int | None:
         """The next byte without consuming it; ``None`` at payload end."""
         if self.pos >= self.size:
@@ -330,6 +368,8 @@ def encode_request(
     """Encode a request payload (frame it with :func:`encode_frame`)."""
     if op not in _OPS:
         raise ProtocolError(f"unknown opcode {op}")
+    if op == OP_HANDOFF:
+        raise ProtocolError("handoff requests use encode_handoff_frame")
     items = items or []
     if op in (OP_INSERT, OP_QUERY) and len(items) != 1:
         raise ProtocolError("single-item ops carry exactly one item")
@@ -380,6 +420,22 @@ def _decode_request_body(cursor: _Cursor) -> Request:
     if op not in _OPS:
         raise ProtocolError(f"unknown opcode {op}")
     client = _decode_text(cursor.take(cursor.u16("client length"), "client id"), "client id")
+    if op == OP_HANDOFF:
+        shard_id = cursor.u32("handoff shard id")
+        epoch = cursor.u64("handoff epoch")
+        block_len = cursor.u32("handoff block length")
+        if block_len == 0:
+            raise ProtocolError("handoff carries an empty shard block")
+        # Bounds-checked by the cursor: a hostile length that overruns
+        # the payload raises before any allocation.
+        block = bytes(cursor.take(block_len, "handoff shard block"))
+        cursor.done()
+        if epoch == 0:
+            raise ProtocolError("handoff epoch must be positive")
+        return Request(
+            op=op, client=client, items=[],
+            shard_id=shard_id, epoch=epoch, block=block,
+        )
     count = cursor.u32("item count")
     # Each item costs at least 5 bytes on the wire; a hostile count that
     # cannot fit in the remaining payload is rejected before allocation.
@@ -412,8 +468,12 @@ def encode_answers(answers: list[bool]) -> bytes:
 
 
 def encode_error(status: int, message: str) -> bytes:
-    """Non-OK response carrying a diagnostic message."""
-    if status not in _STATUSES or status == ST_OK:
+    """Non-OK response carrying a diagnostic message.
+
+    ``ST_NOT_OWNER`` is rejected here: its body is a structured redirect
+    (:func:`encode_not_owner`), not a message.
+    """
+    if status not in _STATUSES or status in (ST_OK, ST_NOT_OWNER):
         raise ProtocolError(f"bad error status {status}")
     raw = message.encode("utf-8")
     if len(raw) > 0xFFFF:
@@ -426,6 +486,31 @@ def encode_stats(snapshots: list[ShardSnapshot]) -> bytes:
     """OK response carrying per-shard stats as JSON."""
     raw = json.dumps([asdict(s) for s in snapshots]).encode("utf-8")
     return bytes([ST_OK, 0xFF]) + _U32.pack(len(raw)) + raw
+
+
+def _not_owner_fields(shard_id: int, epoch: int, owner: str) -> bytes:
+    if not 0 <= shard_id <= 0xFFFFFFFF:
+        raise ProtocolError(f"shard id {shard_id} outside the u32 range")
+    if not 0 <= epoch <= 0xFFFFFFFFFFFFFFFF:
+        raise ProtocolError(f"epoch {epoch} outside the u64 range")
+    owner_raw = owner.encode("utf-8")
+    if len(owner_raw) > 0xFFFF:
+        raise ProtocolError("owner name too long")
+    return (
+        _U32.pack(shard_id)
+        + _U64.pack(epoch)
+        + _U16.pack(len(owner_raw))
+        + owner_raw
+    )
+
+
+def encode_not_owner(shard_id: int, epoch: int, owner: str = "") -> bytes:
+    """``ST_NOT_OWNER`` redirect response: shard, epoch, current owner.
+
+    ``epoch`` 0 (with an empty owner) means the gateway has no ownership
+    view to share -- the client must fall back to its own map.
+    """
+    return bytes([ST_NOT_OWNER]) + _not_owner_fields(shard_id, epoch, owner)
 
 
 # ----------------------------------------------------------------------
@@ -529,8 +614,9 @@ def encode_answers_frame(
 def encode_error_frame(
     status: int, message: str, request_id: int | None = None
 ) -> bytes:
-    """One ready-to-send non-OK frame carrying a diagnostic message."""
-    if status not in _STATUSES or status == ST_OK:
+    """One ready-to-send non-OK frame carrying a diagnostic message
+    (``ST_NOT_OWNER`` uses :func:`encode_not_owner_frame` instead)."""
+    if status not in _STATUSES or status in (ST_OK, ST_NOT_OWNER):
         raise ProtocolError(f"bad error status {status}")
     raw = message.encode("utf-8")
     if len(raw) > 0xFFFF:
@@ -566,6 +652,62 @@ def encode_stats_frame(
     return bytes(out)
 
 
+def encode_not_owner_frame(
+    shard_id: int, epoch: int, owner: str = "", request_id: int | None = None
+) -> bytes:
+    """One ready-to-send ``ST_NOT_OWNER`` redirect frame."""
+    fields = _not_owner_fields(shard_id, epoch, owner)
+    out, pos = _enveloped_buffer(1 + len(fields), request_id)
+    out[pos] = ST_NOT_OWNER
+    out[pos + 1 :] = fields
+    return bytes(out)
+
+
+def encode_handoff_frame(
+    shard_id: int,
+    epoch: int,
+    block: bytes,
+    client: str = "anon",
+    request_id: int | None = None,
+) -> bytes:
+    """One ready-to-send ``OP_HANDOFF`` request frame.
+
+    ``block`` is the shard's state block from :func:`repro.service.
+    snapshots.snapshot_shard`; ``epoch`` is the ownership epoch of the
+    move (must be positive -- 0 is the "no view" sentinel).
+    """
+    if not 0 <= shard_id <= 0xFFFFFFFF:
+        raise ProtocolError(f"shard id {shard_id} outside the u32 range")
+    if not 1 <= epoch <= 0xFFFFFFFFFFFFFFFF:
+        raise ProtocolError(f"handoff epoch {epoch} must be a positive u64")
+    if not block:
+        raise ProtocolError("handoff carries an empty shard block")
+    if not isinstance(block, (bytes, bytearray, memoryview)):
+        raise ProtocolError(
+            f"handoff block must be bytes, got {type(block).__name__}"
+        )
+    client_raw = client.encode("utf-8")
+    if len(client_raw) > 0xFFFF:
+        raise ProtocolError("client id too long")
+    block = bytes(block)
+    total = 1 + 2 + len(client_raw) + 4 + 8 + 4 + len(block)
+    out, pos = _enveloped_buffer(total, request_id)
+    out[pos] = OP_HANDOFF
+    pos += 1
+    _U16.pack_into(out, pos, len(client_raw))
+    pos += 2
+    out[pos : pos + len(client_raw)] = client_raw
+    pos += len(client_raw)
+    _U32.pack_into(out, pos, shard_id)
+    pos += 4
+    _U64.pack_into(out, pos, epoch)
+    pos += 8
+    _U32.pack_into(out, pos, len(block))
+    pos += 4
+    out[pos:] = block
+    return bytes(out)
+
+
 def decode_response(payload) -> Response:
     """Decode a v1 response payload (answers, stats, or an error)."""
     return _decode_response_body(_Cursor(payload))
@@ -582,6 +724,17 @@ def _decode_response_body(cursor: _Cursor) -> Response:
     status = cursor.u8("status")
     if status not in _STATUSES:
         raise ProtocolError(f"unknown status byte {status}")
+    if status == ST_NOT_OWNER:
+        shard_id = cursor.u32("redirect shard id")
+        epoch = cursor.u64("redirect epoch")
+        owner = _decode_text(
+            cursor.take(cursor.u16("redirect owner length"), "redirect owner"),
+            "redirect owner",
+        )
+        cursor.done()
+        return Response(
+            status=status, redirect=Redirect(shard_id, epoch, owner)
+        )
     if status != ST_OK:
         message = _decode_text(
             cursor.take(cursor.u16("message length"), "message"), "message"

@@ -58,6 +58,16 @@ class ServiceConfig:
     keyed_routing:
         Route items to shards with a secret SipHash key instead of a
         public hash, so an adversary cannot aim traffic at one shard.
+    router:
+        Shard-router spec string (see :func:`~repro.service.cluster.
+        ring.parse_picker`): ``"murmur"`` / ``"murmur:0x5a4d"`` for the
+        public router, ``"siphash"`` / ``"siphash:<32 hex chars>"`` for
+        the keyed one.  Wins over ``keyed_routing``/``routing_key`` when
+        set; malformed specs raise :class:`~repro.exceptions.
+        ConfigError` at config build time.  Note ``"siphash"`` without a
+        key draws one fresh per build (pin the key in the spec for
+        reproducibility), and the spec string embeds that key -- treat
+        configs with keyed specs as secrets.
     keyed_filters:
         Build each shard as a :class:`~repro.countermeasures.keyed.
         KeyedBloomFilter` (per-shard secret key) instead of the default
@@ -98,6 +108,7 @@ class ServiceConfig:
     burst: int = 64
     keyed_routing: bool = False
     keyed_filters: bool = False
+    router: str | None = None
     routing_key: bytes | None = None
     filter_key: bytes | None = None
     backend: str = "local"
@@ -127,6 +138,12 @@ class ServiceConfig:
             from repro.service.lifecycle import parse_policy
 
             parse_policy(self.rotation_policy)
+        if self.router is not None:
+            # Parse for validation only, mirroring rotation_policy: the
+            # gateway parses again at build time.
+            from repro.service.cluster.ring import parse_picker
+
+            parse_picker(self.router)
         if self.rate_limit is not None and self.rate_limit <= 0:
             raise ParameterError("rate_limit must be positive (or None)")
         if self.burst <= 0:

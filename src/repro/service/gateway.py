@@ -22,6 +22,21 @@ Batches are first-class: ``query_batch``/``insert_batch`` group items by
 shard and hand each group to the backend in one lock acquisition, which
 is where the hot-path speedup of :mod:`repro.core.bitvector` (and, for
 process backends, the per-core parallelism) actually pays off.
+
+Since the cluster tier the gateway serves an *owned subset* of a global
+shard space: ``shard_ids`` names the global ids this gateway holds (one
+backend slot each) and ``total_shards`` sizes the space the router picks
+over.  The default -- all of a ``total_shards``-sized space, identity
+slot mapping -- is byte-identical to the single-gateway arrangement.  A
+batch routed to an unowned shard raises
+:class:`~repro.exceptions.NotOwner` *before any owned shard is touched*
+(the server maps it to the ``ST_NOT_OWNER`` redirect), so a stale route
+never half-applies a batch.  Ownership moves by snapshot handoff:
+:meth:`release_shard` exports the shard's versioned block (bits +
+lifecycle + telemetry) under its serving lock and drops the slot,
+:meth:`adopt_shard` restores the block byte-identically on the gaining
+gateway, and the ownership epoch carried with the handoff rejects
+replays.
 """
 
 from __future__ import annotations
@@ -30,18 +45,24 @@ import asyncio
 import time
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.bloom import BloomFilter
 from repro.core.interfaces import MembershipFilter
 from repro.countermeasures.keyed import KeyedBloomFilter, generate_key
-from repro.exceptions import ParameterError
+from repro.exceptions import NotOwner, ParameterError
 from repro.service.admission import (
     ClientRateLimiter,
     RateLimited,
     SaturationGuard,
 )
 from repro.service.backends import LocalBackend, ProcessPoolBackend, ShardBackend, ShardState
+from repro.service.cluster.ring import (
+    HashShardPicker,
+    KeyedShardPicker,
+    ShardPicker,
+    parse_picker,
+)
 from repro.service.coalesce import MicroBatchCoalescer
 from repro.service.config import ServiceConfig
 from repro.service.lifecycle import (
@@ -51,13 +72,15 @@ from repro.service.lifecycle import (
     parse_policy,
     policy_from_guard,
 )
-from repro.service.sharding import HashShardPicker, KeyedShardPicker, ShardPicker
 from repro.service.telemetry import (
     CoalesceTelemetry,
     ShardSnapshot,
     ShardTelemetry,
     render_snapshots,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.cluster.ownership import OwnershipMap
 
 __all__ = ["RotationEvent", "MembershipGateway"]
 
@@ -126,6 +149,20 @@ class MembershipGateway:
         gateway.  When enabled, concurrent sub-batches aimed at the same
         shard merge into one backend call, flushed at ``max_batch``
         items or after ``window_us`` microseconds.
+    shard_ids:
+        Global shard ids this gateway owns, one backend slot each (in
+        slot order).  ``None`` (the default) means "all of them":
+        identity mapping over ``total_shards``.  Requires an explicit
+        ``total_shards`` when given.
+    total_shards:
+        Size of the global shard space the router picks over; defaults
+        to the owned count (the single-gateway arrangement).
+    name:
+        Node name, echoed in redirects and cluster reports.
+    ownership:
+        Optional shared :class:`~repro.service.cluster.ownership.
+        OwnershipMap`; when present, ``NotOwner`` errors carry the
+        current owner and epoch so clients can re-route in one hop.
     """
 
     def __init__(
@@ -140,16 +177,58 @@ class MembershipGateway:
         policy: RotationPolicy | None = None,
         coalesce_window_us: int = 0,
         coalesce_max_batch: int = 0,
+        shard_ids: Sequence[int] | None = None,
+        total_shards: int | None = None,
+        name: str = "gateway",
+        ownership: "OwnershipMap | None" = None,
     ) -> None:
         if backend is None:
             if filter_factory is None:
                 raise ParameterError("provide a filter_factory or a backend")
-            if shards <= 0:
+            if shard_ids is None and shards <= 0:
                 raise ParameterError(f"shards must be positive, got {shards}")
-            backend = LocalBackend(filter_factory, shards)
+            backend = LocalBackend(
+                filter_factory,
+                shards if shard_ids is None else len(tuple(shard_ids)),
+            )
         self.backend = backend
         self.filter_factory = filter_factory
-        self.shards = backend.shards
+        owned = backend.shards
+        if shard_ids is None:
+            if total_shards is None:
+                total_shards = owned
+            self.shard_ids = list(range(owned))
+        else:
+            if total_shards is None:
+                raise ParameterError(
+                    "shard_ids needs an explicit total_shards (the size of "
+                    "the global space the owned subset comes from)"
+                )
+            self.shard_ids = [int(gid) for gid in shard_ids]
+            if len(self.shard_ids) != owned:
+                raise ParameterError(
+                    f"{len(self.shard_ids)} shard_ids for a backend with "
+                    f"{owned} slots"
+                )
+        if total_shards <= 0:
+            raise ParameterError(
+                f"total_shards must be positive, got {total_shards}"
+            )
+        if len(set(self.shard_ids)) != len(self.shard_ids):
+            raise ParameterError(f"duplicate shard_ids: {self.shard_ids}")
+        for gid in self.shard_ids:
+            if not 0 <= gid < total_shards:
+                raise ParameterError(
+                    f"shard_id {gid} outside the global space "
+                    f"[0, {total_shards})"
+                )
+        self.total_shards = total_shards
+        self._slots = {gid: slot for slot, gid in enumerate(self.shard_ids)}
+        # Epoch at which each shard was last released -- the replay
+        # guard: a handoff may only bring a shard back with a newer one.
+        self._released: dict[int, int] = {}
+        self.name = name
+        self.ownership = ownership
         self.picker = picker or HashShardPicker()
         self.guard = guard
         if policy is None and guard is not None:
@@ -157,9 +236,12 @@ class MembershipGateway:
         self.policy = policy
         self.limiter = limiter or ClientRateLimiter(None)
         self._clock = clock
-        self._locks = [asyncio.Lock() for _ in range(self.shards)]
-        self._telemetry = [ShardTelemetry(i) for i in range(self.shards)]
-        self.lifecycle = [ShardLifecycleState(i) for i in range(self.shards)]
+        # All four lists are slot-indexed and always the same length;
+        # handoff pops/appends the same index in each, so a slot's lock,
+        # counters and lifecycle scratch travel together.
+        self._locks = [asyncio.Lock() for _ in self.shard_ids]
+        self._telemetry = [ShardTelemetry(gid) for gid in self.shard_ids]
+        self.lifecycle = [ShardLifecycleState(gid) for gid in self.shard_ids]
         self.op_epoch = 0
         self.rotation_log: list[RotationEvent] = []
         # One telemetry object outlives configure_coalescing() toggles so
@@ -196,11 +278,12 @@ class MembershipGateway:
             else:
                 factory = lambda: BloomFilter(config.shard_m, config.shard_k)
             backend = None
-        picker: ShardPicker = (
-            KeyedShardPicker(config.routing_key)
-            if config.keyed_routing
-            else HashShardPicker()
-        )
+        if config.router is not None:
+            picker: ShardPicker = parse_picker(config.router)
+        elif config.keyed_routing:
+            picker = KeyedShardPicker(config.routing_key)
+        else:
+            picker = HashShardPicker()
         # The lifecycle knob wins; the legacy rotation_threshold still
         # maps to the saturation-guard behaviour (FillThresholdPolicy).
         policy: RotationPolicy | None = None
@@ -228,22 +311,49 @@ class MembershipGateway:
     # ------------------------------------------------------------------
 
     @property
+    def shards(self) -> int:
+        """Number of shards this gateway currently owns (= backend slots)."""
+        return len(self.shard_ids)
+
+    def _not_owner(self, shard_id: int) -> NotOwner:
+        """Build the redirect-bearing error for an unowned shard."""
+        if self.ownership is not None:
+            return NotOwner(
+                shard_id,
+                epoch=self.ownership.epoch,
+                owner=self.ownership.owner_of(shard_id),
+            )
+        return NotOwner(shard_id)
+
+    def _slot_of(self, shard_id: int) -> int:
+        """Backend slot serving global ``shard_id``, or :class:`NotOwner`."""
+        if not 0 <= shard_id < self.total_shards:
+            raise ParameterError(
+                f"shard_id {shard_id} outside the global space "
+                f"[0, {self.total_shards})"
+            )
+        slot = self._slots.get(shard_id)
+        if slot is None:
+            raise self._not_owner(shard_id)
+        return slot
+
+    @property
     def filters(self) -> tuple[MembershipFilter, ...]:
-        """Per-shard filter views (live objects for a local backend,
-        reconstructed copies for a process backend; treat as a view)."""
-        return tuple(self.backend.shard_view(i) for i in range(self.shards))
+        """Owned filter views in slot order (live objects for a local
+        backend, reconstructed copies for a process backend)."""
+        return tuple(self.backend.shard_view(s) for s in range(self.shards))
 
     def shard_view(self, shard_id: int) -> MembershipFilter:
         """One shard's filter view (the white-box adversary's window)."""
-        return self.backend.shard_view(shard_id)
+        return self.backend.shard_view(self._slot_of(shard_id))
 
     def shard_state(self, shard_id: int) -> ShardState:
         """One shard's (weight, fill, insertions) without copying bits."""
-        return self.backend.state(shard_id)
+        return self.backend.state(self._slot_of(shard_id))
 
     def shard_of(self, item: str | bytes) -> int:
-        """Which shard owns ``item`` under the current router."""
-        return self.picker.pick(item, self.shards)
+        """Which global shard ``item`` routes to under the current router."""
+        return self.picker.pick(item, self.total_shards)
 
     @property
     def rotations(self) -> int:
@@ -264,14 +374,14 @@ class MembershipGateway:
         this from a worker thread races the event loop's mutations.
         """
         out = []
-        for shard_id, telemetry in enumerate(self._telemetry):
-            state = self.backend.state(shard_id)
+        for slot, telemetry in enumerate(self._telemetry):
+            state = self.backend.state(slot)
             out.append(
                 telemetry.snapshot(
                     state.hamming_weight,
                     state.fill_ratio,
-                    recent_positive_rate=self.lifecycle[shard_id].window_rate(),
-                    rotations_suppressed=self.lifecycle[shard_id].suppressed,
+                    recent_positive_rate=self.lifecycle[slot].window_rate(),
+                    rotations_suppressed=self.lifecycle[slot].suppressed,
                 )
             )
         return out
@@ -287,15 +397,23 @@ class MembershipGateway:
         happen on the loop, under the lock, where every writer lives.
         """
         out = []
-        for shard_id, telemetry in enumerate(self._telemetry):
-            async with self._locks[shard_id]:
-                state = await asyncio.to_thread(self.backend.state, shard_id)
+        for gid in list(self.shard_ids):
+            slot = self._slots.get(gid)
+            if slot is None:  # released while we iterated
+                continue
+            lock = self._locks[slot]  # travels with the slot if it shifts
+            async with lock:
+                slot = self._slots.get(gid)
+                if slot is None:
+                    continue
+                telemetry = self._telemetry[slot]
+                state = await asyncio.to_thread(self.backend.state, slot)
                 out.append(
                     telemetry.snapshot(
                         state.hamming_weight,
                         state.fill_ratio,
-                        recent_positive_rate=self.lifecycle[shard_id].window_rate(),
-                        rotations_suppressed=self.lifecycle[shard_id].suppressed,
+                        recent_positive_rate=self.lifecycle[slot].window_rate(),
+                        rotations_suppressed=self.lifecycle[slot].suppressed,
                     )
                 )
         return out
@@ -338,6 +456,116 @@ class MembershipGateway:
         restore_gateway(self, raw)
 
     # ------------------------------------------------------------------
+    # Shard handoff (cluster tier)
+    # ------------------------------------------------------------------
+
+    async def export_shard_block(self, shard_id: int) -> bytes:
+        """Serialise one owned shard's versioned block under its lock.
+
+        The block carries filter bits, lifecycle scratch and telemetry
+        (see :func:`repro.service.snapshots.snapshot_shard`); the shard
+        keeps serving afterwards.  This is the non-destructive half of a
+        handoff -- use :meth:`release_shard` to also drop ownership.
+        """
+        from repro.service.snapshots import snapshot_shard
+
+        slot = self._slots.get(shard_id)
+        if slot is None:
+            raise self._not_owner(shard_id)
+        lock = self._locks[slot]
+        async with lock:
+            if self._slots.get(shard_id) is None:
+                raise self._not_owner(shard_id)
+            return snapshot_shard(self, shard_id)
+
+    async def release_shard(self, shard_id: int, epoch: int) -> bytes:
+        """Export ``shard_id``'s block and drop the slot, atomically.
+
+        Runs under the shard's serving lock: any in-flight batch for the
+        shard completes first, every later one sees :class:`NotOwner`.
+        ``epoch`` is the ownership epoch of the move; it is recorded so
+        a replayed handoff cannot re-adopt the shard here without a
+        newer epoch.  Returns the block for :meth:`adopt_shard` on the
+        gaining gateway.
+        """
+        from repro.service.snapshots import snapshot_shard
+
+        if epoch <= 0:
+            raise ParameterError(f"epoch must be positive, got {epoch}")
+        slot = self._slots.get(shard_id)
+        if slot is None:
+            raise self._not_owner(shard_id)
+        lock = self._locks[slot]
+        async with lock:
+            slot = self._slots.get(shard_id)
+            if slot is None:
+                raise self._not_owner(shard_id)
+            block = snapshot_shard(self, shard_id)
+            self._detach_slot(slot)
+            self._released[shard_id] = max(
+                epoch, self._released.get(shard_id, 0)
+            )
+        return block
+
+    def _detach_slot(self, slot: int) -> None:
+        """Pop the same index from every slot-indexed structure (no
+        awaits between pops -- the lists never disagree)."""
+        self.shard_ids.pop(slot)
+        self._locks.pop(slot)
+        self._telemetry.pop(slot)
+        self.lifecycle.pop(slot)
+        self.backend.detach_shard(slot)
+        self._slots = {gid: s for s, gid in enumerate(self.shard_ids)}
+
+    def adopt_shard(self, shard_id: int, epoch: int, block: bytes) -> None:
+        """Restore a released shard's block here and start serving it.
+
+        Validates everything *before* mutating any state: the shard must
+        not already be owned, must fall inside the global space, the
+        epoch must beat the epoch at which this gateway last released
+        the shard (replay guard), and the block must parse.  A backend
+        restore failure rolls the fresh slot back out, so a poisoned
+        block leaves the gateway exactly as it was.
+        """
+        from repro.service.snapshots import parse_shard_block
+
+        if shard_id in self._slots:
+            raise ParameterError(
+                f"shard {shard_id} is already served by {self.name!r}"
+            )
+        if not 0 <= shard_id < self.total_shards:
+            raise ParameterError(
+                f"shard_id {shard_id} outside the global space "
+                f"[0, {self.total_shards})"
+            )
+        if epoch <= self._released.get(shard_id, 0):
+            raise ParameterError(
+                f"stale handoff for shard {shard_id}: epoch {epoch} is not "
+                f"newer than the release epoch "
+                f"{self._released.get(shard_id, 0)}"
+            )
+        parsed = parse_shard_block(block)
+        if parsed.shard_id != shard_id:
+            raise ParameterError(
+                f"handoff block is for shard {parsed.shard_id}, "
+                f"not {shard_id}"
+            )
+        slot = self.backend.attach_shard()
+        try:
+            self.backend.restore_shard(slot, parsed.filter_block)
+        except Exception:
+            self.backend.detach_shard(slot)
+            raise
+        self.shard_ids.append(shard_id)
+        self._locks.append(asyncio.Lock())
+        self._telemetry.append(parsed.telemetry)
+        self.lifecycle.append(
+            ShardLifecycleState.adopt(shard_id, parsed.lifecycle)
+        )
+        self._slots[shard_id] = slot
+        self._released.pop(shard_id, None)
+
+    # ------------------------------------------------------------------
     # Serving API
     # ------------------------------------------------------------------
 
@@ -363,15 +591,17 @@ class MembershipGateway:
     def _group_by_shard(
         self, items: Sequence[str | bytes]
     ) -> dict[int, list[int]]:
-        """Map shard id -> positions in ``items`` routed to it."""
+        """Map global shard id -> positions in ``items`` routed to it."""
         pick = self.picker.pick
-        shards = self.shards
+        shards = self.total_shards
         groups: dict[int, list[int]] = {}
         for position, item in enumerate(items):
             groups.setdefault(pick(item, shards), []).append(position)
         return groups
 
-    async def _maybe_rotate(self, shard_id: int, state: ShardState) -> bool:
+    async def _maybe_rotate(
+        self, shard_id: int, slot: int, state: ShardState
+    ) -> bool:
         """Swap in a fresh filter when the policy says so (lock held).
 
         ``state`` is the post-operation shard state the backend returned
@@ -380,7 +610,7 @@ class MembershipGateway:
         """
         if self.policy is None:
             return False
-        life = self.lifecycle[shard_id]
+        life = self.lifecycle[slot]
         decision = self.policy.decide(
             life.observe(
                 state,
@@ -402,9 +632,9 @@ class MembershipGateway:
                 reason=decision.reason,
             )
         )
-        await self.backend.rotate(shard_id)
+        await self.backend.rotate(slot)
         life.reset()
-        self._telemetry[shard_id].rotations += 1
+        self._telemetry[slot].rotations += 1
         return True
 
     async def _run_shard_batch(
@@ -417,32 +647,44 @@ class MembershipGateway:
         rotation decision, in that order -- shared verbatim by the
         direct (uncoalesced) path and the coalescer's merged flushes, so
         merging cannot change what a batch observes or triggers.
+
+        ``shard_id`` is global; the slot is resolved twice -- once to
+        find the lock (which travels with the slot if others shift) and
+        again under it, so a shard released mid-flight raises
+        :class:`NotOwner` instead of landing on whatever moved in.
         """
         clock = self._clock
-        async with self._locks[shard_id]:
+        slot = self._slots.get(shard_id)
+        if slot is None:
+            raise self._not_owner(shard_id)
+        lock = self._locks[slot]
+        async with lock:
+            slot = self._slots.get(shard_id)
+            if slot is None:
+                raise self._not_owner(shard_id)
             start = clock()
             if op == "insert":
-                reply = await self.backend.insert_batch(shard_id, items)
+                reply = await self.backend.insert_batch(slot, items)
             else:
-                reply = await self.backend.query_batch(shard_id, items)
+                reply = await self.backend.query_batch(slot, items)
             elapsed = clock() - start
-            telemetry = self._telemetry[shard_id]
+            telemetry = self._telemetry[slot]
             self.op_epoch += len(items)
             if op == "insert":
                 telemetry.inserts += len(items)
                 telemetry.insert_latency.record(elapsed)
-                self.lifecycle[shard_id].note_inserts(len(items))
+                self.lifecycle[slot].note_inserts(len(items))
             else:
                 positives = sum(reply.answers)
                 telemetry.queries += len(items)
                 telemetry.positives += positives
                 telemetry.query_latency.record(elapsed)
-                self.lifecycle[shard_id].note_queries(len(items), positives)
+                self.lifecycle[slot].note_queries(len(items), positives)
             # Unlike the fill-only guard, lifecycle policies react to
             # the query stream too (positive-rate spikes, op age), so
             # the decision runs on both paths.  Answers were computed
             # before any swap, so this batch's reply is unaffected.
-            await self._maybe_rotate(shard_id, reply.state)
+            await self._maybe_rotate(shard_id, slot, reply.state)
         return reply.answers
 
     async def _fan_out(
@@ -457,6 +699,13 @@ class MembershipGateway:
         """
         results: list[bool] = [False] * len(items)
         groups = self._group_by_shard(items)
+        # Reject a stale route before touching any shard: either the
+        # whole batch lands on owned shards or nothing is mutated.  (The
+        # in-flight re-check in _run_shard_batch still guards the racing
+        # case where a shard is released after this gate.)
+        for shard_id in groups:
+            if shard_id not in self._slots:
+                raise self._not_owner(shard_id)
         if self._coalescer is None:
             for shard_id, positions in groups.items():
                 answers = await self._run_shard_batch(
@@ -582,7 +831,9 @@ class MembershipGateway:
             else "off"
         )
         return (
-            f"<MembershipGateway shards={self.shards} picker={self.picker.name} "
+            f"<MembershipGateway {self.name!r} "
+            f"shards={self.shards}/{self.total_shards} "
+            f"picker={self.picker.name} "
             f"backend={self.backend.name} policy={policy} coalesce={coalesce} "
             f"rotations={self.rotations}>"
         )

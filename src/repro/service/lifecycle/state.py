@@ -320,3 +320,30 @@ class ShardLifecycleState:
         life.suppressed = state.get("suppressed", 0)
         life.streaks = dict(state.get("streaks", {}))
         return life
+
+    @classmethod
+    def adopt(cls, shard_id: int, state: dict) -> "ShardLifecycleState":
+        """Rebuild a shard's history *verbatim* for a cluster handoff.
+
+        Unlike :meth:`from_state`, adoption does not flip the shard to
+        ``restored``: a handoff moves a live shard between gateways of
+        one running cluster, it does not resurrect pre-restart bits --
+        so age-triggered defences (:class:`RotateOnRestorePolicy`) must
+        see exactly the flags the losing gateway saw.  Byte-identical
+        round trip: re-exporting the adopted shard yields the original
+        block.
+        """
+        life = cls(shard_id)
+        life.age_base = state["age_ops"]
+        life.inserts = state["inserts"]
+        life.queries = state["queries"]
+        life.positives = state["positives"]
+        life.restored = bool(state["restored"])
+        life.restore_epoch = state["restore_epoch"]
+        for queries, positives in state.get("window", ()):
+            life._window.append((queries, positives))
+            life._window_queries += queries
+            life._window_positives += positives
+        life.suppressed = state.get("suppressed", 0)
+        life.streaks = dict(state.get("streaks", {}))
+        return life

@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.exceptions import ParameterError, ProtocolError
+from repro.exceptions import NotOwner, ParameterError, ProtocolError
 from repro.service.admission import RateLimited
 from repro.service.codec import (
+    OP_HANDOFF,
     OP_INSERT,
     OP_INSERT_BATCH,
     OP_QUERY,
@@ -46,6 +47,7 @@ from repro.service.codec import (
     decode_request_envelope,
     encode_answers_frame,
     encode_error_frame,
+    encode_not_owner_frame,
     encode_stats_frame,
     read_frame,
 )
@@ -263,8 +265,19 @@ class MembershipServer:
                 return encode_stats_frame(
                     snapshots, extra=self._server_stats(), request_id=request_id
                 )
+            if request.op == OP_HANDOFF:
+                # Adoption validates epoch and block before touching any
+                # state; an empty OK answer frame acknowledges it.
+                self.gateway.adopt_shard(
+                    request.shard_id, request.epoch, request.block
+                )
+                return encode_answers_frame([], request_id=request_id)
             return encode_error_frame(
                 ST_PROTOCOL, f"unhandled opcode {request.op}", request_id=request_id
+            )
+        except NotOwner as exc:
+            return encode_not_owner_frame(
+                exc.shard_id, exc.epoch, exc.owner, request_id=request_id
             )
         except RateLimited as exc:
             return encode_error_frame(ST_RATE_LIMITED, str(exc), request_id=request_id)

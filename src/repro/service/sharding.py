@@ -1,82 +1,21 @@
 """Shard routing: which filter shard owns an item.
 
-The router is the first thing adversarial traffic meets, so its hash
-choice matters exactly the way the paper says filter hashes do: a public
-routing hash lets the adversary compute ``pick(item)`` offline and aim
-every crafted item at one shard (concentrating pollution ``shards``-fold),
-while a keyed router -- the same MAC countermeasure as
-:mod:`repro.countermeasures.keyed`, applied one layer up -- reduces the
-attacker to spraying shards blindly.
-
-The routing hash must also be independent of the shard filters' index
-strategy; reusing the filter hash would correlate shard choice with
-filter positions and skew per-shard fill.
+The routers live in :mod:`repro.service.cluster.ring` now -- the
+cluster tier reuses the same hash choice for shard-to-gateway placement
+(consistent-hash ring), so the pickers moved next to the ring and this
+module keeps the historical import path alive.  See the ring module for
+the adversarial framing (public Murmur routing is offline-predictable,
+keyed SipHash routing degrades aimed pollution to spraying) and for the
+``parse_picker`` spec grammar.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from repro.service.cluster.ring import (
+    HashShardPicker,
+    KeyedShardPicker,
+    ShardPicker,
+    parse_picker,
+)
 
-from repro.countermeasures.keyed import generate_key
-from repro.exceptions import ParameterError
-from repro.hashing.murmur import Murmur3_32
-from repro.hashing.siphash import SipHash24
-
-__all__ = ["ShardPicker", "HashShardPicker", "KeyedShardPicker"]
-
-
-class ShardPicker(ABC):
-    """A rule assigning items to shards; stateless, like an IndexStrategy."""
-
-    #: Display name for telemetry tables.
-    name: str = "picker"
-
-    @abstractmethod
-    def pick(self, item: str | bytes, shard_count: int) -> int:
-        """Return the owning shard in ``[0, shard_count)``."""
-
-    def _check(self, shard_count: int) -> None:
-        if shard_count <= 0:
-            raise ParameterError(f"shard_count must be positive, got {shard_count}")
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<{type(self).__name__} {self.name}>"
-
-
-class HashShardPicker(ShardPicker):
-    """Public MurmurHash3 routing -- fast, uniform, and fully predictable.
-
-    This is how real deployments shard (consistent hashing over a public
-    function); it is also the adversary's entry point, since anyone can
-    evaluate the route offline and craft items that all land on one
-    shard.
-    """
-
-    def __init__(self, seed: int = 0x5A4D) -> None:
-        self._hash = Murmur3_32(seed)
-        self.seed = seed
-        self.name = f"murmur3(seed={seed:#x})"
-
-    def pick(self, item: str | bytes, shard_count: int) -> int:
-        self._check(shard_count)
-        return self._hash.hash_int(item) % shard_count
-
-
-class KeyedShardPicker(ShardPicker):
-    """Secret-keyed SipHash routing: the keyed countermeasure for the router.
-
-    Without the key an adversary cannot predict which shard an item hits,
-    so aimed pollution degrades to uniform spraying -- each shard absorbs
-    only ``1/shard_count`` of the crafted stream.
-    """
-
-    def __init__(self, key: bytes | None = None) -> None:
-        self.key = key if key is not None else generate_key(16)
-        if len(self.key) != 16:
-            raise ParameterError("SipHash routing requires a 16-byte key")
-        self._hash = SipHash24(self.key)
-        self.name = "siphash(keyed)"
-
-    def pick(self, item: str | bytes, shard_count: int) -> int:
-        self._check(shard_count)
-        return self._hash.hash_int(item) % shard_count
+__all__ = ["ShardPicker", "HashShardPicker", "KeyedShardPicker", "parse_picker"]

@@ -28,6 +28,15 @@ the same :class:`~repro.service.config.ServiceConfig`; geometry is
 checked shard by shard, keys must be pinned for restored filters to
 answer identically (the config docstring says the same).
 
+The cluster tier reuses the exact per-shard section for *handoff
+blocks* (magic ``RGSB``): one shard's lifecycle, telemetry and filter
+bits, prefixed with the global shard id, exported under the serving
+lock by :meth:`~repro.service.gateway.MembershipGateway.release_shard`
+and restored byte-identically by :meth:`~repro.service.gateway.
+MembershipGateway.adopt_shard`.  Because the section layout is shared,
+a shard that moves between gateways re-exports the same bytes it
+arrived as.
+
 The layout is fixed-width big-endian throughout, magic-and-versioned,
 and every length is validated before any state is touched -- a corrupt
 snapshot fails cleanly, it never half-restores.
@@ -49,10 +58,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "GATEWAY_MAGIC",
     "GATEWAY_VERSION",
+    "SHARD_BLOCK_MAGIC",
+    "SHARD_BLOCK_VERSION",
     "GatewaySnapshot",
+    "ShardBlock",
     "snapshot_gateway",
     "parse_gateway_snapshot",
     "restore_gateway",
+    "snapshot_shard",
+    "parse_shard_block",
     "save_snapshot",
     "load_snapshot",
 ]
@@ -72,6 +86,11 @@ GATEWAY_VERSION = 4
 #: Oldest version :func:`parse_gateway_snapshot` still accepts.
 GATEWAY_MIN_VERSION = 3
 
+#: Magic bytes opening a single-shard handoff block.
+SHARD_BLOCK_MAGIC = b"RGSB"
+#: Handoff block version 1 wraps the gateway-snapshot v4 shard section.
+SHARD_BLOCK_VERSION = 1
+
 _HEADER = struct.Struct(">4sHIIQ")         # magic, version, shards, rotations, op_epoch
 _ROTATION = struct.Struct(">IQQdQ")        # shard_id, weight, insertions, fill, op_epoch
 _STR_LEN = struct.Struct(">H")             # length prefix of policy/reason strings
@@ -88,6 +107,7 @@ _COUNTERS = struct.Struct(">QQQQ")         # inserts, queries, positives, rotati
 # telemetry so the formats cannot drift apart).
 _HISTOGRAM = struct.Struct(f">Qd{_BUCKETS}Q")
 _BLOCK_LEN = struct.Struct(">I")           # per-shard filter block length
+_SHARD_HEADER = struct.Struct(">4sHI")     # magic, version, global shard id
 
 
 @dataclass(frozen=True)
@@ -100,6 +120,51 @@ class GatewaySnapshot:
     lifecycle: list[dict]
     telemetry: list[ShardTelemetry]
     filter_blocks: list[bytes]
+
+
+@dataclass(frozen=True)
+class ShardBlock:
+    """Parsed form of one handoff block: a single shard's full state."""
+
+    shard_id: int
+    lifecycle: dict
+    telemetry: ShardTelemetry
+    filter_block: bytes
+
+
+class _SnapshotReader:
+    """Bounds-checked cursor over a snapshot payload."""
+
+    __slots__ = ("raw", "pos", "label")
+
+    def __init__(self, raw: bytes, label: str) -> None:
+        self.raw = raw
+        self.pos = 0
+        self.label = label
+
+    def take(self, size: int, what: str) -> bytes:
+        end = self.pos + size
+        if end > len(self.raw):
+            raise SnapshotError(
+                f"{self.label} ends inside {what} "
+                f"(need {size} bytes at offset {self.pos})"
+            )
+        chunk = self.raw[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def take_str(self, what: str) -> str:
+        (length,) = _STR_LEN.unpack(self.take(_STR_LEN.size, f"{what} length"))
+        try:
+            return self.take(length, what).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SnapshotError(f"{what} is not valid UTF-8") from exc
+
+    def expect_end(self) -> None:
+        if self.pos != len(self.raw):
+            raise SnapshotError(
+                f"{len(self.raw) - self.pos} trailing bytes after {self.label}"
+            )
 
 
 def _histogram_state(packed: tuple) -> tuple[int, float, tuple[int, ...]]:
@@ -127,6 +192,132 @@ def _block_geometry(raw: bytes) -> tuple:
     return ("bloom", f"m={m}", f"k={k}")
 
 
+def _pack_shard_section(life: dict, telemetry_state: dict, block: bytes) -> list[bytes]:
+    """Serialise one shard's lifecycle + telemetry + filter block.
+
+    This is *the* per-shard layout (gateway snapshot v4); handoff blocks
+    wrap exactly this section, so a shard's bytes are identical whether
+    it rides a whole-gateway snapshot or moves between gateways.
+    """
+    parts = [
+        _LIFECYCLE.pack(
+            life["age_ops"],
+            life["inserts"],
+            life["queries"],
+            life["positives"],
+            int(life["restored"]),
+            life["restore_epoch"],
+        )
+    ]
+    window = life["window"]
+    if len(window) > 0xFFFF:  # pragma: no cover - cap is far below u16
+        raise SnapshotError(
+            f"shard window of {len(window)} batches exceeds the u16 prefix"
+        )
+    parts.append(_WINDOW_LEN.pack(len(window)))
+    for queries, positives in window:
+        parts.append(_WINDOW_ENTRY.pack(queries, positives))
+    streaks = life["streaks"]
+    if len(streaks) > 0xFFFF:  # pragma: no cover - trees are tiny
+        raise SnapshotError(
+            f"shard policy scratch of {len(streaks)} streaks exceeds the u16 prefix"
+        )
+    parts.append(_POLICY_STATE.pack(life["suppressed"], len(streaks)))
+    for key in sorted(streaks):
+        parts.append(_pack_str(key))
+        parts.append(_STREAK_VALUE.pack(streaks[key]))
+    parts.append(
+        _COUNTERS.pack(
+            telemetry_state["inserts"],
+            telemetry_state["queries"],
+            telemetry_state["positives"],
+            telemetry_state["rotations"],
+        )
+    )
+    for key in ("insert_latency", "query_latency"):
+        count, total, buckets = telemetry_state[key]
+        parts.append(_HISTOGRAM.pack(count, total, *buckets))
+    parts.append(_BLOCK_LEN.pack(len(block)))
+    parts.append(block)
+    return parts
+
+
+def _parse_shard_section(
+    reader: _SnapshotReader, shard_id: int, version: int
+) -> tuple[dict, ShardTelemetry, bytes]:
+    """Parse one shard's section; inverse of :func:`_pack_shard_section`.
+
+    ``version`` is the enclosing gateway snapshot's (3 or 4); handoff
+    blocks always carry the v4 layout.
+    """
+    age_ops, life_inserts, life_queries, life_positives, restored, restore_epoch = (
+        _LIFECYCLE.unpack(reader.take(_LIFECYCLE.size, f"shard {shard_id} lifecycle"))
+    )
+    (window_len,) = _WINDOW_LEN.unpack(
+        reader.take(_WINDOW_LEN.size, f"shard {shard_id} window length")
+    )
+    window = tuple(
+        _WINDOW_ENTRY.unpack(
+            reader.take(_WINDOW_ENTRY.size, f"shard {shard_id} window entry")
+        )
+        for _ in range(window_len)
+    )
+    # Version 3 predates the composed-policy scratch: restore it
+    # zero-initialised (cool-down history starts fresh).
+    suppressed = 0
+    streaks: dict[str, int] = {}
+    if version >= 4:
+        suppressed, streak_count = _POLICY_STATE.unpack(
+            reader.take(_POLICY_STATE.size, f"shard {shard_id} policy scratch")
+        )
+        for _ in range(streak_count):
+            key = reader.take_str(f"shard {shard_id} streak key")
+            (value,) = _STREAK_VALUE.unpack(
+                reader.take(_STREAK_VALUE.size, f"shard {shard_id} streak value")
+            )
+            streaks[key] = value
+    life = {
+        "age_ops": age_ops,
+        "inserts": life_inserts,
+        "queries": life_queries,
+        "positives": life_positives,
+        "restored": bool(restored),
+        "restore_epoch": restore_epoch,
+        "window": window,
+        "suppressed": suppressed,
+        "streaks": streaks,
+    }
+    inserts, queries, positives, rotations = _COUNTERS.unpack(
+        reader.take(_COUNTERS.size, f"shard {shard_id} counters")
+    )
+    insert_hist = _histogram_state(
+        _HISTOGRAM.unpack(
+            reader.take(_HISTOGRAM.size, f"shard {shard_id} insert histogram")
+        )
+    )
+    query_hist = _histogram_state(
+        _HISTOGRAM.unpack(
+            reader.take(_HISTOGRAM.size, f"shard {shard_id} query histogram")
+        )
+    )
+    telemetry = ShardTelemetry.from_state(
+        shard_id,
+        {
+            "inserts": inserts,
+            "queries": queries,
+            "positives": positives,
+            "rotations": rotations,
+            "insert_latency": insert_hist,
+            "query_latency": query_hist,
+        },
+    )
+    (block_len,) = _BLOCK_LEN.unpack(
+        reader.take(_BLOCK_LEN.size, f"shard {shard_id} block length")
+    )
+    block = reader.take(block_len, f"shard {shard_id} filter block")
+    return life, telemetry, block
+
+
 def snapshot_gateway(gateway: "MembershipGateway") -> bytes:
     """Serialise ``gateway`` into one warm-restart payload."""
     parts = [
@@ -150,52 +341,18 @@ def snapshot_gateway(gateway: "MembershipGateway") -> bytes:
         )
         parts.append(_pack_str(event.policy))
         parts.append(_pack_str(event.reason))
-    for shard_id, telemetry in enumerate(gateway.telemetry):
+    for slot, telemetry in enumerate(gateway.telemetry):
         # The lifecycle section persists the shard's *total* operation
         # age (gateway base + the backend instance's counter), read in
         # the same sync probe the stats table uses.
-        life = gateway.lifecycle[shard_id].to_state(
-            gateway.backend.state(shard_id).age_ops
+        life = gateway.lifecycle[slot].to_state(
+            gateway.backend.state(slot).age_ops
         )
-        parts.append(
-            _LIFECYCLE.pack(
-                life["age_ops"],
-                life["inserts"],
-                life["queries"],
-                life["positives"],
-                int(life["restored"]),
-                life["restore_epoch"],
+        parts.extend(
+            _pack_shard_section(
+                life, telemetry.to_state(), gateway.backend.export_shard(slot)
             )
         )
-        window = life["window"]
-        if len(window) > 0xFFFF:  # pragma: no cover - cap is far below u16
-            raise SnapshotError(
-                f"shard window of {len(window)} batches exceeds the u16 prefix"
-            )
-        parts.append(_WINDOW_LEN.pack(len(window)))
-        for queries, positives in window:
-            parts.append(_WINDOW_ENTRY.pack(queries, positives))
-        streaks = life["streaks"]
-        if len(streaks) > 0xFFFF:  # pragma: no cover - trees are tiny
-            raise SnapshotError(
-                f"shard policy scratch of {len(streaks)} streaks exceeds the u16 prefix"
-            )
-        parts.append(_POLICY_STATE.pack(life["suppressed"], len(streaks)))
-        for key in sorted(streaks):
-            parts.append(_pack_str(key))
-            parts.append(_STREAK_VALUE.pack(streaks[key]))
-        state = telemetry.to_state()
-        parts.append(
-            _COUNTERS.pack(
-                state["inserts"], state["queries"], state["positives"], state["rotations"]
-            )
-        )
-        for key in ("insert_latency", "query_latency"):
-            count, total, buckets = state[key]
-            parts.append(_HISTOGRAM.pack(count, total, *buckets))
-        block = gateway.backend.export_shard(shard_id)
-        parts.append(_BLOCK_LEN.pack(len(block)))
-        parts.append(block)
     return b"".join(parts)
 
 
@@ -203,28 +360,9 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
     """Validate and parse a :func:`snapshot_gateway` payload."""
     from repro.service.gateway import RotationEvent
 
-    def take(size: int, what: str) -> bytes:
-        nonlocal pos
-        end = pos + size
-        if end > len(raw):
-            raise SnapshotError(
-                f"gateway snapshot ends inside {what} "
-                f"(need {size} bytes at offset {pos})"
-            )
-        chunk = raw[pos:end]
-        pos = end
-        return chunk
-
-    def take_str(what: str) -> str:
-        (length,) = _STR_LEN.unpack(take(_STR_LEN.size, f"{what} length"))
-        try:
-            return take(length, what).decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise SnapshotError(f"{what} is not valid UTF-8") from exc
-
-    pos = 0
+    reader = _SnapshotReader(raw, "gateway snapshot")
     magic, version, shards, rotation_count, op_epoch = _HEADER.unpack(
-        take(_HEADER.size, "header")
+        reader.take(_HEADER.size, "header")
     )
     if magic != GATEWAY_MAGIC:
         raise SnapshotError(f"bad gateway snapshot magic {magic!r}")
@@ -233,10 +371,10 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
     rotation_log = []
     for _ in range(rotation_count):
         shard_id, weight, insertions, fill, event_epoch = _ROTATION.unpack(
-            take(_ROTATION.size, "rotation event")
+            reader.take(_ROTATION.size, "rotation event")
         )
-        policy = take_str("rotation policy name")
-        reason = take_str("rotation reason")
+        policy = reader.take_str("rotation policy name")
+        reason = reader.take_str("rotation reason")
         rotation_log.append(
             RotationEvent(
                 shard_id=shard_id,
@@ -252,71 +390,13 @@ def parse_gateway_snapshot(raw: bytes) -> GatewaySnapshot:
     telemetry: list[ShardTelemetry] = []
     filter_blocks: list[bytes] = []
     for shard_id in range(shards):
-        age_ops, life_inserts, life_queries, life_positives, restored, restore_epoch = (
-            _LIFECYCLE.unpack(take(_LIFECYCLE.size, f"shard {shard_id} lifecycle"))
+        life, shard_telemetry, block = _parse_shard_section(
+            reader, shard_id, version
         )
-        (window_len,) = _WINDOW_LEN.unpack(
-            take(_WINDOW_LEN.size, f"shard {shard_id} window length")
-        )
-        window = tuple(
-            _WINDOW_ENTRY.unpack(
-                take(_WINDOW_ENTRY.size, f"shard {shard_id} window entry")
-            )
-            for _ in range(window_len)
-        )
-        # Version 3 predates the composed-policy scratch: restore it
-        # zero-initialised (cool-down history starts fresh).
-        suppressed = 0
-        streaks: dict[str, int] = {}
-        if version >= 4:
-            suppressed, streak_count = _POLICY_STATE.unpack(
-                take(_POLICY_STATE.size, f"shard {shard_id} policy scratch")
-            )
-            for _ in range(streak_count):
-                key = take_str(f"shard {shard_id} streak key")
-                (value,) = _STREAK_VALUE.unpack(
-                    take(_STREAK_VALUE.size, f"shard {shard_id} streak value")
-                )
-                streaks[key] = value
-        lifecycle.append(
-            {
-                "age_ops": age_ops,
-                "inserts": life_inserts,
-                "queries": life_queries,
-                "positives": life_positives,
-                "restored": bool(restored),
-                "restore_epoch": restore_epoch,
-                "window": window,
-                "suppressed": suppressed,
-                "streaks": streaks,
-            }
-        )
-        inserts, queries, positives, rotations = _COUNTERS.unpack(
-            take(_COUNTERS.size, f"shard {shard_id} counters")
-        )
-        insert_hist = _histogram_state(
-            _HISTOGRAM.unpack(take(_HISTOGRAM.size, f"shard {shard_id} insert histogram"))
-        )
-        query_hist = _histogram_state(
-            _HISTOGRAM.unpack(take(_HISTOGRAM.size, f"shard {shard_id} query histogram"))
-        )
-        telemetry.append(
-            ShardTelemetry.from_state(
-                shard_id,
-                {
-                    "inserts": inserts,
-                    "queries": queries,
-                    "positives": positives,
-                    "rotations": rotations,
-                    "insert_latency": insert_hist,
-                    "query_latency": query_hist,
-                },
-            )
-        )
-        (block_len,) = _BLOCK_LEN.unpack(take(_BLOCK_LEN.size, f"shard {shard_id} block length"))
-        filter_blocks.append(take(block_len, f"shard {shard_id} filter block"))
-    if pos != len(raw):
-        raise SnapshotError(f"{len(raw) - pos} trailing bytes after gateway snapshot")
+        lifecycle.append(life)
+        telemetry.append(shard_telemetry)
+        filter_blocks.append(block)
+    reader.expect_end()
     return GatewaySnapshot(
         shards=shards,
         op_epoch=op_epoch,
@@ -333,7 +413,10 @@ def restore_gateway(gateway: "MembershipGateway", raw: bytes) -> None:
     Shard filters are restored through the backend (so this works for
     local and process-pool deployments alike), then the rotation log,
     lifecycle state and telemetry are replaced.  Geometry mismatches
-    abort before the first shard is touched.
+    abort before the first shard is touched, and a backend failure
+    mid-apply rolls the already-restored shards back to their previous
+    bits -- restore is all-or-nothing, the gateway stays usable either
+    way.
 
     Shards whose persisted state shows a lived life (non-zero operation
     age) come back flagged *restored* -- the observation
@@ -343,23 +426,41 @@ def restore_gateway(gateway: "MembershipGateway", raw: bytes) -> None:
     from repro.service.lifecycle import ShardLifecycleState
 
     snapshot = parse_gateway_snapshot(raw)
+    if gateway.shard_ids != list(range(gateway.shards)):
+        raise SnapshotError(
+            "whole-gateway restore targets an identity shard mapping; "
+            f"this gateway owns the subset {gateway.shard_ids} -- move "
+            "shards with handoff blocks instead"
+        )
     if snapshot.shards != gateway.shards:
         raise SnapshotError(
             f"snapshot holds {snapshot.shards} shards, gateway has {gateway.shards}"
         )
     # Dry-run the geometry check across every block first: restore must
     # be all-or-nothing, and backends validate only at apply time.
+    backups: list[bytes] = []
     for shard_id, block in enumerate(snapshot.filter_blocks):
         # Header-only comparison: export_shard ships the current bits,
         # but the geometry probe reads headers without rebuilding.
         wanted = _block_geometry(block)
-        current = _block_geometry(gateway.backend.export_shard(shard_id))
+        backup = gateway.backend.export_shard(shard_id)
+        current = _block_geometry(backup)
         if wanted != current:
             raise SnapshotError(
                 f"shard {shard_id} snapshot is {wanted}, gateway shard is {current}"
             )
-    for shard_id, block in enumerate(snapshot.filter_blocks):
-        gateway.backend.restore_shard(shard_id, block)
+        backups.append(backup)
+    applied: list[int] = []
+    try:
+        for shard_id, block in enumerate(snapshot.filter_blocks):
+            gateway.backend.restore_shard(shard_id, block)
+            applied.append(shard_id)
+    except Exception:
+        # Geometry already matched, so rolling the applied shards back
+        # to their own exported bits cannot fail the same way.
+        for shard_id in applied:
+            gateway.backend.restore_shard(shard_id, backups[shard_id])
+        raise
     gateway.rotation_log[:] = snapshot.rotation_log
     gateway._telemetry[:] = snapshot.telemetry
     gateway.op_epoch = snapshot.op_epoch
@@ -367,6 +468,56 @@ def restore_gateway(gateway: "MembershipGateway", raw: bytes) -> None:
         ShardLifecycleState.from_state(shard_id, state, restore_epoch=snapshot.op_epoch)
         for shard_id, state in enumerate(snapshot.lifecycle)
     ]
+
+
+def snapshot_shard(gateway: "MembershipGateway", shard_id: int) -> bytes:
+    """Serialise one owned shard into a handoff block (magic ``RGSB``).
+
+    The caller (the gateway's handoff path) holds the shard's serving
+    lock, so lifecycle, telemetry and filter bits are mutually
+    consistent.  The payload wraps the gateway-snapshot v4 per-shard
+    section, so a moved shard's bytes round-trip exactly.
+    """
+    slot = gateway._slot_of(shard_id)
+    life = gateway.lifecycle[slot].to_state(
+        gateway.backend.state(slot).age_ops
+    )
+    parts = [_SHARD_HEADER.pack(SHARD_BLOCK_MAGIC, SHARD_BLOCK_VERSION, shard_id)]
+    parts.extend(
+        _pack_shard_section(
+            life,
+            gateway._telemetry[slot].to_state(),
+            gateway.backend.export_shard(slot),
+        )
+    )
+    return b"".join(parts)
+
+
+def parse_shard_block(raw: bytes) -> ShardBlock:
+    """Validate and parse a :func:`snapshot_shard` handoff block.
+
+    Every length is checked before any caller state changes, so a
+    hostile or truncated block raises :class:`SnapshotError` without
+    side effects.
+    """
+    reader = _SnapshotReader(raw, "shard handoff block")
+    magic, version, shard_id = _SHARD_HEADER.unpack(
+        reader.take(_SHARD_HEADER.size, "header")
+    )
+    if magic != SHARD_BLOCK_MAGIC:
+        raise SnapshotError(f"bad shard block magic {magic!r}")
+    if version != SHARD_BLOCK_VERSION:
+        raise SnapshotError(f"unsupported shard block version {version}")
+    life, telemetry, block = _parse_shard_section(
+        reader, shard_id, GATEWAY_VERSION
+    )
+    reader.expect_end()
+    return ShardBlock(
+        shard_id=shard_id,
+        lifecycle=life,
+        telemetry=telemetry,
+        filter_block=block,
+    )
 
 
 def save_snapshot(gateway: "MembershipGateway", path: str | Path) -> Path:

@@ -24,6 +24,7 @@ def test_registry_covers_every_paper_artifact():
         "rotation_policy_study",
         "adaptive_budget_study",
         "defense_frontier",
+        "cluster_study",
     }
 
 

@@ -146,9 +146,42 @@ def test_closed_backend_refuses_work():
 
 def test_invalid_shard_counts():
     with pytest.raises(ParameterError):
-        LocalBackend(factory, 0)
+        LocalBackend(factory, -1)
     with pytest.raises(ParameterError):
         ProcessPoolBackend(factory, -1)
+    # Zero is legal for a local backend (a cluster gateway may own no
+    # shards until a handoff lands); slots then arrive via attach_shard.
+    empty = LocalBackend(factory, 0)
+    assert empty.shards == 0
+    assert empty.attach_shard() == 0
+    assert empty.shards == 1
+
+
+def test_attach_detach_shard_slots():
+    backend = LocalBackend(factory, 2)
+    slot = backend.attach_shard()
+    assert slot == 2 and backend.shards == 3
+
+    async def fill():
+        await backend.insert_batch(2, ["moved-item"])
+
+    asyncio.run(fill())
+    assert backend.state(2).insertions == 1
+    # Detaching a lower slot shifts the others down, carrying state.
+    backend.detach_shard(0)
+    assert backend.shards == 2
+    assert backend.state(1).insertions == 1
+    with pytest.raises(ParameterError):
+        backend.detach_shard(5)
+    # The process pool pins one worker per slot: no dynamic membership.
+    pool = ProcessPoolBackend(factory, 1)
+    try:
+        with pytest.raises(BackendError, match="attach"):
+            pool.attach_shard()
+        with pytest.raises(BackendError, match="detach"):
+            pool.detach_shard(0)
+    finally:
+        pool.close()
 
 
 def test_gateway_over_process_backend_matches_local():

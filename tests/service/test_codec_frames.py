@@ -18,13 +18,16 @@ from repro.exceptions import ProtocolError
 from repro.service.codec import (
     FRAME_V2,
     MAX_FRAME,
+    OP_HANDOFF,
     OP_INSERT_BATCH,
     OP_QUERY,
     OP_QUERY_BATCH,
     OP_STATS,
     ST_ERROR,
+    ST_NOT_OWNER,
     ST_OK,
     ST_RATE_LIMITED,
+    Redirect,
     decode_request,
     decode_request_envelope,
     decode_response,
@@ -34,6 +37,9 @@ from repro.service.codec import (
     encode_error,
     encode_error_frame,
     encode_frame,
+    encode_handoff_frame,
+    encode_not_owner,
+    encode_not_owner_frame,
     encode_request,
     encode_request_frame,
     encode_stats,
@@ -331,3 +337,113 @@ def test_trailing_garbage_after_v2_payload_rejected():
     frame = encode_request_frame(OP_QUERY, ["x"], "c", request_id=5)
     with pytest.raises(ProtocolError, match="trailing"):
         decode_request_envelope(frame[4:] + b"\x00")
+
+
+# ----------------------------------------------------------------------
+# Cluster frames: handoff requests and not-owner redirects
+# ----------------------------------------------------------------------
+
+_BLOCK = b"RGSB-test-shard-block-bytes"
+# v2 handoff payload layout with client "anon": envelope(5) + op(1) +
+# client_len(2) + "anon"(4) + shard(4) = 16, then epoch(8), block_len(4).
+_EPOCH_AT = 16
+_BLOCK_LEN_AT = _EPOCH_AT + 8
+
+
+def test_handoff_frame_round_trip_both_generations():
+    frame = encode_handoff_frame(7, 3, _BLOCK, client="mover", request_id=11)
+    rid, request = decode_request_envelope(frame[4:])
+    assert rid == 11 and request.op == OP_HANDOFF
+    assert (request.shard_id, request.epoch) == (7, 3)
+    assert request.block == _BLOCK and request.items == []
+    assert request.client == "mover"
+    # Without a correlation id the encoder emits a bare v1 payload that
+    # the legacy decoder accepts.
+    bare = encode_handoff_frame(7, 3, _BLOCK)[4:]
+    assert decode_request(bare).block == _BLOCK
+    # Bytes-likes are accepted and normalised.
+    assert encode_handoff_frame(7, 3, bytearray(_BLOCK)) == encode_frame(bare)
+
+
+def test_handoff_frame_rejects_bad_fields_at_encode_time():
+    with pytest.raises(ProtocolError, match="u32 range"):
+        encode_handoff_frame(1 << 32, 1, _BLOCK)
+    for epoch in (0, -1, 1 << 64):
+        with pytest.raises(ProtocolError, match="positive u64"):
+            encode_handoff_frame(0, epoch, _BLOCK)
+    with pytest.raises(ProtocolError, match="empty shard block"):
+        encode_handoff_frame(0, 1, b"")
+    with pytest.raises(ProtocolError, match="must be bytes"):
+        encode_handoff_frame(0, 1, "not-bytes")
+
+
+def test_handoff_truncated_epoch_rejected():
+    payload = encode_handoff_frame(2, 9, _BLOCK, request_id=1)[4:]
+    for cut in range(_EPOCH_AT, _EPOCH_AT + 8):
+        with pytest.raises(ProtocolError, match="handoff epoch"):
+            decode_request_envelope(payload[:cut])
+
+
+def test_handoff_zero_epoch_on_the_wire_rejected():
+    # The encoder refuses epoch 0, so a replayed "no view" sentinel can
+    # only arrive hand-crafted -- patch the epoch field to zeros.
+    payload = bytearray(encode_handoff_frame(2, 9, _BLOCK, request_id=1)[4:])
+    payload[_EPOCH_AT : _EPOCH_AT + 8] = bytes(8)
+    with pytest.raises(ProtocolError, match="epoch must be positive"):
+        decode_request_envelope(bytes(payload))
+
+
+def test_handoff_block_length_overrun_rejected_before_allocation():
+    payload = bytearray(encode_handoff_frame(2, 9, _BLOCK, request_id=1)[4:])
+    payload[_BLOCK_LEN_AT : _BLOCK_LEN_AT + 4] = (0xFFFFFF).to_bytes(4, "big")
+    with pytest.raises(ProtocolError, match="ends inside handoff shard block"):
+        decode_request_envelope(bytes(payload))
+
+
+def test_handoff_empty_block_on_the_wire_rejected():
+    payload = bytearray(encode_handoff_frame(2, 9, _BLOCK, request_id=1)[4:])
+    trimmed = payload[: _BLOCK_LEN_AT] + bytes(4)
+    with pytest.raises(ProtocolError, match="empty shard block"):
+        decode_request_envelope(bytes(trimmed))
+
+
+def test_handoff_trailing_garbage_rejected():
+    payload = encode_handoff_frame(2, 9, _BLOCK, request_id=1)[4:]
+    with pytest.raises(ProtocolError, match="trailing"):
+        decode_request_envelope(payload + b"\x00")
+
+
+def test_not_owner_frame_round_trip_and_payload_parity():
+    frame = encode_not_owner_frame(3, 5, "beta", request_id=2)
+    rid, response = decode_response_envelope(frame[4:])
+    assert rid == 2 and response.status == ST_NOT_OWNER
+    assert response.redirect == Redirect(shard_id=3, epoch=5, owner="beta")
+    assert response.answers is None and response.message is None
+    # The v2 frame's body matches the payload encoder byte for byte,
+    # and the v1 frame is exactly the framed payload.
+    assert frame[9:] == encode_not_owner(3, 5, "beta")
+    assert encode_not_owner_frame(3, 5, "beta") == encode_frame(
+        encode_not_owner(3, 5, "beta")
+    )
+    # Epoch 0 with no owner is the legal "no ownership view" sentinel.
+    _, bare = decode_response_envelope(encode_not_owner_frame(3, 0)[4:])
+    assert bare.redirect == Redirect(shard_id=3, epoch=0, owner="")
+
+
+def test_not_owner_truncated_owner_rejected():
+    payload = encode_not_owner_frame(3, 5, "beta", request_id=2)[4:]
+    with pytest.raises(ProtocolError, match="redirect owner"):
+        decode_response_envelope(payload[:-2])
+    # envelope(5) + status(1) + shard(4) puts the epoch at offset 10.
+    with pytest.raises(ProtocolError, match="redirect epoch"):
+        decode_response_envelope(payload[:14])
+
+
+def test_error_encoders_reject_not_owner_status():
+    # ST_NOT_OWNER carries a structured redirect, not a message: the
+    # diagnostic encoders must refuse it rather than emit an ambiguous
+    # body.
+    with pytest.raises(ProtocolError, match="bad error status"):
+        encode_error(ST_NOT_OWNER, "wrong shape")
+    with pytest.raises(ProtocolError, match="bad error status"):
+        encode_error_frame(ST_NOT_OWNER, "wrong shape", request_id=1)

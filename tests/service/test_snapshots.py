@@ -302,3 +302,49 @@ def test_v4_snapshot_is_written_and_v3_reparse_matches():
         parse_gateway_snapshot(
             _HEADER.pack(b"RGSN", 2, 0, 0, 0)  # v2 predates the window section
         )
+
+
+def test_failed_restore_is_all_or_nothing(monkeypatch):
+    """A restore that dies mid-loop must roll back, not half-apply."""
+    gateway = worked_gateway()
+    raw = snapshot_gateway(gateway)
+
+    victim = make_gateway(m=256, guard=SaturationGuard(0.35))
+    asyncio.run(victim.insert_batch(URLS[:40], client="pre-restore"))
+    before = [victim.backend.export_shard(s) for s in range(victim.shards)]
+    before_answers = asyncio.run(victim.query_batch(PROBES, client="probe"))
+
+    real_restore = type(victim.backend).restore_shard
+    calls = {"n": 0}
+
+    def dying_restore(self, shard_id, payload):
+        calls["n"] += 1
+        # Fail the last shard exactly once: the rollback's own
+        # restore_shard calls (n > shards) must go through.
+        if calls["n"] == victim.shards:
+            raise SnapshotError("injected restore failure")
+        return real_restore(self, shard_id, payload)
+
+    monkeypatch.setattr(type(victim.backend), "restore_shard", dying_restore)
+    with pytest.raises(SnapshotError, match="injected"):
+        restore_gateway(victim, raw)
+    monkeypatch.undo()
+
+    # Every shard -- including the ones that *were* applied before the
+    # failure -- is byte-identical to its pre-restore state, and the
+    # gateway still serves.
+    after = [victim.backend.export_shard(s) for s in range(victim.shards)]
+    assert after == before
+    assert asyncio.run(victim.query_batch(PROBES, client="probe")) == before_answers
+    asyncio.run(victim.insert("still-serving", client="probe"))
+    assert asyncio.run(victim.query("still-serving", client="probe"))
+
+
+def test_restore_refuses_subset_gateways():
+    """Whole-gateway restore is for identity-mapped gateways only; a
+    cluster member owning a subset moves state via shard blocks."""
+    gateway = worked_gateway()
+    raw = snapshot_gateway(gateway)
+    member = make_gateway(m=256, shards=None, shard_ids=[1, 3], total_shards=4)
+    with pytest.raises(SnapshotError, match="subset"):
+        restore_gateway(member, raw)
