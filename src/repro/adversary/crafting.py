@@ -10,20 +10,65 @@ The engine pulls candidates from any iterator (usually a
 through the *public* strategy of the target filter, and keeps the first
 candidate whose index tuple satisfies the attack predicate.  Trial counts
 are recorded so the cost figures (paper Figs. 5 and 6) can be rebuilt.
+
+Two search paths share byte-for-byte identical semantics:
+
+* the **scalar** path examines one candidate at a time, exactly as the
+  paper describes;
+* the **batched** path pulls blocks of candidates, derives the whole
+  block's index matrix through the strategy's ``flat_batch_indexes``
+  (vectorised for the Kirsch-Mitzenmacher/murmur128 hot path) and
+  evaluates a :class:`~repro.adversary.predicates.BatchPredicate` mask
+  over the block.
+
+Exactness is non-negotiable: the batched path returns the *first*
+satisfying candidate of the stream, charges the shared
+:class:`~repro.adversary.budget.AttackBudget` the same trial counts at
+the same points, and raises the same exceptions with the same ``trials``
+attributes.  Candidates pulled past a winner keep their (state-
+independent) index tuples and are *carried* into the engine's next
+search, so the candidate stream position matches the scalar engine
+item-for-item across a whole campaign.  ``craft()`` auto-dispatches:
+mask-capable predicates take the batched path when the strategy brings
+a batch kernel and the accel backend is on (``REPRO_PURE_PYTHON=1``
+falls back to the scalar loop, and strategies without a kernel -- e.g.
+the two-choice pair derivation -- stay scalar because a block's k
+scalar hashes per over-pulled candidate would cost more than the mask
+saves).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
+from repro import accel
 from repro.exceptions import CraftingBudgetExceeded, ParameterError
 from repro.hashing.base import IndexStrategy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.adversary.budget import AttackBudget
 
-__all__ = ["CraftResult", "CraftingEngine", "expected_trials"]
+__all__ = ["CraftResult", "CraftingEngine", "expected_trials", "CRAFT_BLOCK_SIZE"]
+
+#: First-block size of a batched search -- big enough to amortise the
+#: vectorised hashing setup, small enough that cheap searches don't
+#: over-pull the candidate stream.  The asymmetry drives the choice:
+#: a hard search recoups a small start within a few doublings of the
+#: ramp, but a search that wins in single-digit trials never gets its
+#: over-pull back once the engine is dropped (the traffic driver
+#: re-binds a fresh attack to the live filter every chunk), and pulling
+#: through a shard-routed stream costs ~``shards`` generated candidates
+#: per accepted one.
+CRAFT_BLOCK_SIZE = 64
+
+#: Ceiling of the per-search block ramp: each further block of one
+#: search doubles in size up to this, so expensive searches spend their
+#: time in large, well-amortised kernel calls while staying exact (the
+#: post-winner tail is carried either way).
+CRAFT_BLOCK_MAX = 8192
 
 
 @dataclass(frozen=True)
@@ -55,6 +100,25 @@ def expected_trials(success_probability: float) -> float:
     return 1.0 / success_probability
 
 
+def _row_tuple(matrix, j: int) -> tuple[int, ...]:
+    """Row ``j`` of a block index matrix as a plain int tuple."""
+    row = matrix[j]
+    if isinstance(row, tuple):
+        return row
+    return tuple(int(v) for v in row)
+
+
+def _first_true(mask) -> int | None:
+    """Index of the first truthy entry of a mask (ndarray or sequence)."""
+    np = accel.numpy_or_none()
+    if np is not None and isinstance(mask, np.ndarray):
+        return int(mask.argmax()) if mask.any() else None
+    for j, value in enumerate(mask):
+        if value:
+            return j
+    return None
+
+
 class CraftingEngine:
     """Brute-force item forge against a known index strategy.
 
@@ -78,6 +142,14 @@ class CraftingEngine:
         trials actually examined, under ``label``.  A drained purse
         raises :class:`~repro.exceptions.AttackBudgetExhausted` before
         the search starts.
+    candidate_batch:
+        Optional bulk puller ``n -> list[str]`` for the batched path
+        (usually :meth:`UrlFactory.candidate_batch`); it must draw from
+        the *same* underlying source as ``candidates`` so scalar and
+        batched pulls interleave into one sequential stream.  Without
+        it, blocks are sliced off the ``candidates`` iterator.
+    block_size:
+        Candidates per batched block.
     """
 
     def __init__(
@@ -89,43 +161,209 @@ class CraftingEngine:
         max_trials: int = 5_000_000,
         budget: "AttackBudget | None" = None,
         label: str = "craft",
+        candidate_batch: Callable[[int], list[str]] | None = None,
+        block_size: int = CRAFT_BLOCK_SIZE,
     ) -> None:
         if k <= 0 or m <= 0:
             raise ParameterError("k and m must be positive")
         if max_trials <= 0:
             raise ParameterError("max_trials must be positive")
+        if block_size <= 0:
+            raise ParameterError("block_size must be positive")
         self.strategy = strategy
         self.k = k
         self.m = m
         self.max_trials = max_trials
         self.budget = budget
         self.label = label
+        self.block_size = block_size
         self._candidates: Iterator[str] = iter(candidates)
+        self._candidate_batch = candidate_batch
+        #: Whether the strategy brings its own batch kernel (overrides
+        #: the base scalar flatten).  Without one, block hashing costs
+        #: exactly k scalar derivations per pulled candidate, and a
+        #: block's over-pull past a cheap win makes the batched path a
+        #: net loss -- so ``craft()`` keeps such strategies scalar.
+        #: Duck-typed strategies outside the IndexStrategy hierarchy
+        #: have no flattened batch form at all, so they stay scalar too.
+        self._batch_kernel = (
+            getattr(type(strategy), "flat_batch_indexes", None)
+            not in (None, IndexStrategy.flat_batch_indexes)
+        )
+        #: Candidates a previous batched search pulled but never
+        #: examined (the post-winner tail of its last block), kept as
+        #: block segments ``[items, matrix, start]`` so the index rows
+        #: stay in their (state-independent) block matrix with no
+        #: per-row conversion.  Predicates are re-evaluated against
+        #: current filter state when the next search consumes them.
+        self._carry: deque[list] = deque()
         #: Total candidates examined over the engine's lifetime.
         self.total_trials = 0
+
+    @property
+    def carried(self) -> int:
+        """Candidates pulled but not yet examined (batched-path tail)."""
+        return sum(len(items) - start for items, _, start in self._carry)
 
     def _spend(self, trials: int) -> None:
         self.total_trials += trials
         if self.budget is not None:
             self.budget.charge_trials(trials, self.label)
 
+    # -- search paths ---------------------------------------------------
+
     def craft(self, predicate: Callable[[tuple[int, ...]], bool]) -> CraftResult:
-        """Return the first candidate whose indexes satisfy ``predicate``."""
+        """Return the first candidate whose indexes satisfy ``predicate``.
+
+        Dispatches to the batched path when the predicate is
+        mask-capable, the strategy has a batch kernel, and the accel
+        backend is on; the scalar loop otherwise.  Both paths produce
+        identical results, trial counts and budget charges.
+        """
+        if (
+            self._batch_kernel
+            and callable(getattr(predicate, "mask", None))
+            and accel.accelerated(self.block_size)
+        ):
+            return self.craft_batched(predicate)
+        return self.craft_scalar(predicate)
+
+    def craft_scalar(
+        self, predicate: Callable[[tuple[int, ...]], bool]
+    ) -> CraftResult:
+        """The paper's one-candidate-at-a-time search."""
         cap = self.max_trials
         if self.budget is not None:
             cap = self.budget.clamp_trials(cap, self.label)
         for trial in range(1, cap + 1):
-            try:
-                item = next(self._candidates)
-            except StopIteration as exc:  # pragma: no cover - defensive
-                self._spend(trial - 1)
-                raise CraftingBudgetExceeded(
-                    "candidate stream exhausted", trials=trial - 1
-                ) from exc
-            indexes = self.strategy.indexes(item, self.k, self.m)
+            if self._carry:
+                seg = self._carry[0]
+                items, matrix, start = seg
+                item = items[start]
+                indexes = _row_tuple(matrix, start)
+                seg[2] = start + 1
+                if seg[2] >= len(items):
+                    self._carry.popleft()
+            else:
+                try:
+                    item = next(self._candidates)
+                except StopIteration as exc:  # pragma: no cover - defensive
+                    self._spend(trial - 1)
+                    raise CraftingBudgetExceeded(
+                        "candidate stream exhausted", trials=trial - 1
+                    ) from exc
+                indexes = self.strategy.indexes(item, self.k, self.m)
             if predicate(indexes):
                 self._spend(trial)
                 return CraftResult(item=item, indexes=indexes, trials=trial)
+        return self._raise_exhausted(cap)
+
+    def craft_batched(
+        self, predicate: Callable[[tuple[int, ...]], bool]
+    ) -> CraftResult:
+        """Block-at-a-time search with scalar-identical accounting.
+
+        Works under the pure backend too (block hashing and the mask
+        both degrade to loops), so parity can be proven in both modes.
+        """
+        cap = self.max_trials
+        if self.budget is not None:
+            cap = self.budget.clamp_trials(cap, self.label)
+        mask_fn = getattr(predicate, "mask", None)
+        # Filter state cannot change mid-search, so predicates exposing
+        # snapshot() have their bulk state read once here and threaded
+        # through every block's mask.
+        snapshot_fn = getattr(predicate, "snapshot", None)
+        state = snapshot_fn() if callable(snapshot_fn) else None
+        examined = 0
+        # Carried candidates first: the stream already moved past them,
+        # and their index rows are cached in their block matrix -- only
+        # the (state-dependent) predicate is re-evaluated, as one
+        # mask call per pending segment.
+        while self._carry and examined < cap:
+            seg = self._carry[0]
+            items, matrix, start = seg
+            take = min(len(items) - start, cap - examined)
+            sub = matrix[start : start + take]
+            mask = self._eval_mask(mask_fn, predicate, sub, state)
+            hit = _first_true(mask)
+            if hit is not None:
+                row = start + hit
+                trials = examined + hit + 1
+                seg[2] = row + 1
+                if seg[2] >= len(items):
+                    self._carry.popleft()
+                self._spend(trials)
+                return CraftResult(
+                    item=items[row],
+                    indexes=_row_tuple(matrix, row),
+                    trials=trials,
+                )
+            examined += take
+            seg[2] = start + take
+            if seg[2] >= len(items):
+                self._carry.popleft()
+        block = self.block_size
+        while examined < cap:
+            # Never pull past the allowance: every pulled candidate in a
+            # non-winning block is examined and charged, exactly like
+            # the scalar loop.
+            items = self._pull_block(min(block, cap - examined))
+            block = min(block * 2, CRAFT_BLOCK_MAX)
+            if not items:
+                self._spend(examined)
+                raise CraftingBudgetExceeded(
+                    "candidate stream exhausted", trials=examined
+                )
+            matrix = self._block_matrix(items)
+            mask = self._eval_mask(mask_fn, predicate, matrix, state)
+            hit = _first_true(mask)
+            if hit is not None:
+                trials = examined + hit + 1
+                if hit + 1 < len(items):
+                    self._carry.append([items, matrix, hit + 1])
+                self._spend(trials)
+                return CraftResult(
+                    item=items[hit],
+                    indexes=_row_tuple(matrix, hit),
+                    trials=trials,
+                )
+            examined += len(items)
+        return self._raise_exhausted(cap)
+
+    # -- shared plumbing ------------------------------------------------
+
+    @staticmethod
+    def _eval_mask(mask_fn, predicate, matrix, state):
+        """The block's boolean mask, via the vector form when available.
+
+        ``state`` is only passed to mask-capable predicates that also
+        expose ``snapshot()`` (the :class:`~repro.adversary.predicates.
+        StatePredicate` family contract); bare-mask predicates keep the
+        single-argument call.
+        """
+        if callable(mask_fn):
+            if state is not None:
+                return mask_fn(matrix, state)
+            return mask_fn(matrix)
+        return [predicate(_row_tuple(matrix, j)) for j in range(len(matrix))]
+
+    def _pull_block(self, n: int) -> list[str]:
+        if self._candidate_batch is not None:
+            return self._candidate_batch(n)
+        return list(islice(self._candidates, n))
+
+    def _block_matrix(self, items: list[str]):
+        """The block's index matrix: an ``(n, k)`` ndarray on the accel
+        path, a list of int tuples on the pure path."""
+        flat = self.strategy.flat_batch_indexes(items, self.k, self.m)
+        np = accel.numpy_or_none()
+        if np is not None and isinstance(flat, np.ndarray):
+            return flat.reshape(len(items), self.k)
+        k = self.k
+        return [tuple(flat[i * k : (i + 1) * k]) for i in range(len(items))]
+
+    def _raise_exhausted(self, cap: int) -> CraftResult:
         self._spend(cap)
         if cap < self.max_trials and self.budget is not None:
             # The search was cut short by the shared purse, and the purse

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.adversary.crafting import CraftingEngine, CraftResult
+from repro.adversary.predicates import FreshBitsPredicate
 from repro.adversary.state import TargetFilter, bit_oracle
 from repro.core.analysis import birthday_threshold
 from repro.exceptions import ParameterError
@@ -98,6 +99,9 @@ class PollutionAttack:
     budget:
         Optional campaign-wide :class:`~repro.adversary.budget.
         AttackBudget` every trial is charged against (under ``label``).
+    candidate_batch:
+        Optional bulk puller for the batched engine path; wired to the
+        internal factory's when ``candidates`` is omitted.
     """
 
     def __init__(
@@ -108,11 +112,17 @@ class PollutionAttack:
         seed: int = 0x5EED,
         budget=None,
         label: str = "pollution",
+        candidate_batch=None,
     ) -> None:
         self.target = target
         self._is_set = bit_oracle(target)
         if candidates is None:
-            candidates = UrlFactory(seed=seed).candidate_stream()
+            factory = UrlFactory(seed=seed)
+            candidates = factory.candidate_stream()
+            candidate_batch = factory.candidate_batch
+        #: Mask-capable predicate; the engine auto-dispatches to the
+        #: batched search path whenever the accel backend is on.
+        self.predicate = FreshBitsPredicate(target)
         self.engine = CraftingEngine(
             target.strategy,
             target.k,
@@ -121,17 +131,16 @@ class PollutionAttack:
             max_trials,
             budget=budget,
             label=label,
+            candidate_batch=candidate_batch,
         )
 
     def _predicate(self, indexes: tuple[int, ...]) -> bool:
         """Eq. (6): pairwise-distinct indexes, all on unset bits."""
-        return len(set(indexes)) == len(indexes) and not any(
-            self._is_set(i) for i in indexes
-        )
+        return self.predicate(indexes)
 
     def craft_one(self) -> CraftResult:
         """Craft (but do not insert) one polluting item for the current state."""
-        return self.engine.craft(self._predicate)
+        return self.engine.craft(self.predicate)
 
     def run(self, count: int, insert: bool = True) -> PollutionReport:
         """Craft ``count`` polluting items, inserting each by default.

@@ -1,0 +1,175 @@
+"""Vectorisable attack predicates for the batched crafting engine.
+
+The scalar :class:`~repro.adversary.crafting.CraftingEngine` evaluates
+an arbitrary ``tuple -> bool`` callable one candidate at a time; the
+batched search path wants the same decision over a whole *block* of
+candidates at once.  A :class:`BatchPredicate` supplies both forms:
+
+* ``__call__(indexes)`` -- the scalar truth, byte-for-byte the same
+  rule the attacks have always used (and the ground truth the parity
+  suite checks the mask against);
+* ``mask(matrix)`` -- the vectorised form over an ``(n, k)`` index
+  matrix, returning one boolean per row.
+
+Predicates that read filter state (all four attack predicates do)
+snapshot it once per ``mask`` call via
+:func:`~repro.adversary.state.bit_state_array` -- filter state never
+changes inside one brute-force search, so a per-block snapshot is
+exact.  When numpy is unavailable the snapshot returns ``None`` and
+``mask`` degrades to a scalar loop, keeping the protocol total.
+
+The four concrete predicates are exactly the paper's attack rules:
+
+* :class:`FreshBitsPredicate` -- pollution, eq. (6): pairwise-distinct
+  indexes, all on unset bits;
+* :class:`AllSetPredicate` -- ghost forgery, eq. (8): every index on a
+  set bit;
+* :class:`LatencyPredicate` -- worst-case latency queries: the first
+  k-1 indexes set, the last unset;
+* :class:`TwoChoiceFreshPredicate` -- the two-choice variant: both
+  candidate groups entirely fresh and each internally distinct.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro import accel
+from repro.adversary.state import bit_oracle, bit_state_array
+
+__all__ = [
+    "BatchPredicate",
+    "StatePredicate",
+    "FreshBitsPredicate",
+    "AllSetPredicate",
+    "LatencyPredicate",
+    "TwoChoiceFreshPredicate",
+]
+
+
+@runtime_checkable
+class BatchPredicate(Protocol):
+    """A crafting predicate with a vectorised block form.
+
+    The engine treats any plain callable as scalar-only; objects
+    matching this protocol additionally answer for a whole candidate
+    block in one call.
+    """
+
+    def __call__(self, indexes: tuple[int, ...]) -> bool: ...
+
+    def mask(self, matrix, state=None): ...
+
+
+class StatePredicate:
+    """Shared plumbing of the state-reading attack predicates.
+
+    Holds the target filter, the scalar bit oracle, and the per-block
+    state snapshot logic.  Sub-classes implement ``__call__`` (scalar)
+    and ``_mask`` (vectorised over a snapshot); :meth:`mask` falls back
+    to a scalar loop when no bulk state is readable, so the predicate
+    works under the pure-Python fallback too.
+    """
+
+    def __init__(self, target) -> None:
+        self.target = target
+        self._is_set = bit_oracle(target)
+
+    def _mask(self, matrix, state):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def snapshot(self):
+        """Bulk bit state for :meth:`mask`'s ``state`` argument.
+
+        The engine calls this once per search (filter state cannot
+        change mid-search) and threads the snapshot through every
+        block's mask, instead of re-reading ``m`` bits per block.
+        ``None`` means no bulk state is available (pure backend).
+        """
+        return bit_state_array(self.target)
+
+    def mask(self, matrix, state=None):
+        """One boolean per row of ``matrix`` (an ``(n, k)`` index block).
+
+        ``state`` is an optional pre-taken :meth:`snapshot`; without it
+        the snapshot is taken here.
+        """
+        if state is None:
+            state = self.snapshot()
+        if state is None:
+            return [self(tuple(int(i) for i in row)) for row in matrix]
+        np = accel.numpy_or_none()
+        if not isinstance(matrix, np.ndarray):
+            # Strategies without a vector kernel hand over a list of
+            # tuples; the mask still vectorises over it.
+            matrix = np.asarray(matrix, dtype=np.int64)
+        return self._mask(matrix, state)
+
+
+class FreshBitsPredicate(StatePredicate):
+    """Pollution, eq. (6): pairwise-distinct indexes, all unset."""
+
+    def __call__(self, indexes: tuple[int, ...]) -> bool:
+        return len(set(indexes)) == len(indexes) and not any(
+            self._is_set(i) for i in indexes
+        )
+
+    def _mask(self, matrix, state):
+        import numpy as np
+
+        fresh = ~state[matrix].any(axis=1)
+        if matrix.shape[1] < 2:
+            return fresh
+        ordered = np.sort(matrix, axis=1)
+        return fresh & (np.diff(ordered, axis=1) != 0).all(axis=1)
+
+
+class AllSetPredicate(StatePredicate):
+    """Ghost forgery, eq. (8): every index lands on a set bit."""
+
+    def __call__(self, indexes: tuple[int, ...]) -> bool:
+        return all(self._is_set(i) for i in indexes)
+
+    def _mask(self, matrix, state):
+        return state[matrix].all(axis=1)
+
+
+class LatencyPredicate(StatePredicate):
+    """Worst-case latency: k-1 set bits, then one unset (Section 4.2)."""
+
+    def __call__(self, indexes: tuple[int, ...]) -> bool:
+        return all(self._is_set(i) for i in indexes[:-1]) and not self._is_set(
+            indexes[-1]
+        )
+
+    def _mask(self, matrix, state):
+        hits = state[matrix]
+        return hits[:, :-1].all(axis=1) & ~hits[:, -1]
+
+
+class TwoChoiceFreshPredicate(StatePredicate):
+    """Two-choice pollution: both groups fresh, each internally distinct.
+
+    The engine presents the item's two candidate groups as one ``2k``
+    index tuple (group a then group b); ``k`` is read from the target.
+    """
+
+    def __call__(self, indexes: tuple[int, ...]) -> bool:
+        k = self.target.k
+        group_a, group_b = indexes[:k], indexes[k:]
+        if any(self._is_set(i) for i in indexes):
+            return False
+        return len(set(group_a)) == k and len(set(group_b)) == k
+
+    def _mask(self, matrix, state):
+        import numpy as np
+
+        k = self.target.k
+        fresh = ~state[matrix].any(axis=1)
+        distinct_a = (
+            np.diff(np.sort(matrix[:, :k], axis=1), axis=1) != 0
+        ).all(axis=1)
+        distinct_b = (
+            np.diff(np.sort(matrix[:, k:], axis=1), axis=1) != 0
+        ).all(axis=1)
+        return fresh & distinct_a & distinct_b

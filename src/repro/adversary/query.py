@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.adversary.crafting import CraftingEngine, CraftResult
+from repro.adversary.predicates import AllSetPredicate, LatencyPredicate
 from repro.adversary.state import TargetFilter, bit_oracle
 from repro.exceptions import ParameterError
 from repro.urlgen.faker import UrlFactory
@@ -60,11 +61,16 @@ class GhostForgery:
         seed: int = 0x6057,
         budget=None,
         label: str = "ghost",
+        candidate_batch=None,
     ) -> None:
         self.target = target
         self._is_set = bit_oracle(target)
         if candidates is None:
-            candidates = UrlFactory(seed=seed).candidate_stream()
+            factory = UrlFactory(seed=seed)
+            candidates = factory.candidate_stream()
+            candidate_batch = factory.candidate_batch
+        #: Mask-capable predicate driving the batched search path.
+        self.predicate = AllSetPredicate(target)
         self.engine = CraftingEngine(
             target.strategy,
             target.k,
@@ -73,14 +79,15 @@ class GhostForgery:
             max_trials,
             budget=budget,
             label=label,
+            candidate_batch=candidate_batch,
         )
 
     def _predicate(self, indexes: tuple[int, ...]) -> bool:
-        return all(self._is_set(i) for i in indexes)
+        return self.predicate(indexes)
 
     def craft_one(self) -> CraftResult:
         """One ghost item; ``result.trials`` is the brute-force cost."""
-        return self.engine.craft(self._predicate)
+        return self.engine.craft(self.predicate)
 
     def craft(self, count: int) -> list[CraftResult]:
         """``count`` ghost items (the filter state does not change, so
@@ -110,11 +117,16 @@ class LatencyQueryForgery:
         seed: int = 0x7A7E,
         budget=None,
         label: str = "latency",
+        candidate_batch=None,
     ) -> None:
         self.target = target
         self._is_set = bit_oracle(target)
         if candidates is None:
-            candidates = UrlFactory(seed=seed).candidate_stream()
+            factory = UrlFactory(seed=seed)
+            candidates = factory.candidate_stream()
+            candidate_batch = factory.candidate_batch
+        #: Mask-capable predicate driving the batched search path.
+        self.predicate = LatencyPredicate(target)
         self.engine = CraftingEngine(
             target.strategy,
             target.k,
@@ -123,16 +135,15 @@ class LatencyQueryForgery:
             max_trials,
             budget=budget,
             label=label,
+            candidate_batch=candidate_batch,
         )
 
     def _predicate(self, indexes: tuple[int, ...]) -> bool:
-        return all(self._is_set(i) for i in indexes[:-1]) and not self._is_set(
-            indexes[-1]
-        )
+        return self.predicate(indexes)
 
     def craft_one(self) -> CraftResult:
         """One maximal-work negative query."""
-        return self.engine.craft(self._predicate)
+        return self.engine.craft(self.predicate)
 
     def probes_touched(self, indexes: tuple[int, ...]) -> int:
         """Positions a short-circuiting query visits for these indexes."""
@@ -188,6 +199,7 @@ class DecoyTree:
             target,
             candidates=factory.candidate_stream(prefix=path),
             max_trials=max_trials,
+            candidate_batch=lambda n: factory.candidate_batch(n, prefix=path),
         )
         ghost = forgery.craft_one().item
         return DecoyTree(root=root, decoys=tuple(decoys), ghost=ghost)

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from typing import Callable, Protocol, runtime_checkable
 
+from repro import accel
 from repro.core.bloom import BloomFilter
 from repro.core.cache_digest import CacheDigest
 from repro.core.counting import CountingBloomFilter
 from repro.core.partitioned import PartitionedBloomFilter
 
-__all__ = ["TargetFilter", "bit_oracle"]
+__all__ = ["TargetFilter", "bit_oracle", "bit_state_array"]
 
 
 @runtime_checkable
@@ -56,3 +57,30 @@ def bit_oracle(target: object) -> Callable[[int], bool]:
         "pass a BloomFilter, CountingBloomFilter, PartitionedBloomFilter or "
         "CacheDigest (for Dablooms, attack one slice at a time)"
     )
+
+
+def bit_state_array(target: object):
+    """The whole ``is bit i set?`` state as a numpy bool array of length
+    ``m`` -- the bulk form of :func:`bit_oracle`, read once per crafting
+    block by the vectorised attack predicates.
+
+    Returns ``None`` when numpy is unavailable, the pure backend is
+    forced, or the target exposes no bulk-readable state (callers then
+    fall back to the scalar oracle).
+    The array is a snapshot: it reflects the state at call time and does
+    not track later mutations, which is exactly the crafting contract --
+    filter state never changes inside one brute-force search.
+    """
+    np = accel.numpy_or_none()
+    if np is None or accel.current_mode() == "pure":
+        return None
+    bits = getattr(target, "bits", None)
+    if bits is not None and hasattr(bits, "to_bytes"):
+        unpacked = np.unpackbits(
+            np.frombuffer(bits.to_bytes(), dtype=np.uint8), bitorder="little"
+        )
+        return unpacked[: len(bits)].astype(bool)
+    counters = getattr(target, "counters", None)
+    if counters is not None and hasattr(counters, "to_bytes"):
+        return np.frombuffer(counters.to_bytes(), dtype=np.uint8) > 0
+    return None

@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.adversary.crafting import CraftingEngine, CraftResult
+from repro.adversary.predicates import TwoChoiceFreshPredicate
 from repro.core.two_choice import TwoChoiceBloomFilter
+from repro.hashing.base import IndexStrategy
 from repro.urlgen.faker import UrlFactory
 
 __all__ = ["TwoChoicePollutionReport", "TwoChoicePollutionAttack"]
@@ -40,8 +42,15 @@ class TwoChoicePollutionReport:
         return [r.item for r in self.crafted]
 
 
-class _PairStrategy:
-    """Adapter presenting both groups as one 2k-index tuple to the engine."""
+class _PairStrategy(IndexStrategy):
+    """Adapter presenting both groups as one 2k-index tuple to the engine.
+
+    Subclassing :class:`IndexStrategy` buys the flattened batch form an
+    explicit batched search pulls blocks through.  There is no vector
+    kernel (the pair derivation hashes scalar), so ``craft()``'s
+    auto-dispatch keeps this attack on the scalar path; the predicate
+    mask still vectorises when ``craft_batched`` is called directly.
+    """
 
     name = "two-choice-pair"
 
@@ -62,26 +71,31 @@ class TwoChoicePollutionAttack:
         candidates: Iterable[str] | None = None,
         max_trials: int = 5_000_000,
         seed: int = 0x2C01,
+        candidate_batch=None,
     ) -> None:
         self.target = target
         if candidates is None:
-            candidates = UrlFactory(seed=seed).candidate_stream()
+            factory = UrlFactory(seed=seed)
+            candidates = factory.candidate_stream()
+            candidate_batch = factory.candidate_batch
+        # Both halves fresh; the chosen group (either) must also be
+        # internally distinct so it adds exactly k ones.
+        self.predicate = TwoChoiceFreshPredicate(target)
         self.engine = CraftingEngine(
-            _PairStrategy(target), 2 * target.k, target.m, candidates, max_trials
+            _PairStrategy(target),
+            2 * target.k,
+            target.m,
+            candidates,
+            max_trials,
+            candidate_batch=candidate_batch,
         )
 
     def _predicate(self, indexes: tuple[int, ...]) -> bool:
-        # Both halves fresh; the chosen group (either) must also be
-        # internally distinct so it adds exactly k ones.
-        group_a, group_b = indexes[: self.target.k], indexes[self.target.k :]
-        bits = self.target.bits
-        if any(bits.get(i) for i in indexes):
-            return False
-        return len(set(group_a)) == self.target.k and len(set(group_b)) == self.target.k
+        return self.predicate(indexes)
 
     def craft_one(self) -> CraftResult:
         """One item that defeats the two-choice heuristic."""
-        return self.engine.craft(self._predicate)
+        return self.engine.craft(self.predicate)
 
     def run(self, count: int) -> TwoChoicePollutionReport:
         """Craft and insert ``count`` items; every insertion adds k ones."""

@@ -30,6 +30,13 @@ strong enough that even ``ceiling`` trials lose reports ``cheapest =
 None``: the frontier lies beyond the sweep, which for comparison
 purposes is *above* every finite point.
 
+Each probe is an independent seeded replay, so the search parallelises:
+hand :func:`cheapest_winning_budget` a :class:`ProbePool` and the
+doubling phase fans its whole rung ladder across worker processes while
+the search still consumes results in rung order and records exactly the
+rungs the serial walk would have probed -- the pool changes wall clock,
+never which probes decide the price.
+
 :func:`thrash_events` is the companion diagnostic: rotation pairs on the
 same shard closer than a minimum op gap -- the filter-emptying churn a
 :class:`~repro.service.lifecycle.Cooldown` wrapper exists to forbid.
@@ -38,6 +45,8 @@ same shard closer than a minimum op gap -- the filter-emptying churn a
 from __future__ import annotations
 
 import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -51,6 +60,7 @@ __all__ = [
     "FrontierWorkload",
     "FrontierProbe",
     "FrontierResult",
+    "ProbePool",
     "thrash_events",
     "replay_probe",
     "minimise_winning_trials",
@@ -219,6 +229,63 @@ def replay_probe(
     )
 
 
+class ProbePool:
+    """A process pool fanning seeded frontier replays out concurrently.
+
+    Every probe is a full gateway build plus an ``asyncio.run`` replay --
+    seconds of mostly-sleeping wall clock -- and the doubling phase of
+    :func:`cheapest_winning_budget` knows its whole rung ladder up
+    front.  The pool submits the ladder at once and the search consumes
+    results *in rung order*, recording probes only up to the first
+    winner -- the same rungs, in the same order, deciding the same way
+    as the serial walk.  Given the same probe outcomes the frontier is
+    identical; a replay's outcome does not depend on which process runs
+    it (only on the seed and the timing jitter every replay already
+    carries -- see the module docstring).  Rungs past the first winner
+    may still execute (their futures are cancelled best-effort) but are
+    never recorded.
+
+    The pool is also a plain ``submit`` surface for experiment-level
+    fan-out -- per-policy frontier sweeps and storm replays ship their
+    module-level callables through the same workers.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ParameterError("workers must be positive")
+        self.workers = workers or os.cpu_count() or 1
+        self._executor = ProcessPoolExecutor(max_workers=self.workers)
+
+    def submit(self, fn, /, *args, **kwargs):
+        """Ship any picklable module-level callable to a worker."""
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def probe(
+        self,
+        config: ServiceConfig,
+        budget: AttackBudgetConfig,
+        target_hits: int,
+        *,
+        workload: FrontierWorkload | None = None,
+        seed: int = 0,
+        thrash_gap: int = 200,
+    ):
+        """Future for one :func:`replay_probe` in a worker process."""
+        return self._executor.submit(
+            replay_probe, config, budget, target_hits, workload, seed, thrash_gap
+        )
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ProbePool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
 def minimise_winning_trials(
     win: Callable[[int], bool],
     floor: int,
@@ -267,6 +334,71 @@ def minimise_winning_trials(
     return hi
 
 
+def _minimise_pooled(
+    pool: ProbePool,
+    budget_for,
+    record,
+    config: ServiceConfig,
+    target_hits: int,
+    workload: FrontierWorkload,
+    seed: int,
+    thrash_gap: int,
+    floor: int,
+    ceiling: int,
+    resolution: int,
+) -> int | None:
+    """Pooled twin of :func:`minimise_winning_trials`.
+
+    The doubling ladder (floor, 2*floor, ..., ceiling) is known before
+    any result is, so every rung's replay is submitted at once; results
+    are then consumed *in rung order* and recording stops at the first
+    winner -- exactly the rungs the serial search would have probed, in
+    the order it would have probed them.  Bisection is inherently
+    sequential (each midpoint depends on the last verdict) and runs one
+    pooled probe at a time.
+    """
+    if floor <= 0 or ceiling < floor:
+        raise ParameterError("need 0 < floor <= ceiling")
+    if resolution <= 0:
+        raise ParameterError("resolution must be positive")
+
+    def submit(trials: int):
+        return pool.probe(
+            config,
+            budget_for(trials),
+            target_hits,
+            workload=workload,
+            seed=seed,
+            thrash_gap=thrash_gap,
+        )
+
+    ladder = [floor]
+    while ladder[-1] < ceiling:
+        ladder.append(min(ladder[-1] * 2, ceiling))
+    futures = {trials: submit(trials) for trials in ladder}
+    lo = hi = None
+    try:
+        for trials in ladder:
+            if record(trials, futures[trials].result()):
+                hi = trials
+                break
+            lo = trials
+    finally:
+        for future in futures.values():
+            future.cancel()
+    if hi is None:
+        return None
+    if hi == floor:
+        return floor
+    while hi - lo > resolution:
+        mid = (lo + hi) // 2
+        if record(mid, submit(mid).result()):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
 def cheapest_winning_budget(
     config: ServiceConfig,
     target_hits: int,
@@ -279,6 +411,7 @@ def cheapest_winning_budget(
     requests_per_s: float | None = None,
     deadline_s: float | None = None,
     thrash_gap: int = 200,
+    pool: ProbePool | None = None,
 ) -> FrontierResult:
     """The defence frontier: cheapest budget that still wins.
 
@@ -288,32 +421,65 @@ def cheapest_winning_budget(
     replays, and returns the cheapest purse that bought the adaptive
     ghost campaign ``target_hits`` confirmed hits -- or ``cheapest =
     None`` when even ``ceiling`` trials lose against this defence.
+
+    With a :class:`ProbePool` the doubling phase fans its whole rung
+    ladder out at once and consumes results in rung order (probes past
+    the first winner are discarded unrecorded), then bisects serially
+    through the pool -- the same rung sequence and decision rule as the
+    serial search, in less wall clock on multicore hosts.
     """
     workload = workload or FrontierWorkload()
     resolution = resolution or max(16, ceiling // 16)
     probes: list[FrontierProbe] = []
     by_trials: dict[int, FrontierProbe] = {}
 
-    def win(trials: int) -> bool:
-        budget = AttackBudgetConfig(
+    def budget_for(trials: int) -> AttackBudgetConfig:
+        return AttackBudgetConfig(
             max_trials=trials,
             requests_per_s=requests_per_s,
             deadline_s=deadline_s,
             strategy="adaptive",
         )
+
+    def record(trials: int, probe: FrontierProbe) -> bool:
+        probes.append(probe)
+        by_trials[trials] = probe
+        return probe.won
+
+    def win(trials: int) -> bool:
         probe = replay_probe(
             config,
-            budget,
+            budget_for(trials),
             target_hits,
             workload=workload,
             seed=seed,
             thrash_gap=thrash_gap,
         )
-        probes.append(probe)
-        by_trials[trials] = probe
-        return probe.won
+        return record(trials, probe)
 
-    cheapest_trials = minimise_winning_trials(win, floor, ceiling, resolution)
+    if pool is None or getattr(pool, "workers", 2) <= 1:
+        # A single-worker pool serializes the ladder anyway, so the
+        # fan-out buys no wall clock while still paying per-probe
+        # pickling and the speculative rung the worker starts before
+        # the in-order consumer can cancel it.  The serial walk probes
+        # the same rungs and decides identically.  (Duck-typed pools
+        # that don't advertise a worker count are taken at their word
+        # and fanned into.)
+        cheapest_trials = minimise_winning_trials(win, floor, ceiling, resolution)
+    else:
+        cheapest_trials = _minimise_pooled(
+            pool,
+            budget_for,
+            record,
+            config,
+            target_hits,
+            workload,
+            seed,
+            thrash_gap,
+            floor,
+            ceiling,
+            resolution,
+        )
     winning = by_trials.get(cheapest_trials) if cheapest_trials is not None else None
     return FrontierResult(
         policy=config.rotation_policy

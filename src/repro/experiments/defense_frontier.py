@@ -37,10 +37,12 @@ carries across rounds exactly as it would across a deployment's days.
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.defense.frontier import (
     FrontierResult,
     FrontierWorkload,
+    ProbePool,
     cheapest_winning_budget,
     thrash_events,
 )
@@ -106,7 +108,9 @@ def _config(spec: str, shard_m: int) -> ServiceConfig:
     )
 
 
-def _frontier(spec: str, scale: float, seed: int) -> FrontierResult:
+def _frontier(
+    spec: str, scale: float, seed: int, pool: ProbePool | None = None
+) -> FrontierResult:
     workload = _workload(scale)
     # 5/6 of the campaign: reaching it *requires* surviving a rotation
     # flush, so pool-milking the pre-rotation window can never win and
@@ -122,6 +126,7 @@ def _frontier(spec: str, scale: float, seed: int) -> FrontierResult:
         ceiling=ceiling,
         resolution=max(16, ceiling // 256),
         thrash_gap=_COOLDOWN_OPS,
+        pool=pool,
     )
 
 
@@ -212,10 +217,29 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         ],
     )
 
-    frontiers: dict[str, FrontierResult] = {}
-    for label, spec in _policies():
-        frontier = _frontier(spec, scale, seed)
-        frontiers[label] = frontier
+    # One process pool carries every replay: the storm phases are
+    # submitted first (they share no state with the sweeps), then the
+    # four per-policy frontier searches run concurrently on threads,
+    # each fanning its own doubling ladder into the same pool.  Every
+    # replay is seeded and independent, so the concurrency changes wall
+    # clock, never which probes decide each policy's price.
+    with ProbePool() as pool:
+        storm_bare = pool.submit(_storm, _BARE_TRIPWIRE, scale, seed)
+        storm_composed = pool.submit(_storm, _COMPOSED, scale, seed)
+        policies = _policies()
+        with ThreadPoolExecutor(max_workers=len(policies)) as sweeps:
+            futures = {
+                label: sweeps.submit(_frontier, spec, scale, seed, pool)
+                for label, spec in policies
+            }
+            frontiers: dict[str, FrontierResult] = {
+                label: futures[label].result() for label, _ in policies
+            }
+        bare_rot, bare_sup, bare_thrash = storm_bare.result()
+        comp_rot, comp_sup, comp_thrash = storm_composed.result()
+
+    for label, spec in policies:
+        frontier = frontiers[label]
         win = frontier.winning
         result.add_row(
             label,
@@ -259,8 +283,6 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     # variant thrashes (same-shard rotations closer than the cool-down
     # gap); the composed one rotates on schedule, zero thrash, with the
     # refused rotations tallied as suppressions.
-    bare_rot, bare_sup, bare_thrash = _storm(_BARE_TRIPWIRE, scale, seed)
-    comp_rot, comp_sup, comp_thrash = _storm(_COMPOSED, scale, seed)
     result.note(
         f"sustained ghost storm (3 refill rounds): bare '{_BARE_TRIPWIRE}' rotated "
         f"{bare_rot}x with {bare_thrash} thrash event(s) (< {_COOLDOWN_OPS} ops "

@@ -1,7 +1,8 @@
 """``python -m repro.perf`` runs the perf benchmark CLIs.
 
 Bare invocation (and the explicit ``hotpath`` subcommand) runs the
-filter-core benchmark; ``serving`` runs the end-to-end serving grid.
+filter-core benchmark; ``serving`` runs the end-to-end serving grid;
+``crafting`` runs the batched brute-force search grid.
 """
 
 import sys
@@ -9,6 +10,10 @@ import sys
 _args = sys.argv[1:]
 if _args and _args[0] == "serving":
     from repro.perf.bench_serving import main
+
+    raise SystemExit(main(_args[1:]))
+if _args and _args[0] == "crafting":
+    from repro.perf.bench_crafting import main
 
     raise SystemExit(main(_args[1:]))
 if _args and _args[0] == "hotpath":

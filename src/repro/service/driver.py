@@ -172,6 +172,16 @@ class TrafficReport:
         hits = self.adaptive_hits if label == "adaptive" else self.ghost_hits
         return 1000.0 * hits / spend["trials"]
 
+    def trials_per_sec(self, label: str) -> float:
+        """Crafting throughput of one attack client: budgeted brute-force
+        trials per wall-clock second of the replay (0.0 without budget
+        accounting).  Wall-clock is the whole replay's, so this is the
+        deployed rate the defender actually faces, not a kernel bench."""
+        spend = self.budget_spend.get(label)
+        if not spend or not spend.get("trials") or self.elapsed_s <= 0:
+            return 0.0
+        return spend["trials"] / self.elapsed_s
+
     @property
     def coalesce_ratio(self) -> float:
         """Client requests absorbed per merged backend call during the
@@ -251,6 +261,11 @@ class TrafficReport:
         if self.budget_spend:
             spend = ", ".join(
                 f"{label}: {counts['trials']} trials / {counts['requests']} requests"
+                + (
+                    f" ({self.trials_per_sec(label):,.0f} trials/s)"
+                    if self.trials_per_sec(label)
+                    else ""
+                )
                 for label, counts in self.budget_spend.items()
             )
             lines.append(
@@ -673,7 +688,16 @@ class AdversarialTrafficDriver:
             # stall the event loop (and with it, that very batch).
             state = await asyncio.to_thread(self.gateway.shard_state, shard_id)
             if state.fill_ratio >= min_fill:
-                break
+                # The off-thread probe yielded the loop, so a concurrent
+                # client may have tipped the shard over its rotation
+                # threshold while this coroutine waited to resume -- the
+                # reading above can be stale.  Confirm synchronously:
+                # between this check and the caller's craft there is no
+                # await point, so the fill the caller forges against is
+                # the fill confirmed here.
+                if self.gateway.shard_state(shard_id).fill_ratio >= min_fill:
+                    break
+                continue
             await asyncio.sleep(0.005)
 
     async def _ghost_client(

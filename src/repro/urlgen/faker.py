@@ -111,6 +111,27 @@ class UrlFactory:
                 self._counter += 1
                 yield f"{prefix.rstrip('/')}{self.path()}/p{self._counter}"
 
+    def candidate_batch(self, count: int, prefix: str | None = None) -> list[str]:
+        """The next ``count`` candidates of :meth:`candidate_stream` as a
+        list -- the bulk form the batched crafting engine pulls blocks
+        through.
+
+        Draws from the same PRNG and counter in the same order as the
+        stream, so mixing ``next()`` on a live ``candidate_stream()``
+        generator with ``candidate_batch()`` calls on the same factory
+        still yields one sequential, collision-free candidate sequence.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if prefix is None:
+            return [self.url() for _ in range(count)]
+        stem = prefix.rstrip("/")
+        out = []
+        for _ in range(count):
+            self._counter += 1
+            out.append(f"{stem}{self.path()}/p{self._counter}")
+        return out
+
     def reset(self, seed: int) -> None:
         """Re-seed the factory (restarts both the PRNG and the counter)."""
         self._rng = random.Random(seed)

@@ -3,10 +3,13 @@ cheapest-winning-purse search, and the replay probe end to end."""
 
 from __future__ import annotations
 
+from concurrent.futures import Future
+
 import pytest
 
 from repro.defense.frontier import (
     FrontierProbe,
+    ProbePool,
     FrontierResult,
     FrontierWorkload,
     cheapest_winning_budget,
@@ -204,3 +207,122 @@ def test_cheapest_winning_budget_finds_a_finite_frontier():
     assert result.cheapest_trials <= 8_000
     assert len(result.probes) >= 1
     assert result.policy == "never"
+
+
+# ----------------------------------------------------------------------
+# The pooled search: same rungs, same decisions as the serial walk
+# ----------------------------------------------------------------------
+
+
+class _FakePool:
+    """ProbePool stand-in answering probes deterministically, at once."""
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self.submitted: list[int] = []
+
+    def probe(self, config, budget, target_hits, *, workload, seed, thrash_gap):
+        self.submitted.append(budget.max_trials)
+        future: Future = Future()
+        future.set_result(_fake_probe(budget, budget.max_trials >= self.threshold))
+        return future
+
+
+def _fake_probe(budget: AttackBudgetConfig, won: bool) -> FrontierProbe:
+    return FrontierProbe(
+        budget=budget,
+        ghost_queries=1,
+        ghost_hits=int(won),
+        trials_spent=budget.max_trials,
+        rotations=0,
+        rotations_suppressed=0,
+        thrash_events=0,
+        won=won,
+    )
+
+
+@pytest.mark.parametrize("threshold", [10, 100, 700, 3000, 10**6])
+def test_pooled_search_matches_serial_given_same_outcomes(
+    monkeypatch, threshold: int
+):
+    """With identical probe outcomes the pooled search records exactly
+    the serial search's rung sequence and returns the same price."""
+
+    def fake_replay(config, budget, target_hits, workload=None, seed=0, thrash_gap=200):
+        return _fake_probe(budget, budget.max_trials >= threshold)
+
+    monkeypatch.setattr("repro.defense.frontier.replay_probe", fake_replay)
+    kwargs = dict(
+        target_hits=12, workload=_TINY, seed=3, floor=16, ceiling=4096, resolution=16
+    )
+    serial = cheapest_winning_budget(_config("never"), **kwargs)
+    pooled = cheapest_winning_budget(
+        _config("never"), **kwargs, pool=_FakePool(threshold)
+    )
+    assert pooled.cheapest_trials == serial.cheapest_trials
+    assert [(p.budget.max_trials, p.won) for p in pooled.probes] == [
+        (p.budget.max_trials, p.won) for p in serial.probes
+    ]
+
+
+def test_pooled_search_submits_the_whole_ladder_up_front():
+    pool = _FakePool(threshold=100)
+    result = cheapest_winning_budget(
+        _config("never"),
+        target_hits=12,
+        workload=_TINY,
+        seed=3,
+        floor=16,
+        ceiling=4096,
+        resolution=16,
+        pool=pool,
+    )
+    # Ladder 16..4096 fanned out in one burst before any bisection probe.
+    ladder = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+    assert pool.submitted[: len(ladder)] == ladder
+    # Rungs past the first winner (128) are submitted but never recorded.
+    recorded = [p.budget.max_trials for p in result.probes]
+    assert recorded[:4] == [16, 32, 64, 128]
+    assert all(t <= 128 for t in recorded)
+    assert result.cheapest_trials is not None
+
+
+def test_pooled_search_validates_bounds():
+    pool = _FakePool(threshold=100)
+    # (resolution=0 is falsy and coerced to the default, as serially.)
+    for floor, ceiling in ((0, 100), (200, 100)):
+        with pytest.raises(ParameterError):
+            cheapest_winning_budget(
+                _config("never"),
+                target_hits=12,
+                workload=_TINY,
+                floor=floor,
+                ceiling=ceiling,
+                resolution=16,
+                pool=pool,
+            )
+
+
+def test_probe_pool_validates_and_closes():
+    with pytest.raises(ParameterError):
+        ProbePool(workers=0)
+    with ProbePool(workers=1) as pool:
+        assert pool.workers == 1
+        future = pool.submit(max, 3, 5)
+        assert future.result() == 5
+
+
+def test_probe_pool_replays_end_to_end():
+    # A real worker process runs the same seeded replay the serial path
+    # would; the probe comes back well-formed.
+    with ProbePool(workers=1) as pool:
+        future = pool.probe(
+            _config("fill:0.95"),
+            AttackBudgetConfig(max_trials=4_000, strategy="adaptive"),
+            12,
+            workload=_TINY,
+            seed=3,
+        )
+        probe = future.result()
+    assert probe.ghost_queries > 0
+    assert probe.won == (probe.ghost_hits >= 12)

@@ -1,0 +1,156 @@
+"""The crafting bench harness and its CI gates.
+
+A smoke run must produce a schema-tagged document whose cells are
+internally consistent, :func:`check_bench_file` must reject every way
+the committed file can rot (including a headline-claim regression in a
+full run), and the repository's ``BENCH_crafting.json`` itself must
+validate -- the same gate CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro import accel
+from repro.perf.bench_crafting import (
+    BENCH_SCHEMA,
+    CLAIMED_SPEEDUP,
+    SMOKE_PREDICATES,
+    SMOKE_SCALES,
+    check_bench_file,
+    main,
+    run_bench,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _smoke_doc() -> dict:
+    return run_bench(SMOKE_SCALES, SMOKE_PREDICATES, repeats=1, smoke=True)
+
+
+def test_smoke_run_document_shape():
+    doc = _smoke_doc()
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["smoke"] is True
+    modes = {"pure", "numpy"} if accel.numpy_or_none() else {"pure"}
+    cells = {(r["predicate"], r["mode"], r["k"]) for r in doc["results"]}
+    assert len(cells) == len(doc["results"]), "duplicate grid cells"
+    assert {c[1] for c in cells} == modes
+    for row in doc["results"]:
+        assert row["seconds"] > 0
+        assert row["trials"] >= row["items"]
+        assert row["trials_per_sec"] == pytest.approx(
+            row["trials"] / row["seconds"], rel=0.01
+        )
+    if accel.numpy_or_none():
+        assert doc["speedups"], "numpy present but no speedup cells"
+        for cell in doc["speedups"]:
+            assert cell["speedup"] > 0
+
+
+def test_trial_counts_identical_across_modes():
+    """The batched engine's exactness shows up in the bench itself: both
+    modes replay the same pool against the same filter state, so every
+    cell pair examines identical trial counts."""
+    if accel.numpy_or_none() is None:
+        pytest.skip("single-mode run has no pairs to compare")
+    doc = _smoke_doc()
+    by_cell = {(r["predicate"], r["mode"], r["k"]): r["trials"] for r in doc["results"]}
+    for predicate, mode, k in list(by_cell):
+        if mode == "pure":
+            assert by_cell[(predicate, "numpy", k)] == by_cell[(predicate, "pure", k)]
+
+
+def test_check_accepts_fresh_smoke_document(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(_smoke_doc()))
+    assert check_bench_file(str(path))["schema"] == BENCH_SCHEMA
+
+
+def test_check_rejects_missing_file(tmp_path):
+    with pytest.raises(ValueError, match="missing"):
+        check_bench_file(str(tmp_path / "nope.json"))
+
+
+def test_check_rejects_invalid_json(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        check_bench_file(str(path))
+
+
+def test_check_rejects_stale_schema(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"schema": "repro.bench_crafting/0", "results": [{}]}))
+    with pytest.raises(ValueError, match="regenerate"):
+        check_bench_file(str(path))
+
+
+def test_check_rejects_empty_results(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"schema": BENCH_SCHEMA, "results": []}))
+    with pytest.raises(ValueError, match="no results"):
+        check_bench_file(str(path))
+
+
+def test_check_rejects_missing_row_keys(tmp_path):
+    path = tmp_path / "bench.json"
+    row = {"predicate": "ghost", "mode": "pure"}  # missing the numeric fields
+    path.write_text(json.dumps({"schema": BENCH_SCHEMA, "results": [row]}))
+    with pytest.raises(ValueError, match="missing keys"):
+        check_bench_file(str(path))
+
+
+def _full_doc(speedup: float) -> dict:
+    row = {
+        "predicate": "ghost",
+        "mode": "numpy",
+        "k": 12,
+        "m": 1 << 20,
+        "items": 6,
+        "trials": 24_000,
+        "seconds": 0.5,
+        "trials_per_sec": 48_000.0,
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "smoke": False,
+        "results": [row],
+        "speedups": [{"predicate": "ghost", "k": 12, "m": 1 << 20, "speedup": speedup}],
+    }
+
+
+def test_check_enforces_the_claim_on_full_runs(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(_full_doc(CLAIMED_SPEEDUP - 0.1)))
+    with pytest.raises(ValueError, match="below the claimed"):
+        check_bench_file(str(path))
+    path.write_text(json.dumps(_full_doc(CLAIMED_SPEEDUP + 0.1)))
+    assert check_bench_file(str(path))
+
+
+def test_check_demands_largest_scale_speedups_on_full_runs(tmp_path):
+    doc = _full_doc(CLAIMED_SPEEDUP + 1)
+    doc["speedups"] = [{"predicate": "ghost", "k": 4, "m": 1 << 14, "speedup": 9.0}]
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="largest"):
+        check_bench_file(str(path))
+
+
+def test_committed_bench_file_validates():
+    """The gate CI runs: the committed file must hold the >=5x claim."""
+    doc = check_bench_file(str(REPO_ROOT / "BENCH_crafting.json"))
+    assert not doc.get("smoke"), "the committed bench must be a full run"
+    largest_k = max(row["k"] for row in doc["results"])
+    best = max(c["speedup"] for c in doc["speedups"] if c["k"] == largest_k)
+    assert best >= CLAIMED_SPEEDUP
+
+
+def test_cli_check_mode(capsys):
+    assert main(["--check", str(REPO_ROOT / "BENCH_crafting.json")]) == 0
+    assert "schema repro.bench_crafting/1" in capsys.readouterr().out

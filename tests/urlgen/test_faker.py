@@ -80,3 +80,38 @@ def test_count_validation(url_factory):
         url_factory.urls(-1)
     with pytest.raises(ValueError):
         url_factory.path(depth=0)
+
+
+def test_candidate_batch_matches_stream():
+    stream = list(itertools.islice(UrlFactory(seed=11).candidate_stream(), 300))
+    assert UrlFactory(seed=11).candidate_batch(300) == stream
+
+
+def test_candidate_batch_matches_stream_with_prefix():
+    prefix = "http://evil.example"
+    stream = list(
+        itertools.islice(UrlFactory(seed=11).candidate_stream(prefix=prefix), 100)
+    )
+    batch = UrlFactory(seed=11).candidate_batch(100, prefix=prefix)
+    assert batch == stream
+    assert all(url.startswith("http://evil.example/") for url in batch)
+
+
+def test_candidate_batch_interleaves_with_live_stream():
+    """Scalar and batched pulls on one factory form a single sequential
+    stream -- the contract the crafting engine's carry logic rests on."""
+    reference = list(itertools.islice(UrlFactory(seed=11).candidate_stream(), 120))
+    factory = UrlFactory(seed=11)
+    stream = factory.candidate_stream()
+    mixed = [next(stream) for _ in range(10)]
+    mixed += factory.candidate_batch(50)
+    mixed += [next(stream) for _ in range(10)]
+    mixed += factory.candidate_batch(50)
+    assert mixed == reference
+    assert len(set(mixed)) == len(mixed)
+
+
+def test_candidate_batch_count_validation(url_factory):
+    with pytest.raises(ValueError):
+        url_factory.candidate_batch(-1)
+    assert url_factory.candidate_batch(0) == []
